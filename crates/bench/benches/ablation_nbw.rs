@@ -1,0 +1,52 @@
+//! Ablation A1: BWM vs. RBM as a function of the non-bound-widening share.
+//! The mechanism behind the Figure 3/4 trend — at share 1.0 the BWM
+//! structure saves nothing (every edited image is Unclassified).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_datagen::{Collection, DatasetBuilder, QueryGenerator, VariantConfig};
+use mmdb_query::QueryProcessor;
+
+fn bench_nbw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_nbw");
+    group.sample_size(20);
+    for p_merge in [0.0f64, 0.5, 1.0] {
+        let (db, _info) = DatasetBuilder::new(Collection::Flags)
+            .total_images(300)
+            .pct_edited(0.8)
+            .seed(42)
+            .variant_config(VariantConfig {
+                min_ops: 8,
+                max_ops: 20,
+                p_merge_target: p_merge,
+            })
+            .build();
+        let mut qp = QueryProcessor::new(&db);
+        qp.build_bwm();
+        let queries = QueryGenerator::weighted_from_db(7, &db)
+            .thresholds(0.02, 0.15)
+            .two_sided_probability(0.0)
+            .batch(16);
+        for (name, use_bwm) in [("rbm", false), ("bwm", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("nbw{:.0}", p_merge * 100.0)),
+                &p_merge,
+                |b, _| {
+                    b.iter(|| {
+                        for q in &queries {
+                            let out = if use_bwm {
+                                qp.range_bwm(q).unwrap()
+                            } else {
+                                qp.range_rbm(q).unwrap()
+                            };
+                            std::hint::black_box(out);
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nbw);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for **Figure 3** (helmet data set): RBM vs. BWM range
+//! query time at three points of the "percentage of images stored as
+//! editing operations" sweep.
+//!
+//! The `repro fig3` binary produces the full 9-point series; this bench
+//! measures the same code paths with criterion's statistics at the sweep's
+//! ends and middle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_datagen::{Collection, DatasetBuilder, QueryGenerator, VariantConfig};
+use mmdb_query::QueryProcessor;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_helmet");
+    group.sample_size(20);
+    for pct in [0.2f64, 0.5, 0.8] {
+        let n_edit = (300.0 * pct).round();
+        let p_merge = (1.0 - 27.0 / n_edit).clamp(0.0, 1.0);
+        let (db, _info) = DatasetBuilder::new(Collection::Helmets)
+            .total_images(300)
+            .pct_edited(pct)
+            .seed(42)
+            .variant_config(VariantConfig {
+                min_ops: 8,
+                max_ops: 20,
+                p_merge_target: p_merge,
+            })
+            .build();
+        let mut qp = QueryProcessor::new(&db);
+        qp.build_bwm();
+        let queries = QueryGenerator::weighted_from_db(7, &db)
+            .thresholds(0.02, 0.15)
+            .two_sided_probability(0.0)
+            .batch(16);
+        group.bench_with_input(
+            BenchmarkId::new("rbm", format!("{:.0}pct", pct * 100.0)),
+            &pct,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        std::hint::black_box(qp.range_rbm(q).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bwm", format!("{:.0}pct", pct * 100.0)),
+            &pct,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        std::hint::black_box(qp.range_bwm(q).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for **Figure 4** (flag data set): RBM vs. BWM range
+//! query time at three sweep points — the flag-collection twin of
+//! `fig3_helmet.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_datagen::{Collection, DatasetBuilder, QueryGenerator, VariantConfig};
+use mmdb_query::QueryProcessor;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_flag");
+    group.sample_size(20);
+    for pct in [0.2f64, 0.5, 0.8] {
+        let n_edit = (300.0 * pct).round();
+        let p_merge = (1.0 - 27.0 / n_edit).clamp(0.0, 1.0);
+        let (db, _info) = DatasetBuilder::new(Collection::Flags)
+            .total_images(300)
+            .pct_edited(pct)
+            .seed(42)
+            .variant_config(VariantConfig {
+                min_ops: 8,
+                max_ops: 20,
+                p_merge_target: p_merge,
+            })
+            .build();
+        let mut qp = QueryProcessor::new(&db);
+        qp.build_bwm();
+        let queries = QueryGenerator::weighted_from_db(7, &db)
+            .thresholds(0.02, 0.15)
+            .two_sided_probability(0.0)
+            .batch(16);
+        group.bench_with_input(
+            BenchmarkId::new("rbm", format!("{:.0}pct", pct * 100.0)),
+            &pct,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        std::hint::black_box(qp.range_rbm(q).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bwm", format!("{:.0}pct", pct * 100.0)),
+            &pct,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        std::hint::black_box(qp.range_bwm(q).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation A5: the cost the paper's whole approach exists to avoid.
+//!
+//! §3: "Since instantiation is an expensive process in terms of execution
+//! time, it should be avoided." This bench quantifies that: answering a
+//! per-image query via full instantiation + histogram extraction versus the
+//! BOUNDS rule computation, as a function of the edit-sequence length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_datagen::flags::FlagGenerator;
+use mmdb_editops::{EditSequence, ImageId};
+use mmdb_histogram::ColorHistogram;
+use mmdb_imaging::{Rect, Rgb};
+use mmdb_rules::{RuleEngine, RuleProfile};
+use mmdb_storage::StorageEngine;
+
+fn sequence_with_ops(base: ImageId, n: usize) -> EditSequence {
+    let mut builder = EditSequence::builder(base);
+    for i in 0..n {
+        builder = match i % 4 {
+            0 => builder.define(Rect::new(5 + i as i64, 5, 40 + i as i64, 35)),
+            1 => builder.modify(Rgb::new(0xCE, 0x11, 0x26), Rgb::new(0x00, 0x7A, 0x3D)),
+            2 => builder.blur(),
+            _ => builder.translate(3.0, 2.0),
+        };
+    }
+    builder.build()
+}
+
+fn bench_instantiation(c: &mut Criterion) {
+    let db = StorageEngine::in_memory(Box::new(mmdb_histogram::RgbQuantizer::default_64()));
+    let flag = FlagGenerator::with_seed(42).generate(0);
+    let base = db.insert_binary(&flag).unwrap();
+
+    let mut group = c.benchmark_group("instantiation_cost");
+    group.sample_size(20);
+    for n_ops in [2usize, 8, 32] {
+        let seq = sequence_with_ops(base, n_ops);
+        let id = db.insert_edited(seq.clone()).unwrap();
+        // Exact histogram via instantiation (cache defeated by re-extracting
+        // from the raw raster each iteration).
+        group.bench_with_input(
+            BenchmarkId::new("instantiate+extract", n_ops),
+            &n_ops,
+            |b, _| {
+                b.iter(|| {
+                    let raster = db.raster(id).unwrap();
+                    // Re-extract (the raster itself is cached; extraction is
+                    // the dominant per-query cost an uncached system pays).
+                    std::hint::black_box(ColorHistogram::extract(&raster, db.quantizer()));
+                })
+            },
+        );
+        let engine = RuleEngine::new(db.quantizer(), RuleProfile::Conservative);
+        group.bench_with_input(BenchmarkId::new("bounds", n_ops), &n_ops, |b, _| {
+            b.iter(|| std::hint::black_box(engine.bounds(&seq, 0, &db).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_instantiation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation A4 (substrate): R-tree range search vs. linear scan over binary
+//! histogram signatures — the "conventional approach" of §3.1/§4 whose
+//! data-access-avoidance idea BWM transplants to edited images.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_datagen::{Collection, DatasetBuilder};
+
+use mmdb_imaging::Rgb;
+use mmdb_query::SignatureIndex;
+use mmdb_rules::InfoResolver;
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_vs_scan");
+    group.sample_size(20);
+    for n in [100usize, 400, 1600] {
+        let (db, _) = DatasetBuilder::new(Collection::Flags)
+            .total_images(n)
+            .pct_edited(0.0)
+            .seed(42)
+            .build();
+        let index = SignatureIndex::build(&db);
+        let red = db.quantizer().bin_of(Rgb::new(0xCE, 0x11, 0x26));
+        let ids = db.binary_ids();
+
+        group.bench_with_input(BenchmarkId::new("rtree_bin_range", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(index.bin_range(red, 0.3, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = Vec::new();
+                for &id in &ids {
+                    let info = db.info(id).unwrap();
+                    let f = info.histogram.fraction(red);
+                    if (0.3..=1.0).contains(&f) {
+                        hits.push(id);
+                    }
+                }
+                std::hint::black_box(hits)
+            })
+        });
+        // k-NN through the index vs. brute force.
+        let probe = db.info(ids[0]).unwrap().histogram;
+        group.bench_with_input(BenchmarkId::new("rtree_knn10", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(index.nearest(&probe, 10)))
+        });
+        group.bench_with_input(BenchmarkId::new("brute_knn10", n), &n, |b, _| {
+            b.iter(|| {
+                let mut dists: Vec<(f64, _)> = ids
+                    .iter()
+                    .map(|&id| {
+                        let info = db.info(id).unwrap();
+                        (mmdb_histogram::l2_distance(&probe, &info.histogram), id)
+                    })
+                    .collect();
+                dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                dists.truncate(10);
+                std::hint::black_box(dists)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtree);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Micro-benchmarks of the substrate layers: histogram extraction, PPM
+//! codecs, similarity functions, edit-sequence serialization and the LRU
+//! cache. These bound the fixed per-image costs that appear in every
+//! end-to-end number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_datagen::flags::FlagGenerator;
+use mmdb_editops::{codec, EditSequence, ImageId};
+use mmdb_histogram::{histogram_intersection, l2_distance, ColorHistogram, RgbQuantizer};
+use mmdb_imaging::ppm::{self, PnmFormat};
+use mmdb_imaging::{Rect, Rgb};
+use mmdb_storage::LruCache;
+
+fn bench_substrates(c: &mut Criterion) {
+    let flag = FlagGenerator::new(42, 180, 120).generate(3);
+    let q = RgbQuantizer::default_64();
+
+    c.bench_function("histogram_extract_180x120", |b| {
+        b.iter(|| std::hint::black_box(ColorHistogram::extract(&flag, &q)))
+    });
+
+    let h1 = ColorHistogram::extract(&flag, &q);
+    let h2 = ColorHistogram::extract(&FlagGenerator::new(42, 180, 120).generate(7), &q);
+    c.bench_function("histogram_intersection_64", |b| {
+        b.iter(|| std::hint::black_box(histogram_intersection(&h1, &h2)))
+    });
+    c.bench_function("l2_distance_64", |b| {
+        b.iter(|| std::hint::black_box(l2_distance(&h1, &h2)))
+    });
+
+    let mut group = c.benchmark_group("ppm_codec");
+    for (name, format) in [
+        ("p6_binary", PnmFormat::RawRgb),
+        ("p3_text", PnmFormat::PlainRgb),
+    ] {
+        let encoded = ppm::encode(&flag, format);
+        group.bench_with_input(BenchmarkId::new("encode", name), &format, |b, &f| {
+            b.iter(|| std::hint::black_box(ppm::encode(&flag, f)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, e| {
+            b.iter(|| std::hint::black_box(ppm::decode(e).unwrap()))
+        });
+    }
+    group.finish();
+
+    let seq = EditSequence::builder(ImageId::new(1))
+        .define(Rect::new(0, 0, 60, 40))
+        .modify(Rgb::RED, Rgb::BLUE)
+        .blur()
+        .translate(4.0, 4.0)
+        .crop_to_region()
+        .build();
+    let bytes = codec::encode(&seq);
+    c.bench_function("editseq_encode_5ops", |b| {
+        b.iter(|| std::hint::black_box(codec::encode(&seq)))
+    });
+    c.bench_function("editseq_decode_5ops", |b| {
+        b.iter(|| std::hint::black_box(codec::decode(&bytes).unwrap()))
+    });
+
+    c.bench_function("lru_insert_get_mixed", |b| {
+        let mut cache: LruCache<u64, u64> = LruCache::new(256, usize::MAX);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            cache.insert(i % 512, i, 8);
+            std::hint::black_box(cache.get(&(i % 512)));
+        })
+    });
+}
+
+fn bench_structure_build(c: &mut Criterion) {
+    use mmdb_bwm::BwmStructure;
+    use mmdb_datagen::{Collection, DatasetBuilder};
+    // Figure 1's insertion path: classify every edited image and cluster it.
+    let (db, info) = DatasetBuilder::new(Collection::Flags)
+        .total_images(400)
+        .pct_edited(0.8)
+        .seed(42)
+        .build();
+    c.bench_function("bwm_build_400_images", |b| {
+        b.iter(|| {
+            std::hint::black_box(BwmStructure::build(
+                info.binary_ids.iter().copied(),
+                info.edited_ids.iter().copied(),
+                &db,
+            ))
+        })
+    });
+    // Per-image incremental classification (fresh structure per batch so
+    // the cluster lists do not grow across iterations).
+    let seq = db.edit_sequence(info.edited_ids[0]).unwrap();
+    c.bench_function("bwm_insert_one_edited", |b| {
+        b.iter_batched(
+            || {
+                let mut s = BwmStructure::new();
+                s.insert_binary(info.binary_ids[0]);
+                s
+            },
+            |mut s| std::hint::black_box(s.insert_edited(info.edited_ids[0], &seq)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_substrates, bench_structure_build);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Minimal CSV output (hand-rolled — no extra dependency needed for plain
+//! numeric tables).
+
+use std::io::Write;
+use std::path::Path;
+
+/// Escapes one CSV field (quotes fields containing separators/quotes).
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders a header + rows as CSV text.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        debug_assert_eq!(row.len(), headers.len(), "row width mismatch");
+        out.push_str(&row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV file, creating parent directories as needed.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render(headers, rows).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_simple_table() {
+        let rows = vec![
+            vec!["1".to_string(), "a".to_string()],
+            vec!["2".to_string(), "b".to_string()],
+        ];
+        let csv = render(&["x", "label"], &rows);
+        assert_eq!(csv, "x,label\n1,a\n2,b\n");
+    }
+
+    #[test]
+    fn escapes_fields() {
+        let rows = vec![vec!["he,llo".to_string(), "say \"hi\"".to_string()]];
+        let csv = render(&["a", "b"], &rows);
+        assert_eq!(csv, "a,b\n\"he,llo\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join(format!("mmdb_csv_{}", std::process::id()));
+        let path = dir.join("nested").join("out.csv");
+        write_csv(&path, &["v"], &[vec!["9".to_string()]]).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "v\n9\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,106 @@
+//! Wall-clock measurement helpers.
+
+use mmdb_bwm::QueryOutcome;
+use mmdb_rules::ColorRangeQuery;
+use std::time::Instant;
+
+/// Runs `f` once per query as a warm-up, then `repeats` independently timed
+/// passes over the whole batch, returning the **best-of** (minimum) time per
+/// query in milliseconds. Best-of is the standard microbenchmark estimator
+/// on noisy machines: scheduler preemption and frequency dips only ever add
+/// time, so the minimum is the least-contaminated observation.
+///
+/// The per-query results of the warm-up pass are returned too, so callers
+/// can extract result sets / stats without paying for an extra pass.
+pub fn time_batch(
+    queries: &[ColorRangeQuery],
+    repeats: usize,
+    mut f: impl FnMut(&ColorRangeQuery) -> QueryOutcome,
+) -> (f64, Vec<QueryOutcome>) {
+    assert!(repeats > 0, "need at least one timed pass");
+    assert!(!queries.is_empty(), "empty query batch");
+    let warmup: Vec<QueryOutcome> = queries.iter().map(&mut f).collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        for q in queries {
+            std::hint::black_box(f(q));
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let per_query_ms = best * 1e3 / queries.len() as f64;
+    (per_query_ms, warmup)
+}
+
+/// Times two competing executions with **interleaved** passes (A, B, A, B,
+/// …) so machine drift (thermal throttling, noisy neighbours) contaminates
+/// both sides equally, and returns the best-of per-query milliseconds for
+/// each. Results/stats from a warm-up pass of each side are returned too.
+#[allow(clippy::type_complexity)]
+pub fn time_interleaved(
+    queries: &[ColorRangeQuery],
+    repeats: usize,
+    mut fa: impl FnMut(&ColorRangeQuery) -> QueryOutcome,
+    mut fb: impl FnMut(&ColorRangeQuery) -> QueryOutcome,
+) -> ((f64, Vec<QueryOutcome>), (f64, Vec<QueryOutcome>)) {
+    assert!(repeats > 0, "need at least one timed pass");
+    assert!(!queries.is_empty(), "empty query batch");
+    let warm_a: Vec<QueryOutcome> = queries.iter().map(&mut fa).collect();
+    let warm_b: Vec<QueryOutcome> = queries.iter().map(&mut fb).collect();
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        for q in queries {
+            std::hint::black_box(fa(q));
+        }
+        best_a = best_a.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for q in queries {
+            std::hint::black_box(fb(q));
+        }
+        best_b = best_b.min(start.elapsed().as_secs_f64());
+    }
+    let n = queries.len() as f64;
+    ((best_a * 1e3 / n, warm_a), (best_b * 1e3 / n, warm_b))
+}
+
+/// Times a single closure, returning milliseconds.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64() * 1e3, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_bwm::QueryOutcome;
+
+    #[test]
+    fn time_batch_counts_calls() {
+        let queries = vec![ColorRangeQuery::at_least(0, 0.1); 4];
+        let mut calls = 0;
+        let (ms, warmup) = time_batch(&queries, 3, |_| {
+            calls += 1;
+            QueryOutcome::default()
+        });
+        // 1 warmup pass + 3 timed passes over 4 queries.
+        assert_eq!(calls, 16);
+        assert_eq!(warmup.len(), 4);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (ms, v) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query batch")]
+    fn empty_batch_rejected() {
+        time_batch(&[], 1, |_| QueryOutcome::default());
+    }
+}

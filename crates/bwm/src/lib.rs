@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # mmdb-bwm
+//!
+//! The **Bound-Widening Method (BWM)** — the contribution of the paper (§4).
+//!
+//! RBM (crate `mmdb-rules`) must "access every edited image in a database as
+//! well as every editing operation within each image description" for every
+//! query. BWM avoids much of that work with a two-component data structure:
+//!
+//! * the **Main Component** clusters edited images *whose operations all
+//!   have bound-widening rules* under their referenced base image
+//!   (`<B_id, E_list>` tuples, kept sorted by base id);
+//! * the **Unclassified Component** lists every edited image containing at
+//!   least one non-bound-widening operation (`Merge` with a target).
+//!
+//! The query shortcut (§4, Figure 2): since bound-widening rules can only
+//! *widen* the fraction range, and an edited image's initial range is its
+//! base's exact histogram value, **if the base satisfies the query then
+//! every clustered edited image's final range must still overlap the query
+//! range** — so the whole cluster is emitted without touching a single
+//! editing operation. Only clusters whose base misses, and the Unclassified
+//! Component, fall back to the full BOUNDS computation.
+//!
+//! Both methods return identical result sets; BWM is purely a work-avoidance
+//! structure (verified by integration tests).
+
+pub mod query;
+pub mod structure;
+
+pub use query::{BwmQueryStats, QueryOutcome};
+pub use structure::{BwmStructure, Classification, SequenceStore};

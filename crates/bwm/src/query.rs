@@ -1,0 +1,264 @@
+//! The BWM query processing algorithm (§4.1, Figure 2).
+
+use crate::structure::{BwmStructure, SequenceStore};
+use mmdb_editops::ImageId;
+use mmdb_rules::{ColorRangeQuery, InfoResolver, Result, RuleEngine, RuleError};
+
+/// Work counters for one query execution — these are what Figures 3/4 of
+/// the paper measure indirectly (execution time tracks the number of rule
+/// applications avoided).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BwmQueryStats {
+    /// Main-Component clusters visited.
+    pub clusters_visited: usize,
+    /// Clusters whose base histogram satisfied the query (shortcut taken).
+    pub base_hits: usize,
+    /// Edited images emitted *without* applying any rule.
+    pub shortcut_emissions: usize,
+    /// Full BOUNDS computations executed.
+    pub bounds_computed: usize,
+    /// Individual editing operations whose rules were applied.
+    pub ops_processed: usize,
+    /// Unclassified-Component entries scanned.
+    pub unclassified_scanned: usize,
+}
+
+/// The result of a BWM (or RBM) range-query execution.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOutcome {
+    /// Candidate images, in emission order: binary images satisfy the query
+    /// exactly; edited images *may* satisfy it (bounds overlap — the RBM
+    /// guarantee is no false negatives).
+    pub results: Vec<ImageId>,
+    /// Work counters.
+    pub stats: BwmQueryStats,
+}
+
+impl QueryOutcome {
+    /// Results as a sorted vector (emission order differs between RBM and
+    /// BWM; equality of result *sets* is the correctness criterion).
+    pub fn sorted_results(&self) -> Vec<ImageId> {
+        let mut v = self.results.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Executes the Figure 2 algorithm over a BWM structure.
+///
+/// For every Main-Component cluster: if the base's (exact) histogram
+/// fraction satisfies the query, the base and its whole cluster are emitted
+/// without touching any operation list; otherwise each clustered edited
+/// image runs the full BOUNDS computation. Unclassified entries always run
+/// BOUNDS.
+pub fn execute<S: SequenceStore>(
+    structure: &BwmStructure,
+    query: &ColorRangeQuery,
+    engine: &RuleEngine<'_>,
+    resolver: &dyn InfoResolver,
+    store: &S,
+) -> Result<QueryOutcome> {
+    let mut out = QueryOutcome::default();
+
+    // Step 4: each element <B_id, E_list> of the Main Component.
+    for (base, cluster) in structure.clusters() {
+        out.stats.clusters_visited += 1;
+        let info = resolver.require(base)?;
+        let fraction = info.histogram.fraction(query.bin);
+        if query.matches_fraction(fraction) {
+            // 4.2: base satisfies → base and every clustered edited image.
+            out.stats.base_hits += 1;
+            out.results.push(base);
+            out.results.extend_from_slice(cluster);
+            out.stats.shortcut_emissions += cluster.len();
+        } else {
+            // 4.3: fall back to the BOUNDS algorithm per edited image.
+            for &edited in cluster {
+                let seq = store
+                    .sequence(edited)
+                    .ok_or(RuleError::UnknownImage(edited))?;
+                out.stats.bounds_computed += 1;
+                out.stats.ops_processed += seq.len();
+                let bounds = engine.bounds(&seq, query.bin, resolver)?;
+                if bounds.overlaps_fraction(query.pct_min, query.pct_max) {
+                    out.results.push(edited);
+                }
+            }
+        }
+    }
+
+    // Step 5: the Unclassified Component.
+    for &edited in structure.unclassified() {
+        out.stats.unclassified_scanned += 1;
+        let seq = store
+            .sequence(edited)
+            .ok_or(RuleError::UnknownImage(edited))?;
+        out.stats.bounds_computed += 1;
+        out.stats.ops_processed += seq.len();
+        let bounds = engine.bounds(&seq, query.bin, resolver)?;
+        if bounds.overlaps_fraction(query.pct_min, query.pct_max) {
+            out.results.push(edited);
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_editops::EditSequence;
+    use mmdb_histogram::{ColorHistogram, Quantizer, RgbQuantizer};
+    use mmdb_imaging::{draw, RasterImage, Rect, Rgb};
+    use mmdb_rules::{ImageInfo, MapInfoResolver, RuleProfile};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    struct Fixture {
+        structure: BwmStructure,
+        resolver: MapInfoResolver,
+        store: HashMap<ImageId, Arc<EditSequence>>,
+        quant: RgbQuantizer,
+    }
+
+    /// Two bases: #1 is 50% red, #2 is 10% red. Edited images:
+    /// #10 (widening, base 1), #11 (widening, base 2),
+    /// #12 (unclassified: merges into base 1).
+    fn fixture() -> Fixture {
+        let quant = RgbQuantizer::default_64();
+        let mut resolver = MapInfoResolver::new();
+
+        let mut img1 = RasterImage::filled(10, 10, Rgb::WHITE).unwrap();
+        draw::fill_rect(&mut img1, &Rect::new(0, 0, 10, 5), Rgb::RED);
+        resolver.insert(
+            ImageId::new(1),
+            ImageInfo::new(ColorHistogram::extract(&img1, &quant), 10, 10),
+        );
+
+        let mut img2 = RasterImage::filled(10, 10, Rgb::WHITE).unwrap();
+        draw::fill_rect(&mut img2, &Rect::new(0, 0, 10, 1), Rgb::RED);
+        resolver.insert(
+            ImageId::new(2),
+            ImageInfo::new(ColorHistogram::extract(&img2, &quant), 10, 10),
+        );
+
+        let mut store: HashMap<ImageId, Arc<EditSequence>> = HashMap::new();
+        store.insert(
+            ImageId::new(10),
+            Arc::new(
+                EditSequence::builder(ImageId::new(1))
+                    .define(Rect::new(0, 0, 3, 3))
+                    .blur()
+                    .build(),
+            ),
+        );
+        store.insert(
+            ImageId::new(11),
+            Arc::new(
+                EditSequence::builder(ImageId::new(2))
+                    .define(Rect::new(0, 0, 2, 2))
+                    .modify(Rgb::WHITE, Rgb::RED)
+                    .build(),
+            ),
+        );
+        store.insert(
+            ImageId::new(12),
+            Arc::new(
+                EditSequence::builder(ImageId::new(2))
+                    .define(Rect::new(0, 0, 4, 4))
+                    .merge_into(ImageId::new(1), 0, 0)
+                    .build(),
+            ),
+        );
+
+        let mut structure = BwmStructure::new();
+        structure.insert_binary(ImageId::new(1));
+        structure.insert_binary(ImageId::new(2));
+        structure.insert_edited(ImageId::new(10), &store[&ImageId::new(10)]);
+        structure.insert_edited(ImageId::new(11), &store[&ImageId::new(11)]);
+        structure.insert_edited(ImageId::new(12), &store[&ImageId::new(12)]);
+        Fixture {
+            structure,
+            resolver,
+            store,
+            quant,
+        }
+    }
+
+    #[test]
+    fn shortcut_taken_when_base_satisfies() {
+        let f = fixture();
+        let engine = RuleEngine::new(&f.quant, RuleProfile::Conservative);
+        let red = f.quant.bin_of(Rgb::RED);
+        // Base 1 is 50% red: query [0.4, 0.6] hits it; base 2 (10%) misses.
+        let q = ColorRangeQuery::new(red, 0.4, 0.6);
+        let out = execute(&f.structure, &q, &engine, &f.resolver, &f.store).unwrap();
+        assert!(out.results.contains(&ImageId::new(1)));
+        assert!(
+            out.results.contains(&ImageId::new(10)),
+            "clustered edited emitted"
+        );
+        assert_eq!(out.stats.base_hits, 1);
+        assert_eq!(out.stats.shortcut_emissions, 1);
+        // Cluster 2's edited image #11 needed bounds; unclassified #12 too.
+        assert_eq!(out.stats.bounds_computed, 2);
+        assert_eq!(out.stats.unclassified_scanned, 1);
+        // #11: base 10% red, modify adds up to 4% → range [?, 0.14]: cannot
+        // reach 0.4 → pruned.
+        assert!(!out.results.contains(&ImageId::new(11)));
+        // #12 merges a 4x4 region into base 1 (50 red of 100): resulting
+        // range includes 0.4..0.6 region? dr_max = 16, t covers: red target
+        // 50−16=34 min, max min(50,100−16)+16 → range [0.34, 0.66]: overlaps.
+        assert!(out.results.contains(&ImageId::new(12)));
+    }
+
+    #[test]
+    fn no_base_hit_falls_back_everywhere() {
+        let f = fixture();
+        let engine = RuleEngine::new(&f.quant, RuleProfile::Conservative);
+        let red = f.quant.bin_of(Rgb::RED);
+        // 90..100% red: no base satisfies.
+        let q = ColorRangeQuery::new(red, 0.9, 1.0);
+        let out = execute(&f.structure, &q, &engine, &f.resolver, &f.store).unwrap();
+        assert_eq!(out.stats.base_hits, 0);
+        assert_eq!(out.stats.shortcut_emissions, 0);
+        // All three edited images ran BOUNDS.
+        assert_eq!(out.stats.bounds_computed, 3);
+        assert!(out.results.is_empty(), "{:?}", out.results);
+    }
+
+    #[test]
+    fn missing_sequence_is_error() {
+        let mut f = fixture();
+        f.store.remove(&ImageId::new(11));
+        let engine = RuleEngine::new(&f.quant, RuleProfile::Conservative);
+        let q = ColorRangeQuery::new(0, 0.9, 1.0);
+        assert!(matches!(
+            execute(&f.structure, &q, &engine, &f.resolver, &f.store),
+            Err(RuleError::UnknownImage(id)) if id == ImageId::new(11)
+        ));
+    }
+
+    #[test]
+    fn stats_track_ops() {
+        let f = fixture();
+        let engine = RuleEngine::new(&f.quant, RuleProfile::Conservative);
+        let q = ColorRangeQuery::new(f.quant.bin_of(Rgb::RED), 0.9, 1.0);
+        let out = execute(&f.structure, &q, &engine, &f.resolver, &f.store).unwrap();
+        // #10 has 2 ops, #11 has 2 ops, #12 has 2 ops.
+        assert_eq!(out.stats.ops_processed, 6);
+        assert_eq!(out.stats.clusters_visited, 2);
+    }
+
+    #[test]
+    fn outcome_sorting() {
+        let out = QueryOutcome {
+            results: vec![ImageId::new(5), ImageId::new(1), ImageId::new(3)],
+            stats: BwmQueryStats::default(),
+        };
+        assert_eq!(
+            out.sorted_results(),
+            vec![ImageId::new(1), ImageId::new(3), ImageId::new(5)]
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! The proposed data structure (§4.1) and its insertion algorithm (Fig. 1).
+
+use mmdb_editops::{EditSequence, ImageId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Where an edited image landed during Fig. 1 classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Classification {
+    /// All operations have bound-widening rules — clustered in the Main
+    /// Component under the referenced base image.
+    Main,
+    /// At least one operation's rule is not bound-widening.
+    Unclassified,
+}
+
+/// Access to stored edit sequences by id. Implemented by the storage engine;
+/// tests can use a closure-backed map.
+pub trait SequenceStore {
+    /// The stored sequence of an edited image.
+    fn sequence(&self, id: ImageId) -> Option<Arc<EditSequence>>;
+}
+
+impl SequenceStore for mmdb_storage::StorageEngine {
+    fn sequence(&self, id: ImageId) -> Option<Arc<EditSequence>> {
+        self.edit_sequence(id)
+    }
+}
+
+impl SequenceStore for std::collections::HashMap<ImageId, Arc<EditSequence>> {
+    fn sequence(&self, id: ImageId) -> Option<Arc<EditSequence>> {
+        self.get(&id).cloned()
+    }
+}
+
+/// The Main + Unclassified components of §4.1.
+///
+/// "Each element of the Main Component is composed of a tuple `<B_id,
+/// E_list>` where `B_id` is the identifier of \[the\] referenced base image and
+/// `E_list` is the list of identifiers of edited images that were created
+/// from modifying `B_id`." A `BTreeMap` keeps the clusters sorted by base id
+/// ("the list of identifiers should be kept sorted to make it easier to
+/// search for a specific binary image").
+#[derive(Clone, Debug, Default)]
+pub struct BwmStructure {
+    main: BTreeMap<ImageId, Vec<ImageId>>,
+    unclassified: Vec<ImageId>,
+}
+
+impl BwmStructure {
+    /// An empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fig. 1 step for a binary image: "each time an image stored in a
+    /// traditional binary format is inserted, the identifier for its
+    /// corresponding histogram should be added to the Main Component" — an
+    /// empty cluster keyed by the image.
+    pub fn insert_binary(&mut self, id: ImageId) {
+        self.main.entry(id).or_default();
+    }
+
+    /// Fig. 1 for an edited image: analyze the operations; all
+    /// bound-widening → append to the base's cluster in Main, otherwise
+    /// append to Unclassified. Returns the classification.
+    pub fn insert_edited(&mut self, id: ImageId, sequence: &EditSequence) -> Classification {
+        if sequence.all_bound_widening() {
+            self.main.entry(sequence.base).or_default().push(id);
+            Classification::Main
+        } else {
+            self.unclassified.push(id);
+            Classification::Unclassified
+        }
+    }
+
+    /// Rebuilds the structure from scratch over a set of images — used when
+    /// attaching BWM to an existing database.
+    pub fn build<S: SequenceStore>(
+        binary_ids: impl IntoIterator<Item = ImageId>,
+        edited_ids: impl IntoIterator<Item = ImageId>,
+        store: &S,
+    ) -> Self {
+        let mut s = BwmStructure::new();
+        for id in binary_ids {
+            s.insert_binary(id);
+        }
+        for id in edited_ids {
+            if let Some(seq) = store.sequence(id) {
+                s.insert_edited(id, &seq);
+            }
+        }
+        s
+    }
+
+    /// Removes an image (binary or edited) from the structure. Removing a
+    /// binary image drops its cluster; its clustered edited images are
+    /// returned so the caller can decide what to do with them (normally they
+    /// were deleted first — the storage engine enforces that).
+    pub fn remove(&mut self, id: ImageId) -> Vec<ImageId> {
+        if let Some(orphans) = self.main.remove(&id) {
+            return orphans;
+        }
+        for list in self.main.values_mut() {
+            if let Some(pos) = list.iter().position(|&e| e == id) {
+                list.remove(pos);
+                return Vec::new();
+            }
+        }
+        if let Some(pos) = self.unclassified.iter().position(|&e| e == id) {
+            self.unclassified.remove(pos);
+        }
+        Vec::new()
+    }
+
+    /// The classification of an edited image, or `None` if untracked.
+    pub fn classification(&self, id: ImageId) -> Option<Classification> {
+        if self.unclassified.contains(&id) {
+            return Some(Classification::Unclassified);
+        }
+        if self.main.values().any(|list| list.contains(&id)) {
+            return Some(Classification::Main);
+        }
+        None
+    }
+
+    /// Iterates `(base, edited-cluster)` in ascending base-id order.
+    pub fn clusters(&self) -> impl Iterator<Item = (ImageId, &[ImageId])> + '_ {
+        self.main.iter().map(|(&b, list)| (b, list.as_slice()))
+    }
+
+    /// The cluster for one base image.
+    pub fn cluster_of(&self, base: ImageId) -> Option<&[ImageId]> {
+        self.main.get(&base).map(Vec::as_slice)
+    }
+
+    /// The Unclassified Component, in insertion order.
+    pub fn unclassified(&self) -> &[ImageId] {
+        &self.unclassified
+    }
+
+    /// Number of Main-Component clusters (= tracked binary images).
+    pub fn cluster_count(&self) -> usize {
+        self.main.len()
+    }
+
+    /// Number of edited images in the Main Component.
+    pub fn classified_count(&self) -> usize {
+        self.main.values().map(Vec::len).sum()
+    }
+
+    /// Number of edited images in the Unclassified Component.
+    pub fn unclassified_count(&self) -> usize {
+        self.unclassified.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_imaging::{Rect, Rgb};
+    use std::collections::HashMap;
+
+    fn widening(base: u64) -> EditSequence {
+        EditSequence::builder(ImageId::new(base))
+            .define(Rect::new(0, 0, 4, 4))
+            .modify(Rgb::RED, Rgb::BLUE)
+            .blur()
+            .build()
+    }
+
+    fn non_widening(base: u64, target: u64) -> EditSequence {
+        EditSequence::builder(ImageId::new(base))
+            .define(Rect::new(0, 0, 2, 2))
+            .merge_into(ImageId::new(target), 0, 0)
+            .build()
+    }
+
+    #[test]
+    fn insertion_classifies_per_fig1() {
+        let mut s = BwmStructure::new();
+        s.insert_binary(ImageId::new(1));
+        s.insert_binary(ImageId::new(2));
+        assert_eq!(s.cluster_count(), 2);
+
+        let c = s.insert_edited(ImageId::new(10), &widening(1));
+        assert_eq!(c, Classification::Main);
+        let c = s.insert_edited(ImageId::new(11), &non_widening(1, 2));
+        assert_eq!(c, Classification::Unclassified);
+
+        assert_eq!(s.cluster_of(ImageId::new(1)).unwrap(), &[ImageId::new(10)]);
+        assert_eq!(s.unclassified(), &[ImageId::new(11)]);
+        assert_eq!(s.classified_count(), 1);
+        assert_eq!(s.unclassified_count(), 1);
+        assert_eq!(
+            s.classification(ImageId::new(10)),
+            Some(Classification::Main)
+        );
+        assert_eq!(
+            s.classification(ImageId::new(11)),
+            Some(Classification::Unclassified)
+        );
+        assert_eq!(s.classification(ImageId::new(99)), None);
+    }
+
+    #[test]
+    fn clusters_iterate_sorted_by_base() {
+        let mut s = BwmStructure::new();
+        for b in [5u64, 1, 3] {
+            s.insert_binary(ImageId::new(b));
+        }
+        let order: Vec<u64> = s.clusters().map(|(b, _)| b.raw()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn build_from_store() {
+        let mut seqs: HashMap<ImageId, Arc<EditSequence>> = HashMap::new();
+        seqs.insert(ImageId::new(10), Arc::new(widening(1)));
+        seqs.insert(ImageId::new(11), Arc::new(widening(2)));
+        seqs.insert(ImageId::new(12), Arc::new(non_widening(1, 2)));
+        let s = BwmStructure::build(
+            [ImageId::new(1), ImageId::new(2)],
+            [ImageId::new(10), ImageId::new(11), ImageId::new(12)],
+            &seqs,
+        );
+        assert_eq!(s.cluster_count(), 2);
+        assert_eq!(s.classified_count(), 2);
+        assert_eq!(s.unclassified_count(), 1);
+    }
+
+    #[test]
+    fn remove_edited_and_binary() {
+        let mut s = BwmStructure::new();
+        s.insert_binary(ImageId::new(1));
+        s.insert_edited(ImageId::new(10), &widening(1));
+        s.insert_edited(ImageId::new(11), &non_widening(1, 2));
+        assert!(s.remove(ImageId::new(11)).is_empty());
+        assert_eq!(s.unclassified_count(), 0);
+        // Removing the base returns its clustered children.
+        let orphans = s.remove(ImageId::new(1));
+        assert_eq!(orphans, vec![ImageId::new(10)]);
+        assert_eq!(s.cluster_count(), 0);
+        // Removing something unknown is a no-op.
+        assert!(s.remove(ImageId::new(77)).is_empty());
+    }
+
+    #[test]
+    fn empty_sequence_is_main_eligible() {
+        let mut s = BwmStructure::new();
+        let seq = EditSequence::new(ImageId::new(1), vec![]);
+        assert_eq!(s.insert_edited(ImageId::new(2), &seq), Classification::Main);
+    }
+}

@@ -1,0 +1,339 @@
+//! Augmented-database assembly and Table 2-style parameter reporting.
+
+use crate::edits::{TargetInfo, VariantConfig, VariantGenerator};
+use crate::flags::FlagGenerator;
+use crate::helmets::HelmetGenerator;
+use crate::palette::{FLAG_COLORS, TEAM_COLORS};
+use mmdb_editops::ImageId;
+use mmdb_histogram::RgbQuantizer;
+use mmdb_storage::StorageEngine;
+
+/// Which synthetic collection to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Collection {
+    /// World-flag-like images (the paper's first data set).
+    Flags,
+    /// College-football-helmet-like images (the paper's second data set).
+    Helmets,
+}
+
+impl std::fmt::Display for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Collection::Flags => f.write_str("flag"),
+            Collection::Helmets => f.write_str("helmet"),
+        }
+    }
+}
+
+/// The generated database's actual parameters — our analog of the paper's
+/// Table 2 ("Default values of parameters used in performance evaluation").
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetInfo {
+    /// The collection generated.
+    pub collection: Collection,
+    /// Number of images in the database (Table 2 row 1).
+    pub total_images: usize,
+    /// Number of binary images (row 2).
+    pub binary_images: usize,
+    /// Number of edited images (row 3).
+    pub edited_images: usize,
+    /// Average number of operations within an edited image (row 4).
+    pub avg_ops_per_edited: f64,
+    /// Edited images containing only bound-widening operations (row 5).
+    pub bound_widening_only: usize,
+    /// Edited images with at least one non-bound-widening operation (row 6).
+    pub non_bound_widening: usize,
+    /// Seed the dataset was generated from.
+    pub seed: u64,
+    /// Binary image ids, insertion order.
+    pub binary_ids: Vec<ImageId>,
+    /// Edited image ids, insertion order.
+    pub edited_ids: Vec<ImageId>,
+}
+
+impl DatasetInfo {
+    /// Renders the Table 2 analog as `(description, value)` rows.
+    pub fn table2_rows(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "Number of images in database".into(),
+                self.total_images.to_string(),
+            ),
+            (
+                "Number of binary images in database".into(),
+                self.binary_images.to_string(),
+            ),
+            (
+                "Number of edited images in database".into(),
+                self.edited_images.to_string(),
+            ),
+            (
+                "Average number of operations within an edited image".into(),
+                format!("{:.2}", self.avg_ops_per_edited),
+            ),
+            (
+                "Number of edited images that contain only operations with bound-widening rules"
+                    .into(),
+                self.bound_widening_only.to_string(),
+            ),
+            (
+                "Number of edited images that have an operation whose rule is not bound-widening"
+                    .into(),
+                self.non_bound_widening.to_string(),
+            ),
+        ]
+    }
+}
+
+/// Builds an augmented in-memory database for one collection.
+#[derive(Clone, Debug)]
+pub struct DatasetBuilder {
+    collection: Collection,
+    total_images: usize,
+    pct_edited: f64,
+    seed: u64,
+    variant_config: VariantConfig,
+    quantizer_divisions: u32,
+}
+
+impl DatasetBuilder {
+    /// Default setup: 600 images, 80% stored as editing operations (the
+    /// paper augments each base with several variants), seed 42, 64-bin RGB
+    /// quantizer, default variant mix.
+    pub fn new(collection: Collection) -> Self {
+        DatasetBuilder {
+            collection,
+            total_images: 600,
+            pct_edited: 0.8,
+            seed: 42,
+            variant_config: VariantConfig::default(),
+            quantizer_divisions: 4,
+        }
+    }
+
+    /// Sets the total image count (binary + edited).
+    pub fn total_images(mut self, n: usize) -> Self {
+        self.total_images = n;
+        self
+    }
+
+    /// Sets the fraction of the database stored as editing operations — the
+    /// x-axis of Figures 3 and 4.
+    ///
+    /// # Panics
+    /// Panics outside `[0, 1)` (at 1.0 there would be no base to derive
+    /// from).
+    pub fn pct_edited(mut self, pct: f64) -> Self {
+        assert!((0.0..1.0).contains(&pct), "pct_edited must be in [0, 1)");
+        self.pct_edited = pct;
+        self
+    }
+
+    /// Sets the generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the variant-generation knobs (op counts, merge-target
+    /// probability).
+    pub fn variant_config(mut self, config: VariantConfig) -> Self {
+        self.variant_config = config;
+        self
+    }
+
+    /// Sets the RGB quantizer's per-channel division count (default 4 → 64
+    /// bins).
+    pub fn quantizer_divisions(mut self, d: u32) -> Self {
+        self.quantizer_divisions = d;
+        self
+    }
+
+    /// Generates the database and its parameter report.
+    pub fn build(&self) -> (StorageEngine, DatasetInfo) {
+        let db = StorageEngine::in_memory(Box::new(RgbQuantizer::new(self.quantizer_divisions)));
+        let edited_count = (self.total_images as f64 * self.pct_edited).round() as usize;
+        let binary_count = self.total_images - edited_count;
+        assert!(
+            binary_count >= 1,
+            "at least one binary image is required as a base"
+        );
+
+        // 1. Binary images.
+        let mut binary_ids = Vec::with_capacity(binary_count);
+        let mut rasters = Vec::with_capacity(binary_count);
+        match self.collection {
+            Collection::Flags => {
+                let g = FlagGenerator::with_seed(self.seed);
+                for i in 0..binary_count {
+                    let img = g.generate(i as u64);
+                    binary_ids.push(db.insert_binary(&img).expect("insert binary"));
+                    rasters.push(img);
+                }
+            }
+            Collection::Helmets => {
+                let g = HelmetGenerator::with_seed(self.seed);
+                for i in 0..binary_count {
+                    let img = g.generate(i as u64);
+                    binary_ids.push(db.insert_binary(&img).expect("insert binary"));
+                    rasters.push(img);
+                }
+            }
+        }
+
+        // 2. Edited variants, derived round-robin from the bases.
+        let palette = match self.collection {
+            Collection::Flags => FLAG_COLORS.to_vec(),
+            Collection::Helmets => TEAM_COLORS.to_vec(),
+        };
+        let mut variants = VariantGenerator::new(self.seed ^ 0xA5A5, self.variant_config, palette);
+        let targets: Vec<TargetInfo> = binary_ids
+            .iter()
+            .zip(&rasters)
+            .map(|(&id, img)| TargetInfo {
+                id,
+                width: img.width(),
+                height: img.height(),
+            })
+            .collect();
+
+        let mut edited_ids = Vec::with_capacity(edited_count);
+        let mut total_ops = 0usize;
+        let mut bw_only = 0usize;
+        for i in 0..edited_count {
+            let base_idx = i % binary_count;
+            // Exclude the base itself from the merge-target pool so merges
+            // always cross images (and so a single-base dataset never
+            // produces self-references).
+            let other_targets: Vec<TargetInfo> = targets
+                .iter()
+                .copied()
+                .filter(|t| t.id != binary_ids[base_idx])
+                .collect();
+            let seq = variants.generate(binary_ids[base_idx], &rasters[base_idx], &other_targets);
+            total_ops += seq.len();
+            if seq.all_bound_widening() {
+                bw_only += 1;
+            }
+            edited_ids.push(db.insert_edited(seq).expect("insert edited"));
+        }
+
+        let info = DatasetInfo {
+            collection: self.collection,
+            total_images: self.total_images,
+            binary_images: binary_count,
+            edited_images: edited_count,
+            avg_ops_per_edited: if edited_count == 0 {
+                0.0
+            } else {
+                total_ops as f64 / edited_count as f64
+            },
+            bound_widening_only: bw_only,
+            non_bound_widening: edited_count - bw_only,
+            seed: self.seed,
+            binary_ids,
+            edited_ids,
+        };
+        (db, info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_storage::StoredKind;
+
+    #[test]
+    fn build_respects_counts() {
+        let (db, info) = DatasetBuilder::new(Collection::Flags)
+            .total_images(50)
+            .pct_edited(0.6)
+            .seed(7)
+            .build();
+        assert_eq!(info.total_images, 50);
+        assert_eq!(info.edited_images, 30);
+        assert_eq!(info.binary_images, 20);
+        assert_eq!(db.binary_ids().len(), 20);
+        assert_eq!(db.edited_ids().len(), 30);
+        assert_eq!(info.bound_widening_only + info.non_bound_widening, 30);
+        assert!(info.avg_ops_per_edited >= 3.0);
+        for id in &info.edited_ids {
+            assert_eq!(db.kind(*id).unwrap(), StoredKind::Edited);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, a) = DatasetBuilder::new(Collection::Helmets)
+            .total_images(40)
+            .pct_edited(0.5)
+            .seed(99)
+            .build();
+        let (_, b) = DatasetBuilder::new(Collection::Helmets)
+            .total_images(40)
+            .pct_edited(0.5)
+            .seed(99)
+            .build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_edited_images_instantiate() {
+        // The variants must be executable (ground-truth experiments
+        // instantiate them all).
+        let (db, info) = DatasetBuilder::new(Collection::Flags)
+            .total_images(40)
+            .pct_edited(0.7)
+            .seed(3)
+            .build();
+        for id in &info.edited_ids {
+            let raster = db.raster(*id);
+            assert!(raster.is_ok(), "{id}: {:?}", raster.err());
+        }
+    }
+
+    #[test]
+    fn table2_rows_render() {
+        let (_, info) = DatasetBuilder::new(Collection::Flags)
+            .total_images(30)
+            .pct_edited(0.5)
+            .build();
+        let rows = info.table2_rows();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].1, "30");
+        assert_eq!(rows[1].1, "15");
+        assert_eq!(rows[2].1, "15");
+    }
+
+    #[test]
+    fn zero_pct_edited_is_binary_only() {
+        let (db, info) = DatasetBuilder::new(Collection::Helmets)
+            .total_images(10)
+            .pct_edited(0.0)
+            .build();
+        assert_eq!(info.edited_images, 0);
+        assert_eq!(db.edited_ids().len(), 0);
+        assert_eq!(info.avg_ops_per_edited, 0.0);
+    }
+
+    #[test]
+    fn merge_probability_controls_unclassified_share() {
+        let cfg = VariantConfig {
+            p_merge_target: 0.0,
+            ..VariantConfig::default()
+        };
+        let (_, info) = DatasetBuilder::new(Collection::Flags)
+            .total_images(40)
+            .pct_edited(0.5)
+            .variant_config(cfg)
+            .build();
+        assert_eq!(info.non_bound_widening, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pct_edited")]
+    fn pct_one_rejected() {
+        DatasetBuilder::new(Collection::Flags).pct_edited(1.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Random edit-sequence variants — the database augmentation step.
+//!
+//! §2: "when an image x is inserted into such a CBIR system, several edited
+//! versions of image x should be added to the underlying database as well."
+//! This generator produces those variants with a controllable operation mix;
+//! the share of variants containing a non-bound-widening operation (`Merge`
+//! with a target) is the key knob for the Figure 3/4 experiments, since only
+//! bound-widening-only variants enter the BWM Main Component.
+
+use mmdb_editops::{EditOp, EditSequence, ImageId, Matrix3};
+use mmdb_imaging::{RasterImage, Rect, Rgb};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for variant generation.
+#[derive(Clone, Copy, Debug)]
+pub struct VariantConfig {
+    /// Minimum operations per variant (≥1).
+    pub min_ops: usize,
+    /// Maximum operations per variant.
+    pub max_ops: usize,
+    /// Probability that a variant contains at least one `Merge` with a
+    /// target — i.e. lands in the BWM Unclassified Component.
+    pub p_merge_target: f64,
+}
+
+impl Default for VariantConfig {
+    fn default() -> Self {
+        // Table 2 reports the "average number of operations within an edited
+        // image"; the scrape lost the value, so we center on 5.
+        VariantConfig {
+            min_ops: 3,
+            max_ops: 7,
+            p_merge_target: 0.25,
+        }
+    }
+}
+
+/// A potential merge target: id plus raster dimensions (needed to pick paste
+/// coordinates).
+#[derive(Clone, Copy, Debug)]
+pub struct TargetInfo {
+    /// Target image id (must be a stored binary image).
+    pub id: ImageId,
+    /// Target width.
+    pub width: u32,
+    /// Target height.
+    pub height: u32,
+}
+
+/// Seeded generator of edit-sequence variants.
+pub struct VariantGenerator {
+    rng: SmallRng,
+    config: VariantConfig,
+    palette: Vec<Rgb>,
+}
+
+impl VariantGenerator {
+    /// Creates a generator. `palette` supplies the `to` colors of `Modify`
+    /// operations (typically the collection's own palette).
+    ///
+    /// # Panics
+    /// Panics on an empty palette or `min_ops == 0` / inverted op range.
+    pub fn new(seed: u64, config: VariantConfig, palette: Vec<Rgb>) -> Self {
+        assert!(!palette.is_empty(), "palette must not be empty");
+        assert!(
+            config.min_ops >= 1 && config.min_ops <= config.max_ops,
+            "invalid op-count range"
+        );
+        VariantGenerator {
+            rng: SmallRng::seed_from_u64(seed),
+            config,
+            palette,
+        }
+    }
+
+    /// Generates one variant of `base`. `base_img` supplies realistic
+    /// `Modify` source colors; `targets` the candidate merge targets (when
+    /// empty, no non-bound-widening op can be generated).
+    pub fn generate(
+        &mut self,
+        base: ImageId,
+        base_img: &RasterImage,
+        targets: &[TargetInfo],
+    ) -> EditSequence {
+        let n_ops = self
+            .rng
+            .gen_range(self.config.min_ops..=self.config.max_ops);
+        let wants_merge_target =
+            !targets.is_empty() && self.rng.gen_bool(self.config.p_merge_target);
+        // Position of the merge-target op within the sequence (never first,
+        // so a Define precedes it).
+        let merge_pos = if wants_merge_target {
+            Some(self.rng.gen_range(1..=n_ops.max(1)))
+        } else {
+            None
+        };
+
+        let mut ops: Vec<EditOp> = Vec::with_capacity(n_ops + 1);
+        // Symbolic canvas tracking so generated regions stay meaningful.
+        let mut w = base_img.width() as i64;
+        let mut h = base_img.height() as i64;
+        let mut have_region = false;
+
+        let mut emitted = 0usize;
+        while emitted < n_ops {
+            if merge_pos == Some(emitted) {
+                let t = targets[self.rng.gen_range(0..targets.len())];
+                if !have_region {
+                    let r = self.random_region(w, h);
+                    ops.push(EditOp::Define { region: r });
+                    have_region = true;
+                }
+                let xp = self.rng.gen_range(-2..t.width as i64);
+                let yp = self.rng.gen_range(-2..t.height as i64);
+                ops.push(EditOp::Merge {
+                    target: Some(t.id),
+                    xp,
+                    yp,
+                });
+                // Canvas is now (at least) the target.
+                w = t.width as i64;
+                h = t.height as i64;
+                emitted += 1;
+                continue;
+            }
+            match self.rng.gen_range(0..100) {
+                // Define a fresh sub-region.
+                0..=24 => {
+                    let r = self.random_region(w, h);
+                    ops.push(EditOp::Define { region: r });
+                    have_region = true;
+                }
+                // Modify: a color actually present in the base → palette.
+                25..=49 => {
+                    let from = self.sample_color(base_img);
+                    let to = self.palette[self.rng.gen_range(0..self.palette.len())];
+                    ops.push(EditOp::Modify { from, to });
+                }
+                // Blur.
+                50..=64 => ops.push(EditOp::box_blur()),
+                // Translate (rigid).
+                65..=79 => {
+                    let dx = self.rng.gen_range(-(w / 4).max(1)..=(w / 4).max(1)) as f64;
+                    let dy = self.rng.gen_range(-(h / 4).max(1)..=(h / 4).max(1)) as f64;
+                    ops.push(EditOp::Mutate {
+                        matrix: Matrix3::translation(dx, dy),
+                    });
+                }
+                // Rotate about the canvas center (rigid).
+                80..=89 => {
+                    let angle = self.rng.gen_range(1..8) as f64 * std::f64::consts::FRAC_PI_4;
+                    ops.push(EditOp::Mutate {
+                        matrix: Matrix3::rotation_about(angle, w as f64 / 2.0, h as f64 / 2.0),
+                    });
+                }
+                // Whole-image scale (kept small; define-all first).
+                90..=94 => {
+                    let s = [0.5, 2.0][self.rng.gen_range(0..2)];
+                    if (w as f64 * s) >= 8.0 && (h as f64 * s) >= 8.0 && (w as f64 * s) <= 512.0 {
+                        ops.push(EditOp::define_all());
+                        ops.push(EditOp::Mutate {
+                            matrix: Matrix3::scale(s, s),
+                        });
+                        w = (w as f64 * s).round() as i64;
+                        h = (h as f64 * s).round() as i64;
+                        have_region = true;
+                    } else {
+                        ops.push(EditOp::box_blur());
+                    }
+                }
+                // Crop to a fresh region.
+                _ => {
+                    let r = self.random_region(w, h);
+                    ops.push(EditOp::Define { region: r });
+                    ops.push(EditOp::Merge {
+                        target: None,
+                        xp: 0,
+                        yp: 0,
+                    });
+                    w = r.width();
+                    h = r.height();
+                    have_region = true;
+                }
+            }
+            emitted += 1;
+        }
+        // A merge position past the last emitted op: append it.
+        if let Some(pos) = merge_pos {
+            if pos >= n_ops {
+                let t = targets[self.rng.gen_range(0..targets.len())];
+                if !have_region {
+                    ops.push(EditOp::Define {
+                        region: self.random_region(w, h),
+                    });
+                }
+                ops.push(EditOp::Merge {
+                    target: Some(t.id),
+                    xp: self.rng.gen_range(0..t.width as i64),
+                    yp: self.rng.gen_range(0..t.height as i64),
+                });
+            }
+        }
+        EditSequence::new(base, ops)
+    }
+
+    /// A non-empty region strictly inside a `w`×`h` canvas.
+    fn random_region(&mut self, w: i64, h: i64) -> Rect {
+        let rw = self.rng.gen_range((w / 4).max(1)..=(w * 3 / 4).max(1));
+        let rh = self.rng.gen_range((h / 4).max(1)..=(h * 3 / 4).max(1));
+        let x = self.rng.gen_range(0..(w - rw).max(1));
+        let y = self.rng.gen_range(0..(h - rh).max(1));
+        Rect::from_origin_size(x, y, rw, rh)
+    }
+
+    /// Samples the color of a random pixel.
+    fn sample_color(&mut self, img: &RasterImage) -> Rgb {
+        let x = self.rng.gen_range(0..img.width());
+        let y = self.rng.gen_range(0..img.height());
+        img.get(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::FlagGenerator;
+    use crate::palette::FLAG_COLORS;
+
+    fn gen_with(p_merge: f64, seed: u64) -> VariantGenerator {
+        VariantGenerator::new(
+            seed,
+            VariantConfig {
+                min_ops: 3,
+                max_ops: 7,
+                p_merge_target: p_merge,
+            },
+            FLAG_COLORS.to_vec(),
+        )
+    }
+
+    fn targets() -> Vec<TargetInfo> {
+        vec![
+            TargetInfo {
+                id: ImageId::new(50),
+                width: 90,
+                height: 60,
+            },
+            TargetInfo {
+                id: ImageId::new(51),
+                width: 90,
+                height: 60,
+            },
+        ]
+    }
+
+    #[test]
+    fn op_counts_in_range() {
+        let flags = FlagGenerator::with_seed(1);
+        let img = flags.generate(0);
+        let mut g = gen_with(0.0, 3);
+        for _ in 0..50 {
+            let seq = g.generate(ImageId::new(1), &img, &targets());
+            assert!(seq.len() >= 3, "too few ops: {}", seq.len());
+            // Compound emissions (crop = define+merge) can exceed max_ops by
+            // a small constant.
+            assert!(seq.len() <= 7 * 2, "too many ops: {}", seq.len());
+            assert_eq!(seq.base, ImageId::new(1));
+        }
+    }
+
+    #[test]
+    fn merge_probability_zero_yields_all_bound_widening() {
+        let flags = FlagGenerator::with_seed(1);
+        let img = flags.generate(2);
+        let mut g = gen_with(0.0, 9);
+        for _ in 0..100 {
+            let seq = g.generate(ImageId::new(1), &img, &targets());
+            assert!(seq.all_bound_widening());
+        }
+    }
+
+    #[test]
+    fn merge_probability_one_yields_all_unclassified() {
+        let flags = FlagGenerator::with_seed(1);
+        let img = flags.generate(2);
+        let mut g = gen_with(1.0, 9);
+        for _ in 0..100 {
+            let seq = g.generate(ImageId::new(1), &img, &targets());
+            assert!(!seq.all_bound_widening(), "{seq:?}");
+        }
+    }
+
+    #[test]
+    fn merge_probability_without_targets_is_ignored() {
+        let flags = FlagGenerator::with_seed(1);
+        let img = flags.generate(2);
+        let mut g = gen_with(1.0, 9);
+        let seq = g.generate(ImageId::new(1), &img, &[]);
+        assert!(seq.all_bound_widening());
+    }
+
+    #[test]
+    fn intermediate_probability_mixes() {
+        let flags = FlagGenerator::with_seed(1);
+        let img = flags.generate(4);
+        let mut g = gen_with(0.3, 123);
+        let n = 300;
+        let nbw = (0..n)
+            .filter(|_| {
+                !g.generate(ImageId::new(1), &img, &targets())
+                    .all_bound_widening()
+            })
+            .count();
+        let frac = nbw as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.1, "observed NBW fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let flags = FlagGenerator::with_seed(1);
+        let img = flags.generate(0);
+        let mut a = gen_with(0.5, 77);
+        let mut b = gen_with(0.5, 77);
+        for _ in 0..10 {
+            assert_eq!(
+                a.generate(ImageId::new(1), &img, &targets()),
+                b.generate(ImageId::new(1), &img, &targets())
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "palette must not be empty")]
+    fn empty_palette_rejected() {
+        VariantGenerator::new(1, VariantConfig::default(), vec![]);
+    }
+}

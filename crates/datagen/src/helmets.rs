@@ -1,0 +1,133 @@
+//! Synthetic college-football-helmet generator.
+//!
+//! Mirrors the color structure of the paper's helmet data set (its reference \[14\]): a
+//! uniform backdrop, a large shell in a team color, a contrasting center
+//! stripe, a facemask, and a circular logo patch — "color-based features are
+//! extremely important in recognizing both flags and logos" (§5).
+
+use crate::palette::{HELMET_BACKDROP, TEAM_COLORS};
+use mmdb_imaging::{draw, RasterImage, Rect, Rgb};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic helmet generator.
+pub struct HelmetGenerator {
+    seed: u64,
+    size: u32,
+}
+
+impl HelmetGenerator {
+    /// Creates a generator producing `size`×`size` helmets.
+    pub fn new(seed: u64, size: u32) -> Self {
+        assert!(size >= 24, "helmets need at least a 24px canvas");
+        HelmetGenerator { seed, size }
+    }
+
+    /// A generator with the default 80×80 canvas.
+    pub fn with_seed(seed: u64) -> Self {
+        HelmetGenerator::new(seed, 80)
+    }
+
+    /// Generates helmet `index`; deterministic per `(seed, index)`.
+    pub fn generate(&self, index: u64) -> RasterImage {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ (index.wrapping_mul(0xD1B54A32D192ED03)));
+        let s = self.size as i64;
+        // Team colors: shell + accent, distinct, weighted by how common the
+        // colors are across real college palettes.
+        let shell = TEAM_COLORS
+            [crate::palette::pick_weighted(&mut rng, &crate::palette::TEAM_COLOR_WEIGHTS)];
+        let accent = loop {
+            let c = TEAM_COLORS
+                [crate::palette::pick_weighted(&mut rng, &crate::palette::TEAM_COLOR_WEIGHTS)];
+            if c != shell {
+                break c;
+            }
+        };
+        let mask_gray = rng.gen_bool(0.5);
+        let mask_color = if mask_gray {
+            crate::palette::GRAY_MASK
+        } else {
+            accent
+        };
+
+        let mut img = RasterImage::filled(self.size, self.size, HELMET_BACKDROP).unwrap();
+        // Shell: a big ellipse occupying the upper-left two thirds.
+        let shell_rect = Rect::new(s / 12, s / 8, s * 10 / 12, s * 7 / 8);
+        draw::fill_ellipse(&mut img, &shell_rect, shell);
+        // Center stripe down the shell.
+        if rng.gen_bool(0.7) {
+            let sw = (s / 12).max(2);
+            draw::fill_rect(
+                &mut img,
+                &Rect::new(
+                    (shell_rect.x0 + shell_rect.x1) / 2 - sw / 2,
+                    shell_rect.y0,
+                    (shell_rect.x0 + shell_rect.x1) / 2 + sw / 2,
+                    shell_rect.y1,
+                ),
+                accent,
+            );
+        }
+        // Facemask: horizontal bars at the lower right of the shell.
+        let bar = (s / 24).max(1);
+        for i in 0..3 {
+            let y = s * 5 / 8 + i * 3 * bar;
+            draw::fill_rect(
+                &mut img,
+                &Rect::new(s * 7 / 12, y, s * 11 / 12, y + bar),
+                mask_color,
+            );
+        }
+        draw::fill_rect(
+            &mut img,
+            &Rect::new(s * 8 / 12, s * 5 / 8, s * 8 / 12 + bar, s * 5 / 8 + 7 * bar),
+            mask_color,
+        );
+        // Logo disc on the shell side.
+        if rng.gen_bool(0.8) {
+            let r = s / 10;
+            draw::fill_circle(&mut img, s * 4 / 12, s / 2, r, accent);
+            draw::fill_circle(&mut img, s * 4 / 12, s / 2, (r * 2) / 3, Rgb::WHITE);
+        }
+        img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_histogram::{ColorHistogram, RgbQuantizer};
+
+    #[test]
+    fn deterministic() {
+        let g = HelmetGenerator::with_seed(5);
+        assert_eq!(g.generate(3), g.generate(3));
+        assert_ne!(g.generate(3), g.generate(4));
+    }
+
+    #[test]
+    fn shell_color_dominates_foreground() {
+        let g = HelmetGenerator::with_seed(11);
+        let q = RgbQuantizer::default_64();
+        for i in 0..20 {
+            let img = g.generate(i);
+            let hist = ColorHistogram::extract(&img, &q);
+            // Helmets are low-entropy too, though busier than flags.
+            let nonzero = hist.nonzero().count();
+            assert!(nonzero <= 8, "helmet {i} has {nonzero} populated bins");
+        }
+    }
+
+    #[test]
+    fn canvas_size() {
+        let g = HelmetGenerator::new(2, 40);
+        let img = g.generate(0);
+        assert_eq!((img.width(), img.height()), (40, 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "24px")]
+    fn tiny_canvas_rejected() {
+        HelmetGenerator::new(1, 10);
+    }
+}

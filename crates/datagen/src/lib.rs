@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # mmdb-datagen
+//!
+//! Synthetic datasets and workloads for the performance evaluation.
+//!
+//! The paper evaluated on two collections scraped from 2006-era web sites —
+//! "images of flags around the world" and "college football helmets" — both
+//! long gone. Color-based retrieval only depends on the color statistics of
+//! the collection (flags and logos: few saturated colors, large uniform
+//! regions), so this crate synthesizes equivalent collections
+//! deterministically from a seed:
+//!
+//! * [`flags`] — world-flag-like images over a real flag-color palette
+//!   (tricolors, stripes, nordic crosses, cantons, discs, borders);
+//! * [`helmets`] — college-helmet-like images (shell, center stripe,
+//!   facemask, logo disc) over team-color pairs;
+//! * [`edits`] — random edit-sequence variants of a base image with a
+//!   controllable probability of containing a non-bound-widening operation
+//!   (`Merge` with a target);
+//! * [`dataset`] — assembles a full augmented database at a given
+//!   "percentage of images stored as editing operations" (the x-axis of
+//!   Figures 3 and 4) and reports its Table 2-style parameters;
+//! * [`workload`] — random color range queries of the paper's
+//!   "at least X% of color C" shape.
+
+pub mod dataset;
+pub mod edits;
+pub mod flags;
+pub mod helmets;
+pub mod palette;
+pub mod workload;
+
+pub use dataset::{Collection, DatasetBuilder, DatasetInfo};
+pub use edits::{VariantConfig, VariantGenerator};
+pub use workload::QueryGenerator;

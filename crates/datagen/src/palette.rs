@@ -1,0 +1,93 @@
+//! Color palettes for the synthetic collections.
+
+use mmdb_imaging::Rgb;
+
+/// Pan-world flag colors (sampled from real vexillological conventions —
+/// Pantone-ish reds, royal blues, Islamic green, gold, etc.). Flags draw
+/// from this fixed palette so that color histograms over the collection are
+/// realistic: heavy, saturated, low-entropy.
+pub const FLAG_COLORS: [Rgb; 10] = [
+    Rgb::new(0xCE, 0x11, 0x26), // red (pan-Slavic / pan-Arab red)
+    Rgb::new(0x00, 0x28, 0x68), // navy blue
+    Rgb::new(0x00, 0x7A, 0x3D), // green
+    Rgb::new(0xFC, 0xD1, 0x16), // golden yellow
+    Rgb::new(0xFF, 0xFF, 0xFF), // white
+    Rgb::new(0x00, 0x00, 0x00), // black
+    Rgb::new(0xFF, 0x79, 0x00), // orange
+    Rgb::new(0x00, 0x9B, 0x9E), // teal
+    Rgb::new(0x6D, 0x2E, 0x8A), // purple
+    Rgb::new(0x87, 0xCE, 0xEB), // sky blue
+];
+
+/// College-team shell/accent colors for the helmet collection.
+pub const TEAM_COLORS: [Rgb; 12] = [
+    Rgb::new(0x9E, 0x1B, 0x32), // crimson
+    Rgb::new(0x00, 0x21, 0x4D), // midnight blue
+    Rgb::new(0xF5, 0x6E, 0x00), // burnt orange
+    Rgb::new(0x18, 0x45, 0x3B), // forest green
+    Rgb::new(0x4B, 0x11, 0x6F), // royal purple
+    Rgb::new(0xFF, 0xD7, 0x00), // gold
+    Rgb::new(0xC0, 0xC0, 0xC0), // silver
+    Rgb::new(0xFF, 0xFF, 0xFF), // white
+    Rgb::new(0x33, 0x00, 0x66), // deep violet
+    Rgb::new(0x99, 0x00, 0x00), // dark red
+    Rgb::new(0x00, 0x66, 0x33), // kelly green
+    Rgb::new(0x1C, 0x1C, 0x1C), // near-black
+];
+
+/// Real-world frequency weights for [`FLAG_COLORS`] (red and white appear in
+/// the large majority of national flags, purple in almost none). Used for
+/// weighted color picks so the synthetic collection's color-population
+/// statistics match the skew of the paper's flag data set.
+pub const FLAG_COLOR_WEIGHTS: [u32; 10] = [30, 20, 12, 9, 25, 6, 3, 2, 1, 2];
+
+/// Frequency weights for [`TEAM_COLORS`] (crimson/navy/gold/white dominate
+/// college palettes).
+pub const TEAM_COLOR_WEIGHTS: [u32; 12] = [16, 16, 9, 7, 5, 12, 8, 12, 2, 7, 5, 5];
+
+/// Picks an index into `weights` proportionally to the weights.
+///
+/// # Panics
+/// Panics when the weights sum to zero.
+pub fn pick_weighted(rng: &mut impl rand::Rng, weights: &[u32]) -> usize {
+    let total: u32 = weights.iter().sum();
+    assert!(total > 0, "weights must not all be zero");
+    let mut roll = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if roll < w {
+            return i;
+        }
+        roll -= w;
+    }
+    unreachable!("roll is bounded by the weight sum")
+}
+
+/// Neutral colors used for facemasks, outlines and backgrounds.
+pub const GRAY_MASK: Rgb = Rgb::new(0x80, 0x80, 0x80);
+
+/// Background behind helmets (studio gray).
+pub const HELMET_BACKDROP: Rgb = Rgb::new(0xD9, 0xD9, 0xD9);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn palettes_have_distinct_colors() {
+        let flags: HashSet<Rgb> = FLAG_COLORS.iter().copied().collect();
+        assert_eq!(flags.len(), FLAG_COLORS.len());
+        let teams: HashSet<Rgb> = TEAM_COLORS.iter().copied().collect();
+        assert_eq!(teams.len(), TEAM_COLORS.len());
+    }
+
+    #[test]
+    fn palettes_span_distinct_64bins() {
+        use mmdb_histogram::{Quantizer, RgbQuantizer};
+        let q = RgbQuantizer::default_64();
+        let bins: HashSet<usize> = FLAG_COLORS.iter().map(|&c| q.bin_of(c)).collect();
+        // The flag palette must populate many distinct histogram bins for
+        // queries to be discriminative.
+        assert!(bins.len() >= 8, "only {} distinct bins", bins.len());
+    }
+}

@@ -1,0 +1,182 @@
+//! Random range-query workloads of the paper's shape.
+
+use mmdb_histogram::Quantizer;
+use mmdb_imaging::Rgb;
+use mmdb_rules::ColorRangeQuery;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded generator of color range queries over a palette.
+///
+/// Queries take the paper's example form — "Retrieve all images that are at
+/// least 25% blue" — with the color drawn from the collection palette
+/// (mapped to its histogram bin) and the threshold drawn uniformly from a
+/// configurable range. A fraction of queries are two-sided.
+pub struct QueryGenerator {
+    rng: SmallRng,
+    bins: Vec<usize>,
+    min_threshold: f64,
+    max_threshold: f64,
+    p_two_sided: f64,
+}
+
+impl QueryGenerator {
+    /// Creates a generator drawing colors from `palette` under `quantizer`.
+    ///
+    /// # Panics
+    /// Panics on an empty palette.
+    pub fn new(seed: u64, palette: &[Rgb], quantizer: &dyn Quantizer) -> Self {
+        assert!(!palette.is_empty(), "palette must not be empty");
+        let mut bins: Vec<usize> = palette.iter().map(|&c| quantizer.bin_of(c)).collect();
+        bins.sort_unstable();
+        bins.dedup();
+        QueryGenerator {
+            rng: SmallRng::seed_from_u64(seed),
+            bins,
+            min_threshold: 0.05,
+            max_threshold: 0.5,
+            p_two_sided: 0.25,
+        }
+    }
+
+    /// Creates a generator whose query colors are drawn **proportionally to
+    /// the collection's own color mass** (the aggregate histogram of the
+    /// database's binary images). This models real users querying for colors
+    /// that actually occur — red flags, navy helmets — rather than uniform
+    /// palette colors, and is the workload the figure sweeps use. Bins below
+    /// 1% of the total mass are excluded.
+    pub fn weighted_from_db(seed: u64, db: &mmdb_storage::StorageEngine) -> Self {
+        use mmdb_rules::InfoResolver;
+        let bin_count = db.quantizer().bin_count();
+        let mut pooled = mmdb_histogram::ColorHistogram::zeroed(bin_count);
+        for id in db.binary_ids() {
+            if let Some(info) = db.info(id) {
+                pooled.accumulate(&info.histogram);
+            }
+        }
+        // Expand each qualifying bin proportionally to its mass (percent
+        // resolution) so uniform sampling over `bins` is mass-weighted.
+        let mut bins = Vec::new();
+        for (bin, count) in pooled.nonzero() {
+            let share = count as f64 / pooled.total().max(1) as f64;
+            let copies = (share * 100.0).round() as usize;
+            if copies >= 1 {
+                bins.extend(std::iter::repeat_n(bin, copies));
+            }
+        }
+        assert!(
+            !bins.is_empty(),
+            "database has no binary images to derive a weighted workload from"
+        );
+        QueryGenerator {
+            rng: SmallRng::seed_from_u64(seed),
+            bins,
+            min_threshold: 0.05,
+            max_threshold: 0.5,
+            p_two_sided: 0.25,
+        }
+    }
+
+    /// Overrides the threshold range for the `at least X%` form.
+    ///
+    /// # Panics
+    /// Panics on an invalid range.
+    pub fn thresholds(mut self, min: f64, max: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&min) && (0.0..=1.0).contains(&max) && min <= max,
+            "invalid threshold range"
+        );
+        self.min_threshold = min;
+        self.max_threshold = max;
+        self
+    }
+
+    /// Overrides the share of two-sided queries.
+    ///
+    /// # Panics
+    /// Panics outside `[0, 1]`.
+    pub fn two_sided_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.p_two_sided = p;
+        self
+    }
+
+    /// Generates one query.
+    pub fn next_query(&mut self) -> ColorRangeQuery {
+        let bin = self.bins[self.rng.gen_range(0..self.bins.len())];
+        let lo = self.rng.gen_range(self.min_threshold..=self.max_threshold);
+        if self.rng.gen_bool(self.p_two_sided) {
+            let hi = self.rng.gen_range(lo..=1.0f64);
+            ColorRangeQuery::new(bin, lo, hi)
+        } else {
+            ColorRangeQuery::at_least(bin, lo)
+        }
+    }
+
+    /// Generates a batch of `n` queries.
+    pub fn batch(&mut self, n: usize) -> Vec<ColorRangeQuery> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::palette::FLAG_COLORS;
+    use mmdb_histogram::RgbQuantizer;
+
+    fn generator(seed: u64) -> QueryGenerator {
+        QueryGenerator::new(seed, &FLAG_COLORS, &RgbQuantizer::default_64())
+    }
+
+    #[test]
+    fn queries_are_well_formed() {
+        let mut g = generator(1);
+        for q in g.batch(200) {
+            assert!(q.bin < 64);
+            assert!(q.pct_min >= 0.05 && q.pct_min <= 0.5);
+            assert!(q.pct_min <= q.pct_max && q.pct_max <= 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = generator(5);
+        let mut b = generator(5);
+        assert_eq!(a.batch(20), b.batch(20));
+        let mut c = generator(6);
+        assert_ne!(a.batch(20), c.batch(20));
+    }
+
+    #[test]
+    fn two_sided_share_respected() {
+        let mut g = generator(9).two_sided_probability(1.0);
+        for q in g.batch(50) {
+            assert!(q.pct_max <= 1.0); // well-formed
+        }
+        let mut g = generator(9).two_sided_probability(0.0);
+        for q in g.batch(50) {
+            assert_eq!(q.pct_max, 1.0, "one-sided queries have pct_max = 1");
+        }
+    }
+
+    #[test]
+    fn custom_thresholds() {
+        let mut g = generator(3).thresholds(0.2, 0.3).two_sided_probability(0.0);
+        for q in g.batch(50) {
+            assert!(q.pct_min >= 0.2 && q.pct_min <= 0.3);
+        }
+    }
+
+    #[test]
+    fn bins_cover_palette() {
+        let g = generator(1);
+        assert!(g.bins.len() >= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "palette must not be empty")]
+    fn empty_palette_rejected() {
+        QueryGenerator::new(1, &[], &RgbQuantizer::default_64());
+    }
+}

@@ -1,0 +1,417 @@
+//! Codecs for persisting edit sequences.
+//!
+//! Two formats are provided:
+//!
+//! * a **compact binary format** (`encode`/`decode`) — what the storage
+//!   engine writes into its blob pages. A typical 5-op sequence encodes to
+//!   well under 200 bytes, which is the space saving that motivates storing
+//!   edited images as operations in the first place (§2);
+//! * a **line-oriented text format** (`to_text`/`from_text`) — a
+//!   human-readable script form for examples, debugging and golden tests.
+
+use crate::ids::ImageId;
+use crate::matrix::Matrix3;
+use crate::ops::EditOp;
+use crate::sequence::EditSequence;
+use crate::{EditError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mmdb_imaging::{Rect, Rgb};
+
+const MAGIC: &[u8; 4] = b"EDSQ";
+const VERSION: u8 = 1;
+
+const TAG_DEFINE: u8 = 0;
+const TAG_COMBINE: u8 = 1;
+const TAG_MODIFY: u8 = 2;
+const TAG_MUTATE: u8 = 3;
+const TAG_MERGE_NULL: u8 = 4;
+const TAG_MERGE_TARGET: u8 = 5;
+
+/// Encodes a sequence into the compact binary format.
+pub fn encode(seq: &EditSequence) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + seq.ops.len() * 40);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(seq.base.raw());
+    buf.put_u32_le(seq.ops.len() as u32);
+    for op in &seq.ops {
+        match op {
+            EditOp::Define { region } => {
+                buf.put_u8(TAG_DEFINE);
+                buf.put_i64_le(region.x0);
+                buf.put_i64_le(region.y0);
+                buf.put_i64_le(region.x1);
+                buf.put_i64_le(region.y1);
+            }
+            EditOp::Combine { weights } => {
+                buf.put_u8(TAG_COMBINE);
+                for w in weights {
+                    buf.put_f32_le(*w);
+                }
+            }
+            EditOp::Modify { from, to } => {
+                buf.put_u8(TAG_MODIFY);
+                buf.put_slice(&from.channels());
+                buf.put_slice(&to.channels());
+            }
+            EditOp::Mutate { matrix } => {
+                buf.put_u8(TAG_MUTATE);
+                for v in matrix.flatten() {
+                    buf.put_f64_le(v);
+                }
+            }
+            EditOp::Merge {
+                target: None,
+                xp,
+                yp,
+            } => {
+                buf.put_u8(TAG_MERGE_NULL);
+                buf.put_i64_le(*xp);
+                buf.put_i64_le(*yp);
+            }
+            EditOp::Merge {
+                target: Some(id),
+                xp,
+                yp,
+            } => {
+                buf.put_u8(TAG_MERGE_TARGET);
+                buf.put_u64_le(id.raw());
+                buf.put_i64_le(*xp);
+                buf.put_i64_le(*yp);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes the compact binary format.
+pub fn decode(mut bytes: &[u8]) -> Result<EditSequence> {
+    fn need(buf: &[u8], n: usize, what: &str) -> Result<()> {
+        if buf.remaining() < n {
+            Err(EditError::Codec(format!("truncated {what}")))
+        } else {
+            Ok(())
+        }
+    }
+    need(bytes, 4 + 1 + 8 + 4, "header")?;
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(EditError::Codec(format!("bad magic {magic:?}")));
+    }
+    let version = bytes.get_u8();
+    if version != VERSION {
+        return Err(EditError::Codec(format!("unsupported version {version}")));
+    }
+    let base = ImageId::new(bytes.get_u64_le());
+    let count = bytes.get_u32_le() as usize;
+    // Each op is at least 7 bytes (tag + modify payload); reject counts the
+    // remaining buffer cannot possibly satisfy before allocating.
+    if count > bytes.remaining() {
+        return Err(EditError::Codec(format!(
+            "op count {count} exceeds remaining payload"
+        )));
+    }
+    let mut ops = Vec::with_capacity(count);
+    for i in 0..count {
+        need(bytes, 1, "op tag")?;
+        let tag = bytes.get_u8();
+        let op = match tag {
+            TAG_DEFINE => {
+                need(bytes, 32, "define payload")?;
+                EditOp::Define {
+                    region: Rect::new(
+                        bytes.get_i64_le(),
+                        bytes.get_i64_le(),
+                        bytes.get_i64_le(),
+                        bytes.get_i64_le(),
+                    ),
+                }
+            }
+            TAG_COMBINE => {
+                need(bytes, 36, "combine payload")?;
+                let mut weights = [0.0f32; 9];
+                for w in &mut weights {
+                    *w = bytes.get_f32_le();
+                }
+                EditOp::Combine { weights }
+            }
+            TAG_MODIFY => {
+                need(bytes, 6, "modify payload")?;
+                let mut c = [0u8; 6];
+                bytes.copy_to_slice(&mut c);
+                EditOp::Modify {
+                    from: Rgb::new(c[0], c[1], c[2]),
+                    to: Rgb::new(c[3], c[4], c[5]),
+                }
+            }
+            TAG_MUTATE => {
+                need(bytes, 72, "mutate payload")?;
+                let mut v = [0.0f64; 9];
+                for x in &mut v {
+                    *x = bytes.get_f64_le();
+                }
+                EditOp::Mutate {
+                    matrix: Matrix3::from_flat(v),
+                }
+            }
+            TAG_MERGE_NULL => {
+                need(bytes, 16, "merge payload")?;
+                EditOp::Merge {
+                    target: None,
+                    xp: bytes.get_i64_le(),
+                    yp: bytes.get_i64_le(),
+                }
+            }
+            TAG_MERGE_TARGET => {
+                need(bytes, 24, "merge payload")?;
+                EditOp::Merge {
+                    target: Some(ImageId::new(bytes.get_u64_le())),
+                    xp: bytes.get_i64_le(),
+                    yp: bytes.get_i64_le(),
+                }
+            }
+            other => {
+                return Err(EditError::Codec(format!(
+                    "unknown op tag {other} at op {i}"
+                )));
+            }
+        };
+        ops.push(op);
+    }
+    Ok(EditSequence::new(base, ops))
+}
+
+/// Renders a sequence as a line-oriented script.
+pub fn to_text(seq: &EditSequence) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "base {}", seq.base.raw());
+    for op in &seq.ops {
+        match op {
+            EditOp::Define { region } => {
+                let _ = writeln!(
+                    out,
+                    "define {} {} {} {}",
+                    region.x0, region.y0, region.x1, region.y1
+                );
+            }
+            EditOp::Combine { weights } => {
+                let ws: Vec<String> = weights.iter().map(|w| format!("{w}")).collect();
+                let _ = writeln!(out, "combine {}", ws.join(" "));
+            }
+            EditOp::Modify { from, to } => {
+                let _ = writeln!(out, "modify {from:?} {to:?}");
+            }
+            EditOp::Mutate { matrix } => {
+                let vs: Vec<String> = matrix.flatten().iter().map(|v| format!("{v}")).collect();
+                let _ = writeln!(out, "mutate {}", vs.join(" "));
+            }
+            EditOp::Merge { target, xp, yp } => match target {
+                None => {
+                    let _ = writeln!(out, "merge null {xp} {yp}");
+                }
+                Some(id) => {
+                    let _ = writeln!(out, "merge {} {xp} {yp}", id.raw());
+                }
+            },
+        }
+    }
+    out
+}
+
+/// Parses the line-oriented script format produced by [`to_text`]. Blank
+/// lines and `//` comments are skipped (`#` is reserved for hex colors).
+pub fn from_text(text: &str) -> Result<EditSequence> {
+    let mut base: Option<ImageId> = None;
+    let mut ops = Vec::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = raw_line.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("non-empty line has a token");
+        let rest: Vec<&str> = parts.collect();
+        let err = |msg: &str| EditError::Codec(format!("line {}: {msg}", lineno + 1));
+        match head {
+            "base" => {
+                let id = rest
+                    .first()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| err("expected `base <id>`"))?;
+                base = Some(ImageId::new(id));
+            }
+            "define" => {
+                if rest.len() != 4 {
+                    return Err(err("expected `define x0 y0 x1 y1`"));
+                }
+                let v: Vec<i64> = rest
+                    .iter()
+                    .map(|s| s.parse::<i64>())
+                    .collect::<std::result::Result<_, _>>()
+                    .map_err(|_| err("non-integer define coordinate"))?;
+                ops.push(EditOp::Define {
+                    region: Rect::new(v[0], v[1], v[2], v[3]),
+                });
+            }
+            "combine" => {
+                if rest.len() != 9 {
+                    return Err(err("expected 9 combine weights"));
+                }
+                let mut weights = [0.0f32; 9];
+                for (slot, s) in weights.iter_mut().zip(&rest) {
+                    *slot = s.parse().map_err(|_| err("non-numeric combine weight"))?;
+                }
+                ops.push(EditOp::Combine { weights });
+            }
+            "modify" => {
+                if rest.len() != 2 {
+                    return Err(err("expected `modify #from #to`"));
+                }
+                let from = Rgb::from_hex(rest[0]).ok_or_else(|| err("bad `from` color"))?;
+                let to = Rgb::from_hex(rest[1]).ok_or_else(|| err("bad `to` color"))?;
+                ops.push(EditOp::Modify { from, to });
+            }
+            "mutate" => {
+                if rest.len() != 9 {
+                    return Err(err("expected 9 mutate matrix values"));
+                }
+                let mut v = [0.0f64; 9];
+                for (slot, s) in v.iter_mut().zip(&rest) {
+                    *slot = s.parse().map_err(|_| err("non-numeric matrix value"))?;
+                }
+                ops.push(EditOp::Mutate {
+                    matrix: Matrix3::from_flat(v),
+                });
+            }
+            "merge" => {
+                if rest.len() != 3 {
+                    return Err(err("expected `merge <target|null> xp yp`"));
+                }
+                let target = if rest[0].eq_ignore_ascii_case("null") {
+                    None
+                } else {
+                    Some(ImageId::new(
+                        rest[0]
+                            .parse::<u64>()
+                            .map_err(|_| err("bad merge target"))?,
+                    ))
+                };
+                let xp = rest[1].parse::<i64>().map_err(|_| err("bad xp"))?;
+                let yp = rest[2].parse::<i64>().map_err(|_| err("bad yp"))?;
+                ops.push(EditOp::Merge { target, xp, yp });
+            }
+            other => return Err(err(&format!("unknown directive {other:?}"))),
+        }
+    }
+    let base = base.ok_or_else(|| EditError::Codec("missing `base <id>` line".into()))?;
+    Ok(EditSequence::new(base, ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EditSequence {
+        EditSequence::builder(ImageId::new(17))
+            .define(Rect::new(1, 2, 30, 40))
+            .modify(Rgb::new(250, 0, 10), Rgb::new(0, 128, 255))
+            .combine([1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0])
+            .mutate(Matrix3::rotation_about(0.5, 16.0, 16.0))
+            .crop_to_region()
+            .merge_into(ImageId::new(99), -3, 7)
+            .build()
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let seq = sample();
+        let bytes = encode(&seq);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(seq, back);
+    }
+
+    #[test]
+    fn binary_is_compact() {
+        let bytes = encode(&sample());
+        assert!(bytes.len() < 250, "encoded size {}", bytes.len());
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let bytes = encode(&sample());
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(decode(&bad).is_err());
+        // Bad version.
+        let mut bad = bytes.to_vec();
+        bad[4] = 9;
+        assert!(decode(&bad).is_err());
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Unknown tag.
+        let mut bad = bytes.to_vec();
+        bad[17] = 200;
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_huge_count() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"EDSQ");
+        buf.push(1);
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_roundtrip() {
+        let seq = EditSequence::new(ImageId::new(3), vec![]);
+        assert_eq!(decode(&encode(&seq)).unwrap(), seq);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let seq = sample();
+        let text = to_text(&seq);
+        let back = from_text(&text).unwrap();
+        assert_eq!(seq, back);
+    }
+
+    #[test]
+    fn text_parses_comments_and_blanks() {
+        let text = "\n// a script\nbase 5\n\ndefine 0 0 4 4  // select\nmodify #ff0000 #00ff00\nmerge null 0 0\n";
+        let seq = from_text(text).unwrap();
+        assert_eq!(seq.base, ImageId::new(5));
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn text_errors_are_line_numbered() {
+        let err = from_text("base 1\ndefine 1 2 3\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(from_text("define 0 0 1 1\n").is_err(), "missing base");
+        assert!(from_text("base 1\nfrobnicate\n").is_err());
+        assert!(from_text("base 1\nmodify red green\n").is_err());
+        assert!(from_text("base 1\nmerge x 0 0\n").is_err());
+        assert!(from_text("base 1\ncombine 1 2 3\n").is_err());
+    }
+
+    #[test]
+    fn text_merge_null_case_insensitive() {
+        let seq = from_text("base 1\nmerge NULL 2 3\n").unwrap();
+        assert_eq!(
+            seq.ops[0],
+            EditOp::Merge {
+                target: None,
+                xp: 2,
+                yp: 3
+            }
+        );
+    }
+}

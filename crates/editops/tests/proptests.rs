@@ -1,0 +1,144 @@
+//! Property tests for the edit-operation model: codec round-trips for
+//! arbitrary sequences, and structural invariants of the instantiation
+//! engine.
+
+use mmdb_editops::{
+    codec, EditOp, EditSequence, ImageId, InstantiationEngine, MapResolver, Matrix3,
+};
+use mmdb_imaging::{RasterImage, Rect, Rgb};
+use proptest::prelude::*;
+
+fn arb_rgb() -> impl Strategy<Value = Rgb> {
+    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b)| Rgb::new(r, g, b))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-50i64..50, -50i64..50, -50i64..50, -50i64..50)
+        .prop_map(|(x0, y0, x1, y1)| Rect::new(x0, y0, x1, y1))
+}
+
+fn arb_matrix() -> impl Strategy<Value = Matrix3> {
+    prop_oneof![
+        (-20.0f64..20.0, -20.0f64..20.0).prop_map(|(dx, dy)| Matrix3::translation(dx, dy)),
+        (0.1f64..4.0, 0.1f64..4.0).prop_map(|(sx, sy)| Matrix3::scale(sx, sy)),
+        (0.0f64..6.3, -10.0f64..10.0, -10.0f64..10.0)
+            .prop_map(|(a, cx, cy)| Matrix3::rotation_about(a, cx, cy)),
+        proptest::array::uniform9(-3.0f64..3.0).prop_map(Matrix3::from_flat),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = EditOp> {
+    prop_oneof![
+        arb_rect().prop_map(|region| EditOp::Define { region }),
+        proptest::array::uniform9(-2.0f32..2.0).prop_map(|weights| EditOp::Combine { weights }),
+        (arb_rgb(), arb_rgb()).prop_map(|(from, to)| EditOp::Modify { from, to }),
+        arb_matrix().prop_map(|matrix| EditOp::Mutate { matrix }),
+        (any::<Option<u64>>(), -100i64..100, -100i64..100).prop_map(|(t, xp, yp)| {
+            EditOp::Merge {
+                target: t.map(ImageId::new),
+                xp,
+                yp,
+            }
+        }),
+    ]
+}
+
+fn arb_sequence() -> impl Strategy<Value = EditSequence> {
+    (any::<u64>(), proptest::collection::vec(arb_op(), 0..12))
+        .prop_map(|(base, ops)| EditSequence::new(ImageId::new(base), ops))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The binary codec round-trips every representable sequence.
+    #[test]
+    fn binary_codec_roundtrip(seq in arb_sequence()) {
+        let bytes = codec::encode(&seq);
+        let back = codec::decode(&bytes).expect("well-formed encoding decodes");
+        prop_assert_eq!(seq, back);
+    }
+
+    /// Decoding never panics on arbitrary garbage (errors are fine).
+    #[test]
+    fn binary_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode(&bytes);
+    }
+
+    /// Truncations of a valid encoding are always rejected, never mis-decoded.
+    #[test]
+    fn binary_truncations_rejected(seq in arb_sequence(), cut_frac in 0.0f64..1.0) {
+        let bytes = codec::encode(&seq);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(codec::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Text round-trip for finite-parameter sequences (the text format
+    /// prints floats with `{}`, which round-trips f64/f32 exactly in Rust).
+    #[test]
+    fn text_codec_roundtrip(seq in arb_sequence()) {
+        let text = codec::to_text(&seq);
+        let back = codec::from_text(&text).expect("rendered script parses");
+        prop_assert_eq!(seq, back);
+    }
+
+    /// `kind_histogram` counts every operation exactly once.
+    #[test]
+    fn kind_histogram_total(seq in arb_sequence()) {
+        let total: usize = seq.kind_histogram().iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(total, seq.len());
+    }
+
+    /// Classification agrees with the per-op definition.
+    #[test]
+    fn classification_is_conjunction(seq in arb_sequence()) {
+        prop_assert_eq!(
+            seq.all_bound_widening(),
+            seq.ops.iter().all(|op| op.is_bound_widening())
+        );
+    }
+}
+
+// Instantiation is deterministic: the same sequence over the same base
+// yields the same raster.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn instantiation_is_deterministic(
+        ops in proptest::collection::vec(arb_op(), 0..6),
+        w in 4u32..16,
+        h in 4u32..16,
+    ) {
+        let base = RasterImage::from_fn(w, h, |x, y| {
+            Rgb::new((x * 31) as u8, (y * 17) as u8, ((x + y) * 7) as u8)
+        })
+        .unwrap();
+        let target = RasterImage::filled(6, 6, Rgb::GREEN).unwrap();
+        let mut resolver = MapResolver::new();
+        resolver.insert(ImageId::new(1), base);
+        // Remap all merge targets to the one registered image so resolution
+        // can succeed.
+        let ops: Vec<EditOp> = ops
+            .into_iter()
+            .map(|op| match op {
+                EditOp::Merge { target: Some(_), xp, yp } => EditOp::Merge {
+                    target: Some(ImageId::new(2)),
+                    xp: xp.clamp(-8, 8),
+                    yp: yp.clamp(-8, 8),
+                },
+                other => other,
+            })
+            .collect();
+        resolver.insert(ImageId::new(2), target);
+        let seq = EditSequence::new(ImageId::new(1), ops);
+        let engine = InstantiationEngine::new(&resolver);
+        match (engine.instantiate(&seq), engine.instantiate(&seq)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {} // deterministic failure is fine
+            (a, b) => prop_assert!(false, "non-deterministic outcome: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+}

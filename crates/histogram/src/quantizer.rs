@@ -1,0 +1,338 @@
+//! Uniform color-space quantizers.
+//!
+//! A quantizer maps every 24-bit RGB color to one of a fixed,
+//! "system-dependent number of divisions" (§3.1) — the histogram bins. All
+//! retrieval components (feature extraction, the Table 1 rules, queries) must
+//! agree on one quantizer; the storage engine records which one a database
+//! was built with.
+
+use mmdb_imaging::Rgb;
+
+/// Maps colors to histogram bins.
+pub trait Quantizer: Send + Sync {
+    /// Total number of bins.
+    fn bin_count(&self) -> usize;
+
+    /// The bin index of `color`, always `< bin_count()`.
+    fn bin_of(&self, color: Rgb) -> usize;
+
+    /// A representative color for `bin` (the bin-cell center). Used for
+    /// debugging, visualization and query-by-color-name helpers; `bin` must
+    /// be `< bin_count()`.
+    fn representative(&self, bin: usize) -> Rgb;
+
+    /// A short, stable description, persisted in the database catalog so a
+    /// reopened database can verify it was built with the same quantizer.
+    fn describe(&self) -> String;
+}
+
+/// Uniform quantization of the RGB cube into `d × d × d` bins.
+///
+/// The paper's default setup: with `d = 4` this yields the classic 64-bin
+/// color histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RgbQuantizer {
+    divisions: u32,
+}
+
+impl RgbQuantizer {
+    /// Creates a quantizer with `divisions` cells per channel.
+    ///
+    /// # Panics
+    /// Panics when `divisions` is 0 or greater than 256.
+    pub fn new(divisions: u32) -> Self {
+        assert!(
+            (1..=256).contains(&divisions),
+            "divisions must be in 1..=256, got {divisions}"
+        );
+        RgbQuantizer { divisions }
+    }
+
+    /// The 64-bin (4×4×4) default.
+    pub fn default_64() -> Self {
+        RgbQuantizer::new(4)
+    }
+
+    /// Cells per channel.
+    pub fn divisions(&self) -> u32 {
+        self.divisions
+    }
+
+    #[inline]
+    fn channel_cell(&self, v: u8) -> u32 {
+        // Even split of 0..=255 into `divisions` cells.
+        (v as u32 * self.divisions) / 256
+    }
+}
+
+impl Quantizer for RgbQuantizer {
+    fn bin_count(&self) -> usize {
+        (self.divisions * self.divisions * self.divisions) as usize
+    }
+
+    #[inline]
+    fn bin_of(&self, color: Rgb) -> usize {
+        let r = self.channel_cell(color.r);
+        let g = self.channel_cell(color.g);
+        let b = self.channel_cell(color.b);
+        ((r * self.divisions + g) * self.divisions + b) as usize
+    }
+
+    fn representative(&self, bin: usize) -> Rgb {
+        let d = self.divisions as usize;
+        assert!(bin < d * d * d, "bin {bin} out of range");
+        let b = bin % d;
+        let g = (bin / d) % d;
+        let r = bin / (d * d);
+        let center = |cell: usize| -> u8 {
+            let lo = cell * 256 / d;
+            let hi = ((cell + 1) * 256 / d).min(256);
+            ((lo + hi) / 2).min(255) as u8
+        };
+        Rgb::new(center(r), center(g), center(b))
+    }
+
+    fn describe(&self) -> String {
+        format!("rgb-uniform/{}", self.divisions)
+    }
+}
+
+/// Uniform quantization in HSV space: `h_div` hue sectors × `s_div`
+/// saturation bands × `v_div` value bands.
+///
+/// The common CBIR configuration 18×3×3 = 162 bins is
+/// [`HsvQuantizer::default_162`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HsvQuantizer {
+    h_div: u32,
+    s_div: u32,
+    v_div: u32,
+}
+
+impl HsvQuantizer {
+    /// Creates an `h_div × s_div × v_div` quantizer.
+    ///
+    /// # Panics
+    /// Panics when any division count is zero.
+    pub fn new(h_div: u32, s_div: u32, v_div: u32) -> Self {
+        assert!(
+            h_div > 0 && s_div > 0 && v_div > 0,
+            "divisions must be positive"
+        );
+        HsvQuantizer {
+            h_div,
+            s_div,
+            v_div,
+        }
+    }
+
+    /// The 162-bin (18×3×3) configuration.
+    pub fn default_162() -> Self {
+        HsvQuantizer::new(18, 3, 3)
+    }
+}
+
+impl Quantizer for HsvQuantizer {
+    fn bin_count(&self) -> usize {
+        (self.h_div * self.s_div * self.v_div) as usize
+    }
+
+    fn bin_of(&self, color: Rgb) -> usize {
+        let hsv = color.to_hsv();
+        let h = (((hsv.h / 360.0) * self.h_div as f32) as u32).min(self.h_div - 1);
+        let s = ((hsv.s * self.s_div as f32) as u32).min(self.s_div - 1);
+        let v = ((hsv.v * self.v_div as f32) as u32).min(self.v_div - 1);
+        ((h * self.s_div + s) * self.v_div + v) as usize
+    }
+
+    fn representative(&self, bin: usize) -> Rgb {
+        assert!(bin < self.bin_count(), "bin {bin} out of range");
+        let v = bin as u32 % self.v_div;
+        let s = (bin as u32 / self.v_div) % self.s_div;
+        let h = bin as u32 / (self.v_div * self.s_div);
+        mmdb_imaging::Hsv {
+            h: (h as f32 + 0.5) * 360.0 / self.h_div as f32,
+            s: (s as f32 + 0.5) / self.s_div as f32,
+            v: (v as f32 + 0.5) / self.v_div as f32,
+        }
+        .to_rgb()
+    }
+
+    fn describe(&self) -> String {
+        format!("hsv-uniform/{}x{}x{}", self.h_div, self.s_div, self.v_div)
+    }
+}
+
+/// Quantizes by luminance only — a degenerate single-axis histogram useful
+/// for tests and for grayscale collections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GrayQuantizer {
+    levels: u32,
+}
+
+impl GrayQuantizer {
+    /// Creates a quantizer with `levels` gray bands.
+    ///
+    /// # Panics
+    /// Panics when `levels` is 0 or greater than 256.
+    pub fn new(levels: u32) -> Self {
+        assert!((1..=256).contains(&levels), "levels must be in 1..=256");
+        GrayQuantizer { levels }
+    }
+}
+
+impl Quantizer for GrayQuantizer {
+    fn bin_count(&self) -> usize {
+        self.levels as usize
+    }
+
+    fn bin_of(&self, color: Rgb) -> usize {
+        ((color.luma() as u32 * self.levels) / 256) as usize
+    }
+
+    fn representative(&self, bin: usize) -> Rgb {
+        assert!(bin < self.levels as usize);
+        let lo = bin * 256 / self.levels as usize;
+        let hi = ((bin + 1) * 256 / self.levels as usize).min(256);
+        Rgb::gray(((lo + hi) / 2).min(255) as u8)
+    }
+
+    fn describe(&self) -> String {
+        format!("gray/{}", self.levels)
+    }
+}
+
+/// Reconstructs a quantizer from its [`Quantizer::describe`] string, used
+/// when reopening a persisted database.
+pub fn from_description(desc: &str) -> Option<Box<dyn Quantizer>> {
+    if let Some(d) = desc.strip_prefix("rgb-uniform/") {
+        let d: u32 = d.parse().ok()?;
+        if (1..=256).contains(&d) {
+            return Some(Box::new(RgbQuantizer::new(d)));
+        }
+        return None;
+    }
+    if let Some(dims) = desc.strip_prefix("hsv-uniform/") {
+        let parts: Vec<u32> = dims.split('x').filter_map(|p| p.parse().ok()).collect();
+        if parts.len() == 3 && parts.iter().all(|&p| p > 0) {
+            return Some(Box::new(HsvQuantizer::new(parts[0], parts[1], parts[2])));
+        }
+        return None;
+    }
+    if let Some(l) = desc.strip_prefix("gray/") {
+        let l: u32 = l.parse().ok()?;
+        if (1..=256).contains(&l) {
+            return Some(Box::new(GrayQuantizer::new(l)));
+        }
+        return None;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_bins_cover_range() {
+        let q = RgbQuantizer::default_64();
+        assert_eq!(q.bin_count(), 64);
+        for r in [0u8, 63, 64, 127, 128, 191, 192, 255] {
+            for g in [0u8, 255] {
+                for b in [0u8, 255] {
+                    let bin = q.bin_of(Rgb::new(r, g, b));
+                    assert!(bin < 64);
+                }
+            }
+        }
+        // Corner bins.
+        assert_eq!(q.bin_of(Rgb::BLACK), 0);
+        assert_eq!(q.bin_of(Rgb::WHITE), 63);
+    }
+
+    #[test]
+    fn rgb_bin_boundaries() {
+        let q = RgbQuantizer::new(4);
+        // 0..=63 -> cell 0, 64..=127 -> cell 1, etc.
+        assert_eq!(q.bin_of(Rgb::new(63, 0, 0)), 0);
+        assert_eq!(q.bin_of(Rgb::new(64, 0, 0)), 16);
+        assert_eq!(q.bin_of(Rgb::new(0, 64, 0)), 4);
+        assert_eq!(q.bin_of(Rgb::new(0, 0, 64)), 1);
+    }
+
+    #[test]
+    fn rgb_representative_maps_back_to_its_bin() {
+        for d in [1u32, 2, 4, 8] {
+            let q = RgbQuantizer::new(d);
+            for bin in 0..q.bin_count() {
+                assert_eq!(q.bin_of(q.representative(bin)), bin, "d={d} bin={bin}");
+            }
+        }
+    }
+
+    #[test]
+    fn hsv_representative_maps_back_to_its_bin() {
+        let q = HsvQuantizer::default_162();
+        assert_eq!(q.bin_count(), 162);
+        let mut hits = 0;
+        for bin in 0..q.bin_count() {
+            // HSV↔RGB round-tripping is lossy at extreme saturation/value, so
+            // require the vast majority of representatives to map home.
+            if q.bin_of(q.representative(bin)) == bin {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 150, "only {hits}/162 representatives map back");
+    }
+
+    #[test]
+    fn hsv_separates_hues() {
+        let q = HsvQuantizer::default_162();
+        assert_ne!(q.bin_of(Rgb::RED), q.bin_of(Rgb::GREEN));
+        assert_ne!(q.bin_of(Rgb::GREEN), q.bin_of(Rgb::BLUE));
+    }
+
+    #[test]
+    fn gray_quantizer_bands() {
+        let q = GrayQuantizer::new(4);
+        assert_eq!(q.bin_of(Rgb::BLACK), 0);
+        assert_eq!(q.bin_of(Rgb::WHITE), 3);
+        assert_eq!(q.bin_of(Rgb::gray(128)), 2);
+        assert_eq!(q.bin_of(q.representative(1)), 1);
+    }
+
+    #[test]
+    fn describe_roundtrip() {
+        let qs: Vec<Box<dyn Quantizer>> = vec![
+            Box::new(RgbQuantizer::new(8)),
+            Box::new(HsvQuantizer::new(12, 4, 2)),
+            Box::new(GrayQuantizer::new(16)),
+        ];
+        for q in qs {
+            let rebuilt = from_description(&q.describe()).expect("parses");
+            assert_eq!(rebuilt.describe(), q.describe());
+            assert_eq!(rebuilt.bin_count(), q.bin_count());
+            assert_eq!(
+                rebuilt.bin_of(Rgb::new(10, 200, 40)),
+                q.bin_of(Rgb::new(10, 200, 40))
+            );
+        }
+        assert!(from_description("bogus/3").is_none());
+        assert!(from_description("rgb-uniform/0").is_none());
+        assert!(from_description("hsv-uniform/1x2").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisions must be in 1..=256")]
+    fn rgb_zero_divisions_panics() {
+        RgbQuantizer::new(0);
+    }
+
+    #[test]
+    fn single_bin_quantizer() {
+        let q = RgbQuantizer::new(1);
+        assert_eq!(q.bin_count(), 1);
+        assert_eq!(q.bin_of(Rgb::WHITE), 0);
+        assert_eq!(q.bin_of(Rgb::BLACK), 0);
+    }
+}

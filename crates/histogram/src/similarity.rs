@@ -1,0 +1,161 @@
+//! Histogram comparison functions.
+//!
+//! §3.1: "Common functions used to evaluate the similarity between two
+//! n-dimensional histograms <x1,…,xn> and <y1,…,yn> include the (1)
+//! Histogram Intersection and (2) the Lp-Distances."
+
+use crate::histogram::ColorHistogram;
+
+/// Histogram Intersection (Swain & Ballard, formula (1) of the paper):
+/// `Σ min(xi, yi)` over the normalized signatures. Ranges in `[0, 1]` for
+/// normalized inputs; 1 means identical color distributions.
+pub fn histogram_intersection(a: &ColorHistogram, b: &ColorHistogram) -> f64 {
+    assert_eq!(a.bin_count(), b.bin_count(), "histogram bin counts differ");
+    let sa = a.signature();
+    let sb = b.signature();
+    sa.iter().zip(&sb).map(|(x, y)| x.min(*y)).sum()
+}
+
+/// L<sub>p</sub> distance (formula (2) of the paper):
+/// `(Σ |xi − yi|^p)^(1/p)` over the normalized signatures.
+///
+/// # Panics
+/// Panics when `p < 1`.
+pub fn lp_distance(a: &ColorHistogram, b: &ColorHistogram, p: f64) -> f64 {
+    assert!(p >= 1.0, "Lp distance requires p >= 1, got {p}");
+    assert_eq!(a.bin_count(), b.bin_count(), "histogram bin counts differ");
+    let sa = a.signature();
+    let sb = b.signature();
+    let sum: f64 = sa.iter().zip(&sb).map(|(x, y)| (x - y).abs().powf(p)).sum();
+    sum.powf(1.0 / p)
+}
+
+/// Manhattan distance — `lp_distance` with `p = 1`, specialized for speed in
+/// inner loops.
+pub fn l1_distance(a: &ColorHistogram, b: &ColorHistogram) -> f64 {
+    assert_eq!(a.bin_count(), b.bin_count(), "histogram bin counts differ");
+    let sa = a.signature();
+    let sb = b.signature();
+    sa.iter().zip(&sb).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Euclidean distance — `lp_distance` with `p = 2`, specialized for speed.
+pub fn l2_distance(a: &ColorHistogram, b: &ColorHistogram) -> f64 {
+    assert_eq!(a.bin_count(), b.bin_count(), "histogram bin counts differ");
+    let sa = a.signature();
+    let sb = b.signature();
+    sa.iter()
+        .zip(&sb)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::RgbQuantizer;
+    use mmdb_imaging::{draw, RasterImage, Rect, Rgb};
+
+    fn q() -> RgbQuantizer {
+        RgbQuantizer::default_64()
+    }
+
+    fn solid(color: Rgb) -> ColorHistogram {
+        ColorHistogram::extract(&RasterImage::filled(8, 8, color).unwrap(), &q())
+    }
+
+    fn half(a: Rgb, b: Rgb) -> ColorHistogram {
+        let mut img = RasterImage::filled(8, 8, a).unwrap();
+        draw::fill_rect(&mut img, &Rect::new(0, 0, 8, 4), b);
+        ColorHistogram::extract(&img, &q())
+    }
+
+    #[test]
+    fn intersection_identical_is_one() {
+        let h = half(Rgb::RED, Rgb::BLUE);
+        assert!((histogram_intersection(&h, &h) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_disjoint_is_zero() {
+        let a = solid(Rgb::RED);
+        let b = solid(Rgb::BLUE);
+        assert_eq!(histogram_intersection(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn intersection_half_overlap() {
+        let a = solid(Rgb::RED);
+        let b = half(Rgb::RED, Rgb::BLUE);
+        assert!((histogram_intersection(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let a = half(Rgb::RED, Rgb::GREEN);
+        let b = half(Rgb::RED, Rgb::BLUE);
+        assert_eq!(
+            histogram_intersection(&a, &b),
+            histogram_intersection(&b, &a)
+        );
+    }
+
+    #[test]
+    fn lp_specializations_agree_with_general() {
+        let a = half(Rgb::RED, Rgb::GREEN);
+        let b = half(Rgb::BLUE, Rgb::GREEN);
+        assert!((l1_distance(&a, &b) - lp_distance(&a, &b, 1.0)).abs() < 1e-12);
+        assert!((l2_distance(&a, &b) - lp_distance(&a, &b, 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_of_disjoint_solids_is_two() {
+        let a = solid(Rgb::RED);
+        let b = solid(Rgb::BLUE);
+        assert!((l1_distance(&a, &b) - 2.0).abs() < 1e-12);
+        assert!((l2_distance(&a, &b) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_zero_on_identity() {
+        let h = half(Rgb::RED, Rgb::WHITE);
+        assert_eq!(l1_distance(&h, &h), 0.0);
+        assert_eq!(l2_distance(&h, &h), 0.0);
+        assert_eq!(lp_distance(&h, &h, 3.0), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_l2_spot_check() {
+        let a = solid(Rgb::RED);
+        let b = half(Rgb::RED, Rgb::GREEN);
+        let c = solid(Rgb::GREEN);
+        assert!(l2_distance(&a, &c) <= l2_distance(&a, &b) + l2_distance(&b, &c) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p >= 1")]
+    fn lp_rejects_sub_one_p() {
+        let h = solid(Rgb::RED);
+        lp_distance(&h, &h, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin counts differ")]
+    fn mismatched_bins_panic() {
+        let a = solid(Rgb::RED);
+        let b = ColorHistogram::zeroed(8);
+        histogram_intersection(&a, &b);
+    }
+
+    #[test]
+    fn hsv_quantizer_distances_sane() {
+        let q = crate::quantizer::HsvQuantizer::default_162();
+        let red = ColorHistogram::extract(&RasterImage::filled(4, 4, Rgb::RED).unwrap(), &q);
+        let dark_red =
+            ColorHistogram::extract(&RasterImage::filled(4, 4, Rgb::new(180, 0, 0)).unwrap(), &q);
+        let blue = ColorHistogram::extract(&RasterImage::filled(4, 4, Rgb::BLUE).unwrap(), &q);
+        // Dark red shares the hue sector with red; blue does not.
+        assert!(l1_distance(&red, &dark_red) <= l1_distance(&red, &blue));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for histograms, quantizers and similarity functions.
+
+use mmdb_histogram::{
+    histogram_intersection, l1_distance, l2_distance, lp_distance, ColorHistogram, GrayQuantizer,
+    HsvQuantizer, Quantizer, RgbQuantizer,
+};
+use mmdb_imaging::{RasterImage, Rgb};
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = RasterImage> {
+    (
+        2u32..20,
+        2u32..20,
+        proptest::collection::vec(any::<(u8, u8, u8)>(), 1..6),
+    )
+        .prop_map(|(w, h, palette)| {
+            RasterImage::from_fn(w, h, |x, y| {
+                let (r, g, b) = palette[((x * 7 + y * 13) as usize) % palette.len()];
+                Rgb::new(r, g, b)
+            })
+            .unwrap()
+        })
+}
+
+fn quantizers() -> Vec<Box<dyn Quantizer>> {
+    vec![
+        Box::new(RgbQuantizer::new(2)),
+        Box::new(RgbQuantizer::default_64()),
+        Box::new(RgbQuantizer::new(8)),
+        Box::new(HsvQuantizer::default_162()),
+        Box::new(GrayQuantizer::new(16)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Extraction conserves mass under every quantizer: bin counts sum to
+    /// the pixel count, and the signature sums to 1.
+    #[test]
+    fn extraction_conserves_mass(img in arb_image()) {
+        for q in quantizers() {
+            let h = ColorHistogram::extract(&img, q.as_ref());
+            prop_assert_eq!(h.total(), img.pixel_count());
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), img.pixel_count());
+            let sig_sum: f64 = h.signature().iter().sum();
+            prop_assert!((sig_sum - 1.0).abs() < 1e-9, "{} sums to {}", q.describe(), sig_sum);
+            // Every pixel's bin is in range.
+            for &p in img.pixels() {
+                prop_assert!(q.bin_of(p) < q.bin_count());
+            }
+        }
+    }
+
+    /// Similarity-function axioms on random image pairs.
+    #[test]
+    fn similarity_axioms(a in arb_image(), b in arb_image()) {
+        let q = RgbQuantizer::default_64();
+        let ha = ColorHistogram::extract(&a, &q);
+        let hb = ColorHistogram::extract(&b, &q);
+        // Intersection: symmetric, in [0,1], 1 on identity.
+        let i_ab = histogram_intersection(&ha, &hb);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&i_ab));
+        prop_assert!((i_ab - histogram_intersection(&hb, &ha)).abs() < 1e-12);
+        prop_assert!((histogram_intersection(&ha, &ha) - 1.0).abs() < 1e-12);
+        // Lp: symmetric, zero on identity, L1 ≤ 2, L2 ≤ √2.
+        for p in [1.0, 2.0, 3.0] {
+            let d = lp_distance(&ha, &hb, p);
+            prop_assert!(d >= 0.0);
+            prop_assert!((d - lp_distance(&hb, &ha, p)).abs() < 1e-12);
+            prop_assert!(lp_distance(&ha, &ha, p) < 1e-12);
+        }
+        prop_assert!(l1_distance(&ha, &hb) <= 2.0 + 1e-9);
+        prop_assert!(l2_distance(&ha, &hb) <= 2f64.sqrt() + 1e-9);
+        // L1 and intersection are complementary for normalized histograms:
+        // intersection = 1 − L1/2.
+        prop_assert!((i_ab - (1.0 - l1_distance(&ha, &hb) / 2.0)).abs() < 1e-9);
+    }
+
+    /// Triangle inequality for L1 and L2 over random triples.
+    #[test]
+    fn lp_triangle_inequality(a in arb_image(), b in arb_image(), c in arb_image()) {
+        let q = RgbQuantizer::new(4);
+        let ha = ColorHistogram::extract(&a, &q);
+        let hb = ColorHistogram::extract(&b, &q);
+        let hc = ColorHistogram::extract(&c, &q);
+        prop_assert!(l1_distance(&ha, &hc) <= l1_distance(&ha, &hb) + l1_distance(&hb, &hc) + 1e-9);
+        prop_assert!(l2_distance(&ha, &hc) <= l2_distance(&ha, &hb) + l2_distance(&hb, &hc) + 1e-9);
+    }
+
+    /// Accumulate behaves like extraction over the concatenated pixels.
+    #[test]
+    fn accumulate_is_union(a in arb_image(), b in arb_image()) {
+        let q = RgbQuantizer::default_64();
+        let mut acc = ColorHistogram::extract(&a, &q);
+        acc.accumulate(&ColorHistogram::extract(&b, &q));
+        prop_assert_eq!(acc.total(), a.pixel_count() + b.pixel_count());
+        for bin in 0..64 {
+            let direct = a.pixels().iter().filter(|&&p| q.bin_of(p) == bin).count() as u64
+                + b.pixels().iter().filter(|&&p| q.bin_of(p) == bin).count() as u64;
+            prop_assert_eq!(acc.count(bin), direct);
+        }
+    }
+
+    /// Quantizer describe/rebuild round-trips preserve the bin function.
+    #[test]
+    fn quantizer_description_roundtrip(color in any::<(u8, u8, u8)>()) {
+        let c = Rgb::new(color.0, color.1, color.2);
+        for q in quantizers() {
+            let rebuilt = mmdb_histogram::quantizer::from_description(&q.describe())
+                .expect("description parses");
+            prop_assert_eq!(rebuilt.bin_of(c), q.bin_of(c), "{}", q.describe());
+        }
+    }
+}

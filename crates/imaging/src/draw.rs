@@ -1,0 +1,279 @@
+//! Filled-shape drawing primitives.
+//!
+//! These exist to let `mmdb-datagen` synthesize the flag and helmet
+//! collections the paper evaluated on (its originals came from 2006-era web
+//! sites that no longer exist). Everything draws with hard edges — no
+//! anti-aliasing — because the retrieval algorithms reason about exact color
+//! populations and the synthetic datasets are meant to have crisp color
+//! statistics like flags and logos do.
+
+use crate::color::Rgb;
+use crate::geometry::Rect;
+use crate::raster::RasterImage;
+
+/// Fills `rect` (clipped to the image) with `color`.
+pub fn fill_rect(img: &mut RasterImage, rect: &Rect, color: Rgb) {
+    let clipped = rect.intersect(&img.bounds());
+    if clipped.is_empty() {
+        return;
+    }
+    let w = img.width() as usize;
+    let (x0, x1) = (clipped.x0 as usize, clipped.x1 as usize);
+    for y in clipped.y0 as usize..clipped.y1 as usize {
+        let row = &mut img.pixels_mut()[y * w + x0..y * w + x1];
+        row.fill(color);
+    }
+}
+
+/// Fills the axis-aligned ellipse inscribed in `rect` with `color`.
+pub fn fill_ellipse(img: &mut RasterImage, rect: &Rect, color: Rgb) {
+    if rect.is_empty() {
+        return;
+    }
+    let cx = (rect.x0 + rect.x1 - 1) as f64 / 2.0;
+    let cy = (rect.y0 + rect.y1 - 1) as f64 / 2.0;
+    let rx = rect.width() as f64 / 2.0;
+    let ry = rect.height() as f64 / 2.0;
+    if rx <= 0.0 || ry <= 0.0 {
+        return;
+    }
+    let clipped = rect.intersect(&img.bounds());
+    for y in clipped.y0..clipped.y1 {
+        let dy = (y as f64 - cy) / ry;
+        let span = 1.0 - dy * dy;
+        if span < 0.0 {
+            continue;
+        }
+        let half = span.sqrt() * rx;
+        let xa = (cx - half).ceil() as i64;
+        let xb = (cx + half).floor() as i64;
+        let row = Rect::new(xa, y, xb + 1, y + 1);
+        fill_rect(img, &row, color);
+    }
+}
+
+/// Fills the circle of radius `r` centered at `(cx, cy)`.
+pub fn fill_circle(img: &mut RasterImage, cx: i64, cy: i64, r: i64, color: Rgb) {
+    fill_ellipse(
+        img,
+        &Rect::new(cx - r, cy - r, cx + r + 1, cy + r + 1),
+        color,
+    );
+}
+
+/// Fills the triangle with vertices `a`, `b`, `c` using a scanline walk.
+pub fn fill_triangle(
+    img: &mut RasterImage,
+    a: (i64, i64),
+    b: (i64, i64),
+    c: (i64, i64),
+    color: Rgb,
+) {
+    fill_polygon(img, &[a, b, c], color);
+}
+
+/// Fills an arbitrary simple polygon via even-odd scanline filling.
+pub fn fill_polygon(img: &mut RasterImage, vertices: &[(i64, i64)], color: Rgb) {
+    if vertices.len() < 3 {
+        return;
+    }
+    let y_min = vertices.iter().map(|v| v.1).min().unwrap().max(0);
+    let y_max = vertices
+        .iter()
+        .map(|v| v.1)
+        .max()
+        .unwrap()
+        .min(img.height() as i64 - 1);
+    let mut xs: Vec<f64> = Vec::with_capacity(vertices.len());
+    for y in y_min..=y_max {
+        xs.clear();
+        let yc = y as f64 + 0.5;
+        let n = vertices.len();
+        for i in 0..n {
+            let (x1, y1) = (vertices[i].0 as f64, vertices[i].1 as f64);
+            let (x2, y2) = (
+                vertices[(i + 1) % n].0 as f64,
+                vertices[(i + 1) % n].1 as f64,
+            );
+            if (y1 <= yc && y2 > yc) || (y2 <= yc && y1 > yc) {
+                xs.push(x1 + (yc - y1) / (y2 - y1) * (x2 - x1));
+            }
+        }
+        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        for pair in xs.chunks_exact(2) {
+            let xa = pair[0].ceil() as i64;
+            let xb = pair[1].floor() as i64;
+            if xa <= xb {
+                fill_rect(img, &Rect::new(xa, y, xb + 1, y + 1), color);
+            }
+        }
+    }
+}
+
+/// Draws a 1-pixel-wide line with Bresenham's algorithm.
+pub fn draw_line(img: &mut RasterImage, a: (i64, i64), b: (i64, i64), color: Rgb) {
+    let (mut x0, mut y0) = a;
+    let (x1, y1) = b;
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        if x0 >= 0 && y0 >= 0 && x0 < img.width() as i64 && y0 < img.height() as i64 {
+            img.set(x0 as u32, y0 as u32, color);
+        }
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+/// Draws a thick line by stamping filled circles along a Bresenham walk.
+pub fn draw_thick_line(
+    img: &mut RasterImage,
+    a: (i64, i64),
+    b: (i64, i64),
+    half_width: i64,
+    color: Rgb,
+) {
+    let (mut x0, mut y0) = a;
+    let (x1, y1) = b;
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        fill_circle(img, x0, y0, half_width, color);
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canvas(w: u32, h: u32) -> RasterImage {
+        RasterImage::filled(w, h, Rgb::BLACK).unwrap()
+    }
+
+    #[test]
+    fn fill_rect_exact_area() {
+        let mut img = canvas(10, 10);
+        fill_rect(&mut img, &Rect::new(2, 3, 6, 8), Rgb::RED);
+        assert_eq!(img.count_color(Rgb::RED), 4 * 5);
+        assert_eq!(img.get(2, 3), Rgb::RED);
+        assert_eq!(img.get(5, 7), Rgb::RED);
+        assert_eq!(img.get(6, 3), Rgb::BLACK);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut img = canvas(4, 4);
+        fill_rect(&mut img, &Rect::new(-5, -5, 2, 2), Rgb::GREEN);
+        assert_eq!(img.count_color(Rgb::GREEN), 4);
+        fill_rect(&mut img, &Rect::new(10, 10, 20, 20), Rgb::BLUE);
+        assert_eq!(img.count_color(Rgb::BLUE), 0);
+    }
+
+    #[test]
+    fn circle_is_symmetric_and_reasonable() {
+        let mut img = canvas(41, 41);
+        fill_circle(&mut img, 20, 20, 10, Rgb::WHITE);
+        let n = img.count_color(Rgb::WHITE) as f64;
+        let expected = std::f64::consts::PI * 10.0 * 10.0;
+        assert!((n - expected).abs() / expected < 0.15, "area {n}");
+        // 4-fold symmetry
+        for (dx, dy) in [(10, 0), (0, 10), (-10, 0), (0, -10)] {
+            assert_eq!(
+                img.get((20 + dx) as u32, (20 + dy) as u32),
+                Rgb::WHITE,
+                "({dx},{dy})"
+            );
+        }
+        assert_eq!(img.get(20 + 11, 20), Rgb::BLACK);
+    }
+
+    #[test]
+    fn ellipse_clipped_at_border() {
+        let mut img = canvas(10, 10);
+        fill_ellipse(&mut img, &Rect::new(-10, -10, 10, 10), Rgb::RED);
+        assert!(img.count_color(Rgb::RED) > 0);
+    }
+
+    #[test]
+    fn triangle_covers_half_square() {
+        let mut img = canvas(100, 100);
+        fill_triangle(&mut img, (0, 0), (99, 0), (0, 99), Rgb::BLUE);
+        let n = img.count_color(Rgb::BLUE) as f64;
+        assert!((n - 5000.0).abs() / 5000.0 < 0.05, "area {n}");
+    }
+
+    #[test]
+    fn polygon_rectangle_matches_fill_rect() {
+        let mut a = canvas(20, 20);
+        let mut b = canvas(20, 20);
+        fill_polygon(&mut a, &[(3, 4), (15, 4), (15, 12), (3, 12)], Rgb::GREEN);
+        fill_rect(&mut b, &Rect::new(3, 4, 15, 12), Rgb::GREEN);
+        // Scanline sampling at y+0.5 makes the polygon cover rows 4..12 and
+        // columns 3..=15; allow the polygon to differ only on its right/bottom
+        // closed edge.
+        let pa = a.count_color(Rgb::GREEN);
+        let pb = b.count_color(Rgb::GREEN);
+        assert!(pa >= pb, "{pa} vs {pb}");
+        assert!(pa <= pb + 8 + 13, "{pa} vs {pb}");
+    }
+
+    #[test]
+    fn degenerate_polygon_draws_nothing() {
+        let mut img = canvas(10, 10);
+        fill_polygon(&mut img, &[(1, 1), (5, 5)], Rgb::RED);
+        assert_eq!(img.count_color(Rgb::RED), 0);
+    }
+
+    #[test]
+    fn line_endpoints_painted() {
+        let mut img = canvas(10, 10);
+        draw_line(&mut img, (0, 0), (9, 9), Rgb::WHITE);
+        assert_eq!(img.get(0, 0), Rgb::WHITE);
+        assert_eq!(img.get(9, 9), Rgb::WHITE);
+        assert_eq!(img.count_color(Rgb::WHITE), 10);
+    }
+
+    #[test]
+    fn line_clips_outside() {
+        let mut img = canvas(5, 5);
+        draw_line(&mut img, (-3, 2), (8, 2), Rgb::RED);
+        assert_eq!(img.count_color(Rgb::RED), 5);
+    }
+
+    #[test]
+    fn thick_line_wider_than_thin() {
+        let mut thin = canvas(30, 30);
+        let mut thick = canvas(30, 30);
+        draw_line(&mut thin, (5, 15), (25, 15), Rgb::RED);
+        draw_thick_line(&mut thick, (5, 15), (25, 15), 3, Rgb::RED);
+        assert!(thick.count_color(Rgb::RED) > 3 * thin.count_color(Rgb::RED));
+    }
+}

@@ -1,0 +1,122 @@
+//! Error type for the imaging substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, decoding or encoding raster images.
+#[derive(Debug)]
+pub enum ImagingError {
+    /// Width or height of zero, or a pixel buffer whose length does not match
+    /// `width * height`.
+    InvalidDimensions {
+        /// Requested width.
+        width: u32,
+        /// Requested height.
+        height: u32,
+        /// Length of the supplied pixel buffer, if any.
+        buffer_len: Option<usize>,
+    },
+    /// A pixel coordinate outside the image bounds was addressed through a
+    /// checked accessor.
+    OutOfBounds {
+        /// X coordinate (column).
+        x: u32,
+        /// Y coordinate (row).
+        y: u32,
+        /// Image width.
+        width: u32,
+        /// Image height.
+        height: u32,
+    },
+    /// The PPM/PGM decoder encountered a malformed header or body.
+    Codec(String),
+    /// An underlying I/O failure while reading or writing an image.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImagingError::InvalidDimensions {
+                width,
+                height,
+                buffer_len,
+            } => match buffer_len {
+                Some(len) => write!(
+                    f,
+                    "pixel buffer of length {len} does not match {width}x{height} image"
+                ),
+                None => write!(f, "invalid image dimensions {width}x{height}"),
+            },
+            ImagingError::OutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => write!(
+                f,
+                "pixel ({x},{y}) out of bounds for {width}x{height} image"
+            ),
+            ImagingError::Codec(msg) => write!(f, "image codec error: {msg}"),
+            ImagingError::Io(err) => write!(f, "image I/O error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ImagingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImagingError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImagingError {
+    fn from(err: std::io::Error) -> Self {
+        ImagingError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_dimensions_with_buffer() {
+        let err = ImagingError::InvalidDimensions {
+            width: 4,
+            height: 4,
+            buffer_len: Some(3),
+        };
+        assert!(err.to_string().contains("length 3"));
+        assert!(err.to_string().contains("4x4"));
+    }
+
+    #[test]
+    fn display_invalid_dimensions_without_buffer() {
+        let err = ImagingError::InvalidDimensions {
+            width: 0,
+            height: 7,
+            buffer_len: None,
+        };
+        assert_eq!(err.to_string(), "invalid image dimensions 0x7");
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let err = ImagingError::OutOfBounds {
+            x: 9,
+            y: 1,
+            width: 8,
+            height: 8,
+        };
+        assert!(err.to_string().contains("(9,1)"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let err: ImagingError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,320 @@
+//! PPM / PGM codecs.
+//!
+//! The paper's prototype used "utilities from the pbmplus package ... to
+//! convert binary images between the text-based ppm format and more commonly
+//! used formats". We implement the netpbm formats natively:
+//!
+//! * `P3` — text PPM (what the paper's Perl code consumed),
+//! * `P6` — binary PPM (the conventional on-disk format in our blob store),
+//! * `P2` / `P5` — text / binary PGM (grayscale export, via [`Rgb::luma`]).
+//!
+//! The decoder accepts `#` comments anywhere whitespace is allowed in the
+//! header, any maxval in `1..=255`, and is strict about truncated bodies.
+
+use crate::color::Rgb;
+use crate::error::ImagingError;
+use crate::raster::RasterImage;
+use crate::Result;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Netpbm sub-format selector for the encoder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PnmFormat {
+    /// `P2` — plain (ASCII) grayscale.
+    PlainGray,
+    /// `P3` — plain (ASCII) RGB.
+    PlainRgb,
+    /// `P5` — binary grayscale.
+    RawGray,
+    /// `P6` — binary RGB.
+    RawRgb,
+}
+
+impl PnmFormat {
+    fn magic(self) -> &'static str {
+        match self {
+            PnmFormat::PlainGray => "P2",
+            PnmFormat::PlainRgb => "P3",
+            PnmFormat::RawGray => "P5",
+            PnmFormat::RawRgb => "P6",
+        }
+    }
+}
+
+/// Encodes `image` in the requested netpbm format.
+pub fn encode(image: &RasterImage, format: PnmFormat) -> Vec<u8> {
+    let mut out = Vec::with_capacity(image.pixels().len() * 3 + 32);
+    // Header: magic, comment, dimensions, maxval.
+    let _ = write!(
+        out,
+        "{}\n# mmdb-imaging\n{} {}\n255\n",
+        format.magic(),
+        image.width(),
+        image.height()
+    );
+    match format {
+        PnmFormat::RawRgb => {
+            for p in image.pixels() {
+                out.extend_from_slice(&p.channels());
+            }
+        }
+        PnmFormat::RawGray => {
+            for p in image.pixels() {
+                out.push(p.luma());
+            }
+        }
+        PnmFormat::PlainRgb => {
+            for (i, p) in image.pixels().iter().enumerate() {
+                let sep = if (i + 1) % 4 == 0 { '\n' } else { ' ' };
+                let _ = write!(out, "{} {} {}{}", p.r, p.g, p.b, sep);
+            }
+            out.push(b'\n');
+        }
+        PnmFormat::PlainGray => {
+            for (i, p) in image.pixels().iter().enumerate() {
+                let sep = if (i + 1) % 12 == 0 { '\n' } else { ' ' };
+                let _ = write!(out, "{}{}", p.luma(), sep);
+            }
+            out.push(b'\n');
+        }
+    }
+    out
+}
+
+/// Decodes any of `P2`/`P3`/`P5`/`P6`. Grayscale inputs are promoted to RGB.
+pub fn decode(bytes: &[u8]) -> Result<RasterImage> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let magic = cursor.token()?;
+    let channels = match magic.as_str() {
+        "P2" | "P5" => 1usize,
+        "P3" | "P6" => 3usize,
+        other => {
+            return Err(ImagingError::Codec(format!(
+                "unsupported netpbm magic {other:?}"
+            )))
+        }
+    };
+    let plain = magic == "P2" || magic == "P3";
+    let width: u32 = cursor.number()?;
+    let height: u32 = cursor.number()?;
+    let maxval: u32 = cursor.number()?;
+    if width == 0 || height == 0 {
+        return Err(ImagingError::Codec(format!(
+            "degenerate dimensions {width}x{height}"
+        )));
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(ImagingError::Codec(format!(
+            "unsupported maxval {maxval} (expected 1..=255)"
+        )));
+    }
+    let n = width as usize * height as usize;
+    let scale = |v: u32| -> u8 { ((v.min(maxval) * 255 + maxval / 2) / maxval) as u8 };
+    let mut pixels = Vec::with_capacity(n);
+    if plain {
+        for _ in 0..n {
+            if channels == 3 {
+                let r = scale(cursor.number()?);
+                let g = scale(cursor.number()?);
+                let b = scale(cursor.number()?);
+                pixels.push(Rgb::new(r, g, b));
+            } else {
+                let v = scale(cursor.number()?);
+                pixels.push(Rgb::gray(v));
+            }
+        }
+    } else {
+        // Exactly one whitespace byte separates the header from the body.
+        cursor.skip_single_whitespace()?;
+        let need = n * channels;
+        let body = cursor.remaining();
+        if body.len() < need {
+            return Err(ImagingError::Codec(format!(
+                "truncated raster body: need {need} bytes, have {}",
+                body.len()
+            )));
+        }
+        if channels == 3 {
+            for chunk in body[..need].chunks_exact(3) {
+                pixels.push(Rgb::new(
+                    scale(chunk[0] as u32),
+                    scale(chunk[1] as u32),
+                    scale(chunk[2] as u32),
+                ));
+            }
+        } else {
+            for &v in &body[..need] {
+                pixels.push(Rgb::gray(scale(v as u32)));
+            }
+        }
+    }
+    RasterImage::from_pixels(width, height, pixels)
+}
+
+/// Writes `image` to `path` in the given format.
+pub fn write_file(image: &RasterImage, path: &Path, format: PnmFormat) -> Result<()> {
+    std::fs::write(path, encode(image, format))?;
+    Ok(())
+}
+
+/// Reads a netpbm file from `path`.
+pub fn read_file(path: &Path) -> Result<RasterImage> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode(&bytes)
+}
+
+/// Header/tokens scanner over the raw byte buffer. Netpbm headers are ASCII;
+/// comments run from `#` to end of line.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws_and_comments(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'#' {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn token(&mut self) -> Result<String> {
+        self.skip_ws_and_comments();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && !self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ImagingError::Codec("unexpected end of header".into()));
+        }
+        String::from_utf8(self.bytes[start..self.pos].to_vec())
+            .map_err(|_| ImagingError::Codec("non-ASCII header token".into()))
+    }
+
+    fn number(&mut self) -> Result<u32> {
+        let tok = self.token()?;
+        tok.parse::<u32>()
+            .map_err(|_| ImagingError::Codec(format!("expected integer, found {tok:?}")))
+    }
+
+    fn skip_single_whitespace(&mut self) -> Result<()> {
+        if self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ImagingError::Codec(
+                "missing whitespace before binary raster body".into(),
+            ))
+        }
+    }
+
+    fn remaining(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: u32, h: u32) -> RasterImage {
+        RasterImage::from_fn(w, h, |x, y| {
+            Rgb::new(
+                (x * 7 % 256) as u8,
+                (y * 13 % 256) as u8,
+                ((x + y) % 256) as u8,
+            )
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn p6_roundtrip() {
+        let img = gradient(17, 9);
+        let bytes = encode(&img, PnmFormat::RawRgb);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn p3_roundtrip() {
+        let img = gradient(5, 4);
+        let bytes = encode(&img, PnmFormat::PlainRgb);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn p5_and_p2_decode_as_gray() {
+        let img = gradient(6, 3);
+        for fmt in [PnmFormat::RawGray, PnmFormat::PlainGray] {
+            let back = decode(&encode(&img, fmt)).unwrap();
+            assert_eq!(back.width(), 6);
+            assert_eq!(back.height(), 3);
+            for (x, y, c) in back.enumerate_pixels() {
+                let expect = img.get(x, y).luma();
+                assert_eq!(c, Rgb::gray(expect));
+            }
+        }
+    }
+
+    #[test]
+    fn comments_anywhere_in_header() {
+        let src = b"P3 # hello\n# a comment line\n 2 # width done\n1\n255\n1 2 3  4 5 6\n";
+        let img = decode(src).unwrap();
+        assert_eq!(img.get(0, 0), Rgb::new(1, 2, 3));
+        assert_eq!(img.get(1, 0), Rgb::new(4, 5, 6));
+    }
+
+    #[test]
+    fn maxval_rescaling() {
+        // maxval 15: value 15 must map to 255, 7 to ~119.
+        let src = b"P3\n1 1\n15\n15 7 0\n";
+        let img = decode(src).unwrap();
+        let p = img.get(0, 0);
+        assert_eq!(p.r, 255);
+        assert_eq!(p.b, 0);
+        assert!((p.g as i32 - 119).abs() <= 1, "g = {}", p.g);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(decode(b"P7\n1 1\n255\n...").is_err());
+        assert!(decode(b"P6\n2 2\n255\n\x00\x00\x00").is_err());
+        assert!(decode(b"P3\n2 2\n255\n1 2 3").is_err());
+        assert!(decode(b"P6\n0 4\n255\n").is_err());
+        assert!(decode(b"P6\n2 2\n999\n").is_err());
+        assert!(decode(b"").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mmdb_imaging_ppm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("img.ppm");
+        let img = gradient(8, 8);
+        write_file(&img, &path, PnmFormat::RawRgb).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(img, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_body_may_start_with_hash_byte() {
+        // A '#' as the first *body* byte must not be eaten as a comment.
+        let mut bytes = b"P6\n1 1\n255\n".to_vec();
+        bytes.extend_from_slice(&[b'#', 10, 20]);
+        let img = decode(&bytes).unwrap();
+        assert_eq!(img.get(0, 0), Rgb::new(b'#', 10, 20));
+    }
+}

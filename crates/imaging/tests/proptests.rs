@@ -1,0 +1,119 @@
+//! Property tests for the imaging substrate: codec round-trips, geometry
+//! algebra, and drawing-primitive conservation laws.
+
+use mmdb_imaging::ppm::{decode, encode, PnmFormat};
+use mmdb_imaging::{draw, RasterImage, Rect, Rgb};
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = RasterImage> {
+    (1u32..24, 1u32..24, any::<u64>()).prop_map(|(w, h, seed)| {
+        let mut s = seed | 1;
+        RasterImage::from_fn(w, h, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Rgb::new((s >> 16) as u8, (s >> 32) as u8, (s >> 48) as u8)
+        })
+        .unwrap()
+    })
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-30i64..30, -30i64..30, -30i64..30, -30i64..30)
+        .prop_map(|(x0, y0, x1, y1)| Rect::new(x0, y0, x1, y1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// P6 and P3 round-trip any image bit-exactly.
+    #[test]
+    fn ppm_roundtrips(img in arb_image()) {
+        for fmt in [PnmFormat::RawRgb, PnmFormat::PlainRgb] {
+            let back = decode(&encode(&img, fmt)).expect("decodes");
+            prop_assert_eq!(&back, &img);
+        }
+        // Gray formats preserve dimensions and luma.
+        for fmt in [PnmFormat::RawGray, PnmFormat::PlainGray] {
+            let back = decode(&encode(&img, fmt)).expect("decodes");
+            prop_assert_eq!((back.width(), back.height()), (img.width(), img.height()));
+            for (x, y, c) in back.enumerate_pixels() {
+                prop_assert_eq!(c, Rgb::gray(img.get(x, y).luma()));
+            }
+        }
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn ppm_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Rect algebra: intersection is the largest box inside both; union the
+    /// smallest covering both; areas behave.
+    #[test]
+    fn rect_algebra(a in arb_rect(), b in arb_rect()) {
+        let i = a.intersect(&b);
+        prop_assert!(a.contains_rect(&i) && b.contains_rect(&i));
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        prop_assert!(i.area() <= a.area().min(b.area()));
+        prop_assert!(u.area() + 1e-9 as u64 >= a.area().max(b.area()));
+        // Pixel-level agreement between contains() and intersect().
+        if !i.is_empty() {
+            for (x, y) in i.pixels().take(16) {
+                prop_assert!(a.contains(x, y) && b.contains(x, y));
+            }
+        }
+        // pixels() yields exactly area() coordinates.
+        prop_assert_eq!(a.pixels().count() as u64, a.area());
+    }
+
+    /// fill_rect paints exactly the clipped area, and nothing outside it.
+    #[test]
+    fn fill_rect_conservation(img in arb_image(), r in arb_rect()) {
+        let marker = Rgb::new(1, 2, 3);
+        let mut canvas = img.clone();
+        // Ensure the marker color doesn't pre-exist.
+        canvas.map_in_place(|c| if c == marker { Rgb::new(1, 2, 4) } else { c });
+        let before = canvas.clone();
+        draw::fill_rect(&mut canvas, &r, marker);
+        let clipped = r.intersect(&canvas.bounds());
+        prop_assert_eq!(canvas.count_color(marker), clipped.area());
+        for (x, y, c) in canvas.enumerate_pixels() {
+            if clipped.contains(x as i64, y as i64) {
+                prop_assert_eq!(c, marker);
+            } else {
+                prop_assert_eq!(c, before.get(x, y));
+            }
+        }
+    }
+
+    /// Cropping then reading agrees with direct pixel access.
+    #[test]
+    fn crop_agrees_with_get(img in arb_image(), r in arb_rect()) {
+        let clipped = r.intersect(&img.bounds());
+        match img.crop(&r) {
+            None => prop_assert!(clipped.is_empty()),
+            Some(c) => {
+                prop_assert_eq!(c.pixel_count(), clipped.area());
+                for (x, y) in clipped.pixels() {
+                    prop_assert_eq!(
+                        c.get((x - clipped.x0) as u32, (y - clipped.y0) as u32),
+                        img.get(x as u32, y as u32)
+                    );
+                }
+            }
+        }
+    }
+
+    /// HSV round-trip drifts by at most one 8-bit step per channel.
+    #[test]
+    fn hsv_roundtrip_bounded_drift(rgb in any::<(u8, u8, u8)>()) {
+        let c = Rgb::new(rgb.0, rgb.1, rgb.2);
+        let back = c.to_hsv().to_rgb();
+        prop_assert!((c.r as i16 - back.r as i16).abs() <= 1);
+        prop_assert!((c.g as i16 - back.g as i16).abs() <= 1);
+        prop_assert!((c.b as i16 - back.b as i16).abs() <= 1);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # mmdb-index
+//!
+//! A multidimensional access method for histogram signatures. §3.1 of the
+//! paper: "to reduce the query processing time, the histograms can be
+//! organized in multidimensional indexes such as the R-tree and its numerous
+//! variants" — and §4's BWM structure is motivated by analogy to exactly
+//! this kind of index.
+//!
+//! The crate provides a from-scratch R-tree over `f64` rectangles of
+//! arbitrary (fixed) dimension:
+//!
+//! * dynamic insertion with Guttman's quadratic split,
+//! * deletion with node condensing and re-insertion,
+//! * rectangle **range search** (intersection semantics),
+//! * best-first **k-nearest-neighbour** search by MINDIST,
+//! * Sort-Tile-Recursive (**STR**) bulk loading for static collections.
+//!
+//! Payloads are a generic `T`; the query layer stores image ids.
+
+pub mod bulk;
+pub mod mbr;
+pub mod rtree;
+
+pub use bulk::bulk_load_str;
+pub use mbr::Mbr;
+pub use rtree::RTree;

@@ -1,0 +1,222 @@
+//! Minimum bounding rectangles in d dimensions.
+
+/// A d-dimensional minimum bounding rectangle (closed box `[lo_i, hi_i]` per
+/// axis).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mbr {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Mbr {
+    /// Creates an MBR from per-axis bounds.
+    ///
+    /// # Panics
+    /// Panics when the vectors differ in length, are empty, or any
+    /// `lo > hi`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "lo/hi dimension mismatch");
+        assert!(!lo.is_empty(), "MBR must have at least one dimension");
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(l <= h, "axis {i}: lo {l} > hi {h}");
+        }
+        Mbr { lo, hi }
+    }
+
+    /// A degenerate (point) MBR.
+    pub fn point(coords: &[f64]) -> Self {
+        Mbr::new(coords.to_vec(), coords.to_vec())
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Hyper-volume (product of extents). Zero for point MBRs.
+    pub fn area(&self) -> f64 {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).product()
+    }
+
+    /// Sum of extents (the "margin" used by some split heuristics).
+    pub fn margin(&self) -> f64 {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).sum()
+    }
+
+    /// True when `self` and `other` share any point.
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((l1, h1), (l2, h2))| l1 <= h2 && l2 <= h1)
+    }
+
+    /// True when `other` lies entirely within `self`.
+    pub fn contains(&self, other: &Mbr) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((l1, h1), (l2, h2))| l1 <= l2 && h2 <= h1)
+    }
+
+    /// True when the point is inside the box.
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(p)
+            .all(|((l, h), x)| l <= x && x <= h)
+    }
+
+    /// The smallest MBR covering both.
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        let lo = self
+            .lo
+            .iter()
+            .zip(&other.lo)
+            .map(|(a, b)| a.min(*b))
+            .collect();
+        let hi = self
+            .hi
+            .iter()
+            .zip(&other.hi)
+            .map(|(a, b)| a.max(*b))
+            .collect();
+        Mbr { lo, hi }
+    }
+
+    /// Grows this MBR in place to cover `other`.
+    pub fn expand(&mut self, other: &Mbr) {
+        for (a, b) in self.lo.iter_mut().zip(&other.lo) {
+            *a = a.min(*b);
+        }
+        for (a, b) in self.hi.iter_mut().zip(&other.hi) {
+            *a = a.max(*b);
+        }
+    }
+
+    /// Area increase needed to cover `other` — Guttman's insertion
+    /// criterion.
+    pub fn enlargement(&self, other: &Mbr) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Overlap volume with `other` (zero when disjoint).
+    pub fn overlap(&self, other: &Mbr) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .map(|((l1, h1), (l2, h2))| (h1.min(*h2) - l1.max(*l2)).max(0.0))
+            .product()
+    }
+
+    /// Squared MINDIST from a point to the box — the classic R-tree k-NN
+    /// lower bound (0 when the point is inside).
+    pub fn min_dist_sq(&self, p: &[f64]) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(p)
+            .map(|((l, h), x)| {
+                let d = if x < l {
+                    l - x
+                } else if x > h {
+                    x - h
+                } else {
+                    0.0
+                };
+                d * d
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: &[f64], hi: &[f64]) -> Mbr {
+        Mbr::new(lo.to_vec(), hi.to_vec())
+    }
+
+    #[test]
+    fn area_margin() {
+        let m = b(&[0.0, 0.0], &[2.0, 3.0]);
+        assert_eq!(m.area(), 6.0);
+        assert_eq!(m.margin(), 5.0);
+        assert_eq!(Mbr::point(&[1.0, 1.0]).area(), 0.0);
+    }
+
+    #[test]
+    fn intersection_and_containment() {
+        let a = b(&[0.0, 0.0], &[4.0, 4.0]);
+        let c = b(&[1.0, 1.0], &[2.0, 2.0]);
+        let d = b(&[5.0, 5.0], &[6.0, 6.0]);
+        assert!(a.intersects(&c));
+        assert!(a.contains(&c));
+        assert!(!c.contains(&a));
+        assert!(!a.intersects(&d));
+        // Touching edges count as intersecting (closed boxes).
+        let e = b(&[4.0, 0.0], &[5.0, 4.0]);
+        assert!(a.intersects(&e));
+        assert!(a.contains_point(&[4.0, 4.0]));
+        assert!(!a.contains_point(&[4.1, 0.0]));
+    }
+
+    #[test]
+    fn union_expand_enlargement() {
+        let a = b(&[0.0, 0.0], &[1.0, 1.0]);
+        let c = b(&[2.0, 2.0], &[3.0, 3.0]);
+        let u = a.union(&c);
+        assert_eq!(u, b(&[0.0, 0.0], &[3.0, 3.0]));
+        assert_eq!(a.enlargement(&c), 9.0 - 1.0);
+        let mut a2 = a.clone();
+        a2.expand(&c);
+        assert_eq!(a2, u);
+        // Enlargement of a contained box is zero.
+        assert_eq!(u.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn overlap_volume() {
+        let a = b(&[0.0, 0.0], &[2.0, 2.0]);
+        let c = b(&[1.0, 1.0], &[3.0, 3.0]);
+        assert_eq!(a.overlap(&c), 1.0);
+        let d = b(&[5.0, 5.0], &[6.0, 6.0]);
+        assert_eq!(a.overlap(&d), 0.0);
+    }
+
+    #[test]
+    fn min_dist() {
+        let a = b(&[0.0, 0.0], &[2.0, 2.0]);
+        assert_eq!(a.min_dist_sq(&[1.0, 1.0]), 0.0);
+        assert_eq!(a.min_dist_sq(&[3.0, 2.0]), 1.0);
+        assert_eq!(a.min_dist_sq(&[3.0, 3.0]), 2.0);
+        assert_eq!(a.min_dist_sq(&[-2.0, 1.0]), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn inverted_bounds_panic() {
+        b(&[2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        Mbr::new(vec![0.0], vec![1.0, 2.0]);
+    }
+}

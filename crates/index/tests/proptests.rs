@@ -1,0 +1,138 @@
+//! Property tests for the R-tree: every query answer is checked against a
+//! naive linear-scan oracle under random workloads of inserts, removes and
+//! searches.
+
+use mmdb_index::{bulk_load_str, Mbr, RTree};
+use proptest::prelude::*;
+
+const DIMS: usize = 3;
+
+fn arb_box() -> impl Strategy<Value = Mbr> {
+    (
+        proptest::collection::vec(0.0f64..100.0, DIMS),
+        proptest::collection::vec(0.0f64..10.0, DIMS),
+    )
+        .prop_map(|(lo, ext)| {
+            let hi: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+            Mbr::new(lo, hi)
+        })
+}
+
+#[derive(Clone, Debug)]
+enum Action {
+    Insert(Mbr),
+    RemoveExisting(usize),
+    Search(Mbr),
+    Knn(Vec<f64>, usize),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => arb_box().prop_map(Action::Insert),
+        1 => any::<usize>().prop_map(Action::RemoveExisting),
+        2 => arb_box().prop_map(Action::Search),
+        1 => (proptest::collection::vec(0.0f64..110.0, DIMS), 1usize..8)
+            .prop_map(|(p, k)| Action::Knn(p, k)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The R-tree answers every search/knn identically to a linear scan,
+    /// through arbitrary interleavings of inserts and removes.
+    #[test]
+    fn rtree_matches_oracle(actions in proptest::collection::vec(arb_action(), 1..80)) {
+        let mut tree: RTree<usize> = RTree::with_capacity(DIMS, 5);
+        let mut oracle: Vec<(Mbr, usize)> = Vec::new();
+        let mut next_id = 0usize;
+        for action in actions {
+            match action {
+                Action::Insert(mbr) => {
+                    tree.insert(mbr.clone(), next_id);
+                    oracle.push((mbr, next_id));
+                    next_id += 1;
+                }
+                Action::RemoveExisting(raw) => {
+                    if oracle.is_empty() {
+                        continue;
+                    }
+                    let idx = raw % oracle.len();
+                    let (mbr, id) = oracle.swap_remove(idx);
+                    prop_assert!(tree.remove(&mbr, &id), "remove of live entry failed");
+                }
+                Action::Search(query) => {
+                    let mut got: Vec<usize> =
+                        tree.search_intersecting(&query).into_iter().copied().collect();
+                    got.sort_unstable();
+                    let mut expect: Vec<usize> = oracle
+                        .iter()
+                        .filter(|(m, _)| m.intersects(&query))
+                        .map(|&(_, id)| id)
+                        .collect();
+                    expect.sort_unstable();
+                    prop_assert_eq!(got, expect);
+                }
+                Action::Knn(point, k) => {
+                    let got = tree.nearest(&point, k);
+                    let mut expect: Vec<(f64, usize)> = oracle
+                        .iter()
+                        .map(|(m, id)| (m.min_dist_sq(&point).sqrt(), *id))
+                        .collect();
+                    expect.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    expect.truncate(k);
+                    prop_assert_eq!(got.len(), expect.len());
+                    // Distances must agree (payload order may differ on ties).
+                    for ((gd, _), (ed, _)) in got.iter().zip(&expect) {
+                        prop_assert!((gd - ed).abs() < 1e-9, "{gd} vs {ed}");
+                    }
+                }
+            }
+            prop_assert_eq!(tree.len(), oracle.len());
+        }
+    }
+
+    /// Bulk loading preserves the exact entry multiset and answers searches
+    /// like the oracle.
+    #[test]
+    fn bulk_load_matches_oracle(
+        boxes in proptest::collection::vec(arb_box(), 0..200),
+        query in arb_box(),
+    ) {
+        let entries: Vec<(Mbr, usize)> =
+            boxes.into_iter().enumerate().map(|(i, m)| (m, i)).collect();
+        let oracle = entries.clone();
+        let tree = bulk_load_str(DIMS, 6, entries);
+        prop_assert_eq!(tree.len(), oracle.len());
+        let mut got: Vec<usize> = tree.search_intersecting(&query).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut expect: Vec<usize> = oracle
+            .iter()
+            .filter(|(m, _)| m.intersects(&query))
+            .map(|&(_, id)| id)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// MBR algebra invariants.
+    #[test]
+    fn mbr_algebra(a in arb_box(), b in arb_box(), p in proptest::collection::vec(0.0f64..110.0, DIMS)) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a) && u.contains(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        prop_assert!(a.enlargement(&b) >= -1e-9);
+        // MINDIST is zero iff the point is inside (within fp tolerance).
+        let d = a.min_dist_sq(&p);
+        if a.contains_point(&p) {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+        // Overlap is symmetric and bounded by both areas.
+        let ov = a.overlap(&b);
+        prop_assert!((ov - b.overlap(&a)).abs() < 1e-9);
+        prop_assert!(ov <= a.area() + 1e-9 && ov <= b.area() + 1e-9);
+    }
+}

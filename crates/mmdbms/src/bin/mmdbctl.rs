@@ -1,0 +1,481 @@
+//! `mmdbctl` — command-line administration for an on-disk mmdbms database.
+//!
+//! ```text
+//! mmdbctl create --db ./mydb [--quantizer rgb-uniform/4]
+//! mmdbctl gen --db ./mydb --collection flags --count 20 --augment 3
+//! mmdbctl insert --db ./mydb photo.ppm [--augment 4] [--seed 7]
+//! mmdbctl insert-script --db ./mydb variant.edit
+//! mmdbctl ls --db ./mydb
+//! mmdbctl info --db ./mydb [--id 7]
+//! mmdbctl query --db ./mydb --color '#ce1126' --min 0.25 [--max 1.0]
+//!               [--plan bwm|rbm|instantiate] [--expand]
+//! mmdbctl knn --db ./mydb probe.ppm --k 5 [--augmented]
+//! mmdbctl export --db ./mydb --id 7 out.ppm
+//! mmdbctl script --db ./mydb --id 9        # print an edited image's script
+//! mmdbctl verify --db ./mydb               # fsck-style consistency check
+//! mmdbctl delete --db ./mydb --id 7
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs plus positional
+//! paths) to keep the dependency set at the workspace baseline.
+
+use mmdbms::datagen::{flags::FlagGenerator, helmets::HelmetGenerator, VariantConfig};
+use mmdbms::editops::codec;
+use mmdbms::histogram::quantizer::from_description;
+use mmdbms::prelude::*;
+use mmdbms::MultimediaDatabase;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Parsed command line: subcommand, `--key value` options, positionals.
+#[derive(Debug, Default)]
+struct Args {
+    command: String,
+    options: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+/// Splits raw arguments into the [`Args`] shape. Every `--key` consumes the
+/// following token as its value (flags that take no value are not used by
+/// this tool).
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = raw.iter().peekable();
+    args.command = it
+        .next()
+        .cloned()
+        .ok_or_else(|| "missing subcommand".to_string())?;
+    while let Some(tok) = it.next() {
+        if let Some(key) = tok.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{key} expects a value"))?;
+            args.options.insert(key.to_string(), value.clone());
+        } else {
+            args.positional.push(tok.clone());
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    fn db_path(&self) -> Result<PathBuf, String> {
+        self.options
+            .get("db")
+            .map(PathBuf::from)
+            .ok_or_else(|| "--db <dir> is required".to_string())
+    }
+
+    fn id(&self) -> Result<ImageId, String> {
+        let raw = self
+            .options
+            .get("id")
+            .ok_or_else(|| "--id <n> is required".to_string())?;
+        raw.parse::<u64>()
+            .map(ImageId::new)
+            .map_err(|_| format!("bad id {raw:?}"))
+    }
+
+    fn u64_opt(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} {v:?}")),
+        }
+    }
+
+    fn f64_opt(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} {v:?}")),
+        }
+    }
+}
+
+fn open_db(args: &Args) -> Result<MultimediaDatabase, String> {
+    let dir = args.db_path()?;
+    MultimediaDatabase::open(&dir).map_err(|e| format!("open {}: {e}", dir.display()))
+}
+
+fn cmd_create(args: &Args) -> Result<(), String> {
+    let dir = args.db_path()?;
+    let desc = args
+        .options
+        .get("quantizer")
+        .cloned()
+        .unwrap_or_else(|| "rgb-uniform/4".to_string());
+    let quantizer = from_description(&desc).ok_or_else(|| format!("unknown quantizer {desc:?}"))?;
+    let db = MultimediaDatabase::create(&dir, quantizer).map_err(|e| e.to_string())?;
+    db.flush().map_err(|e| e.to_string())?;
+    println!("created database at {} (quantizer {desc})", dir.display());
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let count = args.u64_opt("count", 12)?;
+    let augment = args.u64_opt("augment", 3)? as usize;
+    let seed = args.u64_opt("seed", 42)?;
+    let collection = args
+        .options
+        .get("collection")
+        .map(String::as_str)
+        .unwrap_or("flags");
+    let config = VariantConfig::default();
+    let mut inserted = 0usize;
+    for i in 0..count {
+        let img = match collection {
+            "flags" => FlagGenerator::with_seed(seed).generate(i),
+            "helmets" => HelmetGenerator::with_seed(seed).generate(i),
+            other => return Err(format!("unknown collection {other:?} (flags|helmets)")),
+        };
+        let (_base, variants) = db
+            .insert_image_with_augmentation(&img, augment, config, seed ^ i)
+            .map_err(|e| e.to_string())?;
+        inserted += 1 + variants.len();
+    }
+    db.flush().map_err(|e| e.to_string())?;
+    println!(
+        "generated {count} {collection} images (+{augment} variants each): {inserted} objects"
+    );
+    Ok(())
+}
+
+fn cmd_insert(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let file = args
+        .positional
+        .first()
+        .ok_or_else(|| "expected a PPM/PGM file argument".to_string())?;
+    let image = mmdbms::imaging::ppm::read_file(Path::new(file)).map_err(|e| e.to_string())?;
+    let augment = args.u64_opt("augment", 0)? as usize;
+    let seed = args.u64_opt("seed", 1)?;
+    let (base, variants) = db
+        .insert_image_with_augmentation(&image, augment, VariantConfig::default(), seed)
+        .map_err(|e| e.to_string())?;
+    db.flush().map_err(|e| e.to_string())?;
+    println!("inserted {base} ({}x{})", image.width(), image.height());
+    if !variants.is_empty() {
+        println!("augmented with {} variants: {variants:?}", variants.len());
+    }
+    Ok(())
+}
+
+fn cmd_insert_script(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let file = args
+        .positional
+        .first()
+        .ok_or_else(|| "expected a script file argument".to_string())?;
+    let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
+    let sequence = codec::from_text(&text).map_err(|e| e.to_string())?;
+    let id = db.insert_edited(sequence).map_err(|e| e.to_string())?;
+    db.flush().map_err(|e| e.to_string())?;
+    println!("inserted edited image {id}");
+    Ok(())
+}
+
+fn cmd_ls(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let storage = db.storage();
+    println!("{:>8}  {:<8}  {:<24}  derived", "id", "kind", "detail");
+    for id in storage.ids() {
+        match storage.kind(id).map_err(|e| e.to_string())? {
+            mmdbms::storage::StoredKind::Binary => {
+                let raster = storage.raster(id).map_err(|e| e.to_string())?;
+                let children = storage.children_of(id);
+                println!(
+                    "{:>8}  binary    {:<24}  {} variant(s)",
+                    id.raw(),
+                    format!("{}x{} raster", raster.width(), raster.height()),
+                    children.len()
+                );
+            }
+            mmdbms::storage::StoredKind::Edited => {
+                let seq = storage.edit_sequence(id).expect("edited has sequence");
+                println!(
+                    "{:>8}  edited    {:<24}  base img#{}",
+                    id.raw(),
+                    format!("{} op(s)", seq.len()),
+                    seq.base.raw()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    if let Ok(id) = args.id() {
+        let storage = db.storage();
+        let hist = db.storage().histogram(id).map_err(|e| e.to_string())?;
+        println!("{id}:");
+        println!(
+            "  kind:  {:?}",
+            storage.kind(id).map_err(|e| e.to_string())?
+        );
+        if let Some(base) = storage.base_of(id) {
+            println!("  base:  {base}");
+        }
+        println!("  pixels: {}", hist.total());
+        println!("  dominant colors:");
+        let mut bins: Vec<(usize, u64)> = hist.nonzero().collect();
+        bins.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        for (bin, count) in bins.into_iter().take(5) {
+            let rep = db.quantizer().representative(bin);
+            println!(
+                "    bin {bin:>3} ({rep:?})  {:>6.2}%",
+                100.0 * count as f64 / hist.total() as f64
+            );
+        }
+        return Ok(());
+    }
+    let stats = db.stats();
+    let snapshot = db.bwm_snapshot();
+    println!("database {}:", args.db_path()?.display());
+    println!("  quantizer:       {}", db.quantizer().describe());
+    println!(
+        "  binary images:   {} ({} bytes)",
+        stats.binary_count, stats.binary_bytes
+    );
+    println!(
+        "  edited images:   {} ({} bytes)",
+        stats.edited_count, stats.edited_bytes
+    );
+    if let Some(factor) = stats.space_saving_factor() {
+        println!("  space saving:    {factor:.1}x per image");
+    }
+    println!(
+        "  BWM structure:   {} clusters / {} classified / {} unclassified",
+        snapshot.cluster_count(),
+        snapshot.classified_count(),
+        snapshot.unclassified_count()
+    );
+    println!(
+        "  raster cache:    {} hits / {} misses",
+        stats.cache_hits, stats.cache_misses
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let color = args
+        .options
+        .get("color")
+        .ok_or_else(|| "--color '#rrggbb' is required".to_string())?;
+    let color = Rgb::from_hex(color).ok_or_else(|| format!("bad color {color:?}"))?;
+    let min = args.f64_opt("min", 0.0)?;
+    let max = args.f64_opt("max", 1.0)?;
+    let plan = match args.options.get("plan").map(String::as_str) {
+        None | Some("bwm") => QueryPlan::Bwm,
+        Some("rbm") => QueryPlan::Rbm,
+        Some("instantiate") => QueryPlan::Instantiate,
+        Some(other) => return Err(format!("unknown plan {other:?}")),
+    };
+    let query = ColorRangeQuery::new(db.bin_of(color), min, max);
+    let start = std::time::Instant::now();
+    let outcome = db
+        .query_range_with_plan(&query, plan)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    let results = if args.options.contains_key("expand") {
+        let qp = mmdbms::query::QueryProcessor::new(db.storage());
+        qp.expand_with_bases(&outcome.results)
+    } else {
+        outcome.sorted_results()
+    };
+    println!(
+        "{} result(s) in {elapsed:?} under plan {plan} (bounds computed: {}, shortcut emissions: {})",
+        results.len(),
+        outcome.stats.bounds_computed,
+        outcome.stats.shortcut_emissions
+    );
+    for id in results {
+        println!("  {id}");
+    }
+    Ok(())
+}
+
+fn cmd_knn(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let file = args
+        .positional
+        .first()
+        .ok_or_else(|| "expected a probe PPM file".to_string())?;
+    let probe = mmdbms::imaging::ppm::read_file(Path::new(file)).map_err(|e| e.to_string())?;
+    let k = args.u64_opt("k", 5)? as usize;
+    if args.options.contains_key("augmented") {
+        let out = db
+            .similar_to_augmented(&probe, k)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "augmented k-NN ({} pruned / {} instantiated of {} edited):",
+            out.stats.edited_pruned,
+            out.stats.edited_instantiated,
+            out.stats.edited_pruned + out.stats.edited_instantiated
+        );
+        for (d, id) in out.neighbours {
+            println!("  {id}  L1 = {d:.4}");
+        }
+    } else {
+        println!("binary-image k-NN (R-tree):");
+        for (d, id) in db.similar_to(&probe, k) {
+            println!("  {id}  L2 = {d:.4}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let id = args.id()?;
+    let out = args
+        .positional
+        .first()
+        .ok_or_else(|| "expected an output path".to_string())?;
+    db.export_ppm(id, Path::new(out))
+        .map_err(|e| e.to_string())?;
+    println!("exported {id} to {out}");
+    Ok(())
+}
+
+fn cmd_script(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let id = args.id()?;
+    let seq = db
+        .storage()
+        .edit_sequence(id)
+        .ok_or_else(|| format!("{id} is not an edited image"))?;
+    print!("{}", codec::to_text(&seq));
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let problems = db.storage().verify();
+    if problems.is_empty() {
+        println!("ok: database is consistent");
+        Ok(())
+    } else {
+        for p in &problems {
+            println!("PROBLEM: {p}");
+        }
+        Err(format!("{} problem(s) found", problems.len()))
+    }
+}
+
+fn cmd_compact(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let reclaimed = db.storage().compact().map_err(|e| e.to_string())?;
+    println!("compacted: {reclaimed} bytes reclaimed");
+    Ok(())
+}
+
+fn cmd_delete(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let id = args.id()?;
+    db.delete(id).map_err(|e| e.to_string())?;
+    db.flush().map_err(|e| e.to_string())?;
+    println!("deleted {id}");
+    Ok(())
+}
+
+const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|knn|export|script|delete> [options]
+  create        --db DIR [--quantizer rgb-uniform/4]
+  gen           --db DIR [--collection flags|helmets] [--count N] [--augment N] [--seed S]
+  insert        --db DIR FILE.ppm [--augment N] [--seed S]
+  insert-script --db DIR SCRIPT.edit
+  ls            --db DIR
+  info          --db DIR [--id N]
+  query         --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate] [--expand true]
+  knn           --db DIR PROBE.ppm [--k N] [--augmented true]
+  export        --db DIR --id N OUT.ppm
+  script        --db DIR --id N
+  verify        --db DIR
+  compact       --db DIR
+  delete        --db DIR --id N";
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout is closed early (`mmdbctl ls | head`), the
+    // conventional Unix behaviour; std's default is a panic on the write.
+    std::panic::set_hook(Box::new(|info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains("Broken pipe"))
+            .unwrap_or(false);
+        if broken_pipe {
+            std::process::exit(0);
+        }
+        eprintln!("{info}");
+        std::process::exit(101);
+    }));
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "create" => cmd_create(&args),
+        "gen" => cmd_gen(&args),
+        "insert" => cmd_insert(&args),
+        "insert-script" => cmd_insert_script(&args),
+        "ls" => cmd_ls(&args),
+        "info" => cmd_info(&args),
+        "query" => cmd_query(&args),
+        "knn" => cmd_knn(&args),
+        "export" => cmd_export(&args),
+        "script" => cmd_script(&args),
+        "verify" => cmd_verify(&args),
+        "compact" => cmd_compact(&args),
+        "delete" => cmd_delete(&args),
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        parse_args(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_options_and_positionals() {
+        let a = parse(&["query", "--db", "/tmp/x", "--color", "#ff0000", "probe.ppm"]).unwrap();
+        assert_eq!(a.command, "query");
+        assert_eq!(a.options.get("db").unwrap(), "/tmp/x");
+        assert_eq!(a.options.get("color").unwrap(), "#ff0000");
+        assert_eq!(a.positional, vec!["probe.ppm"]);
+        assert_eq!(a.db_path().unwrap(), PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["ls", "--db"]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn typed_option_accessors() {
+        let a = parse(&["x", "--id", "7", "--k", "3", "--min", "0.25"]).unwrap();
+        assert_eq!(a.id().unwrap(), ImageId::new(7));
+        assert_eq!(a.u64_opt("k", 1).unwrap(), 3);
+        assert_eq!(a.u64_opt("absent", 9).unwrap(), 9);
+        assert!((a.f64_opt("min", 0.0).unwrap() - 0.25).abs() < 1e-12);
+        assert!(parse(&["x", "--id", "zebra"]).unwrap().id().is_err());
+    }
+}

@@ -1,0 +1,481 @@
+#![warn(missing_docs)]
+
+//! # mmdbms — color-based retrieval over images stored as edit sequences
+//!
+//! A production-style reproduction of *"Speeding up Color-Based Retrieval in
+//! Multimedia Database Management Systems that Store Images as Sequences of
+//! Editing Operations"* (Brown & Gruenwald, ICDE 2006).
+//!
+//! [`MultimediaDatabase`] is the top-level handle: a storage engine for
+//! binary and edit-sequence images, an incrementally maintained BWM
+//! structure (Figure 1 of the paper), and query entry points for the three
+//! execution strategies (instantiate / RBM / BWM) plus histogram k-NN over
+//! an R-tree.
+//!
+//! ```
+//! use mmdbms::prelude::*;
+//!
+//! // An in-memory database with the classic 64-bin RGB histogram space.
+//! let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+//!
+//! // Store an image conventionally...
+//! let flag = RasterImage::filled(60, 40, Rgb::new(0xCE, 0x11, 0x26)).unwrap();
+//! let base = db.insert_image(&flag).unwrap();
+//!
+//! // ...and a derived version as a sequence of editing operations.
+//! let night = EditSequence::builder(base)
+//!     .define(Rect::new(0, 0, 60, 20))
+//!     .modify(Rgb::new(0xCE, 0x11, 0x26), Rgb::new(0x40, 0x05, 0x09))
+//!     .build();
+//! let edited = db.insert_edited(night).unwrap();
+//!
+//! // "Retrieve all images that are at least 25% red" — answered without
+//! // instantiating the edited image.
+//! let red_bin = db.bin_of(Rgb::new(0xCE, 0x11, 0x26));
+//! let outcome = db.query_range(&ColorRangeQuery::at_least(red_bin, 0.25)).unwrap();
+//! assert!(outcome.results.contains(&base));
+//! assert!(outcome.results.contains(&edited));
+//! ```
+
+use mmdb_bwm::BwmStructure;
+use mmdb_datagen::edits::TargetInfo;
+use mmdb_datagen::{VariantConfig, VariantGenerator};
+use mmdb_editops::{EditSequence, ImageId};
+use mmdb_histogram::{ColorHistogram, Quantizer};
+use mmdb_imaging::{ppm, RasterImage, Rgb};
+use mmdb_query::executor::{QueryError, QueryProcessor};
+use mmdb_query::{QueryPlan, SignatureIndex};
+use mmdb_rules::{ColorRangeQuery, RuleProfile};
+use mmdb_storage::{StorageEngine, StorageStats};
+use parking_lot::RwLock;
+use std::path::Path;
+use std::sync::Arc;
+
+// Re-export the component crates under stable names.
+pub use mmdb_bwm as bwm;
+pub use mmdb_datagen as datagen;
+pub use mmdb_editops as editops;
+pub use mmdb_histogram as histogram;
+pub use mmdb_imaging as imaging;
+pub use mmdb_index as index;
+pub use mmdb_query as query;
+pub use mmdb_rules as rules;
+pub use mmdb_storage as storage;
+
+/// Convenient glob-import surface for applications.
+pub mod prelude {
+    pub use crate::MultimediaDatabase;
+    pub use mmdb_bwm::{BwmStructure, QueryOutcome};
+    pub use mmdb_editops::{EditOp, EditSequence, ImageId, Matrix3, SequenceBuilder};
+    pub use mmdb_histogram::{
+        ColorHistogram, GrayQuantizer, HsvQuantizer, Quantizer, RgbQuantizer,
+    };
+    pub use mmdb_imaging::{Point, RasterImage, Rect, Rgb};
+    pub use mmdb_query::QueryPlan;
+    pub use mmdb_rules::{BoundRange, ColorRangeQuery, RuleProfile};
+}
+
+/// Result alias of the facade (query-layer error covers rules + storage).
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+/// The top-level multimedia database handle.
+///
+/// Thread-safe. The BWM structure is maintained incrementally on every
+/// insert/delete (the paper's Figure 1: "the proposed data structure can be
+/// constructed as images are inserted into the database"), and the histogram
+/// R-tree is built lazily and invalidated on mutation.
+pub struct MultimediaDatabase {
+    storage: StorageEngine,
+    bwm: RwLock<BwmStructure>,
+    signature_index: RwLock<Option<Arc<SignatureIndex>>>,
+    profile: RuleProfile,
+}
+
+impl MultimediaDatabase {
+    fn wrap(storage: StorageEngine) -> Self {
+        let bwm = BwmStructure::build(storage.binary_ids(), storage.edited_ids(), &storage);
+        MultimediaDatabase {
+            storage,
+            bwm: RwLock::new(bwm),
+            signature_index: RwLock::new(None),
+            profile: RuleProfile::Conservative,
+        }
+    }
+
+    /// Creates a new on-disk database under `dir`.
+    pub fn create(dir: &Path, quantizer: Box<dyn Quantizer>) -> Result<Self> {
+        Ok(Self::wrap(StorageEngine::create(dir, quantizer)?))
+    }
+
+    /// Opens an existing on-disk database, rebuilding the BWM structure from
+    /// the catalog.
+    pub fn open(dir: &Path) -> Result<Self> {
+        Ok(Self::wrap(StorageEngine::open(dir)?))
+    }
+
+    /// Creates an ephemeral in-memory database.
+    pub fn in_memory(quantizer: Box<dyn Quantizer>) -> Self {
+        Self::wrap(StorageEngine::in_memory(quantizer))
+    }
+
+    /// Sets the rule profile used by RBM/BWM queries (default:
+    /// [`RuleProfile::Conservative`]).
+    pub fn set_rule_profile(&mut self, profile: RuleProfile) {
+        self.profile = profile;
+    }
+
+    /// The underlying storage engine, for advanced use (benchmarks attach
+    /// their own query processors).
+    pub fn storage(&self) -> &StorageEngine {
+        &self.storage
+    }
+
+    /// The database's quantizer.
+    pub fn quantizer(&self) -> &dyn Quantizer {
+        self.storage.quantizer()
+    }
+
+    /// The histogram bin a color falls into.
+    pub fn bin_of(&self, color: Rgb) -> usize {
+        self.storage.quantizer().bin_of(color)
+    }
+
+    // ── Inserts ────────────────────────────────────────────────────────
+
+    /// Stores an image conventionally (feature extraction happens now).
+    pub fn insert_image(&self, image: &RasterImage) -> Result<ImageId> {
+        let id = self.storage.insert_binary(image)?;
+        self.bwm.write().insert_binary(id);
+        self.signature_index.write().take();
+        Ok(id)
+    }
+
+    /// Stores an image as a sequence of editing operations; it is
+    /// immediately classified into the BWM structure (Figure 1).
+    pub fn insert_edited(&self, sequence: EditSequence) -> Result<ImageId> {
+        let seq_copy = sequence.clone();
+        let id = self.storage.insert_edited(sequence)?;
+        self.bwm.write().insert_edited(id, &seq_copy);
+        Ok(id)
+    }
+
+    /// The §2 augmentation pipeline: stores `image` conventionally, then
+    /// derives `variants` edited versions (seeded by `seed`) and stores them
+    /// as operation sequences. Returns the base id and the variant ids.
+    pub fn insert_image_with_augmentation(
+        &self,
+        image: &RasterImage,
+        variants: usize,
+        config: VariantConfig,
+        seed: u64,
+    ) -> Result<(ImageId, Vec<ImageId>)> {
+        let base = self.insert_image(image)?;
+        // Other binary images are candidate merge targets.
+        let targets: Vec<TargetInfo> = self
+            .storage
+            .binary_ids()
+            .into_iter()
+            .filter(|&id| id != base)
+            .filter_map(|id| {
+                use mmdb_rules::InfoResolver;
+                let info = self.storage.info(id)?;
+                Some(TargetInfo {
+                    id,
+                    width: info.width,
+                    height: info.height,
+                })
+            })
+            .collect();
+        let palette: Vec<Rgb> = mmdb_datagen::palette::FLAG_COLORS.to_vec();
+        let mut generator = VariantGenerator::new(seed, config, palette);
+        let mut ids = Vec::with_capacity(variants);
+        for _ in 0..variants {
+            let seq = generator.generate(base, image, &targets);
+            ids.push(self.insert_edited(seq)?);
+        }
+        Ok((base, ids))
+    }
+
+    /// Deletes an image (binary images with derived children are refused by
+    /// the storage layer).
+    pub fn delete(&self, id: ImageId) -> Result<()> {
+        self.storage.delete(id)?;
+        self.bwm.write().remove(id);
+        self.signature_index.write().take();
+        Ok(())
+    }
+
+    // ── Retrieval ──────────────────────────────────────────────────────
+
+    /// Runs a color range query under the BWM plan (the paper's proposal).
+    pub fn query_range(&self, query: &ColorRangeQuery) -> Result<mmdb_bwm::QueryOutcome> {
+        self.query_range_with_plan(query, QueryPlan::Bwm)
+    }
+
+    /// Runs a color range query under an explicit plan.
+    pub fn query_range_with_plan(
+        &self,
+        query: &ColorRangeQuery,
+        plan: QueryPlan,
+    ) -> Result<mmdb_bwm::QueryOutcome> {
+        let qp = QueryProcessor::with_profile(&self.storage, self.profile);
+        match plan {
+            QueryPlan::Bwm => qp.range_bwm_with(&self.bwm.read(), query),
+            QueryPlan::Rbm => qp.range_rbm(query),
+            QueryPlan::Instantiate => qp.range_instantiate(query),
+        }
+    }
+
+    /// Convenience form of the paper's example query: "retrieve all images
+    /// that are at least `pct` `color`", with §2 provenance expansion (a
+    /// matching edited image also returns its base).
+    pub fn find_at_least(&self, color: Rgb, pct: f64) -> Result<Vec<ImageId>> {
+        let query = ColorRangeQuery::at_least(self.bin_of(color), pct);
+        let outcome = self.query_range(&query)?;
+        let qp = QueryProcessor::with_profile(&self.storage, self.profile);
+        Ok(qp.expand_with_bases(&outcome.results))
+    }
+
+    /// The `k` binary images most similar to `example` by histogram-
+    /// signature distance (R-tree k-NN). The index is built lazily and
+    /// cached until the next mutation.
+    pub fn similar_to(&self, example: &RasterImage, k: usize) -> Vec<(f64, ImageId)> {
+        let hist = ColorHistogram::extract(example, self.storage.quantizer());
+        let index = self.ensure_index();
+        index.nearest(&hist, k)
+    }
+
+    /// The `k` images most similar to `example` over the **whole** augmented
+    /// database — binary *and* edited images — by L1 histogram distance.
+    /// Edited images are pruned with Table 1 bound-derived distance lower
+    /// bounds and only instantiated when they might enter the top-k (the
+    /// paper's §6 nearest-neighbour future work). Exact: identical to brute
+    /// force.
+    pub fn similar_to_augmented(
+        &self,
+        example: &RasterImage,
+        k: usize,
+    ) -> Result<mmdb_query::KnnOutcome> {
+        let hist = ColorHistogram::extract(example, self.storage.quantizer());
+        mmdb_query::knn_augmented(&self.storage, &hist, k, self.profile)
+    }
+
+    fn ensure_index(&self) -> Arc<SignatureIndex> {
+        if let Some(index) = self.signature_index.read().as_ref() {
+            return Arc::clone(index);
+        }
+        let built = Arc::new(SignatureIndex::build(&self.storage));
+        *self.signature_index.write() = Some(Arc::clone(&built));
+        built
+    }
+
+    /// The instantiated raster of any image.
+    pub fn image(&self, id: ImageId) -> Result<Arc<RasterImage>> {
+        Ok(self.storage.raster(id)?)
+    }
+
+    /// Exports an image (instantiating if needed) as a binary PPM file.
+    pub fn export_ppm(&self, id: ImageId, path: &Path) -> Result<()> {
+        let raster = self.storage.raster(id)?;
+        ppm::write_file(&raster, path, ppm::PnmFormat::RawRgb)
+            .map_err(mmdb_storage::StorageError::from)?;
+        Ok(())
+    }
+
+    /// A read-only snapshot view of the BWM structure.
+    pub fn bwm_snapshot(&self) -> BwmStructure {
+        self.bwm.read().clone()
+    }
+
+    /// Storage statistics (space usage, cache behaviour).
+    pub fn stats(&self) -> StorageStats {
+        self.storage.stats()
+    }
+
+    /// Persists catalog + blobs (no-op in memory).
+    pub fn flush(&self) -> Result<()> {
+        Ok(self.storage.flush()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn red_flag() -> RasterImage {
+        let mut img = RasterImage::filled(30, 20, Rgb::WHITE).unwrap();
+        mmdb_imaging::draw::fill_rect(&mut img, &Rect::new(0, 0, 30, 10), Rgb::RED);
+        img
+    }
+
+    #[test]
+    fn end_to_end_insert_and_query() {
+        let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+        let base = db.insert_image(&red_flag()).unwrap();
+        let edited = db
+            .insert_edited(
+                EditSequence::builder(base)
+                    .define(Rect::new(0, 0, 30, 5))
+                    .modify(Rgb::RED, Rgb::BLUE)
+                    .build(),
+            )
+            .unwrap();
+        let q = ColorRangeQuery::at_least(db.bin_of(Rgb::RED), 0.2);
+        let out = db.query_range(&q).unwrap();
+        assert!(out.results.contains(&base));
+        assert!(out.results.contains(&edited));
+        // All three plans agree on this database.
+        for plan in [QueryPlan::Rbm, QueryPlan::Instantiate] {
+            let alt = db.query_range_with_plan(&q, plan).unwrap();
+            // Instantiate is ground truth (subset); RBM must equal BWM.
+            if plan == QueryPlan::Rbm {
+                assert_eq!(alt.sorted_results(), out.sorted_results());
+            } else {
+                for id in alt.sorted_results() {
+                    assert!(out.results.contains(&id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn augmentation_pipeline() {
+        let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+        let (_b0, _) = db
+            .insert_image_with_augmentation(&red_flag(), 0, VariantConfig::default(), 1)
+            .unwrap();
+        let (base, variants) = db
+            .insert_image_with_augmentation(&red_flag(), 4, VariantConfig::default(), 2)
+            .unwrap();
+        assert_eq!(variants.len(), 4);
+        assert_eq!(db.storage().children_of(base), variants);
+        let snapshot = db.bwm_snapshot();
+        assert_eq!(
+            snapshot.classified_count() + snapshot.unclassified_count(),
+            4
+        );
+    }
+
+    #[test]
+    fn find_at_least_expands_bases() {
+        let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+        // Base is 0% green; an edited version paints half green.
+        let base = db.insert_image(&red_flag()).unwrap();
+        let edited = db
+            .insert_edited(
+                EditSequence::builder(base)
+                    .define(Rect::new(0, 0, 30, 10))
+                    .modify(Rgb::RED, Rgb::GREEN)
+                    .build(),
+            )
+            .unwrap();
+        let hits = db.find_at_least(Rgb::GREEN, 0.3).unwrap();
+        assert!(hits.contains(&edited));
+        assert!(
+            hits.contains(&base),
+            "provenance expansion returns the base"
+        );
+    }
+
+    #[test]
+    fn similarity_search() {
+        let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+        let mut ids = Vec::new();
+        for rows in [2i64, 10, 18] {
+            let mut img = RasterImage::filled(30, 20, Rgb::WHITE).unwrap();
+            mmdb_imaging::draw::fill_rect(&mut img, &Rect::new(0, 0, 30, rows), Rgb::BLUE);
+            ids.push(db.insert_image(&img).unwrap());
+        }
+        let mut probe = RasterImage::filled(30, 20, Rgb::WHITE).unwrap();
+        mmdb_imaging::draw::fill_rect(&mut probe, &Rect::new(0, 0, 30, 11), Rgb::BLUE);
+        let nn = db.similar_to(&probe, 1);
+        assert_eq!(nn[0].1, ids[1]);
+        // Index invalidation: a new closer image wins after insert.
+        let mut closer = RasterImage::filled(30, 20, Rgb::WHITE).unwrap();
+        mmdb_imaging::draw::fill_rect(&mut closer, &Rect::new(0, 0, 30, 11), Rgb::BLUE);
+        let new_id = db.insert_image(&closer).unwrap();
+        let nn = db.similar_to(&probe, 1);
+        assert!(
+            nn[0].1 == new_id || nn[0].1 == ids[1],
+            "exact-signature match"
+        );
+        assert!(nn[0].0 < 1e-9);
+    }
+
+    #[test]
+    fn augmented_knn_finds_edited_variant() {
+        let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+        let base = db.insert_image(&red_flag()).unwrap();
+        // The variant recolors the red half green.
+        let variant = db
+            .insert_edited(
+                EditSequence::builder(base)
+                    .define(Rect::new(0, 0, 30, 10))
+                    .modify(Rgb::RED, Rgb::GREEN)
+                    .build(),
+            )
+            .unwrap();
+        // A probe matching the *variant* exactly.
+        let mut probe = RasterImage::filled(30, 20, Rgb::WHITE).unwrap();
+        mmdb_imaging::draw::fill_rect(&mut probe, &Rect::new(0, 0, 30, 10), Rgb::GREEN);
+        let out = db.similar_to_augmented(&probe, 1).unwrap();
+        assert_eq!(out.neighbours[0].1, variant);
+        assert!(out.neighbours[0].0 < 1e-12);
+        // Plain binary-only k-NN cannot see the variant.
+        let nn = db.similar_to(&probe, 1);
+        assert_eq!(nn[0].1, base);
+        assert!(nn[0].0 > 0.5);
+    }
+
+    #[test]
+    fn delete_updates_bwm() {
+        let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+        let base = db.insert_image(&red_flag()).unwrap();
+        let edited = db
+            .insert_edited(EditSequence::builder(base).blur().build())
+            .unwrap();
+        assert!(db.delete(base).is_err(), "base with children protected");
+        db.delete(edited).unwrap();
+        db.delete(base).unwrap();
+        let snapshot = db.bwm_snapshot();
+        assert_eq!(snapshot.cluster_count(), 0);
+        assert_eq!(snapshot.classified_count(), 0);
+    }
+
+    #[test]
+    fn export_and_persistence() {
+        let dir = std::env::temp_dir().join(format!("mmdbms_facade_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let base;
+        {
+            let db =
+                MultimediaDatabase::create(&dir, Box::new(RgbQuantizer::default_64())).unwrap();
+            base = db.insert_image(&red_flag()).unwrap();
+            db.insert_edited(EditSequence::builder(base).blur().build())
+                .unwrap();
+            db.flush().unwrap();
+        }
+        let db = MultimediaDatabase::open(&dir).unwrap();
+        assert!(db.image(base).is_ok());
+        // BWM was rebuilt on open.
+        assert_eq!(db.bwm_snapshot().classified_count(), 1);
+        let out_path = dir.join("exported.ppm");
+        db.export_ppm(base, &out_path).unwrap();
+        let back = mmdb_imaging::ppm::read_file(&out_path).unwrap();
+        assert_eq!(back, red_flag());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_accessible() {
+        let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+        let base = db.insert_image(&red_flag()).unwrap();
+        db.insert_edited(EditSequence::builder(base).blur().build())
+            .unwrap();
+        let s = db.stats();
+        assert_eq!(s.binary_count, 1);
+        assert_eq!(s.edited_count, 1);
+        assert!(s.binary_bytes > 100);
+    }
+}

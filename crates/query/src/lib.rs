@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # mmdb-query
+//!
+//! Query processing for the augmented MMDBMS. This crate ties the substrates
+//! together into the three execution strategies the paper discusses:
+//!
+//! * [`QueryProcessor::range_instantiate`] — the naive ground truth: decode /
+//!   instantiate every image and test its exact histogram (the expensive
+//!   path §3 exists to avoid);
+//! * [`QueryProcessor::range_rbm`] — §3's Rule-Based Method: exact histogram
+//!   test for binary images, BOUNDS computation for every edited image;
+//! * [`QueryProcessor::range_bwm`] — §4's Bound-Widening Method over the
+//!   Main/Unclassified structure.
+//!
+//! plus the supporting machinery: a parallel RBM scan (crossbeam scoped
+//! threads), provenance expansion (§2: when `op(x)` matches, `x` is returned
+//! too), and a k-nearest-neighbour search over the binary images' histogram
+//! signatures through the R-tree substrate.
+
+pub mod executor;
+pub mod knn;
+pub mod knn_edited;
+pub mod plan;
+
+pub use executor::QueryProcessor;
+pub use knn::SignatureIndex;
+pub use knn_edited::{knn_augmented, knn_brute_force, KnnOutcome, KnnStats};
+pub use plan::QueryPlan;

@@ -1,0 +1,843 @@
+//! The BOUNDS computation: Table 1 of the paper, executed over an edit
+//! sequence without instantiating the image.
+
+use crate::bounds::BoundRange;
+use crate::query::ColorRangeQuery;
+use crate::resolver::InfoResolver;
+use crate::{Result, RuleError};
+use mmdb_editops::{EditOp, EditSequence, Matrix3};
+use mmdb_histogram::Quantizer;
+use mmdb_imaging::{Rect, Rgb};
+
+/// Which reading of Table 1 the engine applies. See the crate docs for the
+/// full discussion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RuleProfile {
+    /// The literal table from the paper: `Combine` leaves all three
+    /// quantities unchanged; `Mutate` uses ±|DR| (rigid body) or ×M11·M22
+    /// (whole image); `Merge` ignores paste overlap and background gap fill.
+    PaperTable1,
+    /// Provably sound bounds with respect to the `mmdb-editops`
+    /// instantiation engine (the default).
+    #[default]
+    Conservative,
+}
+
+/// Walker state: the bound triple plus the geometry needed to evaluate |DR|
+/// and canvas sizes symbolically.
+#[derive(Clone, Copy, Debug)]
+struct BoundState {
+    range: BoundRange,
+    /// Current canvas, always `(0, 0, w, h)`.
+    image_rect: Rect,
+    /// Current defined region, always clipped to `image_rect`.
+    dr: Rect,
+}
+
+/// The RBM rule engine.
+///
+/// One engine instance is configured with the system's quantizer, a
+/// [`RuleProfile`], and the instantiation background color (needed by the
+/// conservative `Merge` rule to bound gap-fill pixels).
+pub struct RuleEngine<'q> {
+    quantizer: &'q dyn Quantizer,
+    profile: RuleProfile,
+    background: Rgb,
+}
+
+impl<'q> RuleEngine<'q> {
+    /// Creates an engine with the default (black) background.
+    pub fn new(quantizer: &'q dyn Quantizer, profile: RuleProfile) -> Self {
+        RuleEngine {
+            quantizer,
+            profile,
+            background: Rgb::BLACK,
+        }
+    }
+
+    /// Creates an engine with an explicit instantiation background color.
+    pub fn with_background(
+        quantizer: &'q dyn Quantizer,
+        profile: RuleProfile,
+        background: Rgb,
+    ) -> Self {
+        RuleEngine {
+            quantizer,
+            profile,
+            background,
+        }
+    }
+
+    /// The configured profile.
+    pub fn profile(&self) -> RuleProfile {
+        self.profile
+    }
+
+    /// The configured quantizer.
+    pub fn quantizer(&self) -> &dyn Quantizer {
+        self.quantizer
+    }
+
+    /// The BOUNDS algorithm of §3.2/§4: computes the `[BOUNDmin, BOUNDmax,
+    /// imagesize]` triple for histogram bin `bin` of the edited image
+    /// described by `seq`, accessing only catalog metadata (histograms and
+    /// dimensions) — never pixel data.
+    pub fn bounds(
+        &self,
+        seq: &EditSequence,
+        bin: usize,
+        resolver: &dyn InfoResolver,
+    ) -> Result<BoundRange> {
+        assert!(
+            bin < self.quantizer.bin_count(),
+            "bin {bin} out of range for quantizer with {} bins",
+            self.quantizer.bin_count()
+        );
+        let base = resolver.require(seq.base)?;
+        let image_rect = Rect::of_image(base.width, base.height);
+        let mut state = BoundState {
+            range: BoundRange::exact(base.histogram.count(bin), base.histogram.total()),
+            image_rect,
+            dr: image_rect,
+        };
+        for op in &seq.ops {
+            self.apply(&mut state, op, bin, resolver)?;
+        }
+        Ok(state.range)
+    }
+
+    /// Computes the bound triples of **every** histogram bin in one pass
+    /// over the operation list, applying each op's rule to all bins before
+    /// moving to the next op. Exactly equivalent to calling
+    /// [`RuleEngine::bounds`] per bin (verified by property test). Used by
+    /// the bounds-pruned k-NN over edited images (the paper's §6 future
+    /// work).
+    pub fn bounds_vector(
+        &self,
+        seq: &EditSequence,
+        resolver: &dyn InfoResolver,
+    ) -> Result<Vec<BoundRange>> {
+        let base = resolver.require(seq.base)?;
+        let image_rect = Rect::of_image(base.width, base.height);
+        let bins = self.quantizer.bin_count();
+        let mut states: Vec<BoundState> = (0..bins)
+            .map(|bin| BoundState {
+                range: BoundRange::exact(base.histogram.count(bin), base.histogram.total()),
+                image_rect,
+                dr: image_rect,
+            })
+            .collect();
+        for op in &seq.ops {
+            // The geometric trajectory is identical for every bin; the
+            // per-bin part of each rule only touches (min, max). Applying
+            // the scalar rule per bin keeps one source of truth for the
+            // formulas (verified equivalent to `bounds` by property test).
+            for (bin, state) in states.iter_mut().enumerate() {
+                self.apply(state, op, bin, resolver)?;
+            }
+        }
+        Ok(states.into_iter().map(|s| s.range).collect())
+    }
+
+    /// Convenience: does the edited image *possibly* satisfy `query`? This
+    /// is the §3 pruning test — `false` is definitive (no false negatives),
+    /// `true` means the image must be kept as a candidate.
+    pub fn may_satisfy(
+        &self,
+        seq: &EditSequence,
+        query: &ColorRangeQuery,
+        resolver: &dyn InfoResolver,
+    ) -> Result<bool> {
+        Ok(self
+            .bounds(seq, query.bin, resolver)?
+            .overlaps_fraction(query.pct_min, query.pct_max))
+    }
+
+    fn apply(
+        &self,
+        state: &mut BoundState,
+        op: &EditOp,
+        bin: usize,
+        resolver: &dyn InfoResolver,
+    ) -> Result<()> {
+        match op {
+            EditOp::Define { region } => {
+                state.dr = region.intersect(&state.image_rect);
+                Ok(())
+            }
+            EditOp::Combine { weights } => {
+                self.rule_combine(state, weights);
+                Ok(())
+            }
+            EditOp::Modify { from, to } => {
+                self.rule_modify(state, *from, *to, bin);
+                Ok(())
+            }
+            EditOp::Mutate { matrix } => self.rule_mutate(state, matrix),
+            EditOp::Merge { target, xp, yp } => match target {
+                None => self.rule_merge_null(state),
+                Some(id) => {
+                    let info = resolver.require(*id)?;
+                    self.rule_merge_target(state, &info, *xp, *yp, bin)
+                }
+            },
+        }
+    }
+
+    /// Table 1, `Combine` row. Literal profile: no change. Conservative
+    /// profile: every DR pixel's color may change, so the bin may lose or
+    /// gain up to |DR| pixels.
+    fn rule_combine(&self, state: &mut BoundState, _weights: &[f32; 9]) {
+        if self.profile == RuleProfile::PaperTable1 {
+            return;
+        }
+        let d = state.dr.area();
+        let r = &mut state.range;
+        r.min = r.min.saturating_sub(d);
+        r.max = r.max.saturating_add(d);
+        *r = r.clamped();
+    }
+
+    /// Table 1, `Modify` row: "If RGBnew maps to HB: increase max by |DR|;
+    /// else if RGBold maps to HB: decrease min by |DR|; else: no change."
+    fn rule_modify(&self, state: &mut BoundState, from: Rgb, to: Rgb, bin: usize) {
+        let bin_from = self.quantizer.bin_of(from);
+        let bin_to = self.quantizer.bin_of(to);
+        if self.profile == RuleProfile::Conservative && bin_from == bin_to {
+            // Recoloring within one bin cannot change its population.
+            return;
+        }
+        let d = state.dr.area();
+        let r = &mut state.range;
+        if bin_to == bin {
+            r.max = r.max.saturating_add(d);
+        } else if bin_from == bin {
+            r.min = r.min.saturating_sub(d);
+        }
+        *r = r.clamped();
+    }
+
+    /// Table 1, `Mutate` row: whole-image axis scaling multiplies all three
+    /// quantities by `M11 · M22`; everything else (the "rigid body" case and
+    /// its generalizations) widens by the affected pixel count with the
+    /// total unchanged.
+    fn rule_mutate(&self, state: &mut BoundState, matrix: &Matrix3) -> Result<()> {
+        if !matrix.is_affine() {
+            return Err(RuleError::InvalidSequence(
+                "mutate matrix must be affine".into(),
+            ));
+        }
+        if state.dr.is_empty() {
+            return Ok(());
+        }
+        let whole = state.dr == state.image_rect;
+        if whole && matrix.is_axis_scale() {
+            return self.rule_whole_image_scale(state, matrix);
+        }
+        // Transformed bounding box of the DR, exactly as the executor
+        // computes it.
+        let corners = [
+            (state.dr.x0 as f64, state.dr.y0 as f64),
+            (state.dr.x1 as f64, state.dr.y0 as f64),
+            (state.dr.x0 as f64, state.dr.y1 as f64),
+            (state.dr.x1 as f64, state.dr.y1 as f64),
+        ];
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for (cx, cy) in corners {
+            let (tx, ty) = matrix.apply(cx, cy);
+            min_x = min_x.min(tx);
+            min_y = min_y.min(ty);
+            max_x = max_x.max(tx);
+            max_y = max_y.max(ty);
+        }
+        if !(min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite()) {
+            return Err(RuleError::InvalidSequence(
+                "mutate matrix produced a non-finite region".into(),
+            ));
+        }
+        let bbox = Rect::new(
+            min_x.floor() as i64,
+            min_y.floor() as i64,
+            max_x.ceil() as i64,
+            max_y.ceil() as i64,
+        );
+        let dest = bbox.intersect(&state.image_rect);
+        let delta = match self.profile {
+            // Paper: ±|DR| for the rigid-body case.
+            RuleProfile::PaperTable1 => state.dr.area(),
+            // Sound w.r.t. stamp semantics: only destination pixels change.
+            RuleProfile::Conservative => dest.area(),
+        };
+        let r = &mut state.range;
+        r.min = r.min.saturating_sub(delta);
+        r.max = r.max.saturating_add(delta);
+        *r = r.clamped();
+        state.dr = dest;
+        Ok(())
+    }
+
+    fn rule_whole_image_scale(&self, state: &mut BoundState, matrix: &Matrix3) -> Result<()> {
+        let sx = matrix.m[0][0];
+        let sy = matrix.m[1][1];
+        let old_w = state.image_rect.width();
+        let old_h = state.image_rect.height();
+        // Must mirror the executor's dimension computation exactly.
+        let new_w = ((old_w as f64 * sx).round() as i64).max(1);
+        let new_h = ((old_h as f64 * sy).round() as i64).max(1);
+        let new_total = (new_w * new_h) as u64;
+        if new_total > mmdb_editops::exec::MAX_CANVAS_PIXELS {
+            // Matches the executor's canvas cap: such a sequence cannot be
+            // instantiated, so it cannot be bounded either.
+            return Err(RuleError::InvalidSequence(format!(
+                "mutate would produce a {new_w}x{new_h} canvas, over the pixel cap"
+            )));
+        }
+        let r = &mut state.range;
+        match self.profile {
+            RuleProfile::PaperTable1 => {
+                // "Multiply by M11 · M22" — all three quantities.
+                let factor = sx * sy;
+                r.min = (r.min as f64 * factor).floor().max(0.0) as u64;
+                r.max = (r.max as f64 * factor).ceil() as u64;
+            }
+            RuleProfile::Conservative => {
+                // Nearest-neighbour resampling uses each source row between
+                // floor(fy) and ceil(fy) times (and likewise per column), so
+                // the per-bin count is bounded by count·⌊fx⌋⌊fy⌋ and
+                // count·⌈fx⌉⌈fy⌉.
+                let fx = new_w as f64 / old_w as f64;
+                let fy = new_h as f64 / old_h as f64;
+                r.min = r.min.saturating_mul(fx.floor() as u64 * fy.floor() as u64);
+                r.max = r
+                    .max
+                    .saturating_mul((fx.ceil() as u64).max(1) * (fy.ceil() as u64).max(1));
+            }
+        }
+        r.total = new_total;
+        *r = r.clamped();
+        state.image_rect = Rect::new(0, 0, new_w, new_h);
+        state.dr = state.image_rect;
+        Ok(())
+    }
+
+    /// Table 1, `Merge` with NULL target: the image becomes the DR, so
+    /// `min' = |DR| − (E − HBmin)`, `max' = MIN(HBmax, |DR|)`, `total' =
+    /// |DR|`.
+    fn rule_merge_null(&self, state: &mut BoundState) -> Result<()> {
+        let d = state.dr.area();
+        if d == 0 {
+            return Err(RuleError::InvalidSequence(
+                "merge(NULL) with empty defined region".into(),
+            ));
+        }
+        let r = &mut state.range;
+        let outside_bin = r.total - r.min; // pixels possibly not in the bin
+        r.min = d.saturating_sub(outside_bin);
+        r.max = r.max.min(d);
+        r.total = d;
+        *r = r.clamped();
+        state.image_rect = Rect::new(0, 0, state.dr.width(), state.dr.height());
+        state.dr = state.image_rect;
+        Ok(())
+    }
+
+    /// Table 1, `Merge` with a target: the pasted DR contributes
+    /// `[|DR| − (E − HBmin), MIN(HBmax, |DR|)]`, the surviving target pixels
+    /// contribute `[T_HB − covered, MIN(T_HB, T − covered)]`, and the canvas
+    /// is the union of the target and the pasted rectangle. The conservative
+    /// profile uses the exact paste overlap for `covered` and accounts for
+    /// background gap fill; the literal profile uses `covered = |DR|` and
+    /// ignores gaps.
+    fn rule_merge_target(
+        &self,
+        state: &mut BoundState,
+        target: &crate::resolver::ImageInfo,
+        xp: i64,
+        yp: i64,
+        bin: usize,
+    ) -> Result<()> {
+        let t_total = target.histogram.total();
+        let t_hb = target.histogram.count(bin);
+        let target_rect = Rect::of_image(target.width, target.height);
+        let dest = Rect::from_origin_size(xp, yp, state.dr.width(), state.dr.height());
+        let canvas = target_rect.union(&dest);
+        let new_total = canvas.area();
+        if new_total > mmdb_editops::exec::MAX_CANVAS_PIXELS {
+            return Err(RuleError::InvalidSequence(format!(
+                "merge would produce a {}x{} canvas, over the pixel cap",
+                canvas.width(),
+                canvas.height()
+            )));
+        }
+        let d = state.dr.area();
+
+        let r = &mut state.range;
+        let dr_min = d.saturating_sub(r.total - r.min);
+        let dr_max = r.max.min(d);
+
+        let (t_min, t_max, gap_contrib) = match self.profile {
+            RuleProfile::PaperTable1 => {
+                let t_min = t_hb.saturating_sub(d);
+                let t_max = t_hb.min(t_total.saturating_sub(d));
+                (t_min, t_max, 0)
+            }
+            RuleProfile::Conservative => {
+                let covered = dest.intersect(&target_rect).area();
+                let t_min = t_hb.saturating_sub(covered);
+                let t_max = t_hb.min(t_total - covered);
+                // Gap pixels are filled with the background color — an exact
+                // contribution, not a bound.
+                // canvas ⊇ target ∪ dest, so new_total + covered ≥ t_total + d.
+                let gap = (new_total + covered) - t_total - d;
+                let gap_contrib = if self.quantizer.bin_of(self.background) == bin {
+                    gap
+                } else {
+                    0
+                };
+                (t_min, t_max, gap_contrib)
+            }
+        };
+
+        r.min = dr_min + t_min + gap_contrib;
+        r.max = dr_max + t_max + gap_contrib;
+        r.total = new_total;
+        *r = r.clamped();
+
+        state.image_rect = Rect::new(0, 0, canvas.width(), canvas.height());
+        state.dr = dest
+            .translate(-canvas.x0, -canvas.y0)
+            .intersect(&state.image_rect);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::{ImageInfo, MapInfoResolver};
+    use mmdb_editops::{EditSequence, ImageId};
+    use mmdb_histogram::{ColorHistogram, RgbQuantizer};
+    use mmdb_imaging::{draw, RasterImage};
+
+    fn q() -> RgbQuantizer {
+        RgbQuantizer::default_64()
+    }
+
+    fn register(resolver: &mut MapInfoResolver, id: u64, img: &RasterImage) {
+        let hist = ColorHistogram::extract(img, &q());
+        resolver.insert(
+            ImageId::new(id),
+            ImageInfo::new(hist, img.width(), img.height()),
+        );
+    }
+
+    /// 10×10 image: rows 0..3 red (30 px), rest white (70 px).
+    fn base_image() -> RasterImage {
+        let mut img = RasterImage::filled(10, 10, Rgb::WHITE).unwrap();
+        draw::fill_rect(&mut img, &Rect::new(0, 0, 10, 3), Rgb::RED);
+        img
+    }
+
+    fn setup() -> (MapInfoResolver, RgbQuantizer) {
+        let mut r = MapInfoResolver::new();
+        register(&mut r, 1, &base_image());
+        (r, q())
+    }
+
+    #[test]
+    fn empty_sequence_bounds_are_exact_base_histogram() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let seq = EditSequence::new(ImageId::new(1), vec![]);
+        let red = quant.bin_of(Rgb::RED);
+        let b = engine.bounds(&seq, red, &r).unwrap();
+        assert_eq!(b, BoundRange::exact(30, 100));
+        assert!(b.is_exact());
+    }
+
+    #[test]
+    fn unknown_base_is_an_error() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let seq = EditSequence::new(ImageId::new(42), vec![]);
+        assert!(matches!(
+            engine.bounds(&seq, 0, &r),
+            Err(RuleError::UnknownImage(_))
+        ));
+    }
+
+    #[test]
+    fn modify_into_bin_raises_max_only() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let red = quant.bin_of(Rgb::RED);
+        // Recolor green→red inside a 4×4 region: red may gain ≤16 pixels.
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .modify(Rgb::GREEN, Rgb::RED)
+            .build();
+        let b = engine.bounds(&seq, red, &r).unwrap();
+        assert_eq!(b.min, 30);
+        assert_eq!(b.max, 46);
+        assert_eq!(b.total, 100);
+    }
+
+    #[test]
+    fn modify_out_of_bin_lowers_min_only() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let red = quant.bin_of(Rgb::RED);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 10, 2))
+            .modify(Rgb::RED, Rgb::GREEN)
+            .build();
+        let b = engine.bounds(&seq, red, &r).unwrap();
+        assert_eq!(b.min, 10); // 30 − 20
+        assert_eq!(b.max, 30);
+    }
+
+    #[test]
+    fn modify_unrelated_bins_no_change() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let red = quant.bin_of(Rgb::RED);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .modify(Rgb::GREEN, Rgb::BLUE)
+            .build();
+        let b = engine.bounds(&seq, red, &r).unwrap();
+        assert_eq!(b, BoundRange::exact(30, 100));
+    }
+
+    #[test]
+    fn modify_within_same_bin_conservative_refinement() {
+        let (r, quant) = setup();
+        let red = quant.bin_of(Rgb::RED);
+        // Two reds in the same 4×4×4 bin.
+        let dark_red = Rgb::new(250, 10, 10);
+        assert_eq!(quant.bin_of(dark_red), red);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .modify(Rgb::RED, dark_red)
+            .build();
+        let cons = RuleEngine::new(&quant, RuleProfile::Conservative);
+        assert!(cons.bounds(&seq, red, &r).unwrap().is_exact());
+        // The literal table widens max because RGBnew maps to HB.
+        let lit = RuleEngine::new(&quant, RuleProfile::PaperTable1);
+        let b = lit.bounds(&seq, red, &r).unwrap();
+        assert_eq!(b.max, 100);
+        assert_eq!(b.min, 30);
+    }
+
+    #[test]
+    fn combine_profiles_differ() {
+        let (r, quant) = setup();
+        let red = quant.bin_of(Rgb::RED);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 5, 5))
+            .blur()
+            .build();
+        let lit = RuleEngine::new(&quant, RuleProfile::PaperTable1);
+        assert_eq!(
+            lit.bounds(&seq, red, &r).unwrap(),
+            BoundRange::exact(30, 100)
+        );
+        let cons = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let b = cons.bounds(&seq, red, &r).unwrap();
+        assert_eq!(b.min, 5); // 30 − 25
+        assert_eq!(b.max, 55); // 30 + 25
+    }
+
+    #[test]
+    fn mutate_rigid_body_widens_by_region() {
+        let (r, quant) = setup();
+        let red = quant.bin_of(Rgb::RED);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 3, 3))
+            .translate(4.0, 4.0)
+            .build();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let b = engine.bounds(&seq, red, &r).unwrap();
+        // Destination is the translated 3×3 box (9 px), fully on canvas.
+        assert_eq!(b.min, 21);
+        assert_eq!(b.max, 39);
+        assert_eq!(b.total, 100);
+    }
+
+    #[test]
+    fn mutate_whole_image_scale_multiplies() {
+        let (r, quant) = setup();
+        let red = quant.bin_of(Rgb::RED);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .scale(2.0, 2.0)
+            .build();
+        for profile in [RuleProfile::PaperTable1, RuleProfile::Conservative] {
+            let engine = RuleEngine::new(&quant, profile);
+            let b = engine.bounds(&seq, red, &r).unwrap();
+            assert_eq!(b.total, 400, "{profile:?}");
+            // Integer 2× scale is exact under both profiles.
+            assert_eq!(b.min, 120, "{profile:?}");
+            assert_eq!(b.max, 120, "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn mutate_fractional_scale_conservative_is_loose_but_bounded() {
+        let (r, quant) = setup();
+        let red = quant.bin_of(Rgb::RED);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .scale(1.5, 1.0)
+            .build();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let b = engine.bounds(&seq, red, &r).unwrap();
+        assert_eq!(b.total, 150);
+        assert!(b.min <= 45 && 45 <= b.max, "{b:?}"); // true value = 45
+    }
+
+    #[test]
+    fn merge_null_crop_formulae() {
+        let (r, quant) = setup();
+        let red = quant.bin_of(Rgb::RED);
+        // Crop to rows 0..5 (50 px): red pixels in crop ≥ 50 − 70 = 0 and
+        // ≤ min(30, 50) = 30.
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 10, 5))
+            .crop_to_region()
+            .build();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let b = engine.bounds(&seq, red, &r).unwrap();
+        assert_eq!(b.total, 50);
+        assert_eq!(b.min, 0);
+        assert_eq!(b.max, 30);
+        // Crop to rows 0..8 (80 px): ≥ 80 − 70 = 10.
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 10, 8))
+            .crop_to_region()
+            .build();
+        let b = engine.bounds(&seq, red, &r).unwrap();
+        assert_eq!(b.min, 10);
+        assert_eq!(b.max, 30);
+    }
+
+    #[test]
+    fn merge_null_empty_region_is_error() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(50, 50, 60, 60))
+            .crop_to_region()
+            .build();
+        assert!(matches!(
+            engine.bounds(&seq, 0, &r),
+            Err(RuleError::InvalidSequence(_))
+        ));
+    }
+
+    #[test]
+    fn merge_target_interior_paste() {
+        let (mut r, quant) = setup();
+        let red = quant.bin_of(Rgb::RED);
+        // Target: 20×20 solid red (400 red px).
+        let target = RasterImage::filled(20, 20, Rgb::RED).unwrap();
+        register(&mut r, 2, &target);
+        // Paste a 4×4 DR at (0,0) — fully covering part of the target.
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .merge_into(ImageId::new(2), 0, 0)
+            .build();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let b = engine.bounds(&seq, red, &r).unwrap();
+        assert_eq!(b.total, 400);
+        // DR contributes [0, 16]; surviving target red = 400 − 16 = 384.
+        assert_eq!(b.min, 384);
+        assert_eq!(b.max, 400);
+    }
+
+    #[test]
+    fn merge_target_growing_canvas_counts_gap_background() {
+        let (mut r, quant) = setup();
+        let black = quant.bin_of(Rgb::BLACK);
+        let target = RasterImage::filled(5, 5, Rgb::WHITE).unwrap();
+        register(&mut r, 2, &target);
+        // Paste a 3×3 region at (4,4): canvas 7×7, gap = 49−25−9+1 = 16,
+        // filled with black background.
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 3, 3))
+            .merge_into(ImageId::new(2), 4, 4)
+            .build();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let b = engine.bounds(&seq, black, &r).unwrap();
+        assert_eq!(b.total, 49);
+        assert!(b.min >= 16, "gap contributes at least 16 black: {b:?}");
+        // Literal profile ignores the gap.
+        let lit = RuleEngine::new(&quant, RuleProfile::PaperTable1);
+        let bl = lit.bounds(&seq, black, &r).unwrap();
+        assert_eq!(bl.total, 49);
+        assert!(bl.min < 16);
+    }
+
+    #[test]
+    fn merge_target_unknown_is_error() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .merge_into(ImageId::new(9), 0, 0)
+            .build();
+        assert!(matches!(
+            engine.bounds(&seq, 0, &r),
+            Err(RuleError::UnknownImage(_))
+        ));
+    }
+
+    #[test]
+    fn may_satisfy_prunes_impossible() {
+        let (r, quant) = setup();
+        let red = quant.bin_of(Rgb::RED);
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        // 30% red exactly; a small modify can push it to at most 34%.
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 2, 2))
+            .modify(Rgb::WHITE, Rgb::RED)
+            .build();
+        assert!(engine
+            .may_satisfy(&seq, &ColorRangeQuery::at_least(red, 0.32), &r)
+            .unwrap());
+        assert!(!engine
+            .may_satisfy(&seq, &ColorRangeQuery::at_least(red, 0.35), &r)
+            .unwrap());
+        assert!(engine
+            .may_satisfy(&seq, &ColorRangeQuery::at_most(red, 0.30), &r)
+            .unwrap());
+    }
+
+    #[test]
+    fn bounds_never_widen_under_bound_widening_sequence_when_base_matches() {
+        // The §4 lemma behind BWM: for a sequence of bound-widening ops, if
+        // the base fraction is inside the query range, the final bounds still
+        // overlap the range.
+        let (r, quant) = setup();
+        let red = quant.bin_of(Rgb::RED);
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(1, 1, 8, 8))
+            .blur()
+            .modify(Rgb::RED, Rgb::GREEN)
+            .translate(2.0, 2.0)
+            .define(Rect::new(0, 0, 10, 6))
+            .crop_to_region()
+            .build();
+        assert!(seq.all_bound_widening());
+        // Base is 30% red; any query range containing 0.30 must keep the image.
+        for (lo, hi) in [(0.0, 1.0), (0.3, 0.3), (0.25, 0.35), (0.0, 0.3), (0.3, 1.0)] {
+            let q = ColorRangeQuery::new(red, lo, hi);
+            assert!(
+                engine.may_satisfy(&seq, &q, &r).unwrap(),
+                "query [{lo},{hi}] must not prune a matching-base widening sequence"
+            );
+        }
+    }
+
+    #[test]
+    fn mutate_with_empty_region_is_noop() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(50, 50, 60, 60)) // clips to empty
+            .translate(3.0, 3.0)
+            .build();
+        let b = engine.bounds(&seq, quant.bin_of(Rgb::RED), &r).unwrap();
+        assert_eq!(b, BoundRange::exact(30, 100));
+    }
+
+    #[test]
+    fn singular_mutate_is_bounded_not_rejected() {
+        // A det-0 affine matrix collapses the region; the executor forward-
+        // maps it and the rules must still produce sound (if wide) bounds.
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .mutate(Matrix3::scale(0.0, 1.0))
+            .build();
+        let b = engine.bounds(&seq, quant.bin_of(Rgb::RED), &r);
+        assert!(b.is_ok(), "{b:?}");
+        let b = b.unwrap();
+        assert!(b.min <= 30 && b.max >= 30);
+    }
+
+    #[test]
+    fn projective_mutate_rejected() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let mut m = Matrix3::IDENTITY;
+        m.m[2] = [0.01, 0.0, 1.0];
+        let seq = EditSequence::builder(ImageId::new(1)).mutate(m).build();
+        assert!(matches!(
+            engine.bounds(&seq, 0, &r),
+            Err(RuleError::InvalidSequence(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_scale_rejected_like_executor() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .scale(100_000.0, 100_000.0)
+            .build();
+        assert!(matches!(
+            engine.bounds(&seq, 0, &r),
+            Err(RuleError::InvalidSequence(_))
+        ));
+    }
+
+    #[test]
+    fn merge_target_with_empty_region_keeps_target_histogram() {
+        let (mut r, quant) = setup();
+        let target = RasterImage::filled(20, 20, Rgb::GREEN).unwrap();
+        register(&mut r, 2, &target);
+        let green = quant.bin_of(Rgb::GREEN);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(90, 90, 99, 99)) // clips to empty
+            .merge_into(ImageId::new(2), 5, 5)
+            .build();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let b = engine.bounds(&seq, green, &r).unwrap();
+        assert_eq!(b.total, 400);
+        assert_eq!(
+            (b.min, b.max),
+            (400, 400),
+            "empty paste leaves the target exact"
+        );
+    }
+
+    #[test]
+    fn chained_merges_track_geometry() {
+        // Merge into target, then crop the merged result: totals follow.
+        let (mut r, quant) = setup();
+        let target = RasterImage::filled(20, 20, Rgb::GREEN).unwrap();
+        register(&mut r, 2, &target);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 5, 5))
+            .merge_into(ImageId::new(2), 0, 0)
+            .define(Rect::new(0, 0, 10, 10))
+            .crop_to_region()
+            .build();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let b = engine.bounds(&seq, quant.bin_of(Rgb::GREEN), &r).unwrap();
+        assert_eq!(b.total, 100);
+        // At most 75 green can survive (25 pixels were pasted over), at
+        // least 100 − 25 = 75 minus prior uncertainty → range covers truth.
+        assert!(b.max <= 100);
+        assert!(b.min <= 75 && 75 <= b.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bin_out_of_range_panics() {
+        let (r, quant) = setup();
+        let engine = RuleEngine::new(&quant, RuleProfile::Conservative);
+        let _ = engine.bounds(&EditSequence::new(ImageId::new(1), vec![]), 999, &r);
+    }
+}

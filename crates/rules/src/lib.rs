@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # mmdb-rules
+//!
+//! The **Rule-Based Method (RBM)** of §3: determining the color-based
+//! features of an image stored as a sequence of editing operations *without
+//! instantiating it*.
+//!
+//! For a histogram bin `HB`, the engine walks the edit sequence and maintains
+//! three quantities per Table 1 of the paper — the minimum number of pixels
+//! that may be in `HB`, the maximum number, and the total number of pixels in
+//! the image. The final `[BOUNDmin/imagesize, BOUNDmax/imagesize]` range is
+//! compared against the query range `[PCTmin, PCTmax]`: "if this range does
+//! not overlap the desired query range, image E cannot satisfy the given
+//! query" — a conservative filter with **no false negatives**.
+//!
+//! ## Rule profiles
+//!
+//! The extracted paper text's Table 1 lists the `Combine` rule as
+//! "no change / no change / no change", which is trivially bound-widening but
+//! unsound for an actual blur (pixels can enter or leave a bin). Both
+//! readings are implemented:
+//!
+//! * [`RuleProfile::PaperTable1`] — the literal table, for faithful
+//!   reproduction of the paper's measurements;
+//! * [`RuleProfile::Conservative`] — provably sound bounds with respect to
+//!   the instantiation engine in `mmdb-editops` (checked by property tests):
+//!   `Combine` widens by |DR|, sub-region `Mutate` widens by the clipped
+//!   transformed bounding box, whole-image scaling uses floor/ceil scale
+//!   factors, and `Merge` accounts for background gap fill and the exact
+//!   paste overlap.
+//!
+//! Both profiles agree on the *bound-widening classification* of every
+//! operation, so the BWM structure (crate `mmdb-bwm`) behaves identically
+//! under either.
+
+pub mod bounds;
+pub mod engine;
+pub mod query;
+pub mod resolver;
+
+pub use bounds::BoundRange;
+pub use engine::{RuleEngine, RuleProfile};
+pub use query::ColorRangeQuery;
+pub use resolver::{ImageInfo, InfoResolver, MapInfoResolver};
+
+use mmdb_editops::ImageId;
+use std::fmt;
+
+/// Errors from bound computation.
+#[derive(Debug)]
+pub enum RuleError {
+    /// A referenced image (base or merge target) has no catalog entry.
+    UnknownImage(ImageId),
+    /// The sequence is structurally impossible to bound (e.g. a NULL-target
+    /// merge whose defined region is empty — instantiation would fail too).
+    InvalidSequence(String),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::UnknownImage(id) => write!(f, "no catalog info for {id}"),
+            RuleError::InvalidSequence(msg) => write!(f, "unboundable sequence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RuleError>;

@@ -1,0 +1,109 @@
+//! Catalog lookups the rule engine needs.
+//!
+//! The BOUNDS computation starts from "the value of the histogram bin for
+//! the referenced base image" and, for `Merge`, needs the target's histogram
+//! (`T_HB`, `T`) and dimensions (Table 1's total-pixels formula uses the
+//! target's width and height). The storage engine implements this trait over
+//! its catalog; tests use [`MapInfoResolver`].
+
+use crate::{Result, RuleError};
+use mmdb_editops::ImageId;
+use mmdb_histogram::ColorHistogram;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything the rule engine needs to know about a referenced *binary*
+/// image: its exact histogram and raster dimensions.
+#[derive(Clone, Debug)]
+pub struct ImageInfo {
+    /// Exact color histogram (extracted at insert time).
+    pub histogram: Arc<ColorHistogram>,
+    /// Raster width.
+    pub width: u32,
+    /// Raster height.
+    pub height: u32,
+}
+
+impl ImageInfo {
+    /// Creates an info record, checking histogram/dimension consistency.
+    ///
+    /// # Panics
+    /// Panics when the histogram total differs from `width * height`.
+    pub fn new(histogram: ColorHistogram, width: u32, height: u32) -> Self {
+        assert_eq!(
+            histogram.total(),
+            width as u64 * height as u64,
+            "histogram total must equal width*height"
+        );
+        ImageInfo {
+            histogram: Arc::new(histogram),
+            width,
+            height,
+        }
+    }
+}
+
+/// Resolves image ids to their catalog info.
+pub trait InfoResolver {
+    /// Returns the info for `id`, or `None` when unknown.
+    fn info(&self, id: ImageId) -> Option<ImageInfo>;
+
+    /// Like [`InfoResolver::info`] but surfacing the standard error.
+    fn require(&self, id: ImageId) -> Result<ImageInfo> {
+        self.info(id).ok_or(RuleError::UnknownImage(id))
+    }
+}
+
+/// A `HashMap`-backed resolver for tests and small tools.
+#[derive(Default, Clone)]
+pub struct MapInfoResolver {
+    entries: HashMap<ImageId, ImageInfo>,
+}
+
+impl MapInfoResolver {
+    /// Creates an empty resolver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `info` under `id`.
+    pub fn insert(&mut self, id: ImageId, info: ImageInfo) {
+        self.entries.insert(id, info);
+    }
+}
+
+impl InfoResolver for MapInfoResolver {
+    fn info(&self, id: ImageId) -> Option<ImageInfo> {
+        self.entries.get(&id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_histogram::{ColorHistogram, RgbQuantizer};
+    use mmdb_imaging::{RasterImage, Rgb};
+
+    #[test]
+    fn map_resolver_roundtrip() {
+        let img = RasterImage::filled(4, 2, Rgb::RED).unwrap();
+        let hist = ColorHistogram::extract(&img, &RgbQuantizer::default_64());
+        let mut r = MapInfoResolver::new();
+        r.insert(ImageId::new(1), ImageInfo::new(hist, 4, 2));
+        let info = r.require(ImageId::new(1)).unwrap();
+        assert_eq!(info.width, 4);
+        assert_eq!(info.histogram.total(), 8);
+        assert!(matches!(
+            r.require(ImageId::new(2)),
+            Err(RuleError::UnknownImage(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram total")]
+    fn inconsistent_info_panics() {
+        let img = RasterImage::filled(4, 2, Rgb::RED).unwrap();
+        let hist = ColorHistogram::extract(&img, &RgbQuantizer::default_64());
+        ImageInfo::new(hist, 5, 5);
+    }
+}

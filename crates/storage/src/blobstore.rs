@@ -1,0 +1,327 @@
+//! The blob store: large binary objects (PPM-encoded rasters) in a single
+//! data file with a first-fit free list.
+//!
+//! Binary images "are typically much larger than traditional alphanumeric
+//! data elements" (§1); they live here, while the tiny edit sequences live
+//! inline in the catalog.
+
+use crate::error::StorageError;
+use crate::Result;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// A reference to a stored blob: byte offset and length in the data file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BlobRef {
+    /// Byte offset of the blob's first byte.
+    pub offset: u64,
+    /// Blob length in bytes.
+    pub len: u64,
+}
+
+/// Backing medium: a real file or an in-memory buffer (for tests and
+/// benchmarks that should not touch disk).
+enum Backend {
+    File(File),
+    Memory(Vec<u8>),
+}
+
+/// An append-friendly blob store with hole reuse.
+///
+/// Allocation is first-fit over the free list; freeing coalesces adjacent
+/// holes. The free list itself is not persisted here — the catalog snapshots
+/// it alongside the object table so a reopened store resumes with the same
+/// layout.
+pub struct BlobStore {
+    backend: Backend,
+    end: u64,
+    /// Sorted, pairwise-disjoint, non-adjacent holes `(offset, len)`.
+    free: Vec<(u64, u64)>,
+}
+
+impl BlobStore {
+    /// Opens (creating if absent) a file-backed store.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let end = file.metadata()?.len();
+        Ok(BlobStore {
+            backend: Backend::File(file),
+            end,
+            free: Vec::new(),
+        })
+    }
+
+    /// Creates an in-memory store.
+    pub fn in_memory() -> Self {
+        BlobStore {
+            backend: Backend::Memory(Vec::new()),
+            end: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Total file size in bytes (including holes).
+    pub fn file_size(&self) -> u64 {
+        self.end
+    }
+
+    /// Total bytes currently sitting in freed holes.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Restores the free list (called by the catalog on open).
+    ///
+    /// # Panics
+    /// Panics when the supplied holes are unsorted or overlapping.
+    pub fn restore_free_list(&mut self, holes: Vec<(u64, u64)>) {
+        for w in holes.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "free list must be sorted and disjoint"
+            );
+        }
+        self.free = holes;
+    }
+
+    /// The current free list snapshot (sorted, disjoint).
+    pub fn free_list(&self) -> &[(u64, u64)] {
+        &self.free
+    }
+
+    /// Writes `data`, reusing a hole when possible, and returns its ref.
+    pub fn put(&mut self, data: &[u8]) -> Result<BlobRef> {
+        let len = data.len() as u64;
+        let offset = self.allocate(len);
+        self.write_at(offset, data)?;
+        Ok(BlobRef { offset, len })
+    }
+
+    /// Reads the blob at `r`.
+    pub fn get(&self, r: BlobRef) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; r.len as usize];
+        match &self.backend {
+            Backend::File(f) => {
+                f.read_exact_at(&mut buf, r.offset).map_err(|e| {
+                    StorageError::Corrupt(format!(
+                        "blob read at {}+{} failed: {e}",
+                        r.offset, r.len
+                    ))
+                })?;
+            }
+            Backend::Memory(m) => {
+                let end = (r.offset + r.len) as usize;
+                if end > m.len() {
+                    return Err(StorageError::Corrupt(format!(
+                        "blob ref {}+{} beyond store end {}",
+                        r.offset,
+                        r.len,
+                        m.len()
+                    )));
+                }
+                buf.copy_from_slice(&m[r.offset as usize..end]);
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Returns the blob's bytes to the free list (the data is not scrubbed).
+    pub fn delete(&mut self, r: BlobRef) {
+        if r.len == 0 {
+            return;
+        }
+        // Insert the hole in sorted position, then coalesce neighbours.
+        let pos = self.free.partition_point(|&(off, _)| off < r.offset);
+        self.free.insert(pos, (r.offset, r.len));
+        // Coalesce with successor first (indices stay valid).
+        if pos + 1 < self.free.len() {
+            let (off, len) = self.free[pos];
+            let (noff, nlen) = self.free[pos + 1];
+            if off + len == noff {
+                self.free[pos] = (off, len + nlen);
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (poff, plen) = self.free[pos - 1];
+            let (off, len) = self.free[pos];
+            if poff + plen == off {
+                self.free[pos - 1] = (poff, plen + len);
+                self.free.remove(pos);
+            }
+        }
+        // Trim a trailing hole, shrinking the logical end.
+        if let Some(&(off, len)) = self.free.last() {
+            if off + len == self.end {
+                self.end = off;
+                self.free.pop();
+            }
+        }
+    }
+
+    /// Flushes file-backed data to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        if let Backend::File(f) = &self.backend {
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn allocate(&mut self, len: u64) -> u64 {
+        // First fit.
+        for i in 0..self.free.len() {
+            let (off, hole) = self.free[i];
+            if hole >= len {
+                if hole == len {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (off + len, hole - len);
+                }
+                return off;
+            }
+        }
+        let off = self.end;
+        self.end += len;
+        off
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        match &mut self.backend {
+            Backend::File(f) => f.write_all_at(data, offset)?,
+            Backend::Memory(m) => {
+                let end = offset as usize + data.len();
+                if m.len() < end {
+                    m.resize(end, 0);
+                }
+                m[offset as usize..end].copy_from_slice(data);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(store: &mut BlobStore) {
+        let a = store.put(b"hello").unwrap();
+        let b = store.put(b"world!!").unwrap();
+        assert_eq!(store.get(a).unwrap(), b"hello");
+        assert_eq!(store.get(b).unwrap(), b"world!!");
+        assert_eq!(a.len, 5);
+        assert_eq!(b.offset, 5);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut s = BlobStore::in_memory();
+        roundtrip(&mut s);
+    }
+
+    #[test]
+    fn file_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("mmdb_blob_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blobs.dat");
+        let r = {
+            let mut s = BlobStore::open(&path).unwrap();
+            let r = s.put(b"persistent").unwrap();
+            s.sync().unwrap();
+            r
+        };
+        let s = BlobStore::open(&path).unwrap();
+        assert_eq!(s.get(r).unwrap(), b"persistent");
+        assert_eq!(s.file_size(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hole_reuse_first_fit() {
+        let mut s = BlobStore::in_memory();
+        let a = s.put(&[1u8; 100]).unwrap();
+        let b = s.put(&[2u8; 50]).unwrap();
+        let _c = s.put(&[3u8; 30]).unwrap();
+        s.delete(a);
+        assert_eq!(s.free_bytes(), 100);
+        // A 40-byte blob fits in the 100-byte hole at offset 0.
+        let d = s.put(&[4u8; 40]).unwrap();
+        assert_eq!(d.offset, 0);
+        assert_eq!(s.free_bytes(), 60);
+        // The remainder of the hole starts at 40.
+        let e = s.put(&[5u8; 60]).unwrap();
+        assert_eq!(e.offset, 40);
+        assert_eq!(s.free_bytes(), 0);
+        // Untouched blobs unaffected.
+        assert_eq!(s.get(b).unwrap(), vec![2u8; 50]);
+    }
+
+    #[test]
+    fn delete_coalesces_adjacent_holes() {
+        let mut s = BlobStore::in_memory();
+        let a = s.put(&[0u8; 10]).unwrap();
+        let b = s.put(&[0u8; 10]).unwrap();
+        let c = s.put(&[0u8; 10]).unwrap();
+        let _d = s.put(&[0u8; 10]).unwrap();
+        s.delete(a);
+        s.delete(c);
+        assert_eq!(s.free_list().len(), 2);
+        s.delete(b); // bridges a and c
+        assert_eq!(s.free_list().len(), 1);
+        assert_eq!(s.free_list()[0], (0, 30));
+    }
+
+    #[test]
+    fn trailing_hole_shrinks_file() {
+        let mut s = BlobStore::in_memory();
+        let _a = s.put(&[0u8; 10]).unwrap();
+        let b = s.put(&[0u8; 20]).unwrap();
+        assert_eq!(s.file_size(), 30);
+        s.delete(b);
+        assert_eq!(s.file_size(), 10);
+        assert_eq!(s.free_bytes(), 0);
+    }
+
+    #[test]
+    fn free_list_snapshot_restore() {
+        let mut s = BlobStore::in_memory();
+        let a = s.put(&[0u8; 10]).unwrap();
+        let _b = s.put(&[0u8; 10]).unwrap();
+        s.delete(a);
+        let snapshot = s.free_list().to_vec();
+        let mut s2 = BlobStore::in_memory();
+        s2.put(&[9u8; 20]).unwrap();
+        s2.restore_free_list(snapshot.clone());
+        assert_eq!(s2.free_list(), snapshot.as_slice());
+        // Allocation honours the restored hole.
+        let c = s2.put(&[1u8; 8]).unwrap();
+        assert_eq!(c.offset, 0);
+    }
+
+    #[test]
+    fn out_of_range_read_is_corrupt_error() {
+        let s = BlobStore::in_memory();
+        let err = s
+            .get(BlobRef {
+                offset: 100,
+                len: 10,
+            })
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
+    fn empty_blob() {
+        let mut s = BlobStore::in_memory();
+        let r = s.put(b"").unwrap();
+        assert_eq!(s.get(r).unwrap(), Vec::<u8>::new());
+        s.delete(r); // no-op, must not corrupt the free list
+        assert_eq!(s.free_bytes(), 0);
+    }
+}

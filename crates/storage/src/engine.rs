@@ -1,0 +1,952 @@
+//! The storage engine facade.
+
+use crate::blobstore::BlobStore;
+use crate::catalog::{Catalog, CatalogEntry, StoredKind};
+use crate::error::StorageError;
+use crate::lru::LruCache;
+use crate::Result;
+use mmdb_editops::{
+    EditError, EditSequence, ExecOptions, ImageId, ImageResolver, InstantiationEngine,
+};
+use mmdb_histogram::{quantizer::from_description, ColorHistogram, Quantizer};
+use mmdb_imaging::ppm::{self, PnmFormat};
+use mmdb_imaging::{RasterImage, Rgb};
+use mmdb_rules::{ImageInfo, InfoResolver};
+use parking_lot::{Mutex, RwLock};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Default raster-cache capacity (entries).
+const CACHE_ENTRIES: usize = 256;
+/// Default raster-cache byte budget (256 MiB of decoded pixels).
+const CACHE_BYTES: usize = 256 << 20;
+
+/// Aggregate storage statistics — the numbers behind the paper's space
+/// argument for storing edited images as operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Number of conventionally stored images.
+    pub binary_count: usize,
+    /// Number of images stored as edit sequences.
+    pub edited_count: usize,
+    /// Bytes of blob storage consumed by binary images.
+    pub binary_bytes: u64,
+    /// Bytes consumed by encoded edit sequences (catalog-resident).
+    pub edited_bytes: u64,
+    /// Raster cache hits since open.
+    pub cache_hits: u64,
+    /// Raster cache misses since open.
+    pub cache_misses: u64,
+}
+
+impl StorageStats {
+    /// How many times smaller the edit-sequence representation is than the
+    /// binary representation, per image on average. `None` when either side
+    /// is empty.
+    pub fn space_saving_factor(&self) -> Option<f64> {
+        if self.binary_count == 0 || self.edited_count == 0 || self.edited_bytes == 0 {
+            return None;
+        }
+        let avg_binary = self.binary_bytes as f64 / self.binary_count as f64;
+        let avg_edited = self.edited_bytes as f64 / self.edited_count as f64;
+        Some(avg_binary / avg_edited)
+    }
+}
+
+struct Inner {
+    catalog: Catalog,
+    blobs: BlobStore,
+}
+
+/// The MMDBMS storage engine.
+///
+/// Thread-safe: reads run under a shared lock, mutations under an exclusive
+/// lock, and instantiation never holds the catalog lock while executing
+/// operations (so concurrent queries can resolve bases/targets).
+pub struct StorageEngine {
+    inner: RwLock<Inner>,
+    cache: Mutex<LruCache<ImageId, Arc<RasterImage>>>,
+    quantizer: Box<dyn Quantizer>,
+    background: Rgb,
+    catalog_path: Option<PathBuf>,
+}
+
+impl StorageEngine {
+    /// Creates a new on-disk database in `dir` (created if missing).
+    ///
+    /// # Errors
+    /// Fails when a catalog already exists in `dir`.
+    pub fn create(dir: &Path, quantizer: Box<dyn Quantizer>) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let catalog_path = dir.join("catalog.mmdb");
+        if catalog_path.exists() {
+            return Err(StorageError::Corrupt(format!(
+                "database already exists at {}",
+                catalog_path.display()
+            )));
+        }
+        let blobs = BlobStore::open(&dir.join("blobs.mmdb"))?;
+        let engine = StorageEngine {
+            inner: RwLock::new(Inner {
+                catalog: Catalog::new(quantizer.describe()),
+                blobs,
+            }),
+            cache: Mutex::new(LruCache::new(CACHE_ENTRIES, CACHE_BYTES)),
+            quantizer,
+            background: Rgb::BLACK,
+            catalog_path: Some(catalog_path),
+        };
+        engine.flush()?;
+        Ok(engine)
+    }
+
+    /// Opens an existing on-disk database, reconstructing the quantizer from
+    /// the catalog.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let catalog_path = dir.join("catalog.mmdb");
+        let bytes = std::fs::read(&catalog_path)?;
+        let (catalog, free_list) = Catalog::decode(&bytes)?;
+        let quantizer = from_description(catalog.quantizer_desc()).ok_or_else(|| {
+            StorageError::Corrupt(format!(
+                "unknown quantizer {:?} in catalog",
+                catalog.quantizer_desc()
+            ))
+        })?;
+        let mut blobs = BlobStore::open(&dir.join("blobs.mmdb"))?;
+        blobs.restore_free_list(free_list);
+        Ok(StorageEngine {
+            inner: RwLock::new(Inner { catalog, blobs }),
+            cache: Mutex::new(LruCache::new(CACHE_ENTRIES, CACHE_BYTES)),
+            quantizer,
+            background: Rgb::BLACK,
+            catalog_path: Some(catalog_path),
+        })
+    }
+
+    /// Creates an ephemeral in-memory database (tests, benchmarks).
+    pub fn in_memory(quantizer: Box<dyn Quantizer>) -> Self {
+        StorageEngine {
+            inner: RwLock::new(Inner {
+                catalog: Catalog::new(quantizer.describe()),
+                blobs: BlobStore::in_memory(),
+            }),
+            cache: Mutex::new(LruCache::new(CACHE_ENTRIES, CACHE_BYTES)),
+            quantizer,
+            background: Rgb::BLACK,
+            catalog_path: None,
+        }
+    }
+
+    /// The quantizer every histogram in this database uses.
+    pub fn quantizer(&self) -> &dyn Quantizer {
+        self.quantizer.as_ref()
+    }
+
+    /// The background color used when instantiating edit sequences.
+    pub fn background(&self) -> Rgb {
+        self.background
+    }
+
+    /// Inserts a conventionally stored image; its exact histogram is
+    /// extracted now, at insert time (§1: feature extraction happens "as
+    /// [each object] is inserted into the underlying database").
+    pub fn insert_binary(&self, image: &RasterImage) -> Result<ImageId> {
+        let encoded = ppm::encode(image, PnmFormat::RawRgb);
+        let histogram = Arc::new(ColorHistogram::extract(image, self.quantizer.as_ref()));
+        let mut inner = self.inner.write();
+        let blob = inner.blobs.put(&encoded)?;
+        let id = inner.catalog.allocate_id();
+        inner.catalog.insert(
+            id,
+            CatalogEntry::Binary {
+                blob,
+                width: image.width(),
+                height: image.height(),
+                histogram,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Inserts an image stored as a sequence of editing operations. The base
+    /// and every merge target must already be stored as *binary* images —
+    /// the paper's model derives edited images from originals, and the rule
+    /// engine needs exact histograms for every referenced image. The
+    /// sequence is also **validated** (a symbolic BOUNDS walk): a script
+    /// that could neither be instantiated nor bounded is refused, which
+    /// guarantees every stored edited image is processable by RBM, BWM and
+    /// the executor alike.
+    pub fn insert_edited(&self, sequence: EditSequence) -> Result<ImageId> {
+        let check_refs = |inner: &Inner| -> Result<()> {
+            for (role, rid) in std::iter::once(("base", sequence.base)).chain(
+                sequence
+                    .merge_targets()
+                    .into_iter()
+                    .map(|t| ("merge target", t)),
+            ) {
+                match inner.catalog.get(rid) {
+                    Some(e) if e.kind() == StoredKind::Binary => {}
+                    Some(_) => {
+                        return Err(StorageError::InvalidReference {
+                            id: rid,
+                            reason: format!("{role} must be a binary image"),
+                        })
+                    }
+                    None => {
+                        return Err(StorageError::InvalidReference {
+                            id: rid,
+                            reason: format!("{role} does not exist"),
+                        })
+                    }
+                }
+            }
+            Ok(())
+        };
+        // Phase 1 (no exclusive lock held): reference check + structural
+        // validation. The bound-error conditions are bin-independent, so one
+        // bin suffices.
+        check_refs(&self.inner.read())?;
+        let engine = mmdb_rules::RuleEngine::with_background(
+            self.quantizer.as_ref(),
+            mmdb_rules::RuleProfile::Conservative,
+            self.background,
+        );
+        if let Err(e) = engine.bounds(&sequence, 0, self) {
+            return Err(StorageError::InvalidSequence(e.to_string()));
+        }
+        // Phase 2: re-verify references under the exclusive lock (a
+        // concurrent delete may have raced phase 1), then insert.
+        let mut inner = self.inner.write();
+        check_refs(&inner)?;
+        let id = inner.catalog.allocate_id();
+        inner.catalog.insert(
+            id,
+            CatalogEntry::Edited {
+                sequence: Arc::new(sequence),
+            },
+        );
+        Ok(id)
+    }
+
+    /// The storage kind of `id`.
+    pub fn kind(&self, id: ImageId) -> Result<StoredKind> {
+        self.inner
+            .read()
+            .catalog
+            .get(id)
+            .map(|e| e.kind())
+            .ok_or(StorageError::NotFound(id))
+    }
+
+    /// True when `id` exists.
+    pub fn contains(&self, id: ImageId) -> bool {
+        self.inner.read().catalog.get(id).is_some()
+    }
+
+    /// All ids, ascending.
+    pub fn ids(&self) -> Vec<ImageId> {
+        self.inner.read().catalog.ids().collect()
+    }
+
+    /// Ids of all binary images, ascending.
+    pub fn binary_ids(&self) -> Vec<ImageId> {
+        self.inner
+            .read()
+            .catalog
+            .iter()
+            .filter(|(_, e)| e.kind() == StoredKind::Binary)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all edited images, ascending.
+    pub fn edited_ids(&self) -> Vec<ImageId> {
+        self.inner
+            .read()
+            .catalog
+            .iter()
+            .filter(|(_, e)| e.kind() == StoredKind::Edited)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Edited images derived from `base`.
+    pub fn children_of(&self, base: ImageId) -> Vec<ImageId> {
+        self.inner.read().catalog.children_of(base).to_vec()
+    }
+
+    /// The base image of an edited image.
+    pub fn base_of(&self, id: ImageId) -> Option<ImageId> {
+        self.inner.read().catalog.base_of(id)
+    }
+
+    /// The stored edit sequence of `id`, or `None` for binary images.
+    pub fn edit_sequence(&self, id: ImageId) -> Option<Arc<EditSequence>> {
+        match self.inner.read().catalog.get(id) {
+            Some(CatalogEntry::Edited { sequence }) => Some(Arc::clone(sequence)),
+            _ => None,
+        }
+    }
+
+    /// The instantiated raster for `id` — decoded from the blob store for
+    /// binary images, or produced by executing the edit sequence for edited
+    /// images. Results are LRU-cached.
+    pub fn raster(&self, id: ImageId) -> Result<Arc<RasterImage>> {
+        if let Some(img) = self.cache.lock().get(&id) {
+            return Ok(Arc::clone(img));
+        }
+        // Fetch what we need under the read lock, then do the expensive work
+        // (decode / instantiate) without holding it.
+        enum Plan {
+            Decode(Vec<u8>),
+            Instantiate(Arc<EditSequence>),
+        }
+        let plan = {
+            let inner = self.inner.read();
+            match inner.catalog.get(id) {
+                None => return Err(StorageError::NotFound(id)),
+                Some(CatalogEntry::Binary { blob, .. }) => Plan::Decode(inner.blobs.get(*blob)?),
+                Some(CatalogEntry::Edited { sequence }) => Plan::Instantiate(Arc::clone(sequence)),
+            }
+        };
+        let image = match plan {
+            Plan::Decode(bytes) => ppm::decode(&bytes)?,
+            Plan::Instantiate(seq) => {
+                let opts = ExecOptions {
+                    background: self.background,
+                };
+                InstantiationEngine::with_options(self, opts).instantiate(&seq)?
+            }
+        };
+        let image = Arc::new(image);
+        let weight = image.pixel_count() as usize * 3;
+        self.cache.lock().insert(id, Arc::clone(&image), weight);
+        Ok(image)
+    }
+
+    /// The color histogram of `id`. Exact and O(1) for binary images; for
+    /// edited images this **instantiates** (the expensive path the RBM/BWM
+    /// query processing exists to avoid — exposed for ground-truth checks
+    /// and result verification).
+    pub fn histogram(&self, id: ImageId) -> Result<Arc<ColorHistogram>> {
+        if let Some(CatalogEntry::Binary { histogram, .. }) = self.inner.read().catalog.get(id) {
+            return Ok(Arc::clone(histogram));
+        }
+        if !self.contains(id) {
+            return Err(StorageError::NotFound(id));
+        }
+        let raster = self.raster(id)?;
+        Ok(Arc::new(ColorHistogram::extract(
+            &raster,
+            self.quantizer.as_ref(),
+        )))
+    }
+
+    /// Deletes `id`. Binary images that still have derived children are
+    /// protected.
+    pub fn delete(&self, id: ImageId) -> Result<()> {
+        let mut inner = self.inner.write();
+        match inner.catalog.get(id) {
+            None => return Err(StorageError::NotFound(id)),
+            Some(CatalogEntry::Binary { .. }) => {
+                let dependents = inner.catalog.children_of(id).len();
+                if dependents > 0 {
+                    return Err(StorageError::StillReferenced { id, dependents });
+                }
+            }
+            Some(CatalogEntry::Edited { .. }) => {}
+        }
+        if let Some(CatalogEntry::Binary { blob, .. }) = inner.catalog.remove(id) {
+            inner.blobs.delete(blob);
+        }
+        drop(inner);
+        self.cache.lock().invalidate(&id);
+        Ok(())
+    }
+
+    /// Persists the catalog (atomically, via temp file + rename) and syncs
+    /// the blob file. A no-op for in-memory databases.
+    pub fn flush(&self) -> Result<()> {
+        let Some(path) = &self.catalog_path else {
+            return Ok(());
+        };
+        let inner = self.inner.read();
+        let bytes = inner.catalog.encode(inner.blobs.free_list());
+        inner.blobs.sync()?;
+        drop(inner);
+        let tmp = path.with_extension("mmdb.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Compacts the blob store: rewrites every live blob contiguously,
+    /// eliminating the holes left by deletions, and updates the catalog's
+    /// blob references. Returns the number of bytes reclaimed. File-backed
+    /// databases write a fresh blob file and atomically rename it into
+    /// place; the catalog is flushed afterwards.
+    pub fn compact(&self) -> Result<u64> {
+        let mut inner = self.inner.write();
+        let before = inner.blobs.file_size();
+        let mut fresh = match &self.catalog_path {
+            Some(catalog_path) => {
+                let dir = catalog_path.parent().unwrap_or_else(|| Path::new("."));
+                let tmp = dir.join("blobs.mmdb.compact");
+                // A stale temp file from a crashed compaction is discarded.
+                std::fs::remove_file(&tmp).ok();
+                (BlobStore::open(&tmp)?, Some((tmp, dir.join("blobs.mmdb"))))
+            }
+            None => (BlobStore::in_memory(), None),
+        };
+        // Rewrite blobs in id order and collect the catalog updates.
+        let mut moves: Vec<(ImageId, crate::blobstore::BlobRef)> = Vec::new();
+        for (id, entry) in inner.catalog.iter() {
+            if let CatalogEntry::Binary { blob, .. } = entry {
+                let bytes = inner.blobs.get(*blob)?;
+                moves.push((id, fresh.0.put(&bytes)?));
+            }
+        }
+        for (id, new_ref) in moves {
+            if let Some(CatalogEntry::Binary { blob, .. }) = inner.catalog.get(id).cloned() {
+                let _ = blob;
+                // Replace the entry with the relocated blob reference.
+                if let Some(CatalogEntry::Binary {
+                    width,
+                    height,
+                    histogram,
+                    ..
+                }) = inner.catalog.remove(id)
+                {
+                    inner.catalog.insert(
+                        id,
+                        CatalogEntry::Binary {
+                            blob: new_ref,
+                            width,
+                            height,
+                            histogram,
+                        },
+                    );
+                }
+            }
+        }
+        let after = fresh.0.file_size();
+        if let Some((tmp, real)) = fresh.1.take() {
+            fresh.0.sync()?;
+            std::fs::rename(&tmp, &real)?;
+        }
+        inner.blobs = fresh.0;
+        drop(inner);
+        self.flush()?;
+        Ok(before.saturating_sub(after))
+    }
+
+    /// Consistency check (fsck): verifies that
+    ///
+    /// * every binary entry's blob decodes to a raster of the cataloged
+    ///   dimensions and its stored histogram matches a re-extraction,
+    /// * every edit sequence references existing binary images and passes
+    ///   the structural BOUNDS validation,
+    /// * no blob overlaps another blob or a free-list hole.
+    ///
+    /// Returns the list of problems found (empty = healthy).
+    pub fn verify(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut extents: Vec<(u64, u64, ImageId)> = Vec::new();
+        // Collect everything to check under the read lock, then do the
+        // expensive decode/extract work without holding it.
+        struct BinaryCheck {
+            id: ImageId,
+            bytes: Result<Vec<u8>>,
+            width: u32,
+            height: u32,
+            histogram: Arc<ColorHistogram>,
+        }
+        let mut binaries = Vec::new();
+        let mut edited = Vec::new();
+        {
+            let inner = self.inner.read();
+            for (id, entry) in inner.catalog.iter() {
+                match entry {
+                    CatalogEntry::Binary {
+                        blob,
+                        width,
+                        height,
+                        histogram,
+                    } => {
+                        extents.push((blob.offset, blob.len, id));
+                        binaries.push(BinaryCheck {
+                            id,
+                            bytes: inner.blobs.get(*blob),
+                            width: *width,
+                            height: *height,
+                            histogram: Arc::clone(histogram),
+                        });
+                    }
+                    CatalogEntry::Edited { sequence } => {
+                        edited.push((id, Arc::clone(sequence)));
+                    }
+                }
+            }
+            // Blob overlap checks (blobs vs blobs and blobs vs free holes).
+            extents.sort_unstable();
+            for w in extents.windows(2) {
+                if w[0].1 > 0 && w[0].0 + w[0].1 > w[1].0 {
+                    problems.push(format!("blobs of {} and {} overlap", w[0].2, w[1].2));
+                }
+            }
+            for &(h_off, h_len) in inner.blobs.free_list() {
+                for &(b_off, b_len, id) in &extents {
+                    if b_len > 0 && b_off < h_off + h_len && h_off < b_off + b_len {
+                        problems.push(format!("free hole ({h_off},{h_len}) overlaps blob of {id}"));
+                    }
+                }
+            }
+        }
+        for check in binaries {
+            match check.bytes.and_then(|b| Ok(ppm::decode(&b)?)) {
+                Err(e) => problems.push(format!("{}: blob unreadable: {e}", check.id)),
+                Ok(raster) => {
+                    if (raster.width(), raster.height()) != (check.width, check.height) {
+                        problems.push(format!(
+                            "{}: cataloged {}x{} but blob decodes to {}x{}",
+                            check.id,
+                            check.width,
+                            check.height,
+                            raster.width(),
+                            raster.height()
+                        ));
+                    }
+                    let fresh = ColorHistogram::extract(&raster, self.quantizer.as_ref());
+                    if fresh.counts() != check.histogram.counts() {
+                        problems.push(format!("{}: stored histogram is stale", check.id));
+                    }
+                }
+            }
+        }
+        let engine = mmdb_rules::RuleEngine::with_background(
+            self.quantizer.as_ref(),
+            mmdb_rules::RuleProfile::Conservative,
+            self.background,
+        );
+        for (id, sequence) in edited {
+            for rid in std::iter::once(sequence.base).chain(sequence.merge_targets()) {
+                match self.kind(rid) {
+                    Ok(StoredKind::Binary) => {}
+                    Ok(StoredKind::Edited) => {
+                        problems.push(format!("{id}: references edited image {rid}"))
+                    }
+                    Err(_) => problems.push(format!("{id}: dangling reference {rid}")),
+                }
+            }
+            if let Err(e) = engine.bounds(&sequence, 0, self) {
+                problems.push(format!("{id}: unboundable sequence: {e}"));
+            }
+        }
+        problems
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StorageStats {
+        let inner = self.inner.read();
+        let mut s = StorageStats::default();
+        for (_, entry) in inner.catalog.iter() {
+            match entry {
+                CatalogEntry::Binary { blob, .. } => {
+                    s.binary_count += 1;
+                    s.binary_bytes += blob.len;
+                }
+                CatalogEntry::Edited { sequence } => {
+                    s.edited_count += 1;
+                    s.edited_bytes += mmdb_editops::codec::encode(sequence).len() as u64;
+                }
+            }
+        }
+        drop(inner);
+        let (hits, misses) = self.cache.lock().stats();
+        s.cache_hits = hits;
+        s.cache_misses = misses;
+        s
+    }
+}
+
+/// Lets the instantiation engine pull base/target rasters out of this
+/// database.
+impl ImageResolver for StorageEngine {
+    fn resolve(&self, id: ImageId) -> mmdb_editops::Result<RasterImage> {
+        match self.raster(id) {
+            Ok(img) => Ok((*img).clone()),
+            Err(StorageError::NotFound(_)) => Err(EditError::UnknownImage(id)),
+            Err(other) => Err(EditError::InvalidOperation(other.to_string())),
+        }
+    }
+}
+
+/// Lets the RBM/BWM query paths fetch exact histograms and dimensions of
+/// referenced *binary* images without touching pixel data.
+impl InfoResolver for StorageEngine {
+    fn info(&self, id: ImageId) -> Option<ImageInfo> {
+        match self.inner.read().catalog.get(id) {
+            Some(CatalogEntry::Binary {
+                histogram,
+                width,
+                height,
+                ..
+            }) => Some(ImageInfo {
+                histogram: Arc::clone(histogram),
+                width: *width,
+                height: *height,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_histogram::RgbQuantizer;
+    use mmdb_imaging::{draw, Rect};
+
+    fn engine() -> StorageEngine {
+        StorageEngine::in_memory(Box::new(RgbQuantizer::default_64()))
+    }
+
+    fn two_tone(w: u32, h: u32, top: Rgb, bottom: Rgb) -> RasterImage {
+        let mut img = RasterImage::filled(w, h, bottom).unwrap();
+        draw::fill_rect(&mut img, &Rect::new(0, 0, w as i64, h as i64 / 2), top);
+        img
+    }
+
+    #[test]
+    fn insert_and_fetch_binary() {
+        let db = engine();
+        let img = two_tone(16, 16, Rgb::RED, Rgb::WHITE);
+        let id = db.insert_binary(&img).unwrap();
+        assert_eq!(db.kind(id).unwrap(), StoredKind::Binary);
+        let back = db.raster(id).unwrap();
+        assert_eq!(*back, img);
+        // Histogram is exact.
+        let q = RgbQuantizer::default_64();
+        let h = db.histogram(id).unwrap();
+        assert_eq!(h.count(q.bin_of(Rgb::RED)), 128);
+        assert_eq!(h.total(), 256);
+    }
+
+    #[test]
+    fn insert_edited_and_instantiate() {
+        let db = engine();
+        let base = db
+            .insert_binary(&two_tone(8, 8, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        let seq = EditSequence::builder(base)
+            .modify(Rgb::RED, Rgb::BLUE)
+            .build();
+        let id = db.insert_edited(seq).unwrap();
+        assert_eq!(db.kind(id).unwrap(), StoredKind::Edited);
+        let img = db.raster(id).unwrap();
+        assert_eq!(img.count_color(Rgb::BLUE), 32);
+        assert_eq!(img.count_color(Rgb::RED), 0);
+        // Histogram of the edited image instantiates correctly.
+        let q = RgbQuantizer::default_64();
+        assert_eq!(db.histogram(id).unwrap().count(q.bin_of(Rgb::BLUE)), 32);
+        // Provenance.
+        assert_eq!(db.base_of(id), Some(base));
+        assert_eq!(db.children_of(base), vec![id]);
+    }
+
+    #[test]
+    fn edited_with_merge_target_resolves() {
+        let db = engine();
+        let base = db
+            .insert_binary(&two_tone(6, 6, Rgb::GREEN, Rgb::BLACK))
+            .unwrap();
+        let target = db
+            .insert_binary(&RasterImage::filled(10, 10, Rgb::WHITE).unwrap())
+            .unwrap();
+        let seq = EditSequence::builder(base)
+            .define(Rect::new(0, 0, 3, 3))
+            .merge_into(target, 2, 2)
+            .build();
+        let id = db.insert_edited(seq).unwrap();
+        let img = db.raster(id).unwrap();
+        assert_eq!(img.width(), 10);
+        assert_eq!(img.count_color(Rgb::GREEN), 9);
+    }
+
+    #[test]
+    fn invalid_references_rejected() {
+        let db = engine();
+        let missing = EditSequence::builder(ImageId::new(99)).blur().build();
+        assert!(matches!(
+            db.insert_edited(missing),
+            Err(StorageError::InvalidReference { .. })
+        ));
+        // Edited image as base: also rejected.
+        let base = db
+            .insert_binary(&two_tone(4, 4, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        let e1 = db
+            .insert_edited(EditSequence::builder(base).blur().build())
+            .unwrap();
+        assert!(matches!(
+            db.insert_edited(EditSequence::builder(e1).blur().build()),
+            Err(StorageError::InvalidReference { .. })
+        ));
+        // Missing merge target.
+        let seq = EditSequence::builder(base)
+            .merge_into(ImageId::new(1234), 0, 0)
+            .build();
+        assert!(matches!(
+            db.insert_edited(seq),
+            Err(StorageError::InvalidReference { .. })
+        ));
+    }
+
+    #[test]
+    fn structurally_invalid_sequences_rejected() {
+        let db = engine();
+        let base = db
+            .insert_binary(&two_tone(8, 8, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        // Crop of a region that clips to empty: cannot instantiate or bound.
+        let bad = EditSequence::builder(base)
+            .define(mmdb_imaging::Rect::new(100, 100, 120, 120))
+            .crop_to_region()
+            .build();
+        assert!(matches!(
+            db.insert_edited(bad),
+            Err(StorageError::InvalidSequence(_))
+        ));
+        // A valid crop is fine.
+        let good = EditSequence::builder(base)
+            .define(mmdb_imaging::Rect::new(1, 1, 5, 5))
+            .crop_to_region()
+            .build();
+        assert!(db.insert_edited(good).is_ok());
+        // Nothing half-inserted: only the good sequence is cataloged.
+        assert_eq!(db.edited_ids().len(), 1);
+    }
+
+    #[test]
+    fn delete_rules() {
+        let db = engine();
+        let base = db
+            .insert_binary(&two_tone(4, 4, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        let child = db
+            .insert_edited(EditSequence::builder(base).blur().build())
+            .unwrap();
+        assert!(matches!(
+            db.delete(base),
+            Err(StorageError::StillReferenced { dependents: 1, .. })
+        ));
+        db.delete(child).unwrap();
+        db.delete(base).unwrap();
+        assert!(!db.contains(base));
+        assert!(matches!(db.delete(base), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn raster_cache_hits() {
+        let db = engine();
+        let base = db
+            .insert_binary(&two_tone(32, 32, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        let _ = db.raster(base).unwrap();
+        let _ = db.raster(base).unwrap();
+        let s = db.stats();
+        assert!(s.cache_hits >= 1, "stats: {s:?}");
+    }
+
+    #[test]
+    fn stats_space_saving() {
+        let db = engine();
+        let base = db
+            .insert_binary(&two_tone(64, 64, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        for _ in 0..5 {
+            db.insert_edited(
+                EditSequence::builder(base)
+                    .define(Rect::new(0, 0, 10, 10))
+                    .modify(Rgb::RED, Rgb::GREEN)
+                    .build(),
+            )
+            .unwrap();
+        }
+        let s = db.stats();
+        assert_eq!(s.binary_count, 1);
+        assert_eq!(s.edited_count, 5);
+        let factor = s.space_saving_factor().unwrap();
+        assert!(factor > 50.0, "space saving factor {factor}");
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mmdb_engine_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (base, edited, img) = {
+            let db = StorageEngine::create(&dir, Box::new(RgbQuantizer::default_64())).unwrap();
+            let img = two_tone(12, 12, Rgb::BLUE, Rgb::WHITE);
+            let base = db.insert_binary(&img).unwrap();
+            let edited = db
+                .insert_edited(
+                    EditSequence::builder(base)
+                        .modify(Rgb::BLUE, Rgb::RED)
+                        .build(),
+                )
+                .unwrap();
+            db.flush().unwrap();
+            (base, edited, img)
+        };
+        let db = StorageEngine::open(&dir).unwrap();
+        assert_eq!(*db.raster(base).unwrap(), img);
+        let e = db.raster(edited).unwrap();
+        assert_eq!(e.count_color(Rgb::RED), 72);
+        assert_eq!(db.children_of(base), vec![edited]);
+        assert_eq!(db.quantizer().describe(), "rgb-uniform/4");
+        // Creating over an existing database is refused.
+        assert!(StorageEngine::create(&dir, Box::new(RgbQuantizer::default_64())).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn info_resolver_binary_only() {
+        let db = engine();
+        let base = db
+            .insert_binary(&two_tone(4, 4, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        let edited = db
+            .insert_edited(EditSequence::builder(base).blur().build())
+            .unwrap();
+        assert!(db.info(base).is_some());
+        assert!(db.info(edited).is_none());
+        assert!(db.info(ImageId::new(999)).is_none());
+        let info = db.info(base).unwrap();
+        assert_eq!(info.width, 4);
+        assert_eq!(info.histogram.total(), 16);
+    }
+
+    #[test]
+    fn compact_reclaims_holes_and_preserves_data() {
+        let dir = std::env::temp_dir().join(format!("mmdb_compact_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let db = StorageEngine::create(&dir, Box::new(RgbQuantizer::default_64())).unwrap();
+        let mut keep = Vec::new();
+        let mut drop_ids = Vec::new();
+        for i in 0..10u8 {
+            let img = two_tone(16, 16, Rgb::new(i * 20, 0, 0), Rgb::WHITE);
+            let id = db.insert_binary(&img).unwrap();
+            if i % 2 == 0 {
+                keep.push((id, img));
+            } else {
+                drop_ids.push(id);
+            }
+        }
+        for id in drop_ids {
+            db.delete(id).unwrap();
+        }
+        let before = db.stats().binary_bytes;
+        let reclaimed = db.compact().unwrap();
+        assert!(reclaimed > 0, "interleaved deletes must leave holes");
+        // All kept rasters are intact, bit-exact.
+        for (id, img) in &keep {
+            assert_eq!(&*db.raster(*id).unwrap(), img);
+        }
+        assert_eq!(db.stats().binary_bytes, before);
+        assert!(db.verify().is_empty(), "compacted db passes fsck");
+        // Survives reopen.
+        db.flush().unwrap();
+        drop(db);
+        let db = StorageEngine::open(&dir).unwrap();
+        for (id, img) in &keep {
+            assert_eq!(&*db.raster(*id).unwrap(), img);
+        }
+        assert!(db.verify().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_in_memory_database() {
+        let db = engine();
+        let a = db
+            .insert_binary(&two_tone(8, 8, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        let b = db
+            .insert_binary(&two_tone(8, 8, Rgb::GREEN, Rgb::WHITE))
+            .unwrap();
+        let child = db
+            .insert_edited(EditSequence::builder(b).blur().build())
+            .unwrap();
+        db.delete(a).unwrap();
+        let reclaimed = db.compact().unwrap();
+        assert!(reclaimed > 0);
+        // Provenance links survive the catalog rewrite.
+        assert_eq!(db.children_of(b), vec![child]);
+        assert!(db.raster(child).is_ok());
+        assert!(db.verify().is_empty());
+    }
+
+    #[test]
+    fn verify_healthy_database() {
+        let db = engine();
+        let base = db
+            .insert_binary(&two_tone(8, 8, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        let target = db
+            .insert_binary(&two_tone(6, 6, Rgb::GREEN, Rgb::BLACK))
+            .unwrap();
+        db.insert_edited(
+            EditSequence::builder(base)
+                .define(mmdb_imaging::Rect::new(0, 0, 4, 4))
+                .merge_into(target, 1, 1)
+                .build(),
+        )
+        .unwrap();
+        assert_eq!(db.verify(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn verify_detects_corrupted_blob() {
+        let dir = std::env::temp_dir().join(format!("mmdb_fsck_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = StorageEngine::create(&dir, Box::new(RgbQuantizer::default_64())).unwrap();
+            db.insert_binary(&two_tone(8, 8, Rgb::RED, Rgb::WHITE))
+                .unwrap();
+            db.flush().unwrap();
+        }
+        // Flip pixel bytes in the blob file (the PPM body), corrupting the
+        // stored raster relative to the cataloged histogram.
+        let blob_path = dir.join("blobs.mmdb");
+        let mut bytes = std::fs::read(&blob_path).unwrap();
+        let n = bytes.len();
+        for b in &mut bytes[n - 24..] {
+            *b ^= 0xFF;
+        }
+        std::fs::write(&blob_path, &bytes).unwrap();
+        let db = StorageEngine::open(&dir).unwrap();
+        let problems = db.verify();
+        assert!(
+            problems.iter().any(|p| p.contains("stale")),
+            "expected a stale-histogram finding, got {problems:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ids_listing() {
+        let db = engine();
+        let b1 = db
+            .insert_binary(&two_tone(4, 4, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        let b2 = db
+            .insert_binary(&two_tone(4, 4, Rgb::GREEN, Rgb::WHITE))
+            .unwrap();
+        let e1 = db
+            .insert_edited(EditSequence::builder(b1).blur().build())
+            .unwrap();
+        assert_eq!(db.ids(), vec![b1, b2, e1]);
+        assert_eq!(db.binary_ids(), vec![b1, b2]);
+        assert_eq!(db.edited_ids(), vec![e1]);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # mmdb-storage
+//!
+//! The MMDBMS storage substrate the paper assumes: a catalog of image
+//! objects where each object is stored either **conventionally** (a binary
+//! raster, kept as PPM in a paged blob file, with its exact color histogram
+//! extracted at insert time) or **as a sequence of editing operations**
+//! referencing a base image (§2: "an image stored as a set of editing
+//! operations will consume much less space than the same image stored in a
+//! conventional binary format").
+//!
+//! Components:
+//!
+//! * [`BlobStore`] — an append-friendly blob file with a first-fit free list
+//!   (file-backed or in-memory),
+//! * [`LruCache`] — an O(1) LRU used to cache decoded/instantiated rasters,
+//! * [`Catalog`] — object metadata, histograms for binary images, edit
+//!   sequences for derived images, and the base↔derived provenance links the
+//!   paper relies on ("as long as the MMDBMS maintains a connection between
+//!   images x and op(x)"),
+//! * [`StorageEngine`] — the public facade tying them together; it
+//!   implements `mmdb_editops::ImageResolver` (so edit sequences can be
+//!   instantiated against it) and `mmdb_rules::InfoResolver` (so the RBM/BWM
+//!   query paths can fetch base/target histograms without touching pixels).
+
+pub mod blobstore;
+pub mod catalog;
+pub mod engine;
+pub mod error;
+pub mod lru;
+
+pub use blobstore::{BlobRef, BlobStore};
+pub use catalog::{Catalog, CatalogEntry, StoredKind};
+pub use engine::{StorageEngine, StorageStats};
+pub use error::StorageError;
+pub use lru::LruCache;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

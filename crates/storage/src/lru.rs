@@ -1,0 +1,341 @@
+//! An O(1) LRU cache with entry-count and byte budgets.
+//!
+//! Used to cache decoded binary rasters and instantiated edited images —
+//! instantiation is "an expensive process in terms of execution time" (§3),
+//! so the engine avoids repeating it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Index into the node arena.
+type Idx = usize;
+const NIL: Idx = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    bytes: usize,
+    prev: Idx,
+    next: Idx,
+}
+
+/// A least-recently-used cache with O(1) get/insert/evict.
+///
+/// Eviction triggers when either the entry count exceeds `max_entries` or
+/// the accumulated `bytes` weight exceeds `max_bytes`. A single entry larger
+/// than the byte budget is still admitted (and evicts everything else) — the
+/// cache never refuses its most recent insertion.
+pub struct LruCache<K, V> {
+    map: HashMap<K, Idx>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<Idx>,
+    head: Idx, // most recently used
+    tail: Idx, // least recently used
+    max_entries: usize,
+    max_bytes: usize,
+    cur_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache bounded by `max_entries` entries and `max_bytes`
+    /// total weight.
+    ///
+    /// # Panics
+    /// Panics when `max_entries` is zero.
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        assert!(max_entries > 0, "cache must admit at least one entry");
+        LruCache {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            max_entries,
+            max_bytes,
+            cur_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Current byte weight.
+    pub fn bytes(&self) -> usize {
+        self.cur_bytes
+    }
+
+    /// `(hits, misses)` counters since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.touch(idx);
+                Some(&self.nodes[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// True when `key` is cached (does not update recency or counters).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `value` with weight `bytes`, evicting LRU entries as needed.
+    /// Replaces (and re-weighs) an existing entry for the same key.
+    pub fn insert(&mut self, key: K, value: V, bytes: usize) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.cur_bytes = self.cur_bytes - self.nodes[idx].bytes + bytes;
+            self.nodes[idx].value = value;
+            self.nodes[idx].bytes = bytes;
+            self.touch(idx);
+        } else {
+            let idx = self.alloc(key.clone(), value, bytes);
+            self.map.insert(key, idx);
+            self.push_front(idx);
+            self.cur_bytes += bytes;
+        }
+        self.evict_overflow();
+    }
+
+    /// Invalidates `key` if cached. The arena slot is recycled on the next
+    /// insertion (the stale value is dropped at that point — a deliberate
+    /// trade that keeps the arena `Option`-free).
+    pub fn invalidate(&mut self, key: &K) -> bool {
+        let Some(idx) = self.map.remove(key) else {
+            return false;
+        };
+        self.unlink(idx);
+        self.cur_bytes -= self.nodes[idx].bytes;
+        self.free.push(idx);
+        true
+    }
+
+    fn alloc(&mut self, key: K, value: V, bytes: usize) -> Idx {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = Node {
+                key,
+                value,
+                bytes,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                key,
+                value,
+                bytes,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        }
+    }
+
+    fn touch(&mut self, idx: Idx) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn push_front(&mut self, idx: Idx) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: Idx) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn evict_overflow(&mut self) {
+        while self.map.len() > self.max_entries
+            || (self.cur_bytes > self.max_bytes && self.map.len() > 1)
+        {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.cur_bytes -= self.nodes[victim].bytes;
+            let key = self.nodes[victim].key.clone();
+            self.map.remove(&key);
+            self.free.push(victim);
+        }
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.cur_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_get_insert() {
+        let mut c: LruCache<u32, String> = LruCache::new(10, usize::MAX);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one".into(), 3);
+        assert_eq!(c.get(&1).map(String::as_str), Some("one"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 3);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_by_count() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3, usize::MAX);
+        c.insert(1, 10, 0);
+        c.insert(2, 20, 0);
+        c.insert(3, 30, 0);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.get(&1).is_some());
+        c.insert(4, 40, 0);
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2), "2 should have been evicted");
+        assert!(c.contains(&3));
+        assert!(c.contains(&4));
+    }
+
+    #[test]
+    fn evicts_by_byte_budget() {
+        let mut c: LruCache<u32, Vec<u8>> = LruCache::new(100, 10);
+        c.insert(1, vec![0; 4], 4);
+        c.insert(2, vec![0; 4], 4);
+        c.insert(3, vec![0; 4], 4); // 12 bytes > 10, evict key 1
+        assert!(!c.contains(&1));
+        assert!(c.contains(&2) && c.contains(&3));
+        assert_eq!(c.bytes(), 8);
+    }
+
+    #[test]
+    fn oversized_entry_still_admitted() {
+        let mut c: LruCache<u32, u8> = LruCache::new(10, 5);
+        c.insert(1, 0, 3);
+        c.insert(2, 0, 100); // over budget but must stay (last inserted)
+        assert!(c.contains(&2));
+        assert!(!c.contains(&1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn replace_updates_weight() {
+        let mut c: LruCache<u32, u8> = LruCache::new(10, 100);
+        c.insert(1, 0, 30);
+        c.insert(1, 1, 50);
+        assert_eq!(c.bytes(), 50);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2, usize::MAX);
+        for i in 0..100 {
+            c.insert(i, i, 0);
+        }
+        assert_eq!(c.len(), 2);
+        // Arena should not have grown unboundedly.
+        assert!(c.nodes.len() <= 3, "arena size {}", c.nodes.len());
+        assert!(c.contains(&99));
+        assert!(c.contains(&98));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4, 100);
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        c.insert(3, 3, 10);
+        assert!(c.contains(&3));
+    }
+
+    #[test]
+    fn heavy_interleaving_consistency() {
+        let mut c: LruCache<u64, u64> = LruCache::new(16, 1 << 10);
+        let mut seed = 9u64;
+        for step in 0..10_000u64 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (seed >> 33) % 40;
+            if seed.is_multiple_of(3) {
+                let _ = c.get(&k);
+            } else {
+                c.insert(k, step, (seed % 100) as usize);
+            }
+            assert!(c.len() <= 16);
+            assert!(c.bytes() <= 1 << 10 || c.len() == 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        LruCache::<u8, u8>::new(0, 10);
+    }
+
+    #[test]
+    fn invalidate_removes_and_recycles() {
+        let mut c: LruCache<u32, u32> = LruCache::new(8, 100);
+        c.insert(1, 11, 10);
+        c.insert(2, 22, 10);
+        assert!(c.invalidate(&1));
+        assert!(!c.invalidate(&1), "second invalidate is a no-op");
+        assert!(!c.contains(&1));
+        assert_eq!(c.bytes(), 10);
+        // Freed slot is reused.
+        let arena_before = c.nodes.len();
+        c.insert(3, 33, 10);
+        assert_eq!(c.nodes.len(), arena_before);
+        assert_eq!(c.get(&3), Some(&33));
+        assert_eq!(c.get(&2), Some(&22));
+    }
+}

@@ -1,0 +1,125 @@
+//! Golden-file tests: checked-in edit scripts must keep parsing,
+//! instantiating and bounding to the same observable results forever.
+
+use mmdb_editops::codec;
+use mmdb_histogram::{ColorHistogram, Quantizer, RgbQuantizer};
+use mmdb_imaging::{draw, RasterImage, Rect, Rgb};
+use mmdb_rules::{ColorRangeQuery, RuleEngine, RuleProfile};
+use mmdb_storage::StorageEngine;
+
+fn data(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("data")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// 90×60 tricolor (red / white / navy vertical thirds) as image 1, plus a
+/// 40×40 solid gold target as image 2 — the fixture every golden script
+/// refers to.
+fn fixture_db() -> StorageEngine {
+    let db = StorageEngine::in_memory(Box::new(RgbQuantizer::default_64()));
+    let mut tricolor = RasterImage::filled(90, 60, Rgb::WHITE).unwrap();
+    draw::fill_rect(
+        &mut tricolor,
+        &Rect::new(0, 0, 30, 60),
+        Rgb::new(0xCE, 0x11, 0x26),
+    );
+    draw::fill_rect(
+        &mut tricolor,
+        &Rect::new(60, 0, 90, 60),
+        Rgb::new(0x00, 0x28, 0x68),
+    );
+    let id1 = db.insert_binary(&tricolor).unwrap();
+    assert_eq!(id1.raw(), 1);
+    let gold = RasterImage::filled(40, 40, Rgb::new(0xFC, 0xD1, 0x16)).unwrap();
+    let id2 = db.insert_binary(&gold).unwrap();
+    assert_eq!(id2.raw(), 2);
+    db
+}
+
+#[test]
+fn teal_wash_golden() {
+    let db = fixture_db();
+    let seq = codec::from_text(&data("teal_wash.edit")).expect("golden script parses");
+    assert!(
+        seq.all_bound_widening(),
+        "teal_wash is a Main-component script"
+    );
+    let id = db.insert_edited(seq.clone()).expect("valid script");
+    let raster = db.raster(id).expect("instantiates");
+
+    // Frozen observable facts about the result.
+    assert_eq!((raster.width(), raster.height()), (90, 30));
+    let q = RgbQuantizer::default_64();
+    let hist = ColorHistogram::extract(&raster, &q);
+    let teal = q.bin_of(Rgb::new(0x00, 0x9B, 0x9E));
+    let red = q.bin_of(Rgb::new(0xCE, 0x11, 0x26));
+    assert_eq!(hist.count(teal), 870, "teal population drifted");
+    assert_eq!(hist.count(red), 0, "all red must have been recolored");
+    assert_eq!(hist.total(), 2700);
+
+    // The conservative bounds are frozen exactly: the blur over the whole
+    // 1800-pixel band widens teal to [0, 3600], and the crop caps it at the
+    // new 2700-pixel total.
+    let engine = RuleEngine::new(&q, RuleProfile::Conservative);
+    let bounds = engine.bounds(&seq, teal, &db).unwrap();
+    assert_eq!(
+        (bounds.min, bounds.max, bounds.total),
+        (0, 2700, 2700),
+        "teal bounds drifted"
+    );
+    assert!(bounds.admits(870));
+    assert!(engine
+        .may_satisfy(&seq, &ColorRangeQuery::at_least(teal, 0.2), &db)
+        .unwrap());
+    // The literal Table 1 profile has no Combine widening, so it *can*
+    // prune: red's literal range is [0, 1800]/2700 ≈ [0, 0.67].
+    let literal = RuleEngine::new(&q, RuleProfile::PaperTable1);
+    assert!(!literal
+        .may_satisfy(&seq, &ColorRangeQuery::new(red, 0.95, 1.0), &db)
+        .unwrap());
+}
+
+#[test]
+fn stamp_and_merge_golden() {
+    let db = fixture_db();
+    let seq = codec::from_text(&data("stamp_and_merge.edit")).expect("golden script parses");
+    assert!(
+        !seq.all_bound_widening(),
+        "merge-with-target is unclassified"
+    );
+    assert_eq!(seq.merge_targets(), vec![mmdb_editops::ImageId::new(2)]);
+    let id = db.insert_edited(seq.clone()).expect("valid script");
+    let raster = db.raster(id).expect("instantiates");
+
+    // Canvas: the 40×40 target grown by the 25×25 paste at (10,10) → 40×40
+    // (paste fits inside).
+    assert_eq!((raster.width(), raster.height()), (40, 40));
+    let q = RgbQuantizer::default_64();
+    let hist = ColorHistogram::extract(&raster, &q);
+    let gold = q.bin_of(Rgb::new(0xFC, 0xD1, 0x16));
+    assert_eq!(hist.count(gold), 975, "surviving gold drifted");
+    // Bounds stay sound for the whole pipeline.
+    let engine = RuleEngine::new(&q, RuleProfile::Conservative);
+    for bin in [gold, q.bin_of(Rgb::new(0xCE, 0x11, 0x26)), 0] {
+        let b = engine.bounds(&seq, bin, &db).unwrap();
+        assert!(
+            b.admits(hist.count(bin)),
+            "bin {bin}: {b:?} vs {}",
+            hist.count(bin)
+        );
+        assert_eq!(b.total, 1600);
+    }
+}
+
+#[test]
+fn golden_scripts_roundtrip_via_printer() {
+    for name in ["teal_wash.edit", "stamp_and_merge.edit"] {
+        let seq = codec::from_text(&data(name)).unwrap();
+        let printed = codec::to_text(&seq);
+        assert_eq!(codec::from_text(&printed).unwrap(), seq, "{name}");
+        let bytes = codec::encode(&seq);
+        assert_eq!(codec::decode(&bytes).unwrap(), seq, "{name}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Durability integration: a generated augmented database survives flush +
+//! reopen with identical query behaviour.
+
+use mmdb_datagen::{Collection, DatasetBuilder, QueryGenerator};
+use mmdb_query::QueryProcessor;
+use mmdbms::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mmdb_it_{}_{}_{tag}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "_")
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Copies an in-memory generated dataset into an on-disk facade database.
+fn materialize(dir: &std::path::Path) -> (MultimediaDatabase, usize, usize) {
+    let (src, info) = DatasetBuilder::new(Collection::Flags)
+        .total_images(50)
+        .pct_edited(0.6)
+        .seed(21)
+        .build();
+    let db = MultimediaDatabase::create(dir, Box::new(RgbQuantizer::default_64())).unwrap();
+    let mut id_map = std::collections::HashMap::new();
+    for old in src.binary_ids() {
+        id_map.insert(old, db.insert_image(&src.raster(old).unwrap()).unwrap());
+    }
+    for old in src.edited_ids() {
+        let mut seq = (*src.edit_sequence(old).unwrap()).clone();
+        seq.base = id_map[&seq.base];
+        for op in &mut seq.ops {
+            if let mmdbms::editops::EditOp::Merge {
+                target: Some(t), ..
+            } = op
+            {
+                *t = id_map[t];
+            }
+        }
+        db.insert_edited(seq).unwrap();
+    }
+    (db, info.binary_images, info.edited_images)
+}
+
+#[test]
+fn reopen_preserves_query_results() {
+    let dir = temp_dir("reopen");
+    let (db, n_binary, n_edited) = materialize(&dir);
+    let queries = QueryGenerator::weighted_from_db(5, db.storage()).batch(12);
+    let before: Vec<Vec<ImageId>> = queries
+        .iter()
+        .map(|q| db.query_range(q).unwrap().sorted_results())
+        .collect();
+    db.flush().unwrap();
+    drop(db);
+
+    let db = MultimediaDatabase::open(&dir).unwrap();
+    assert_eq!(db.storage().binary_ids().len(), n_binary);
+    assert_eq!(db.storage().edited_ids().len(), n_edited);
+    for (q, expect) in queries.iter().zip(&before) {
+        assert_eq!(&db.query_range(q).unwrap().sorted_results(), expect);
+    }
+    // RBM after reopen agrees too.
+    let qp = QueryProcessor::new(db.storage());
+    for (q, expect) in queries.iter().zip(&before) {
+        assert_eq!(&qp.range_rbm(q).unwrap().sorted_results(), expect);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deletes_survive_reopen_and_release_space() {
+    let dir = temp_dir("delete");
+    let (db, _, _) = materialize(&dir);
+    // Delete one base's children then the base itself.
+    let base = db.storage().binary_ids()[0];
+    let children = db.storage().children_of(base);
+    for c in &children {
+        db.delete(*c).unwrap();
+    }
+    db.delete(base).unwrap();
+    let remaining = db.storage().ids().len();
+    db.flush().unwrap();
+    drop(db);
+
+    let db = MultimediaDatabase::open(&dir).unwrap();
+    assert_eq!(db.storage().ids().len(), remaining);
+    assert!(!db.storage().contains(base));
+    // The freed blob space is reused by a fresh insert.
+    let stats_before = db.stats();
+    let img = RasterImage::filled(90, 60, Rgb::RED).unwrap();
+    db.insert_image(&img).unwrap();
+    let stats_after = db.stats();
+    assert_eq!(stats_after.binary_count, stats_before.binary_count + 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rasters_roundtrip_bit_exact_through_disk() {
+    let dir = temp_dir("bits");
+    let (db, _, _) = materialize(&dir);
+    let sample: Vec<ImageId> = db.storage().ids().into_iter().take(10).collect();
+    let originals: Vec<RasterImage> = sample
+        .iter()
+        .map(|&id| (*db.image(id).unwrap()).clone())
+        .collect();
+    db.flush().unwrap();
+    drop(db);
+    let db = MultimediaDatabase::open(&dir).unwrap();
+    for (id, original) in sample.iter().zip(&originals) {
+        assert_eq!(
+            &*db.image(*id).unwrap(),
+            original,
+            "{id} changed across reopen"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
