@@ -11,7 +11,7 @@
 //! `--fast` runs a reduced configuration; CSVs land in `results/`.
 
 use mmdb_bench::csvout;
-use mmdb_bench::experiments::{self, Figure, SweepConfig, SWEEP_HEADERS};
+use mmdb_bench::experiments::{self, Figure, SweepConfig, METRICS_HEADERS, SWEEP_HEADERS};
 use mmdb_datagen::Collection;
 use std::path::PathBuf;
 
@@ -104,6 +104,17 @@ fn run_figure(figure: Figure, cfg: &SweepConfig) {
     let path = results_dir().join(format!("{name}.csv"));
     csvout::write_csv(&path, &SWEEP_HEADERS, &rows).expect("write csv");
     println!("[csv] {}", path.display());
+
+    // Telemetry companion files: per-point counter deltas as CSV, plus the
+    // full end-of-sweep registry in Prometheus text form.
+    let metric_rows: Vec<Vec<String>> = points.iter().map(|p| p.metrics_csv_row()).collect();
+    let metrics_path = results_dir().join(format!("{name}.metrics.csv"));
+    csvout::write_csv(&metrics_path, &METRICS_HEADERS, &metric_rows).expect("write metrics csv");
+    println!("[csv] {}", metrics_path.display());
+    let prom_path = results_dir().join(format!("{name}.metrics.prom"));
+    std::fs::write(&prom_path, mmdb_telemetry::global().render_prometheus())
+        .expect("write metrics snapshot");
+    println!("[metrics] {}", prom_path.display());
 }
 
 fn run_headline(cfg: &SweepConfig) {

@@ -5,6 +5,7 @@ use mmdb_datagen::{Collection, DatasetBuilder, DatasetInfo, QueryGenerator, Vari
 use mmdb_query::QueryProcessor;
 use mmdb_rules::{ColorRangeQuery, RuleProfile};
 use mmdb_storage::StorageEngine;
+use mmdb_telemetry::Snapshot;
 
 /// Which figure of the paper a sweep reproduces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +123,10 @@ pub struct SweepPoint {
     pub bwm_bounds_per_query: f64,
     /// Whether RBM and BWM returned identical result sets on every query.
     pub results_equal: bool,
+    /// Telemetry registry deltas over the timed passes (warm-up excluded):
+    /// what the global counters attribute to this sweep point. Keyed by
+    /// series name exactly as the live registry exposes them.
+    pub metrics: Snapshot,
 }
 
 impl SweepPoint {
@@ -140,7 +145,51 @@ impl SweepPoint {
             self.results_equal.to_string(),
         ]
     }
+
+    /// Metrics-snapshot CSV row (matches [`METRICS_HEADERS`]): the key
+    /// per-point counter deltas, one column per series of interest.
+    pub fn metrics_csv_row(&self) -> Vec<String> {
+        let m = &self.metrics;
+        let widening = m.get(r#"mmdb_rules_widening_ops_total{profile="paper_table1"}"#)
+            + m.get(r#"mmdb_rules_widening_ops_total{profile="conservative"}"#);
+        vec![
+            format!("{:.0}", self.pct * 100.0),
+            m.get("mmdb_rules_bounds_computed_total").to_string(),
+            widening.to_string(),
+            m.get("mmdb_bwm_clusters_visited_total").to_string(),
+            m.get("mmdb_bwm_base_hits_total").to_string(),
+            m.get("mmdb_bwm_shortcut_emissions_total").to_string(),
+            m.get("mmdb_bwm_ops_processed_total").to_string(),
+            m.get(r#"mmdb_bwm_scans_total{component="unclassified"}"#)
+                .to_string(),
+            m.get("mmdb_storage_instantiations_total").to_string(),
+            m.get("mmdb_storage_cache_hits_total").to_string(),
+            m.get("mmdb_storage_cache_misses_total").to_string(),
+            m.get(r#"mmdb_query_range_latency_seconds{plan="rbm"}_sum_nanos"#)
+                .to_string(),
+            m.get(r#"mmdb_query_range_latency_seconds{plan="bwm"}_sum_nanos"#)
+                .to_string(),
+        ]
+    }
 }
+
+/// CSV headers for the per-point metrics-snapshot file written next to each
+/// figure's timing CSV (`<figure>.metrics.csv`).
+pub const METRICS_HEADERS: [&str; 13] = [
+    "pct_edited",
+    "rules_bounds_computed",
+    "rules_widening_ops",
+    "bwm_clusters_visited",
+    "bwm_base_hits",
+    "bwm_shortcut_emissions",
+    "bwm_ops_processed",
+    "bwm_scans_unclassified",
+    "storage_instantiations",
+    "storage_cache_hits",
+    "storage_cache_misses",
+    "rbm_latency_sum_nanos",
+    "bwm_latency_sum_nanos",
+];
 
 /// CSV headers for sweep outputs.
 pub const SWEEP_HEADERS: [&str; 10] = [
@@ -210,12 +259,16 @@ fn measure_point(
         std::hint::black_box(qp.range_rbm(q).unwrap());
         std::hint::black_box(qp.range_bwm(q).unwrap());
     }
+    mmdb_rules::flush_metrics(); // drain warm-up remnants out of the window
+    let telemetry_before = mmdb_telemetry::global().snapshot();
     let ((rbm_ms, rbm_out), (bwm_ms, bwm_out)) = crate::timing::time_interleaved(
         &queries,
         cfg.repeats,
         |q| qp.range_rbm(q).unwrap(),
         |q| qp.range_bwm(q).unwrap(),
     );
+    mmdb_rules::flush_metrics();
+    let metrics = mmdb_telemetry::global().snapshot().delta(&telemetry_before);
 
     let results_equal = rbm_out
         .iter()
@@ -252,6 +305,7 @@ fn measure_point(
         rbm_bounds_per_query,
         bwm_bounds_per_query,
         results_equal,
+        metrics,
     }
 }
 
@@ -693,6 +747,10 @@ mod tests {
             assert!(p.results_equal, "RBM and BWM must agree at pct {}", p.pct);
             assert!(p.rbm_ms > 0.0 && p.bwm_ms > 0.0);
             assert_eq!(p.binary + p.edited, cfg.total_images);
+            // The timed passes ran BOUNDS computations, so the per-point
+            // telemetry delta must have attributed some to this point.
+            assert!(p.metrics.get("mmdb_rules_bounds_computed_total") > 0);
+            assert_eq!(p.metrics_csv_row().len(), METRICS_HEADERS.len());
         }
         // Fixed BW pool: the non-BW count grows along the sweep.
         assert!(points[0].nbw < points[2].nbw);

@@ -28,5 +28,27 @@
 pub mod query;
 pub mod structure;
 
-pub use query::{BwmQueryStats, QueryOutcome};
+pub use query::{execute, execute_traced, BwmQueryStats, QueryOutcome};
 pub use structure::{BwmStructure, Classification, SequenceStore};
+
+/// Eagerly registers this layer's metric series (zero-valued until traffic
+/// arrives) so exposition shows the full BWM schema from process start.
+pub fn register_metrics() {
+    let g = mmdb_telemetry::global();
+    for name in [
+        "mmdb_bwm_cluster_inserts_total",
+        r#"mmdb_bwm_edited_inserts_total{component="classified"}"#,
+        r#"mmdb_bwm_edited_inserts_total{component="unclassified"}"#,
+        "mmdb_bwm_removals_total",
+        "mmdb_bwm_orphaned_total",
+        "mmdb_bwm_queries_total",
+        "mmdb_bwm_clusters_visited_total",
+        "mmdb_bwm_base_hits_total",
+        "mmdb_bwm_shortcut_emissions_total",
+        "mmdb_bwm_ops_processed_total",
+        r#"mmdb_bwm_scans_total{component="classified"}"#,
+        r#"mmdb_bwm_scans_total{component="unclassified"}"#,
+    ] {
+        let _ = g.counter(name);
+    }
+}

@@ -3,6 +3,8 @@
 use crate::structure::{BwmStructure, SequenceStore};
 use mmdb_editops::ImageId;
 use mmdb_rules::{ColorRangeQuery, InfoResolver, Result, RuleEngine, RuleError};
+use mmdb_telemetry::{counter, QueryTrace};
+use std::time::Instant;
 
 /// Work counters for one query execution — these are what Figures 3/4 of
 /// the paper measure indirectly (execution time tracks the number of rule
@@ -17,6 +19,10 @@ pub struct BwmQueryStats {
     pub shortcut_emissions: usize,
     /// Full BOUNDS computations executed.
     pub bounds_computed: usize,
+    /// BOUNDS computations whose resulting range was inexact (the rules
+    /// widened it beyond a point estimate). Zero whenever no edited image
+    /// required a rule walk — e.g. a never-edited database.
+    pub bounds_widened: usize,
     /// Individual editing operations whose rules were applied.
     pub ops_processed: usize,
     /// Unclassified-Component entries scanned.
@@ -59,8 +65,68 @@ pub fn execute<S: SequenceStore>(
     store: &S,
 ) -> Result<QueryOutcome> {
     let mut out = QueryOutcome::default();
+    scan_main(structure, query, engine, resolver, store, &mut out)?;
+    scan_unclassified(structure, query, engine, resolver, store, &mut out)?;
+    flush_query_metrics(&out.stats);
+    Ok(out)
+}
 
-    // Step 4: each element <B_id, E_list> of the Main Component.
+/// [`execute`] with a per-stage [`QueryTrace`]: the Main-Component and
+/// Unclassified scans each become a timed stage carrying their work
+/// counters. Used by `mmdbctl explain` and the facade's traced query path.
+pub fn execute_traced<S: SequenceStore>(
+    structure: &BwmStructure,
+    query: &ColorRangeQuery,
+    engine: &RuleEngine<'_>,
+    resolver: &dyn InfoResolver,
+    store: &S,
+) -> Result<(QueryOutcome, QueryTrace)> {
+    let mut out = QueryOutcome::default();
+    let started = Instant::now();
+    scan_main(structure, query, engine, resolver, store, &mut out)?;
+    let main_elapsed = started.elapsed();
+    let main_stats = out.stats;
+
+    let uncl_started = Instant::now();
+    scan_unclassified(structure, query, engine, resolver, store, &mut out)?;
+    let uncl_elapsed = uncl_started.elapsed();
+    flush_query_metrics(&out.stats);
+
+    let mut trace = QueryTrace::new("bwm_range");
+    trace.counter("results", out.results.len() as u64);
+    trace.counter("bounds_computed", out.stats.bounds_computed as u64);
+    trace.counter("bounds_widened", out.stats.bounds_widened as u64);
+    trace
+        .stage("main_component", main_elapsed)
+        .counter("clusters_visited", main_stats.clusters_visited as u64)
+        .counter("base_hits", main_stats.base_hits as u64)
+        .counter("shortcut_emissions", main_stats.shortcut_emissions as u64)
+        .counter("bounds_computed", main_stats.bounds_computed as u64)
+        .counter("ops_processed", main_stats.ops_processed as u64);
+    trace
+        .stage("unclassified", uncl_elapsed)
+        .counter("scanned", out.stats.unclassified_scanned as u64)
+        .counter(
+            "bounds_computed",
+            (out.stats.bounds_computed - main_stats.bounds_computed) as u64,
+        )
+        .counter(
+            "ops_processed",
+            (out.stats.ops_processed - main_stats.ops_processed) as u64,
+        );
+    trace.finish(started.elapsed());
+    Ok((out, trace))
+}
+
+/// Step 4: each element `<B_id, E_list>` of the Main Component.
+fn scan_main<S: SequenceStore>(
+    structure: &BwmStructure,
+    query: &ColorRangeQuery,
+    engine: &RuleEngine<'_>,
+    resolver: &dyn InfoResolver,
+    store: &S,
+    out: &mut QueryOutcome,
+) -> Result<()> {
     for (base, cluster) in structure.clusters() {
         out.stats.clusters_visited += 1;
         let info = resolver.require(base)?;
@@ -74,34 +140,65 @@ pub fn execute<S: SequenceStore>(
         } else {
             // 4.3: fall back to the BOUNDS algorithm per edited image.
             for &edited in cluster {
-                let seq = store
-                    .sequence(edited)
-                    .ok_or(RuleError::UnknownImage(edited))?;
-                out.stats.bounds_computed += 1;
-                out.stats.ops_processed += seq.len();
-                let bounds = engine.bounds(&seq, query.bin, resolver)?;
-                if bounds.overlaps_fraction(query.pct_min, query.pct_max) {
-                    out.results.push(edited);
-                }
+                bounds_test(edited, query, engine, resolver, store, out)?;
             }
         }
     }
+    Ok(())
+}
 
-    // Step 5: the Unclassified Component.
+/// Step 5: the Unclassified Component.
+fn scan_unclassified<S: SequenceStore>(
+    structure: &BwmStructure,
+    query: &ColorRangeQuery,
+    engine: &RuleEngine<'_>,
+    resolver: &dyn InfoResolver,
+    store: &S,
+    out: &mut QueryOutcome,
+) -> Result<()> {
     for &edited in structure.unclassified() {
         out.stats.unclassified_scanned += 1;
-        let seq = store
-            .sequence(edited)
-            .ok_or(RuleError::UnknownImage(edited))?;
-        out.stats.bounds_computed += 1;
-        out.stats.ops_processed += seq.len();
-        let bounds = engine.bounds(&seq, query.bin, resolver)?;
-        if bounds.overlaps_fraction(query.pct_min, query.pct_max) {
-            out.results.push(edited);
-        }
+        bounds_test(edited, query, engine, resolver, store, out)?;
     }
+    Ok(())
+}
 
-    Ok(out)
+/// Runs BOUNDS for one edited image and emits it when the range overlaps.
+fn bounds_test<S: SequenceStore>(
+    edited: ImageId,
+    query: &ColorRangeQuery,
+    engine: &RuleEngine<'_>,
+    resolver: &dyn InfoResolver,
+    store: &S,
+    out: &mut QueryOutcome,
+) -> Result<()> {
+    let seq = store
+        .sequence(edited)
+        .ok_or(RuleError::UnknownImage(edited))?;
+    out.stats.bounds_computed += 1;
+    out.stats.ops_processed += seq.len();
+    let bounds = engine.bounds(&seq, query.bin, resolver)?;
+    if !bounds.is_exact() {
+        out.stats.bounds_widened += 1;
+    }
+    if bounds.overlaps_fraction(query.pct_min, query.pct_max) {
+        out.results.push(edited);
+    }
+    Ok(())
+}
+
+/// Flushes the per-query work counters to the global registry in one batch —
+/// the Figure 2 loops above touch only the `BwmQueryStats` struct.
+fn flush_query_metrics(stats: &BwmQueryStats) {
+    counter!("mmdb_bwm_queries_total").inc();
+    counter!("mmdb_bwm_clusters_visited_total").add(stats.clusters_visited as u64);
+    counter!("mmdb_bwm_base_hits_total").add(stats.base_hits as u64);
+    counter!("mmdb_bwm_shortcut_emissions_total").add(stats.shortcut_emissions as u64);
+    counter!("mmdb_bwm_ops_processed_total").add(stats.ops_processed as u64);
+    let classified = stats.bounds_computed - stats.unclassified_scanned;
+    counter!(r#"mmdb_bwm_scans_total{component="classified"}"#).add(classified as u64);
+    counter!(r#"mmdb_bwm_scans_total{component="unclassified"}"#)
+        .add(stats.unclassified_scanned as u64);
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! The proposed data structure (§4.1) and its insertion algorithm (Fig. 1).
 
 use mmdb_editops::{EditSequence, ImageId};
+use mmdb_telemetry::counter;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -58,6 +59,7 @@ impl BwmStructure {
     /// corresponding histogram should be added to the Main Component" — an
     /// empty cluster keyed by the image.
     pub fn insert_binary(&mut self, id: ImageId) {
+        counter!("mmdb_bwm_cluster_inserts_total").inc();
         self.main.entry(id).or_default();
     }
 
@@ -66,9 +68,11 @@ impl BwmStructure {
     /// append to Unclassified. Returns the classification.
     pub fn insert_edited(&mut self, id: ImageId, sequence: &EditSequence) -> Classification {
         if sequence.all_bound_widening() {
+            counter!(r#"mmdb_bwm_edited_inserts_total{component="classified"}"#).inc();
             self.main.entry(sequence.base).or_default().push(id);
             Classification::Main
         } else {
+            counter!(r#"mmdb_bwm_edited_inserts_total{component="unclassified"}"#).inc();
             self.unclassified.push(id);
             Classification::Unclassified
         }
@@ -98,7 +102,9 @@ impl BwmStructure {
     /// returned so the caller can decide what to do with them (normally they
     /// were deleted first — the storage engine enforces that).
     pub fn remove(&mut self, id: ImageId) -> Vec<ImageId> {
+        counter!("mmdb_bwm_removals_total").inc();
         if let Some(orphans) = self.main.remove(&id) {
+            counter!("mmdb_bwm_orphaned_total").add(orphans.len() as u64);
             return orphans;
         }
         for list in self.main.values_mut() {

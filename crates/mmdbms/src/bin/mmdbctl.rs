@@ -9,6 +9,8 @@
 //! mmdbctl info --db ./mydb [--id 7]
 //! mmdbctl query --db ./mydb --color '#ce1126' --min 0.25 [--max 1.0]
 //!               [--plan bwm|rbm|instantiate] [--expand]
+//! mmdbctl explain --db ./mydb --color '#ce1126' --min 0.25 [--plan bwm]
+//! mmdbctl metrics --db ./mydb [--format prometheus|json]
 //! mmdbctl knn --db ./mydb probe.ppm --k 5 [--augmented]
 //! mmdbctl export --db ./mydb --id 7 out.ppm
 //! mmdbctl script --db ./mydb --id 9        # print an edited image's script
@@ -261,20 +263,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 
 fn cmd_query(args: &Args) -> Result<(), String> {
     let db = open_db(args)?;
-    let color = args
-        .options
-        .get("color")
-        .ok_or_else(|| "--color '#rrggbb' is required".to_string())?;
-    let color = Rgb::from_hex(color).ok_or_else(|| format!("bad color {color:?}"))?;
-    let min = args.f64_opt("min", 0.0)?;
-    let max = args.f64_opt("max", 1.0)?;
-    let plan = match args.options.get("plan").map(String::as_str) {
-        None | Some("bwm") => QueryPlan::Bwm,
-        Some("rbm") => QueryPlan::Rbm,
-        Some("instantiate") => QueryPlan::Instantiate,
-        Some(other) => return Err(format!("unknown plan {other:?}")),
-    };
-    let query = ColorRangeQuery::new(db.bin_of(color), min, max);
+    let (query, plan) = parse_query(args, &db)?;
     let start = std::time::Instant::now();
     let outcome = db
         .query_range_with_plan(&query, plan)
@@ -295,6 +284,57 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     for id in results {
         println!("  {id}");
     }
+    Ok(())
+}
+
+/// Parses the shared query options (`--color`, `--min`, `--max`, `--plan`).
+fn parse_query(
+    args: &Args,
+    db: &MultimediaDatabase,
+) -> Result<(ColorRangeQuery, QueryPlan), String> {
+    let color = args
+        .options
+        .get("color")
+        .ok_or_else(|| "--color '#rrggbb' is required".to_string())?;
+    let color = Rgb::from_hex(color).ok_or_else(|| format!("bad color {color:?}"))?;
+    let min = args.f64_opt("min", 0.0)?;
+    let max = args.f64_opt("max", 1.0)?;
+    let plan = match args.options.get("plan").map(String::as_str) {
+        None | Some("bwm") => QueryPlan::Bwm,
+        Some("rbm") => QueryPlan::Rbm,
+        Some("instantiate") => QueryPlan::Instantiate,
+        Some(other) => return Err(format!("unknown plan {other:?}")),
+    };
+    Ok((ColorRangeQuery::new(db.bin_of(color), min, max), plan))
+}
+
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    // Opening the database already exercises the storage and BWM layers
+    // (catalog load + Figure 1 rebuild); eager registration fills in the
+    // rest of the schema so every series is visible even at zero.
+    let db = open_db(args)?;
+    mmdbms::register_all_metrics();
+    match args.options.get("format").map(String::as_str) {
+        None | Some("prometheus") => print!("{}", db.metrics().render_prometheus()),
+        Some("json") => println!("{}", db.metrics().render_json()),
+        Some(other) => return Err(format!("unknown format {other:?} (prometheus|json)")),
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let (query, plan) = parse_query(args, &db)?;
+    mmdbms::telemetry::set_tracing(true);
+    let (outcome, trace) = db
+        .query_range_traced(&query, plan)
+        .map_err(|e| e.to_string())?;
+    print!("{}", trace.render());
+    println!(
+        "{} result(s): {:?}",
+        outcome.results.len(),
+        outcome.sorted_results()
+    );
     Ok(())
 }
 
@@ -382,7 +422,7 @@ fn cmd_delete(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|knn|export|script|delete> [options]
+const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|knn|export|script|delete> [options]
   create        --db DIR [--quantizer rgb-uniform/4]
   gen           --db DIR [--collection flags|helmets] [--count N] [--augment N] [--seed S]
   insert        --db DIR FILE.ppm [--augment N] [--seed S]
@@ -390,6 +430,8 @@ const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|que
   ls            --db DIR
   info          --db DIR [--id N]
   query         --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate] [--expand true]
+  explain       --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate]
+  metrics       --db DIR [--format prometheus|json]
   knn           --db DIR PROBE.ppm [--k N] [--augmented true]
   export        --db DIR --id N OUT.ppm
   script        --db DIR --id N
@@ -428,6 +470,8 @@ fn main() -> ExitCode {
         "ls" => cmd_ls(&args),
         "info" => cmd_info(&args),
         "query" => cmd_query(&args),
+        "explain" => cmd_explain(&args),
+        "metrics" => cmd_metrics(&args),
         "knn" => cmd_knn(&args),
         "export" => cmd_export(&args),
         "script" => cmd_script(&args),

@@ -47,6 +47,7 @@ use mmdb_query::executor::{QueryError, QueryProcessor};
 use mmdb_query::{QueryPlan, SignatureIndex};
 use mmdb_rules::{ColorRangeQuery, RuleProfile};
 use mmdb_storage::{StorageEngine, StorageStats};
+use mmdb_telemetry::QueryTrace;
 use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::Arc;
@@ -61,6 +62,7 @@ pub use mmdb_index as index;
 pub use mmdb_query as query;
 pub use mmdb_rules as rules;
 pub use mmdb_storage as storage;
+pub use mmdb_telemetry as telemetry;
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
@@ -73,10 +75,21 @@ pub mod prelude {
     pub use mmdb_imaging::{Point, RasterImage, Rect, Rgb};
     pub use mmdb_query::QueryPlan;
     pub use mmdb_rules::{BoundRange, ColorRangeQuery, RuleProfile};
+    pub use mmdb_telemetry::QueryTrace;
 }
 
 /// Result alias of the facade (query-layer error covers rules + storage).
 pub type Result<T> = std::result::Result<T, QueryError>;
+
+/// Eagerly registers every layer's metric series in the global registry so
+/// `mmdbctl metrics` (and any exporter) shows the full schema — zero-valued
+/// series included — from process start.
+pub fn register_all_metrics() {
+    mmdb_storage::register_metrics();
+    mmdb_rules::register_metrics();
+    mmdb_bwm::register_metrics();
+    mmdb_query::register_metrics();
+}
 
 /// The top-level multimedia database handle.
 ///
@@ -224,6 +237,39 @@ impl MultimediaDatabase {
             QueryPlan::Rbm => qp.range_rbm(query),
             QueryPlan::Instantiate => qp.range_instantiate(query),
         }
+    }
+
+    /// Runs a color range query under an explicit plan with tracing: the
+    /// returned [`QueryTrace`] records the plan and query parameters, each
+    /// scan phase as a timed stage, and the work the stage performed (base
+    /// shortcuts, bounds computed vs. widened, …). Render it with
+    /// [`QueryTrace::render`].
+    pub fn query_range_traced(
+        &self,
+        query: &ColorRangeQuery,
+        plan: QueryPlan,
+    ) -> Result<(mmdb_bwm::QueryOutcome, QueryTrace)> {
+        let qp = QueryProcessor::with_profile(&self.storage, self.profile);
+        match plan {
+            QueryPlan::Bwm => qp.range_bwm_with_traced(&self.bwm.read(), query),
+            _ => qp.range_with_plan_traced(plan, query),
+        }
+    }
+
+    /// The process-global telemetry registry: every layer of the stack
+    /// (storage, rules, BWM, query) publishes its counters and latency
+    /// histograms here. Render with
+    /// [`Registry::render_prometheus`](mmdb_telemetry::Registry::render_prometheus)
+    /// or [`Registry::render_json`](mmdb_telemetry::Registry::render_json),
+    /// or diff [`Registry::snapshot`](mmdb_telemetry::Registry::snapshot)s
+    /// around a workload.
+    ///
+    /// Drains the calling thread's staged rule-engine counts first, so
+    /// totals are exact for single-threaded callers (worker threads drain
+    /// automatically every few hundred BOUNDS calls).
+    pub fn metrics(&self) -> &'static mmdb_telemetry::Registry {
+        mmdb_rules::flush_metrics();
+        mmdb_telemetry::global()
     }
 
     /// Convenience form of the paper's example query: "retrieve all images
@@ -443,20 +489,53 @@ mod tests {
         assert_eq!(snapshot.classified_count(), 0);
     }
 
+    /// A per-test unique temp directory, removed on drop (including on
+    /// panic). Keyed by pid, wall clock and a process-wide sequence number so
+    /// concurrent tests — and stale dirs from earlier runs that recycled the
+    /// pid — can never collide.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            let dir = std::env::temp_dir().join(format!(
+                "mmdbms_{tag}_{}_{nanos}_{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed),
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
     #[test]
     fn export_and_persistence() {
-        let dir = std::env::temp_dir().join(format!("mmdbms_facade_{}", std::process::id()));
-        std::fs::remove_dir_all(&dir).ok();
+        let tmp = TempDir::new("facade");
+        let dir = tmp.path();
         let base;
         {
-            let db =
-                MultimediaDatabase::create(&dir, Box::new(RgbQuantizer::default_64())).unwrap();
+            let db = MultimediaDatabase::create(dir, Box::new(RgbQuantizer::default_64())).unwrap();
             base = db.insert_image(&red_flag()).unwrap();
             db.insert_edited(EditSequence::builder(base).blur().build())
                 .unwrap();
             db.flush().unwrap();
         }
-        let db = MultimediaDatabase::open(&dir).unwrap();
+        let db = MultimediaDatabase::open(dir).unwrap();
         assert!(db.image(base).is_ok());
         // BWM was rebuilt on open.
         assert_eq!(db.bwm_snapshot().classified_count(), 1);
@@ -464,7 +543,6 @@ mod tests {
         db.export_ppm(base, &out_path).unwrap();
         let back = mmdb_imaging::ppm::read_file(&out_path).unwrap();
         assert_eq!(back, red_flag());
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

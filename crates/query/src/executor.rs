@@ -6,8 +6,10 @@ use mmdb_bwm::{BwmQueryStats, BwmStructure, QueryOutcome};
 use mmdb_editops::ImageId;
 use mmdb_rules::{ColorRangeQuery, InfoResolver, RuleEngine, RuleError, RuleProfile};
 use mmdb_storage::{StorageEngine, StorageError};
+use mmdb_telemetry::{counter, histogram, QueryTrace};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Instant;
 
 /// Errors from query execution.
 #[derive(Debug)]
@@ -27,7 +29,14 @@ impl fmt::Display for QueryError {
     }
 }
 
-impl std::error::Error for QueryError {}
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Rule(e) => Some(e),
+            QueryError::Storage(e) => Some(e),
+        }
+    }
+}
 
 impl From<RuleError> for QueryError {
     fn from(e: RuleError) -> Self {
@@ -43,6 +52,26 @@ impl From<StorageError> for QueryError {
 
 /// Result alias for query execution.
 pub type Result<T> = std::result::Result<T, QueryError>;
+
+/// Records one range-query execution in the global registry: a per-plan
+/// counter plus a per-plan latency histogram. One `Instant` read and two
+/// relaxed RMWs per query — negligible next to any scan.
+fn observe_range(plan: QueryPlan, elapsed: std::time::Duration) {
+    match plan {
+        QueryPlan::Instantiate => {
+            counter!(r#"mmdb_query_range_total{plan="instantiate"}"#).inc();
+            histogram!(r#"mmdb_query_range_latency_seconds{plan="instantiate"}"#).observe(elapsed);
+        }
+        QueryPlan::Rbm => {
+            counter!(r#"mmdb_query_range_total{plan="rbm"}"#).inc();
+            histogram!(r#"mmdb_query_range_latency_seconds{plan="rbm"}"#).observe(elapsed);
+        }
+        QueryPlan::Bwm => {
+            counter!(r#"mmdb_query_range_total{plan="bwm"}"#).inc();
+            histogram!(r#"mmdb_query_range_latency_seconds{plan="bwm"}"#).observe(elapsed);
+        }
+    }
+}
 
 /// A query processor bound to one database.
 ///
@@ -107,18 +136,111 @@ impl<'db> QueryProcessor<'db> {
         }
     }
 
+    /// Runs `query` under the preferred plan, returning a per-stage
+    /// [`QueryTrace`] alongside the outcome.
+    pub fn range_traced(&self, query: &ColorRangeQuery) -> Result<(QueryOutcome, QueryTrace)> {
+        self.range_with_plan_traced(self.plan(), query)
+    }
+
+    /// Runs `query` under an explicit plan with tracing: the trace records
+    /// the chosen plan and query parameters as events, each scan phase as a
+    /// timed stage, and the work counters the stage performed.
+    ///
+    /// # Panics
+    /// Panics when `plan` is [`QueryPlan::Bwm`] and no structure is attached.
+    pub fn range_with_plan_traced(
+        &self,
+        plan: QueryPlan,
+        query: &ColorRangeQuery,
+    ) -> Result<(QueryOutcome, QueryTrace)> {
+        let started = Instant::now();
+        let (out, mut trace) = match plan {
+            QueryPlan::Bwm => {
+                let structure = self
+                    .bwm
+                    .as_ref()
+                    .expect("BWM plan requires an attached BWM structure");
+                let engine = self.engine();
+                mmdb_bwm::query::execute_traced(structure, query, &engine, self.db, self.db)?
+            }
+            QueryPlan::Rbm => {
+                let engine = self.engine();
+                let mut out = QueryOutcome::default();
+                let binary_started = Instant::now();
+                self.rbm_binary_scan(query, &mut out)?;
+                let binary_elapsed = binary_started.elapsed();
+                let binary_hits = out.results.len();
+
+                let edited_started = Instant::now();
+                self.rbm_edited_scan(&engine, query, &mut out)?;
+                let edited_elapsed = edited_started.elapsed();
+
+                let mut trace = QueryTrace::new("rbm_range");
+                trace.counter("results", out.results.len() as u64);
+                trace.counter("bounds_computed", out.stats.bounds_computed as u64);
+                trace.counter("bounds_widened", out.stats.bounds_widened as u64);
+                trace
+                    .stage("binary_scan", binary_elapsed)
+                    .counter("scanned", self.db.binary_ids().len() as u64)
+                    .counter("hits", binary_hits as u64);
+                trace
+                    .stage("edited_scan", edited_elapsed)
+                    .counter("bounds_computed", out.stats.bounds_computed as u64)
+                    .counter("ops_processed", out.stats.ops_processed as u64);
+                (out, trace)
+            }
+            QueryPlan::Instantiate => {
+                let scan_started = Instant::now();
+                let mut out = QueryOutcome::default();
+                self.instantiate_scan(query, &mut out)?;
+                let scan_elapsed = scan_started.elapsed();
+                let mut trace = QueryTrace::new("instantiate_range");
+                trace.counter("results", out.results.len() as u64);
+                trace
+                    .stage("exact_scan", scan_elapsed)
+                    .counter("scanned", self.db.ids().len() as u64);
+                (out, trace)
+            }
+        };
+        trace.event("plan", plan.to_string());
+        trace.event("bin", query.bin.to_string());
+        trace.event("range", format!("[{}, {}]", query.pct_min, query.pct_max));
+        trace.finish(started.elapsed());
+        observe_range(plan, started.elapsed());
+        Ok((out, trace))
+    }
+
     /// §3 baseline (Figures 3–4 "without data structure"): every binary
     /// image is tested against its exact histogram; every edited image runs
     /// the full BOUNDS computation over all of its operations.
     pub fn range_rbm(&self, query: &ColorRangeQuery) -> Result<QueryOutcome> {
+        let started = Instant::now();
         let engine = self.engine();
         let mut out = QueryOutcome::default();
+        self.rbm_binary_scan(query, &mut out)?;
+        self.rbm_edited_scan(&engine, query, &mut out)?;
+        observe_range(QueryPlan::Rbm, started.elapsed());
+        Ok(out)
+    }
+
+    /// The exact-histogram pass over binary images shared by the RBM paths.
+    fn rbm_binary_scan(&self, query: &ColorRangeQuery, out: &mut QueryOutcome) -> Result<()> {
         for id in self.db.binary_ids() {
             let info = InfoResolver::require(self.db, id)?;
             if query.matches_fraction(info.histogram.fraction(query.bin)) {
                 out.results.push(id);
             }
         }
+        Ok(())
+    }
+
+    /// The BOUNDS pass over every edited image (the RBM fallback work).
+    fn rbm_edited_scan(
+        &self,
+        engine: &RuleEngine<'_>,
+        query: &ColorRangeQuery,
+        out: &mut QueryOutcome,
+    ) -> Result<()> {
         for id in self.db.edited_ids() {
             let seq = self
                 .db
@@ -127,11 +249,14 @@ impl<'db> QueryProcessor<'db> {
             out.stats.bounds_computed += 1;
             out.stats.ops_processed += seq.len();
             let bounds = engine.bounds(&seq, query.bin, self.db)?;
+            if !bounds.is_exact() {
+                out.stats.bounds_widened += 1;
+            }
             if bounds.overlaps_fraction(query.pct_min, query.pct_max) {
                 out.results.push(id);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Multi-threaded RBM: the edited-image scan is embarrassingly parallel,
@@ -143,13 +268,9 @@ impl<'db> QueryProcessor<'db> {
         threads: usize,
     ) -> Result<QueryOutcome> {
         assert!(threads > 0, "need at least one thread");
+        let started = Instant::now();
         let mut out = QueryOutcome::default();
-        for id in self.db.binary_ids() {
-            let info = InfoResolver::require(self.db, id)?;
-            if query.matches_fraction(info.histogram.fraction(query.bin)) {
-                out.results.push(id);
-            }
-        }
+        self.rbm_binary_scan(query, &mut out)?;
         let edited = self.db.edited_ids();
         let chunk = edited.len().div_ceil(threads).max(1);
         let partials: Vec<Result<(Vec<ImageId>, BwmQueryStats)>> =
@@ -169,6 +290,9 @@ impl<'db> QueryProcessor<'db> {
                                 stats.bounds_computed += 1;
                                 stats.ops_processed += seq.len();
                                 let bounds = engine.bounds(&seq, query.bin, self.db)?;
+                                if !bounds.is_exact() {
+                                    stats.bounds_widened += 1;
+                                }
                                 if bounds.overlaps_fraction(query.pct_min, query.pct_max) {
                                     hits.push(id);
                                 }
@@ -188,7 +312,9 @@ impl<'db> QueryProcessor<'db> {
             out.results.extend(hits);
             out.stats.bounds_computed += stats.bounds_computed;
             out.stats.ops_processed += stats.ops_processed;
+            out.stats.bounds_widened += stats.bounds_widened;
         }
+        observe_range(QueryPlan::Rbm, started.elapsed());
         Ok(out)
     }
 
@@ -211,10 +337,29 @@ impl<'db> QueryProcessor<'db> {
         structure: &BwmStructure,
         query: &ColorRangeQuery,
     ) -> Result<QueryOutcome> {
+        let started = Instant::now();
         let engine = self.engine();
-        Ok(mmdb_bwm::query::execute(
-            structure, query, &engine, self.db, self.db,
-        )?)
+        let out = mmdb_bwm::query::execute(structure, query, &engine, self.db, self.db)?;
+        observe_range(QueryPlan::Bwm, started.elapsed());
+        Ok(out)
+    }
+
+    /// Figure 2 with tracing against an externally owned structure.
+    pub fn range_bwm_with_traced(
+        &self,
+        structure: &BwmStructure,
+        query: &ColorRangeQuery,
+    ) -> Result<(QueryOutcome, QueryTrace)> {
+        let started = Instant::now();
+        let engine = self.engine();
+        let (out, mut trace) =
+            mmdb_bwm::query::execute_traced(structure, query, &engine, self.db, self.db)?;
+        trace.event("plan", QueryPlan::Bwm.to_string());
+        trace.event("bin", query.bin.to_string());
+        trace.event("range", format!("[{}, {}]", query.pct_min, query.pct_max));
+        trace.finish(started.elapsed());
+        observe_range(QueryPlan::Bwm, started.elapsed());
+        Ok((out, trace))
     }
 
     /// Ground truth: instantiates every edited image, extracts its exact
@@ -223,14 +368,22 @@ impl<'db> QueryProcessor<'db> {
     /// avoidance is the point of the paper; exposed for correctness
     /// verification and the instantiation-cost benchmarks.
     pub fn range_instantiate(&self, query: &ColorRangeQuery) -> Result<QueryOutcome> {
+        let started = Instant::now();
         let mut out = QueryOutcome::default();
+        self.instantiate_scan(query, &mut out)?;
+        observe_range(QueryPlan::Instantiate, started.elapsed());
+        Ok(out)
+    }
+
+    /// The exact-histogram scan over every image (instantiating as needed).
+    fn instantiate_scan(&self, query: &ColorRangeQuery, out: &mut QueryOutcome) -> Result<()> {
         for id in self.db.ids() {
             let hist = self.db.histogram(id)?;
             if query.matches_fraction(hist.fraction(query.bin)) {
                 out.results.push(id);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// §2's provenance expansion: "this connection can be used to determine

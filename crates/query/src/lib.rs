@@ -27,3 +27,29 @@ pub use executor::QueryProcessor;
 pub use knn::SignatureIndex;
 pub use knn_edited::{knn_augmented, knn_brute_force, KnnOutcome, KnnStats};
 pub use plan::QueryPlan;
+
+/// Eagerly registers this layer's metric series (zero-valued until traffic
+/// arrives) so exposition shows the full query schema from process start.
+pub fn register_metrics() {
+    let g = mmdb_telemetry::global();
+    for name in [
+        r#"mmdb_query_range_total{plan="instantiate"}"#,
+        r#"mmdb_query_range_total{plan="rbm"}"#,
+        r#"mmdb_query_range_total{plan="bwm"}"#,
+        r#"mmdb_query_knn_total{path="augmented"}"#,
+        r#"mmdb_query_knn_total{path="brute_force"}"#,
+        "mmdb_query_knn_edited_pruned_total",
+        "mmdb_query_knn_edited_instantiated_total",
+    ] {
+        let _ = g.counter(name);
+    }
+    for name in [
+        r#"mmdb_query_range_latency_seconds{plan="instantiate"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="rbm"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="bwm"}"#,
+        r#"mmdb_query_knn_latency_seconds{path="augmented"}"#,
+        r#"mmdb_query_knn_latency_seconds{path="brute_force"}"#,
+    ] {
+        let _ = g.histogram(name);
+    }
+}

@@ -5,9 +5,115 @@ use crate::bounds::BoundRange;
 use crate::query::ColorRangeQuery;
 use crate::resolver::InfoResolver;
 use crate::{Result, RuleError};
-use mmdb_editops::{EditOp, EditSequence, Matrix3};
+use mmdb_editops::{EditOp, EditSequence, Matrix3, OpKind};
 use mmdb_histogram::Quantizer;
 use mmdb_imaging::{Rect, Rgb};
+use mmdb_telemetry::counter;
+use std::cell::Cell;
+
+/// BOUNDS computations between drains of the thread-local accumulator. At
+/// ~8 relaxed RMWs per drain this amortizes the global-registry cost to a
+/// small fraction of an atomic per `bounds` call — a query scanning hundreds
+/// of edited images pays a handful of drains, not hundreds of flushes.
+const DRAIN_EVERY: u64 = 256;
+
+/// Thread-local staging area for the rule engine's counters. Registry
+/// exposition can lag by up to [`DRAIN_EVERY`] BOUNDS calls per thread;
+/// call [`crate::flush_metrics`] on a thread before snapshotting to drain
+/// its pending counts.
+struct PendingRuleMetrics {
+    kinds: [Cell<u64>; 6],
+    /// Indexed like [`RuleProfile`]: 0 = PaperTable1, 1 = Conservative.
+    widening: [Cell<u64>; 2],
+    bounds: Cell<u64>,
+}
+
+thread_local! {
+    static PENDING: PendingRuleMetrics = const {
+        PendingRuleMetrics {
+            kinds: [
+                Cell::new(0),
+                Cell::new(0),
+                Cell::new(0),
+                Cell::new(0),
+                Cell::new(0),
+                Cell::new(0),
+            ],
+            widening: [Cell::new(0), Cell::new(0)],
+            bounds: Cell::new(0),
+        }
+    };
+}
+
+fn drain_pending(p: &PendingRuleMetrics) {
+    let bounds = p.bounds.replace(0);
+    if bounds > 0 {
+        counter!("mmdb_rules_bounds_computed_total").add(bounds);
+    }
+    let series = [
+        counter!(r#"mmdb_rules_applications_total{op="define"}"#),
+        counter!(r#"mmdb_rules_applications_total{op="combine"}"#),
+        counter!(r#"mmdb_rules_applications_total{op="modify"}"#),
+        counter!(r#"mmdb_rules_applications_total{op="mutate"}"#),
+        counter!(r#"mmdb_rules_applications_total{op="merge_null"}"#),
+        counter!(r#"mmdb_rules_applications_total{op="merge_target"}"#),
+    ];
+    for (c, slot) in series.iter().zip(&p.kinds) {
+        let n = slot.replace(0);
+        if n > 0 {
+            c.add(n);
+        }
+    }
+    let widening = [
+        counter!(r#"mmdb_rules_widening_ops_total{profile="paper_table1"}"#),
+        counter!(r#"mmdb_rules_widening_ops_total{profile="conservative"}"#),
+    ];
+    for (c, slot) in widening.iter().zip(&p.widening) {
+        let n = slot.replace(0);
+        if n > 0 {
+            c.add(n);
+        }
+    }
+}
+
+/// Drains this thread's pending rule-engine counts into the global registry.
+pub(crate) fn flush_thread_metrics() {
+    PENDING.with(drain_pending);
+}
+
+/// Stages one `bounds` call's telemetry into the thread-local accumulator,
+/// draining to the global registry every [`DRAIN_EVERY`] calls. The walk
+/// itself touches only locals; this path is plain (non-atomic) stores.
+fn stage_rule_metrics(kinds: &[u64; 6], widening: u64, profile: RuleProfile) {
+    PENDING.with(|p| {
+        for (slot, &n) in p.kinds.iter().zip(kinds) {
+            if n > 0 {
+                slot.set(slot.get() + n);
+            }
+        }
+        let wi = match profile {
+            RuleProfile::PaperTable1 => 0,
+            RuleProfile::Conservative => 1,
+        };
+        p.widening[wi].set(p.widening[wi].get() + widening);
+        let bounds = p.bounds.get() + 1;
+        p.bounds.set(bounds);
+        if bounds >= DRAIN_EVERY {
+            drain_pending(p);
+        }
+    });
+}
+
+fn kind_slot(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Define => 0,
+        OpKind::Combine => 1,
+        OpKind::Modify => 2,
+        OpKind::Mutate => 3,
+        OpKind::MergeNull => 4,
+        OpKind::MergeTarget => 5,
+    }
+}
 
 /// Which reading of Table 1 the engine applies. See the crate docs for the
 /// full discussion.
@@ -100,9 +206,14 @@ impl<'q> RuleEngine<'q> {
             image_rect,
             dr: image_rect,
         };
+        let mut kinds = [0u64; 6];
+        let mut widening = 0u64;
         for op in &seq.ops {
             self.apply(&mut state, op, bin, resolver)?;
+            kinds[kind_slot(op.kind())] += 1;
+            widening += u64::from(op.is_bound_widening());
         }
+        stage_rule_metrics(&kinds, widening, self.profile);
         Ok(state.range)
     }
 
@@ -117,6 +228,9 @@ impl<'q> RuleEngine<'q> {
         seq: &EditSequence,
         resolver: &dyn InfoResolver,
     ) -> Result<Vec<BoundRange>> {
+        // One counter per call, never per bin — this path is hot in the
+        // bounds-pruned k-NN.
+        counter!("mmdb_rules_bounds_vector_total").inc();
         let base = resolver.require(seq.base)?;
         let image_rect = Rect::of_image(base.width, base.height);
         let bins = self.quantizer.bin_count();

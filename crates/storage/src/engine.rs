@@ -12,9 +12,11 @@ use mmdb_histogram::{quantizer::from_description, ColorHistogram, Quantizer};
 use mmdb_imaging::ppm::{self, PnmFormat};
 use mmdb_imaging::{RasterImage, Rgb};
 use mmdb_rules::{ImageInfo, InfoResolver};
+use mmdb_telemetry::{counter, histogram};
 use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Default raster-cache capacity (entries).
 const CACHE_ENTRIES: usize = 256;
@@ -153,6 +155,8 @@ impl StorageEngine {
     pub fn insert_binary(&self, image: &RasterImage) -> Result<ImageId> {
         let encoded = ppm::encode(image, PnmFormat::RawRgb);
         let histogram = Arc::new(ColorHistogram::extract(image, self.quantizer.as_ref()));
+        counter!("mmdb_storage_blob_writes_total").inc();
+        counter!("mmdb_storage_blob_write_bytes_total").add(encoded.len() as u64);
         let mut inner = self.inner.write();
         let blob = inner.blobs.put(&encoded)?;
         let id = inner.catalog.allocate_id();
@@ -225,6 +229,7 @@ impl StorageEngine {
                 sequence: Arc::new(sequence),
             },
         );
+        counter!("mmdb_storage_edited_inserts_total").inc();
         Ok(id)
     }
 
@@ -293,8 +298,10 @@ impl StorageEngine {
     /// images. Results are LRU-cached.
     pub fn raster(&self, id: ImageId) -> Result<Arc<RasterImage>> {
         if let Some(img) = self.cache.lock().get(&id) {
+            counter!("mmdb_storage_cache_hits_total").inc();
             return Ok(Arc::clone(img));
         }
+        counter!("mmdb_storage_cache_misses_total").inc();
         // Fetch what we need under the read lock, then do the expensive work
         // (decode / instantiate) without holding it.
         enum Plan {
@@ -310,12 +317,20 @@ impl StorageEngine {
             }
         };
         let image = match plan {
-            Plan::Decode(bytes) => ppm::decode(&bytes)?,
+            Plan::Decode(bytes) => {
+                counter!("mmdb_storage_blob_reads_total").inc();
+                counter!("mmdb_storage_blob_read_bytes_total").add(bytes.len() as u64);
+                ppm::decode(&bytes)?
+            }
             Plan::Instantiate(seq) => {
                 let opts = ExecOptions {
                     background: self.background,
                 };
-                InstantiationEngine::with_options(self, opts).instantiate(&seq)?
+                let started = Instant::now();
+                let image = InstantiationEngine::with_options(self, opts).instantiate(&seq)?;
+                counter!("mmdb_storage_instantiations_total").inc();
+                histogram!("mmdb_storage_instantiation_latency_seconds").observe(started.elapsed());
+                image
             }
         };
         let image = Arc::new(image);

@@ -38,3 +38,22 @@ pub use lru::LruCache;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Eagerly registers this layer's metric series (zero-valued until traffic
+/// arrives) so exposition shows the full storage schema from process start.
+pub fn register_metrics() {
+    let g = mmdb_telemetry::global();
+    for name in [
+        "mmdb_storage_blob_writes_total",
+        "mmdb_storage_blob_write_bytes_total",
+        "mmdb_storage_edited_inserts_total",
+        "mmdb_storage_cache_hits_total",
+        "mmdb_storage_cache_misses_total",
+        "mmdb_storage_blob_reads_total",
+        "mmdb_storage_blob_read_bytes_total",
+        "mmdb_storage_instantiations_total",
+    ] {
+        let _ = g.counter(name);
+    }
+    let _ = g.histogram("mmdb_storage_instantiation_latency_seconds");
+}

@@ -1,0 +1,106 @@
+//! Unified telemetry for the MMDBMS: a lock-free metrics registry and a
+//! lightweight per-query trace facility.
+//!
+//! # Metrics
+//!
+//! Named counters, gauges and fixed-bucket latency histograms, all backed by
+//! `AtomicU64`. Handles are registered once in the global [`Registry`]
+//! (`parking_lot::RwLock` protects only the name→handle map, never the hot
+//! increment path) and cached per call site by the [`counter!`],
+//! [`gauge!`] and [`histogram!`] macros, so steady-state cost is one relaxed
+//! atomic RMW per increment.
+//!
+//! Naming scheme: `mmdb_<layer>_<what>_<unit/total>` with Prometheus-style
+//! labels for per-variant series, e.g.
+//! `mmdb_query_range_latency_seconds{plan="bwm"}` or
+//! `mmdb_rules_applications_total{op="modify"}`.
+//!
+//! # Traces
+//!
+//! [`QueryTrace`] records a tree of stages (each with a wall-clock duration
+//! and structured counters) plus query-level events such as the chosen plan.
+//! Tracing is explicit: untraced query paths never build a trace, and
+//! layer-internal stage timing is gated on [`tracing_enabled`] — a single
+//! relaxed atomic load — so the disabled cost is near zero.
+
+mod registry;
+mod trace;
+
+pub use registry::{global, Counter, Gauge, Histogram, Registry, Snapshot};
+pub use trace::{QueryTrace, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Globally enables or disables detailed stage timing inside query layers.
+pub fn set_tracing(enabled: bool) {
+    TRACING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether detailed stage timing is on. A single relaxed load — safe to call
+/// on hot paths.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Get-or-register a counter in the global registry, caching the handle at
+/// the call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Get-or-register a gauge in the global registry, caching the handle at the
+/// call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// Get-or-register a latency histogram in the global registry, caching the
+/// handle at the call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracing_toggle() {
+        assert!(!tracing_enabled());
+        set_tracing(true);
+        assert!(tracing_enabled());
+        set_tracing(false);
+        assert!(!tracing_enabled());
+    }
+
+    #[test]
+    fn macros_cache_handles() {
+        let a = counter!("mmdb_test_macro_counter_total") as *const Counter;
+        let b = counter!("mmdb_test_macro_counter_total") as *const Counter;
+        assert_eq!(a, b);
+        counter!("mmdb_test_macro_counter_total").inc();
+        gauge!("mmdb_test_macro_gauge").set(3);
+        histogram!("mmdb_test_macro_latency_seconds").observe(std::time::Duration::from_micros(30));
+        let text = global().render_prometheus();
+        assert!(text.contains("mmdb_test_macro_counter_total"));
+        assert!(text.contains("mmdb_test_macro_gauge 3"));
+    }
+}

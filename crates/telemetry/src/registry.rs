@@ -1,0 +1,386 @@
+//! The lock-free metrics registry: counters, gauges, fixed-bucket latency
+//! histograms, and Prometheus/JSON exposition.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bucket bounds in seconds: 1µs .. 10s, roughly 1-2-5 per decade.
+/// A final implicit `+Inf` bucket catches the rest.
+const LATENCY_BOUNDS_SECONDS: [f64; 15] = [
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 1e-1, 1e1,
+];
+
+/// A fixed-bucket latency histogram. Observations are `Duration`s; exposition
+/// follows the Prometheus `_bucket`/`_sum`/`_count` convention in seconds.
+#[derive(Debug)]
+pub struct Histogram {
+    /// One slot per bound plus the trailing `+Inf` bucket. Non-cumulative;
+    /// accumulated at exposition time.
+    buckets: [AtomicU64; LATENCY_BOUNDS_SECONDS.len() + 1],
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        let idx = LATENCY_BOUNDS_SECONDS
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(LATENCY_BOUNDS_SECONDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative bucket counts paired with their upper bounds, ending with
+    /// the `+Inf` bucket (bound = `f64::INFINITY`).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, slot) in self.buckets.iter().enumerate() {
+            acc += slot.load(Ordering::Relaxed);
+            let bound = LATENCY_BOUNDS_SECONDS
+                .get(i)
+                .copied()
+                .unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+/// A point-in-time copy of every counter/gauge value and histogram count,
+/// keyed by series name. Histograms contribute `<name>_count` and
+/// `<name>_sum_nanos` entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pub values: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// The value of one series, defaulting to 0 for unknown names.
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-series difference `self - earlier`, for measuring one workload's
+    /// contribution against monotonic counters. Gauges report their current
+    /// value unchanged (saturating keeps decreasing gauges at 0).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut values = BTreeMap::new();
+        for (name, &v) in &self.values {
+            values.insert(name.clone(), v.saturating_sub(earlier.get(name)));
+        }
+        Snapshot { values }
+    }
+}
+
+/// The metrics registry. Series are created on first use and live for the
+/// process lifetime; reads for exposition take the name-map read lock only.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(existing) = map.read().get(name) {
+        return Arc::clone(existing);
+    }
+    Arc::clone(map.write().entry(name.to_string()).or_default())
+}
+
+/// Series name up to the label block, e.g. `a{plan="x"}` → `a`.
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Splices extra Prometheus labels into a series name that may or may not
+/// already carry a label block.
+fn with_labels(name: &str, extra: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(prefix) => format!("{prefix},{extra}}}"),
+        None => format!("{name}{{{extra}}}"),
+    }
+}
+
+impl Registry {
+    /// Get-or-register the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// Get-or-register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// Get-or-register the latency histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Point-in-time copy of all series.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut values = BTreeMap::new();
+        for (name, c) in self.counters.read().iter() {
+            values.insert(name.clone(), c.get());
+        }
+        for (name, g) in self.gauges.read().iter() {
+            values.insert(name.clone(), g.get());
+        }
+        for (name, h) in self.histograms.read().iter() {
+            values.insert(format!("{name}_count"), h.count());
+            values.insert(
+                format!("{name}_sum_nanos"),
+                h.sum().as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
+        Snapshot { values }
+    }
+
+    /// Prometheus text exposition format (version 0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let fam = family(name);
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} {kind}");
+                last_family = fam.to_string();
+            }
+        };
+        for (name, c) in self.counters.read().iter() {
+            type_line(&mut out, name, "counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, g) in self.gauges.read().iter() {
+            type_line(&mut out, name, "gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        for (name, h) in self.histograms.read().iter() {
+            type_line(&mut out, name, "histogram");
+            for (bound, cumulative) in h.cumulative_buckets() {
+                let le = if bound.is_infinite() {
+                    "+Inf".to_string()
+                } else {
+                    format!("{bound}")
+                };
+                let series = with_labels(name, &format!("le=\"{le}\""));
+                let fam_series = {
+                    // `_bucket` suffix attaches to the family name, before labels.
+                    let fam = family(&series);
+                    series.replacen(fam, &format!("{fam}_bucket"), 1)
+                };
+                let _ = writeln!(out, "{fam_series} {cumulative}");
+            }
+            let fam = family(name);
+            let _ = writeln!(
+                out,
+                "{} {}",
+                name.replacen(fam, &format!("{fam}_sum"), 1),
+                h.sum().as_secs_f64()
+            );
+            let _ = writeln!(
+                out,
+                "{} {}",
+                name.replacen(fam, &format!("{fam}_count"), 1),
+                h.count()
+            );
+        }
+        out
+    }
+
+    /// JSON exposition: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {name: {"count": n, "sum_seconds": s}}}`.
+    ///
+    /// Series names embed Prometheus label blocks (`{plan="bwm"}`), whose
+    /// quotes must be escaped to keep the keys valid JSON strings.
+    pub fn render_json(&self) -> String {
+        fn key(name: &str) -> String {
+            name.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters = self.counters.read();
+        for (i, (name, c)) in counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {}", key(name), c.get());
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        let gauges = self.gauges.read();
+        for (i, (name, g)) in gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {}", key(name), g.get());
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        let histograms = self.histograms.read();
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum_seconds\": {}}}",
+                key(name),
+                h.count(),
+                h.sum().as_secs_f64()
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry all instrumented layers report into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::default();
+        r.counter("a_total").add(3);
+        r.counter("a_total").inc();
+        r.gauge("g").set(7);
+        assert_eq!(r.counter("a_total").get(), 4);
+        assert_eq!(r.gauge("g").get(), 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.get("a_total"), 4);
+        assert_eq!(snap.get("g"), 7);
+        assert_eq!(snap.get("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_cumulative() {
+        let r = Registry::default();
+        let h = r.histogram("lat_seconds");
+        h.observe(Duration::from_nanos(500)); // <= 1µs
+        h.observe(Duration::from_micros(30)); // <= 50µs
+        h.observe(Duration::from_secs(100)); // +Inf
+        assert_eq!(h.count(), 3);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.first().unwrap().1, 1);
+        assert_eq!(buckets.last().unwrap(), &(f64::INFINITY, 3));
+        // Cumulative counts never decrease.
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let r = Registry::default();
+        r.counter("mmdb_x_total{plan=\"bwm\"}").add(2);
+        r.counter("mmdb_x_total{plan=\"rbm\"}").add(5);
+        r.gauge("mmdb_g").set(1);
+        r.histogram("mmdb_lat_seconds")
+            .observe(Duration::from_micros(3));
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE mmdb_x_total counter"));
+        // One TYPE line per family even with two labelled series.
+        assert_eq!(text.matches("# TYPE mmdb_x_total").count(), 1);
+        assert!(text.contains("mmdb_x_total{plan=\"bwm\"} 2"));
+        assert!(text.contains("mmdb_x_total{plan=\"rbm\"} 5"));
+        assert!(text.contains("# TYPE mmdb_lat_seconds histogram"));
+        assert!(text.contains("mmdb_lat_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("mmdb_lat_seconds_count 1"));
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_enough() {
+        let r = Registry::default();
+        r.counter("c_total").inc();
+        r.counter("c_total{plan=\"bwm\"}").add(3);
+        r.histogram("h_seconds").observe(Duration::from_micros(2));
+        let json = r.render_json();
+        assert!(json.contains("\"c_total\": 1"));
+        // Label-block quotes are escaped so the key stays one JSON string.
+        assert!(json.contains("\"c_total{plan=\\\"bwm\\\"}\": 3"));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let r = Registry::default();
+        r.counter("c_total").add(10);
+        let before = r.snapshot();
+        r.counter("c_total").add(5);
+        let after = r.snapshot();
+        assert_eq!(after.delta(&before).get("c_total"), 5);
+    }
+
+    #[test]
+    fn label_splicing() {
+        assert_eq!(with_labels("a", "le=\"1\""), "a{le=\"1\"}");
+        assert_eq!(
+            with_labels("a{plan=\"x\"}", "le=\"1\""),
+            "a{plan=\"x\",le=\"1\"}"
+        );
+        assert_eq!(family("a{plan=\"x\"}"), "a");
+    }
+}

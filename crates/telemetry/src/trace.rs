@@ -1,0 +1,178 @@
+//! Per-query traces: a tree of timed stages with structured counters and
+//! events, rendered as an `explain`-style tree.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One timed stage of a query, possibly with nested sub-stages.
+#[derive(Clone, Debug, Default)]
+pub struct Span {
+    pub name: String,
+    pub duration: Duration,
+    /// Structured counters observed during this stage, in insertion order.
+    pub counters: Vec<(String, u64)>,
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    pub fn new(name: impl Into<String>, duration: Duration) -> Self {
+        Span {
+            name: name.into(),
+            duration,
+            counters: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Records a counter on this span (builder-style).
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) -> &mut Self {
+        self.counters.push((name.into(), value));
+        self
+    }
+
+    /// Nests a child stage (builder-style); returns the child for further
+    /// decoration.
+    pub fn child(&mut self, span: Span) -> &mut Span {
+        self.children.push(span);
+        self.children.last_mut().expect("just pushed")
+    }
+
+    fn find(&self, counter: &str) -> Option<u64> {
+        if let Some((_, v)) = self.counters.iter().find(|(n, _)| n == counter) {
+            return Some(*v);
+        }
+        self.children.iter().find_map(|c| c.find(counter))
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, last: bool, root: bool) {
+        let (branch, next_prefix) = if root {
+            (String::new(), String::new())
+        } else if last {
+            (format!("{prefix}└─ "), format!("{prefix}   "))
+        } else {
+            (format!("{prefix}├─ "), format!("{prefix}│  "))
+        };
+        let _ = write!(out, "{branch}{} [{:?}]", self.name, self.duration);
+        if !self.counters.is_empty() {
+            let rendered: Vec<String> = self
+                .counters
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect();
+            let _ = write!(out, "  {}", rendered.join(" "));
+        }
+        out.push('\n');
+        let n = self.children.len();
+        for (i, child) in self.children.iter().enumerate() {
+            child.render_into(out, &next_prefix, i + 1 == n, false);
+        }
+    }
+}
+
+/// A completed (or in-progress) query trace: query-level events plus the
+/// stage tree.
+#[derive(Clone, Debug, Default)]
+pub struct QueryTrace {
+    root: Span,
+    /// Query-level key/value events (plan chosen, thresholds, …), in
+    /// insertion order.
+    pub events: Vec<(String, String)>,
+}
+
+impl QueryTrace {
+    pub fn new(name: impl Into<String>) -> Self {
+        QueryTrace {
+            root: Span::new(name, Duration::ZERO),
+            events: Vec::new(),
+        }
+    }
+
+    /// Records a query-level event such as `plan=bwm`.
+    pub fn event(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.events.push((key.into(), value.into()));
+    }
+
+    /// Adds a top-level stage; returns it for counters/children.
+    pub fn stage(&mut self, name: impl Into<String>, duration: Duration) -> &mut Span {
+        self.root.child(Span::new(name, duration))
+    }
+
+    /// Records a query-level counter on the root span.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.root.counter(name, value);
+    }
+
+    /// Sets the total query duration.
+    pub fn finish(&mut self, total: Duration) {
+        self.root.duration = total;
+    }
+
+    /// The root span of the stage tree.
+    pub fn root(&self) -> &Span {
+        &self.root
+    }
+
+    /// Looks a counter up anywhere in the tree (root first, then depth
+    /// first) — handy for asserting trace contents in tests.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.root.find(name)
+    }
+
+    /// Renders the trace as an indented tree, events first:
+    ///
+    /// ```text
+    /// plan=bwm
+    /// range_query [1.2ms]  results=42
+    /// ├─ main_component [800µs]  clusters_visited=30
+    /// └─ unclassified [150µs]  scanned=15
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.events {
+            let _ = writeln!(out, "{k}={v}");
+        }
+        self.root.render_into(&mut out, "", true, true);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders_tree() {
+        let mut t = QueryTrace::new("range_query");
+        t.event("plan", "bwm");
+        t.counter("results", 42);
+        t.stage("main_component", Duration::from_micros(800))
+            .counter("clusters_visited", 30)
+            .counter("bounds_computed", 25);
+        t.stage("unclassified", Duration::from_micros(150))
+            .counter("scanned", 15);
+        t.finish(Duration::from_millis(1));
+
+        assert_eq!(t.counter_value("results"), Some(42));
+        assert_eq!(t.counter_value("clusters_visited"), Some(30));
+        assert_eq!(t.counter_value("scanned"), Some(15));
+        assert_eq!(t.counter_value("nope"), None);
+
+        let text = t.render();
+        assert!(text.starts_with("plan=bwm\n"));
+        assert!(text.contains("range_query"));
+        assert!(text.contains("├─ main_component"));
+        assert!(text.contains("└─ unclassified"));
+        assert!(text.contains("clusters_visited=30"));
+    }
+
+    #[test]
+    fn nested_children_render_with_guides() {
+        let mut t = QueryTrace::new("q");
+        let stage = t.stage("outer", Duration::from_micros(10));
+        stage.child(Span::new("inner_a", Duration::from_micros(4)));
+        stage.child(Span::new("inner_b", Duration::from_micros(5)));
+        let text = t.render();
+        assert!(text.contains("   ├─ inner_a"));
+        assert!(text.contains("   └─ inner_b"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Registry concurrency: the relaxed-atomic counters and histograms must
+//! lose no increments when many threads hammer the same series, and
+//! concurrent get-or-register races must all resolve to one handle.
+
+use mmdb_telemetry::Registry;
+use std::sync::Arc;
+use std::time::Duration;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn contended_counter_and_histogram_totals_are_exact() {
+    let registry = Arc::new(Registry::default());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let c = r.counter("mmdb_test_contended_total");
+                let h = r.histogram("mmdb_test_contended_latency_seconds");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    if i % 2 == 0 {
+                        c.add(2);
+                    }
+                    h.observe(Duration::from_micros((t as u64 * 37 + i) % 200 + 1));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Each thread contributes PER_THREAD incs plus 2 × PER_THREAD/2 adds.
+    let expected = THREADS as u64 * (PER_THREAD + PER_THREAD);
+    assert_eq!(
+        registry.counter("mmdb_test_contended_total").get(),
+        expected
+    );
+
+    let h = registry.histogram("mmdb_test_contended_latency_seconds");
+    let observations = THREADS as u64 * PER_THREAD;
+    assert_eq!(h.count(), observations);
+    // The +Inf cumulative bucket accounts for every observation.
+    assert_eq!(h.cumulative_buckets().last().unwrap().1, observations);
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.get("mmdb_test_contended_total"), expected);
+    assert_eq!(
+        snap.get("mmdb_test_contended_latency_seconds_count"),
+        observations
+    );
+}
+
+#[test]
+fn racing_registrations_share_one_series() {
+    let registry = Arc::new(Registry::default());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let r = Arc::clone(&registry);
+            // Every thread re-registers the same name before each increment,
+            // so the get-or-insert race itself is under test.
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    r.counter("mmdb_test_race_total").inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        registry.counter("mmdb_test_race_total").get(),
+        THREADS as u64 * PER_THREAD
+    );
+    // One series, not one per thread.
+    assert_eq!(registry.snapshot().values.len(), 1);
+}

@@ -25,11 +25,11 @@ fn pinned_seed_snapshot() {
     assert_eq!(info.edited_images, 70);
     assert_eq!(
         (info.bound_widening_only, info.non_bound_widening),
-        (45, 25),
+        (55, 15),
         "variant classification drifted"
     );
     assert!(
-        (info.avg_ops_per_edited - 7.1857).abs() < 0.02,
+        (info.avg_ops_per_edited - 7.5429).abs() < 0.02,
         "op mix drifted: {}",
         info.avg_ops_per_edited
     );
@@ -54,7 +54,7 @@ fn pinned_seed_snapshot() {
     }
     assert_eq!(
         (rbm_results, bwm_bounds, base_hits),
-        (679, 574, 81),
+        (745, 513, 100),
         "query work counters drifted"
     );
 }

@@ -1,0 +1,228 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Covers the surface the workspace benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::bench_function` / `benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input, finish}`,
+//! `BenchmarkId::new`, `Bencher::iter`, and `Bencher::iter_batched` with
+//! `BatchSize`.
+//!
+//! Measurement model: each routine is warmed up, then timed over enough
+//! iterations to fill a short measurement window per sample; the median
+//! sample is reported as ns/iter on stdout. Far simpler than criterion's
+//! statistics, but stable enough for A/B comparisons (it is what the
+//! telemetry-overhead acceptance check uses).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one parameterized benchmark case, e.g. `scan/1000`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to routines; `iter` runs and times the workload closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter of the last `iter` call, for the runner to report.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let mut est = warmup_start.elapsed();
+        if est.is_zero() {
+            est = Duration::from_nanos(1);
+        }
+        // Size each sample to ~5 ms of work, bounded to keep total runtime sane.
+        let per_sample = (Duration::from_millis(5).as_nanos() / est.as_nanos()).clamp(1, 100_000);
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns_per_iter = samples_ns[samples_ns.len() / 2];
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time
+    /// from the measurement (the stub ignores the batch-size hint).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine(setup()));
+        let mut est = warmup_start.elapsed();
+        if est.is_zero() {
+            est = Duration::from_nanos(1);
+        }
+        let per_sample = (Duration::from_millis(5).as_nanos() / est.as_nanos()).clamp(1, 10_000);
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns_per_iter = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// Mirror of `criterion::BatchSize`; the stub's measurement loop treats all
+/// variants alike.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+fn run_one(name: &str, samples: usize, routine: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        last_ns_per_iter: f64::NAN,
+    };
+    routine(&mut b);
+    if b.last_ns_per_iter.is_nan() {
+        println!("{name:<50} (no measurement)");
+    } else {
+        println!("{name:<50} {:>14.1} ns/iter", b.last_ns_per_iter);
+    }
+}
+
+/// Mirror of `criterion::Criterion` — the benchmark runner handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.render()),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export for routines that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routine(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        routine(&mut c);
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided — the one
+//! API the workspace uses — implemented on top of `std::thread::scope`
+//! (stable since Rust 1.63, below the workspace MSRV).
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as std_thread;
+
+    /// Mirror of `crossbeam::thread::Scope`. Wraps the std scope so spawned
+    /// closures can receive a `&Scope` argument like crossbeam's do.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Mirror of `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let raw = self.inner;
+            ScopedJoinHandle {
+                inner: raw.spawn(move || f(&Scope { inner: raw })),
+            }
+        }
+    }
+
+    /// `crossbeam::thread::scope`: runs `f` with a scope handle, joins every
+    /// spawned thread before returning. Panics from un-joined threads (or
+    /// from `f` itself) surface as `Err`, as in crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(scope.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .expect("scope panicked");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_become_err() {
+        let r = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            let _ = h.join();
+        });
+        // The panic is captured at join; the scope itself succeeds.
+        assert!(r.is_ok());
+        let r = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+            // not joined: std::thread::scope re-panics, we catch it
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,614 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` macro, `Strategy` with `prop_map`, `prop_oneof!` (weighted
+//! and unweighted), `Just`, `any::<T>()`, `proptest::collection::vec`,
+//! `proptest::array::uniform9`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream: generation is purely random with a
+//! deterministic per-test seed (no shrinking, no failure persistence —
+//! `*.proptest-regressions` files are ignored), and there is no `prop_flat_map`
+//! / `prop_filter` / `prop_compose!` (unused here). Each test runs
+//! `ProptestConfig::cases` iterations and panics on the first failing case,
+//! printing the case number so it can be replayed deterministically.
+
+use std::fmt;
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator driving all value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(state: u64) -> Self {
+            Self { state }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` from the top 53 bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Mirror of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::{Config as ProptestConfig, TestRng};
+
+/// Error returned by `prop_assert!` macros inside a test body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        Self(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// FNV-1a over a string — stable per-test seed derivation.
+pub fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+    {
+        strategy::Map { source: self, map }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Per-type uniform sampling backing the range strategies. A single generic
+/// `Strategy` impl hangs off this so unsuffixed integer literals in ranges
+/// unify with the surrounding usage instead of falling back to `i32`.
+pub trait RangeValue: Sized + Copy + PartialOrd {
+    /// Uniform in `[lo, hi)`.
+    fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+
+    /// Uniform in `[lo, hi]`.
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_int_range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_half_open(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+
+            fn sample_inclusive(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_half_open(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "empty range strategy");
+                lo + (hi - lo) * (rng.unit_f64() as $t)
+            }
+
+            fn sample_inclusive(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range strategy");
+                lo + (hi - lo) * (rng.unit_f64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_float_range_value!(f32, f64);
+
+impl<T: RangeValue> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: RangeValue> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `Just(value)` — always yields a clone of `value`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod strategy {
+    use super::{Strategy, TestRng};
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted choice between boxed strategies — backs `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            Self { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of bounds")
+        }
+    }
+
+    /// Boxes one `prop_oneof!` arm, unifying arm types behind `dyn Strategy`.
+    pub fn boxed_arm<S>(weight: u32, s: S) -> (u32, Box<dyn Strategy<Value = S::Value>>)
+    where
+        S: Strategy + 'static,
+    {
+        (weight, Box::new(s))
+    }
+}
+
+/// Types with a canonical whole-domain strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+macro_rules! impl_int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy behind `any::<bool>()`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Strategy behind `any::<Option<T>>()`: 1-in-4 `None`.
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    type Strategy = OptionStrategy<T::Strategy>;
+
+    fn arbitrary() -> Self::Strategy {
+        OptionStrategy(T::arbitrary())
+    }
+}
+
+macro_rules! impl_tuple_arbitrary {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Arbitrary),+> Arbitrary for ($($s,)+) {
+            type Strategy = ($($s::Strategy,)+);
+
+            fn arbitrary() -> Self::Strategy {
+                ($($s::arbitrary(),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_arbitrary! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive size bounds for [`vec`] — accepts `n`, `a..b`, `a..=b`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Result of [`uniform9`].
+    pub struct UniformArray9<S>(S);
+
+    impl<S: Strategy> Strategy for UniformArray9<S> {
+        type Value = [S::Value; 9];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 9] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// `proptest::array::uniform9(element)` — nine independent draws.
+    pub fn uniform9<S: Strategy>(element: S) -> UniformArray9<S> {
+        UniformArray9(element)
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`: {}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed_arm($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed_arm(1u32, $strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        #[allow(unused_mut, unused_variables, clippy::redundant_closure_call)]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            let seed = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                let mut rng = $crate::TestRng::from_seed(
+                    seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let ($($pat,)+) = $crate::Strategy::generate(&strategy, &mut rng);
+                let mut body =
+                    move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                if let ::core::result::Result::Err(e) = body() {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        cfg.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u8, u8)> {
+        (any::<u8>(), 1u8..=9).prop_map(|(a, b)| (a, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -5i64..5, f in 0.0f64..1.0, (a, b) in arb_pair()) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+            let _ = a;
+            prop_assert!((1..=9).contains(&b));
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(any::<u8>(), 2..6), w in crate::collection::vec(0u8..3, 4)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn oneof_weighted(x in prop_oneof![3 => 0u8..10, 1 => 200u8..210], y in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(x < 10 || (200..210).contains(&x));
+            prop_assert!(y == 1 || y == 2);
+        }
+
+        #[test]
+        fn arrays_and_options(a in crate::array::uniform9(-1.0f32..1.0), o in any::<Option<u64>>()) {
+            prop_assert_eq!(a.len(), 9);
+            if let Some(v) = o {
+                let _ = v;
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test() {
+        let mut r1 = crate::TestRng::from_seed(crate::fnv("x"));
+        let mut r2 = crate::TestRng::from_seed(crate::fnv("x"));
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+}

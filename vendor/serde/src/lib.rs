@@ -1,0 +1,8 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace uses serde purely as `#[derive(Serialize, Deserialize)]`
+//! markers; no serializer is ever driven. The derive macros (re-exported
+//! from the vendored `serde_derive`) expand to nothing, so no traits are
+//! needed here.
+
+pub use serde_derive::{Deserialize, Serialize};

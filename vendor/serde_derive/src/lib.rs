@@ -1,0 +1,18 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to mark types
+//! as wire-representable — no serializer is ever instantiated (the on-disk
+//! formats are hand-rolled in `mmdb-editops::codec` and
+//! `mmdb-storage::catalog`). The derives therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
