@@ -1,0 +1,270 @@
+//! Pass 2 — dead-op and redundancy analysis, with a safe elimination
+//! rewrite.
+//!
+//! An operation is *dead* when removing it provably leaves the instantiated
+//! raster — and therefore the histogram and every bound — unchanged. The
+//! proof obligations below are stated against the `mmdb-editops` executor
+//! semantics and checked end-to-end by the crate's property test
+//! (`tests/proptests.rs`), which instantiates random sequences before and
+//! after [`simplify`] and compares rasters pixel for pixel.
+//!
+//! Removable classes:
+//!
+//! * **Dead `Define` (W101)** — no region-reading op runs before the next
+//!   `Define` or the end of the sequence. The region value is never
+//!   observed, and a later `Define`'s clip does not depend on the current
+//!   region.
+//! * **Self-`Modify` (W102)** — `from == to` replaces pixels with
+//!   themselves and does not touch the region state.
+//! * **Identity `Mutate` (W103)** — the identity matrix stamps every DR
+//!   pixel onto itself (whole-image path: a `round(w·1.0) = w` resize is the
+//!   identity resample; sub-region path: the destination bbox of an integer
+//!   rectangle under the identity is the rectangle itself, so
+//!   `state.region` is also unchanged).
+//! * **Identity `Combine` (W104)** — only the centre weight is nonzero (and
+//!   normal, with `w·255` finite), so the executor computes
+//!   `round(clamp((w·p)/w))`. For `p ∈ 0..=255` and normal `w` the relative
+//!   rounding error is ≤ 2 ulp ≈ 2⁻²²·p, far below the 0.5 the rounding
+//!   absorbs, so every pixel round-trips exactly.
+//! * **Zero-sum `Combine` (W105)** — the executor short-circuits on a zero
+//!   weight sum and leaves the raster untouched.
+//!
+//! Removal can cascade: deleting a self-`Modify` may leave an earlier
+//! `Define` with no readers, so [`simplify`] iterates to a fixpoint.
+
+use crate::diagnostics::LintCode;
+use mmdb_editops::{EditOp, EditSequence};
+
+/// One operation [`simplify`] removed (or [`find_dead_ops`] would remove),
+/// with the lint class and a prose justification.
+#[derive(Clone, Debug)]
+pub struct DeadOp {
+    /// Index of the operation **in the original sequence**.
+    pub index: usize,
+    /// Which redundancy class it falls in (`W101`–`W105`).
+    pub code: LintCode,
+    /// Why removal is raster-preserving.
+    pub reason: String,
+}
+
+/// The result of the dead-op elimination rewrite.
+#[derive(Clone, Debug)]
+pub struct Simplified {
+    /// The sequence with all dead operations removed.
+    pub sequence: EditSequence,
+    /// The removed operations, ordered by original index.
+    pub removed: Vec<DeadOp>,
+}
+
+impl Simplified {
+    /// Whether the rewrite changed anything.
+    pub fn changed(&self) -> bool {
+        !self.removed.is_empty()
+    }
+}
+
+/// Classifies a single op as a structural no-op (independent of its
+/// position), returning the lint class and reason.
+fn structural_noop(op: &EditOp) -> Option<(LintCode, String)> {
+    match op {
+        EditOp::Modify { from, to } if from == to => Some((
+            LintCode::SelfModify,
+            format!("Modify({from:?} -> {to:?}) recolors pixels to their own color"),
+        )),
+        EditOp::Mutate { matrix } if matrix.is_identity() => Some((
+            LintCode::IdentityMutate,
+            "Mutate with the identity matrix stamps every pixel onto itself".into(),
+        )),
+        EditOp::Combine { weights } => {
+            if weights.iter().any(|w| !w.is_finite()) {
+                // Non-finite kernels are E008 territory, never removable.
+                return None;
+            }
+            let sum: f32 = weights.iter().sum();
+            if sum == 0.0 {
+                // Matches the executor's `sum == 0.0` short-circuit exactly.
+                return Some((
+                    LintCode::ZeroCombine,
+                    "Combine weights sum to zero; the executor leaves pixels unchanged".into(),
+                ));
+            }
+            let centre = weights[4];
+            let off_centre_zero = weights.iter().enumerate().all(|(i, w)| i == 4 || *w == 0.0);
+            if off_centre_zero && centre.is_normal() && (centre * 255.0).is_finite() {
+                return Some((
+                    LintCode::IdentityCombine,
+                    "Combine kernel passes each pixel through unchanged (centre-only weight)"
+                        .into(),
+                ));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Within `ops`, is the `Define` at position `pos` dead — i.e. does no
+/// region-reading op run before the next `Define` or the end?
+fn define_is_dead(ops: &[EditOp], pos: usize) -> bool {
+    for op in &ops[pos + 1..] {
+        if op.reads_region() {
+            return false;
+        }
+        if matches!(op, EditOp::Define { .. }) {
+            return true;
+        }
+    }
+    true
+}
+
+/// Removes every dead operation from `seq`, iterating to a fixpoint so that
+/// removals which orphan an earlier `Define` cascade. Returns the
+/// simplified sequence plus the removal record.
+pub fn simplify(seq: &EditSequence) -> Simplified {
+    // Carry original indices alongside the surviving ops.
+    let mut ops: Vec<(usize, EditOp)> = seq.ops.iter().cloned().enumerate().collect();
+    let mut removed: Vec<DeadOp> = Vec::new();
+    loop {
+        let current: Vec<EditOp> = ops.iter().map(|(_, op)| op.clone()).collect();
+        let mut dead_positions: Vec<(usize, LintCode, String)> = Vec::new();
+        for (pos, op) in current.iter().enumerate() {
+            if let Some((code, reason)) = structural_noop(op) {
+                dead_positions.push((pos, code, reason));
+            } else if matches!(op, EditOp::Define { .. }) && define_is_dead(&current, pos) {
+                dead_positions.push((
+                    pos,
+                    LintCode::DeadDefine,
+                    "Define region is never read before being replaced or the sequence ends".into(),
+                ));
+            }
+        }
+        if dead_positions.is_empty() {
+            break;
+        }
+        // Remove back-to-front so positions stay valid.
+        for (pos, code, reason) in dead_positions.into_iter().rev() {
+            let (index, _) = ops.remove(pos);
+            removed.push(DeadOp {
+                index,
+                code,
+                reason,
+            });
+        }
+    }
+    removed.sort_by_key(|d| d.index);
+    Simplified {
+        sequence: EditSequence::new(seq.base, ops.into_iter().map(|(_, op)| op).collect()),
+        removed,
+    }
+}
+
+/// The dead operations [`simplify`] would remove, without building the
+/// rewritten sequence's clone twice. (Currently implemented *as* the
+/// rewrite so detection and elimination cannot drift apart.)
+pub fn find_dead_ops(seq: &EditSequence) -> Vec<DeadOp> {
+    simplify(seq).removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_editops::{ImageId, Matrix3};
+    use mmdb_imaging::{Rect, Rgb};
+
+    fn base() -> ImageId {
+        ImageId::new(1)
+    }
+
+    #[test]
+    fn clean_sequence_unchanged() {
+        let seq = EditSequence::builder(base())
+            .define(Rect::new(0, 0, 4, 4))
+            .blur()
+            .modify(Rgb::RED, Rgb::GREEN)
+            .build();
+        let s = simplify(&seq);
+        assert!(!s.changed());
+        assert_eq!(s.sequence, seq);
+    }
+
+    #[test]
+    fn dead_define_shadowed_by_next_define() {
+        let seq = EditSequence::builder(base())
+            .define(Rect::new(0, 0, 2, 2)) // dead: replaced before any read
+            .define(Rect::new(0, 0, 4, 4))
+            .blur()
+            .build();
+        let s = simplify(&seq);
+        assert_eq!(s.removed.len(), 1);
+        assert_eq!(s.removed[0].index, 0);
+        assert_eq!(s.removed[0].code, LintCode::DeadDefine);
+        assert_eq!(s.sequence.ops.len(), 2);
+    }
+
+    #[test]
+    fn trailing_define_is_dead() {
+        let seq = EditSequence::builder(base())
+            .blur()
+            .define(Rect::new(0, 0, 2, 2))
+            .build();
+        let s = simplify(&seq);
+        assert_eq!(s.removed.len(), 1);
+        assert_eq!(s.removed[0].index, 1);
+    }
+
+    #[test]
+    fn structural_noops_detected() {
+        let seq = EditSequence::builder(base())
+            .modify(Rgb::RED, Rgb::RED)
+            .mutate(Matrix3::IDENTITY)
+            .combine([0.0, 0.0, 0.0, 0.0, 2.5, 0.0, 0.0, 0.0, 0.0])
+            .combine([1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 0.0])
+            .build();
+        let codes: Vec<LintCode> = find_dead_ops(&seq).iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                LintCode::SelfModify,
+                LintCode::IdentityMutate,
+                LintCode::IdentityCombine,
+                LintCode::ZeroCombine,
+            ]
+        );
+        assert!(simplify(&seq).sequence.ops.is_empty());
+    }
+
+    #[test]
+    fn removal_cascades_to_orphaned_define() {
+        // The Define's only reader is a self-Modify; once that is removed
+        // the Define is dead too (a later Define follows it).
+        let seq = EditSequence::builder(base())
+            .define(Rect::new(0, 0, 2, 2))
+            .modify(Rgb::BLUE, Rgb::BLUE)
+            .define(Rect::new(0, 0, 4, 4))
+            .blur()
+            .build();
+        let s = simplify(&seq);
+        let removed: Vec<usize> = s.removed.iter().map(|d| d.index).collect();
+        assert_eq!(removed, vec![0, 1]);
+        assert_eq!(s.sequence.ops.len(), 2);
+    }
+
+    #[test]
+    fn live_define_kept() {
+        let seq = EditSequence::builder(base())
+            .define(Rect::new(0, 0, 2, 2))
+            .crop_to_region()
+            .build();
+        assert!(!simplify(&seq).changed());
+    }
+
+    #[test]
+    fn non_finite_and_general_kernels_not_removed() {
+        let seq = EditSequence::builder(base())
+            .combine([f32::NAN, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0])
+            .combine([0.0, 0.0, 0.0, 0.0, f32::INFINITY, 0.0, 0.0, 0.0, 0.0])
+            .blur()
+            .build();
+        assert!(!simplify(&seq).changed());
+    }
+}

@@ -1,0 +1,300 @@
+//! Reference-graph checks over the whole catalog: dangling references,
+//! references to non-binary images, and base/merge cycles.
+//!
+//! The storage engine implements [`CatalogGraph`] over its catalog; tests
+//! use [`MapCatalogGraph`]. Edges run from each edited image to its base and
+//! to every `Merge` target, so a well-formed catalog is a DAG whose sinks
+//! are binary images.
+
+use crate::diagnostics::{Diagnostic, LintCode};
+use mmdb_editops::{EditSequence, ImageId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What kind of image a catalog id resolves to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A stored raster with an exact histogram.
+    Binary,
+    /// An edit sequence over other images.
+    Edited,
+}
+
+/// Read-only view of the catalog's id space that the graph pass walks.
+pub trait CatalogGraph {
+    /// Every id in the catalog, in any order.
+    fn node_ids(&self) -> Vec<ImageId>;
+    /// The kind of `id`, or `None` when it does not exist.
+    fn node_kind(&self, id: ImageId) -> Option<NodeKind>;
+    /// The stored sequence of an edited image, or `None` for binary or
+    /// unknown ids.
+    fn node_sequence(&self, id: ImageId) -> Option<Arc<EditSequence>>;
+}
+
+/// A `HashMap`-backed graph for tests and small tools.
+#[derive(Default)]
+pub struct MapCatalogGraph {
+    binaries: Vec<ImageId>,
+    edited: HashMap<ImageId, Arc<EditSequence>>,
+}
+
+impl MapCatalogGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a binary image id.
+    pub fn insert_binary(&mut self, id: ImageId) {
+        self.binaries.push(id);
+    }
+
+    /// Registers an edited image.
+    pub fn insert_edited(&mut self, id: ImageId, seq: EditSequence) {
+        self.edited.insert(id, Arc::new(seq));
+    }
+}
+
+impl CatalogGraph for MapCatalogGraph {
+    fn node_ids(&self) -> Vec<ImageId> {
+        let mut ids: Vec<ImageId> = self
+            .binaries
+            .iter()
+            .copied()
+            .chain(self.edited.keys().copied())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    fn node_kind(&self, id: ImageId) -> Option<NodeKind> {
+        if self.binaries.contains(&id) {
+            Some(NodeKind::Binary)
+        } else if self.edited.contains_key(&id) {
+            Some(NodeKind::Edited)
+        } else {
+            None
+        }
+    }
+
+    fn node_sequence(&self, id: ImageId) -> Option<Arc<EditSequence>> {
+        self.edited.get(&id).cloned()
+    }
+}
+
+/// Checks one sequence's outgoing references against the catalog:
+/// `E001` (missing base), `E002` (missing merge target), `E003`
+/// (reference to an edited image). Used standalone at ingest, before the
+/// sequence has an id of its own.
+pub fn check_references(seq: &EditSequence, graph: &dyn CatalogGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    match graph.node_kind(seq.base) {
+        None => diags.push(Diagnostic::new(
+            LintCode::DanglingBase,
+            format!("base {} does not exist in the catalog", seq.base),
+        )),
+        Some(NodeKind::Edited) => diags.push(Diagnostic::new(
+            LintCode::NonBinaryReference,
+            format!("base {} is an edited image; bases must be binary", seq.base),
+        )),
+        Some(NodeKind::Binary) => {}
+    }
+    for (i, op) in seq.ops.iter().enumerate() {
+        if let Some(target) = op.merge_target() {
+            match graph.node_kind(target) {
+                None => diags.push(
+                    Diagnostic::new(
+                        LintCode::DanglingMergeTarget,
+                        format!("merge target {target} does not exist in the catalog"),
+                    )
+                    .at_op(i),
+                ),
+                Some(NodeKind::Edited) => diags.push(
+                    Diagnostic::new(
+                        LintCode::NonBinaryReference,
+                        format!("merge target {target} is an edited image; targets must be binary"),
+                    )
+                    .at_op(i),
+                ),
+                Some(NodeKind::Binary) => {}
+            }
+        }
+    }
+    diags
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Color {
+    White,
+    Gray,
+    Black,
+}
+
+/// Whole-catalog pass: per-sequence reference checks plus cycle detection
+/// (`E004`) over the base/merge edges.
+pub fn check_catalog(graph: &dyn CatalogGraph) -> Vec<Diagnostic> {
+    let ids = graph.node_ids();
+    let mut diags = Vec::new();
+    for &id in &ids {
+        if graph.node_kind(id) == Some(NodeKind::Edited) {
+            if let Some(seq) = graph.node_sequence(id) {
+                diags.extend(
+                    check_references(&seq, graph)
+                        .into_iter()
+                        .map(|d| d.for_image(id)),
+                );
+            }
+        }
+    }
+    diags.extend(find_cycles(graph, &ids));
+    diags
+}
+
+fn edges(graph: &dyn CatalogGraph, id: ImageId) -> Vec<ImageId> {
+    match graph.node_sequence(id) {
+        Some(seq) => {
+            let mut out = vec![seq.base];
+            out.extend(seq.merge_targets());
+            out
+        }
+        None => Vec::new(),
+    }
+}
+
+/// Iterative tri-color DFS; every back edge yields one `E004` with the full
+/// cycle path in the message.
+fn find_cycles(graph: &dyn CatalogGraph, ids: &[ImageId]) -> Vec<Diagnostic> {
+    let mut color: HashMap<ImageId, Color> = ids.iter().map(|&id| (id, Color::White)).collect();
+    let mut diags = Vec::new();
+    for &root in ids {
+        if color[&root] != Color::White {
+            continue;
+        }
+        // Stack frames: (node, its out-edges, next edge to visit).
+        let mut stack: Vec<(ImageId, Vec<ImageId>, usize)> = Vec::new();
+        color.insert(root, Color::Gray);
+        stack.push((root, edges(graph, root), 0));
+        while let Some(frame) = stack.last_mut() {
+            let (id, neighbors, next) = (frame.0, &frame.1, &mut frame.2);
+            if *next < neighbors.len() {
+                let n = neighbors[*next];
+                *next += 1;
+                match color.get(&n) {
+                    Some(Color::White) => {
+                        color.insert(n, Color::Gray);
+                        let e = edges(graph, n);
+                        stack.push((n, e, 0));
+                    }
+                    Some(Color::Gray) => {
+                        let start = stack.iter().position(|(sid, _, _)| *sid == n).unwrap_or(0);
+                        let mut path: Vec<String> = stack[start..]
+                            .iter()
+                            .map(|(sid, _, _)| sid.to_string())
+                            .collect();
+                        path.push(n.to_string());
+                        diags.push(
+                            Diagnostic::new(
+                                LintCode::ReferenceCycle,
+                                format!("reference cycle: {}", path.join(" -> ")),
+                            )
+                            .for_image(n),
+                        );
+                    }
+                    // Black (already explored) or dangling (reported by the
+                    // reference check): nothing to do.
+                    _ => {}
+                }
+            } else {
+                color.insert(id, Color::Black);
+                stack.pop();
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_imaging::Rect;
+
+    fn seq(base: u64, targets: &[u64]) -> EditSequence {
+        let mut b = EditSequence::builder(ImageId::new(base)).define(Rect::new(0, 0, 4, 4));
+        for &t in targets {
+            b = b.merge_into(ImageId::new(t), 0, 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn healthy_catalog_clean() {
+        let mut g = MapCatalogGraph::new();
+        g.insert_binary(ImageId::new(1));
+        g.insert_binary(ImageId::new(2));
+        g.insert_edited(ImageId::new(3), seq(1, &[2]));
+        assert!(check_catalog(&g).is_empty());
+    }
+
+    #[test]
+    fn dangling_and_non_binary_references() {
+        let mut g = MapCatalogGraph::new();
+        g.insert_binary(ImageId::new(1));
+        g.insert_edited(ImageId::new(3), seq(1, &[]));
+        g.insert_edited(ImageId::new(4), seq(99, &[98, 3]));
+        let diags = check_catalog(&g);
+        let codes: Vec<LintCode> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&LintCode::DanglingBase));
+        assert!(codes.contains(&LintCode::DanglingMergeTarget));
+        assert!(codes.contains(&LintCode::NonBinaryReference));
+        assert!(!codes.contains(&LintCode::ReferenceCycle));
+        for d in &diags {
+            assert_eq!(d.image, Some(ImageId::new(4)), "{d}");
+        }
+    }
+
+    #[test]
+    fn two_node_cycle_detected_once() {
+        let mut g = MapCatalogGraph::new();
+        g.insert_edited(ImageId::new(10), seq(11, &[]));
+        g.insert_edited(ImageId::new(11), seq(10, &[]));
+        let diags = check_catalog(&g);
+        let cycles: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::ReferenceCycle)
+            .collect();
+        assert_eq!(cycles.len(), 1, "{diags:?}");
+        assert!(cycles[0].message.contains("img#10"));
+        assert!(cycles[0].message.contains("img#11"));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut g = MapCatalogGraph::new();
+        g.insert_edited(ImageId::new(5), seq(5, &[]));
+        let diags = find_cycles(&g, &g.node_ids());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::ReferenceCycle);
+    }
+
+    #[test]
+    fn merge_edge_cycles_detected() {
+        let mut g = MapCatalogGraph::new();
+        g.insert_binary(ImageId::new(1));
+        // 20 -> base 1 but merge target 21; 21 -> base 1, merge target 20.
+        g.insert_edited(ImageId::new(20), seq(1, &[21]));
+        g.insert_edited(ImageId::new(21), seq(1, &[20]));
+        let diags = check_catalog(&g);
+        assert!(diags.iter().any(|d| d.code == LintCode::ReferenceCycle));
+    }
+
+    #[test]
+    fn diamond_sharing_is_not_a_cycle() {
+        let mut g = MapCatalogGraph::new();
+        g.insert_binary(ImageId::new(1));
+        g.insert_edited(ImageId::new(2), seq(1, &[1, 1]));
+        g.insert_edited(ImageId::new(3), seq(1, &[1]));
+        assert!(check_catalog(&g)
+            .iter()
+            .all(|d| d.code != LintCode::ReferenceCycle));
+    }
+}

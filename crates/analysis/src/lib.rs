@@ -1,0 +1,374 @@
+//! Static analysis over stored editing-operation programs.
+//!
+//! An `EditSequence` is a small program — a base image reference plus
+//! Define/Combine/Modify/Mutate/Merge operations — and the paper's RBM/BWM
+//! machinery is an abstract interpretation of it. This crate hardens the
+//! catalog by checking those programs *statically*, in three passes:
+//!
+//! 1. [`wellformed`] — structural and geometric validity of a single
+//!    sequence (non-finite parameters, degenerate regions, empty crops,
+//!    canvas overflow, projective matrices, …).
+//! 2. [`deadops`] — redundancy detection and a safe dead-op-elimination
+//!    rewrite whose proof obligation (the instantiated raster, hence the
+//!    histogram, is unchanged) is enforced by property test.
+//! 3. [`soundness`] — a bound-soundness audit over the per-op traces of
+//!    both rule profiles: widening monotonicity, per-op `Combine`
+//!    containment, and the Table 1 `Combine` caveat flag.
+//!
+//! [`graph`] adds catalog-wide reference checks (dangling ids, non-binary
+//! references, base/merge cycles). Every finding is a [`Diagnostic`] with a
+//! stable [`LintCode`] and a [`Severity`]; [`analyze_catalog`] bundles all
+//! passes into the [`AnalysisReport`] behind `mmdbctl lint`.
+
+#![warn(missing_docs)]
+
+pub mod deadops;
+pub mod diagnostics;
+pub mod graph;
+pub mod report;
+pub mod soundness;
+pub mod wellformed;
+
+pub use deadops::{find_dead_ops, simplify, DeadOp, Simplified};
+pub use diagnostics::{Diagnostic, LintCode, Severity};
+pub use graph::{check_catalog, check_references, CatalogGraph, MapCatalogGraph, NodeKind};
+pub use report::AnalysisReport;
+pub use soundness::{audit_sequence, SoundnessAudit};
+
+use mmdb_editops::EditSequence;
+use mmdb_histogram::Quantizer;
+use mmdb_imaging::Rgb;
+use mmdb_rules::InfoResolver;
+use mmdb_telemetry::counter;
+use std::time::Instant;
+
+/// The configured analyzer: quantizer + instantiation background (for the
+/// soundness audit's rule engines) and an optional resolver for geometric
+/// precision and bound traces.
+pub struct Analyzer<'a> {
+    quantizer: &'a dyn Quantizer,
+    background: Rgb,
+    resolver: Option<&'a dyn InfoResolver>,
+}
+
+/// Everything the analyzer found out about one sequence.
+#[derive(Debug)]
+pub struct SequenceAnalysis {
+    /// Findings from all passes, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Removable operations ([`deadops`] pass).
+    pub dead_ops: Vec<DeadOp>,
+    /// The soundness audit, when all references resolved and the sequence
+    /// was boundable.
+    pub audit: Option<SoundnessAudit>,
+}
+
+impl SequenceAnalysis {
+    /// Whether any Error-level diagnostic was raised.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity() == Severity::Error)
+    }
+}
+
+impl<'a> Analyzer<'a> {
+    /// A structural-only analyzer (no catalog lookups: geometric checks and
+    /// the soundness audit are skipped).
+    pub fn new(quantizer: &'a dyn Quantizer, background: Rgb) -> Self {
+        Analyzer {
+            quantizer,
+            background,
+            resolver: None,
+        }
+    }
+
+    /// An analyzer with catalog access: full geometric precision plus the
+    /// soundness audit.
+    pub fn with_resolver(
+        quantizer: &'a dyn Quantizer,
+        background: Rgb,
+        resolver: &'a dyn InfoResolver,
+    ) -> Self {
+        Analyzer {
+            quantizer,
+            background,
+            resolver: Some(resolver),
+        }
+    }
+
+    /// Runs all per-sequence passes. Reference existence (`E001`–`E004`) is
+    /// the graph pass's job — see [`check_references`] / [`check_catalog`].
+    pub fn analyze_sequence(&self, seq: &EditSequence) -> SequenceAnalysis {
+        let mut diagnostics = wellformed::check(seq, self.resolver);
+        let dead_ops = find_dead_ops(seq);
+        diagnostics.extend(
+            dead_ops
+                .iter()
+                .map(|d| Diagnostic::new(d.code, d.reason.clone()).at_op(d.index)),
+        );
+        let mut audit = None;
+        let already_errored = diagnostics.iter().any(|d| d.severity() == Severity::Error);
+        if let Some(resolver) = self.resolver {
+            let refs_ok = resolver.info(seq.base).is_some()
+                && seq
+                    .merge_targets()
+                    .iter()
+                    .all(|&t| resolver.info(t).is_some());
+            if refs_ok && !already_errored {
+                match audit_sequence(self.quantizer, self.background, seq, resolver) {
+                    Ok(a) => {
+                        diagnostics.extend(a.diagnostics.iter().cloned());
+                        audit = Some(a);
+                    }
+                    Err(e) => {
+                        // The well-formedness pass mirrors every rule-engine
+                        // rejection; reaching this means a check is missing.
+                        diagnostics.push(Diagnostic::new(
+                            LintCode::Unboundable,
+                            format!("bound computation failed: {e}"),
+                        ));
+                    }
+                }
+            }
+        }
+        SequenceAnalysis {
+            diagnostics,
+            dead_ops,
+            audit,
+        }
+    }
+}
+
+/// Analyzes every edited image in the catalog plus the reference graph,
+/// recording run counts, latency, and per-lint counters in the global
+/// telemetry registry.
+pub fn analyze_catalog(graph: &dyn CatalogGraph, analyzer: &Analyzer<'_>) -> AnalysisReport {
+    let start = Instant::now();
+    counter!("mmdb_analysis_runs_total").inc();
+    let mut report = AnalysisReport {
+        diagnostics: check_catalog(graph),
+        ..AnalysisReport::default()
+    };
+    for id in graph.node_ids() {
+        if graph.node_kind(id) != Some(NodeKind::Edited) {
+            continue;
+        }
+        let Some(seq) = graph.node_sequence(id) else {
+            continue;
+        };
+        report.sequences_analyzed += 1;
+        let analysis = analyzer.analyze_sequence(&seq);
+        if let Some(audit) = &analysis.audit {
+            report.audited += 1;
+            if audit.is_clean() {
+                report.audits_clean += 1;
+            }
+        }
+        report
+            .diagnostics
+            .extend(analysis.diagnostics.into_iter().map(|d| d.for_image(id)));
+    }
+    report.sort();
+    counter!("mmdb_analysis_sequence_checks_total").add(report.sequences_analyzed as u64);
+    record_diagnostics(&report.diagnostics);
+    mmdb_telemetry::global()
+        .histogram("mmdb_analysis_latency_seconds")
+        .observe(start.elapsed());
+    report
+}
+
+/// The analyzer's §4 classification verdict: is every operation's rule
+/// bound-widening? `bwm` consumes this instead of recomputing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WideningVerdict {
+    /// True when every op is bound-widening (BWM Main eligibility).
+    pub all_widening: bool,
+    /// Index of the first non-widening op (a `Merge` with a target), when
+    /// any.
+    pub first_non_widening: Option<usize>,
+    /// How many non-widening ops the sequence carries.
+    pub non_widening_count: usize,
+}
+
+/// Classifies `seq` for the BWM structure.
+pub fn widening_verdict(seq: &EditSequence) -> WideningVerdict {
+    let mut first = None;
+    let mut count = 0usize;
+    for (i, op) in seq.ops.iter().enumerate() {
+        if !op.is_bound_widening() {
+            if first.is_none() {
+                first = Some(i);
+            }
+            count += 1;
+        }
+    }
+    WideningVerdict {
+        all_widening: first.is_none(),
+        first_non_widening: first,
+        non_widening_count: count,
+    }
+}
+
+/// The per-lint counter series name for `code`.
+fn diagnostic_counter_name(code: LintCode) -> String {
+    format!(
+        r#"mmdb_analysis_diagnostics_total{{code="{}"}}"#,
+        code.code()
+    )
+}
+
+/// Bumps the per-lint counters for a batch of findings. Called by
+/// [`analyze_catalog`] and by storage's ingest validation.
+pub fn record_diagnostics(diags: &[Diagnostic]) {
+    if diags.is_empty() {
+        return;
+    }
+    let registry = mmdb_telemetry::global();
+    for d in diags {
+        registry.counter(&diagnostic_counter_name(d.code)).inc();
+    }
+}
+
+/// Pre-registers this crate's metric series so `mmdbctl metrics` shows them
+/// at zero before the first analyzer run.
+pub fn register_metrics() {
+    let registry = mmdb_telemetry::global();
+    registry.counter("mmdb_analysis_runs_total");
+    registry.counter("mmdb_analysis_sequence_checks_total");
+    registry.histogram("mmdb_analysis_latency_seconds");
+    for code in LintCode::ALL {
+        registry.counter(&diagnostic_counter_name(code));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_editops::{EditSequence, ImageId};
+    use mmdb_histogram::{ColorHistogram, RgbQuantizer};
+    use mmdb_imaging::{RasterImage, Rect};
+    use mmdb_rules::{ImageInfo, MapInfoResolver};
+
+    fn setup() -> (MapInfoResolver, MapCatalogGraph, RgbQuantizer) {
+        let q = RgbQuantizer::default_64();
+        let img = RasterImage::filled(10, 10, Rgb::WHITE).unwrap();
+        let hist = ColorHistogram::extract(&img, &q);
+        let mut r = MapInfoResolver::new();
+        r.insert(ImageId::new(1), ImageInfo::new(hist, 10, 10));
+        let mut g = MapCatalogGraph::new();
+        g.insert_binary(ImageId::new(1));
+        (r, g, q)
+    }
+
+    #[test]
+    fn clean_sequence_full_analysis() {
+        let (r, _, q) = setup();
+        let analyzer = Analyzer::with_resolver(&q, Rgb::BLACK, &r);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .modify(Rgb::WHITE, Rgb::RED)
+            .build();
+        let a = analyzer.analyze_sequence(&seq);
+        assert!(!a.has_errors(), "{:?}", a.diagnostics);
+        assert!(a.dead_ops.is_empty());
+        let audit = a.audit.expect("audit should run");
+        assert!(audit.is_clean());
+    }
+
+    #[test]
+    fn audit_skipped_without_resolver_or_on_error() {
+        let (_, _, q) = setup();
+        let analyzer = Analyzer::new(&q, Rgb::BLACK);
+        let seq = EditSequence::builder(ImageId::new(1)).build();
+        assert!(analyzer.analyze_sequence(&seq).audit.is_none());
+        let (r, _, _) = setup();
+        let analyzer = Analyzer::with_resolver(&q, Rgb::BLACK, &r);
+        // Error-level finding (empty crop) suppresses the audit.
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(3, 3, 3, 3))
+            .crop_to_region()
+            .build();
+        let a = analyzer.analyze_sequence(&seq);
+        assert!(a.has_errors());
+        assert!(a.audit.is_none());
+    }
+
+    #[test]
+    fn analyze_catalog_combines_graph_and_sequence_passes() {
+        let (r, mut g, q) = setup();
+        // Dead Define (W101) in an otherwise healthy sequence.
+        g.insert_edited(
+            ImageId::new(2),
+            EditSequence::builder(ImageId::new(1))
+                .define(Rect::new(0, 0, 2, 2))
+                .define(Rect::new(0, 0, 4, 4))
+                .blur()
+                .build(),
+        );
+        // Dangling merge target (E002).
+        g.insert_edited(
+            ImageId::new(3),
+            EditSequence::builder(ImageId::new(1))
+                .define(Rect::new(0, 0, 4, 4))
+                .merge_into(ImageId::new(99), 0, 0)
+                .build(),
+        );
+        let analyzer = Analyzer::with_resolver(&q, Rgb::BLACK, &r);
+        let report = analyze_catalog(&g, &analyzer);
+        assert_eq!(report.sequences_analyzed, 2);
+        assert!(report.has_errors());
+        let codes: Vec<LintCode> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&LintCode::DanglingMergeTarget));
+        assert!(codes.contains(&LintCode::DeadDefine));
+        // The dead-define sequence audits clean; the dangling one skips.
+        assert_eq!(report.audited, 1);
+        assert_eq!(report.audits_clean, 1);
+        // Errors sort before warnings.
+        assert_eq!(report.diagnostics[0].severity(), Severity::Error);
+    }
+
+    #[test]
+    fn widening_verdict_matches_sequence_classification() {
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .blur()
+            .build();
+        let v = widening_verdict(&seq);
+        assert!(v.all_widening);
+        assert_eq!(v.first_non_widening, None);
+        assert_eq!(seq.all_bound_widening(), v.all_widening);
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .merge_into(ImageId::new(2), 0, 0)
+            .blur()
+            .build();
+        let v = widening_verdict(&seq);
+        assert!(!v.all_widening);
+        assert_eq!(v.first_non_widening, Some(1));
+        assert_eq!(v.non_widening_count, 1);
+        assert_eq!(seq.all_bound_widening(), v.all_widening);
+    }
+
+    #[test]
+    fn telemetry_counters_recorded() {
+        register_metrics();
+        let (r, mut g, q) = setup();
+        g.insert_edited(
+            ImageId::new(2),
+            EditSequence::builder(ImageId::new(1))
+                .define(Rect::new(0, 0, 2, 2))
+                .define(Rect::new(0, 0, 4, 4))
+                .blur()
+                .build(),
+        );
+        let analyzer = Analyzer::with_resolver(&q, Rgb::BLACK, &r);
+        let _ = analyze_catalog(&g, &analyzer);
+        let text = mmdb_telemetry::global().render_prometheus();
+        assert!(text.contains("mmdb_analysis_runs_total"), "{text}");
+        assert!(
+            text.contains(r#"mmdb_analysis_diagnostics_total{code="W101"}"#),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Pass 3 — the bound-soundness audit.
+//!
+//! Walks the per-op bound traces of **both** rule profiles
+//! ([`RuleProfile::Conservative`] and [`RuleProfile::PaperTable1`]) and
+//! statically verifies the properties the paper's §4 machinery rests on:
+//!
+//! 1. **Widening monotonicity** — for every bound-widening op, `min` never
+//!    increases and `max` never decreases (raw counts while the total is
+//!    preserved, fraction intervals when the op rescales the total). A
+//!    violation is `E009`: a rule-engine bug, because the BWM Main
+//!    structure's pruning proof depends on it. One known, documented
+//!    exception is downgraded to `W110`: the literal profile's fractional
+//!    whole-image scale can *narrow* fraction intervals through rounding.
+//! 2. **`Combine` containment** — at every `Combine`, the literal row
+//!    leaves bounds unchanged while the conservative rule only ever widens;
+//!    together these witness that from equal pre-states the conservative
+//!    output interval contains the literal one. Where the conservative rule
+//!    actually widened (a non-trivial kernel over a non-empty region) the
+//!    audit flags `W109`: the sequence is concrete evidence that the
+//!    literal Table 1 `Combine` row is unsound (see DESIGN.md).
+//! 3. **Final containment** — whether the end-of-sequence conservative
+//!    interval contains the literal one for every bin. This does *not* hold
+//!    universally (each profile is tighter in different places: within-bin
+//!    `Modify` refinement vs. clipped-translate precision), so divergence
+//!    is only an `N202` note; the guaranteed properties are (1) and (2).
+
+use crate::diagnostics::{Diagnostic, LintCode};
+use mmdb_editops::{EditOp, EditSequence};
+use mmdb_histogram::Quantizer;
+use mmdb_imaging::Rgb;
+use mmdb_rules::{BoundRange, InfoResolver, RuleEngine, RuleProfile};
+
+/// Slack for fraction-interval comparisons: the underlying math is exact in
+/// rationals, so only `f64` division rounding can perturb a comparison.
+const EPS: f64 = 1e-9;
+
+/// The audit verdict for one sequence.
+#[derive(Clone, Debug)]
+pub struct SoundnessAudit {
+    /// Number of operations audited.
+    pub ops_audited: usize,
+    /// Every widening op was monotone under both profiles (`E009` never
+    /// fired; `W110` does not clear this flag — it is the documented
+    /// literal-profile exception).
+    pub monotonic: bool,
+    /// Every `Combine` op satisfied per-op profile containment.
+    pub combine_containment: bool,
+    /// The final conservative interval contains the final literal interval
+    /// on every bin (informational; see module docs).
+    pub final_containment: bool,
+    /// `E009` / `W109` / `W110` / `N202` findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl SoundnessAudit {
+    /// The guaranteed invariants held: monotone widening and per-op
+    /// `Combine` containment.
+    pub fn is_clean(&self) -> bool {
+        self.monotonic && self.combine_containment
+    }
+}
+
+fn fraction_contains(outer: &BoundRange, inner: &BoundRange) -> bool {
+    let (olo, ohi) = outer.fraction_range();
+    let (ilo, ihi) = inner.fraction_range();
+    olo <= ilo + EPS && ohi >= ihi - EPS
+}
+
+/// Is this op the literal profile's documented fractional-scale exception?
+fn is_fractional_axis_scale(op: &EditOp) -> bool {
+    match op {
+        EditOp::Mutate { matrix } if matrix.is_axis_scale() => {
+            matrix.m[0][0].fract() != 0.0 || matrix.m[1][1].fract() != 0.0
+        }
+        _ => false,
+    }
+}
+
+/// Runs the audit. Requires every referenced image to resolve; bound-trace
+/// failures surface as the rule engine's error.
+pub fn audit_sequence(
+    quantizer: &dyn Quantizer,
+    background: Rgb,
+    seq: &EditSequence,
+    resolver: &dyn InfoResolver,
+) -> Result<SoundnessAudit, mmdb_rules::RuleError> {
+    let conservative =
+        RuleEngine::with_background(quantizer, RuleProfile::Conservative, background);
+    let literal = RuleEngine::with_background(quantizer, RuleProfile::PaperTable1, background);
+    let cons_trace = conservative.bounds_trace(seq, resolver)?;
+    let lit_trace = literal.bounds_trace(seq, resolver)?;
+
+    let mut diagnostics = Vec::new();
+    let mut monotonic = true;
+    let mut combine_containment = true;
+
+    for (i, op) in seq.ops.iter().enumerate() {
+        let steps = [
+            ("conservative", &cons_trace[i], &cons_trace[i + 1]),
+            ("paper_table1", &lit_trace[i], &lit_trace[i + 1]),
+        ];
+        if op.is_bound_widening() {
+            for (profile, before, after) in steps {
+                for (bin, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+                    let ok = if a.total == b.total {
+                        a.min <= b.min && a.max >= b.max
+                    } else {
+                        fraction_contains(a, b)
+                    };
+                    if ok {
+                        continue;
+                    }
+                    if profile == "paper_table1" && is_fractional_axis_scale(op) {
+                        diagnostics.push(
+                            Diagnostic::new(
+                                LintCode::FractionNarrowing,
+                                format!(
+                                    "PaperTable1 fractional whole-image scale narrowed bin \
+                                     {bin}'s fraction interval ([{:.4}, {:.4}] -> [{:.4}, \
+                                     {:.4}]); rounding in the literal rule is not monotone",
+                                    b.fraction_range().0,
+                                    b.fraction_range().1,
+                                    a.fraction_range().0,
+                                    a.fraction_range().1,
+                                ),
+                            )
+                            .at_op(i),
+                        );
+                    } else {
+                        monotonic = false;
+                        diagnostics.push(
+                            Diagnostic::new(
+                                LintCode::MonotonicityViolation,
+                                format!(
+                                    "{profile} profile: widening {} narrowed bin {bin} \
+                                     ({:?} -> {:?})",
+                                    op.kind(),
+                                    b,
+                                    a
+                                ),
+                            )
+                            .at_op(i),
+                        );
+                    }
+                    // One diagnostic per (op, profile) is enough.
+                    break;
+                }
+            }
+        }
+        if let EditOp::Combine { weights } = op {
+            let lit_unchanged = lit_trace[i] == lit_trace[i + 1];
+            let cons_widened_everywhere = cons_trace[i]
+                .iter()
+                .zip(cons_trace[i + 1].iter())
+                .all(|(b, a)| a.min <= b.min && a.max >= b.max && a.total == b.total);
+            if !(lit_unchanged && cons_widened_everywhere) {
+                combine_containment = false;
+                diagnostics.push(
+                    Diagnostic::new(
+                        LintCode::MonotonicityViolation,
+                        "Combine containment failed: the literal row changed bounds or the \
+                         conservative rule narrowed them"
+                            .to_string(),
+                    )
+                    .at_op(i),
+                );
+            }
+            // Did the conservative rule actually widen here? If so the
+            // sequence witnesses the Table 1 Combine caveat.
+            let effective_kernel = weights.iter().all(|w| w.is_finite())
+                && weights.iter().sum::<f32>() != 0.0
+                && !weights.iter().enumerate().all(|(k, w)| k == 4 || *w == 0.0);
+            let cons_changed = cons_trace[i] != cons_trace[i + 1];
+            if effective_kernel && cons_changed {
+                diagnostics.push(
+                    Diagnostic::new(
+                        LintCode::CombineCaveat,
+                        "a blur over a non-empty region can move pixels across histogram bins, \
+                         but the literal Table 1 Combine row keeps bounds unchanged; the \
+                         PaperTable1 profile is unsound for this sequence"
+                            .to_string(),
+                    )
+                    .at_op(i),
+                );
+            }
+        }
+    }
+
+    let last = seq.ops.len();
+    let mut final_containment = true;
+    for (bin, (c, l)) in cons_trace[last]
+        .iter()
+        .zip(lit_trace[last].iter())
+        .enumerate()
+    {
+        if !fraction_contains(c, l) {
+            final_containment = false;
+            diagnostics.push(Diagnostic::new(
+                LintCode::ProfileDivergence,
+                format!(
+                    "final Conservative interval does not contain the PaperTable1 interval on \
+                     bin {bin} (each profile is tighter in different places; soundness is \
+                     unaffected)"
+                ),
+            ));
+            break;
+        }
+    }
+
+    Ok(SoundnessAudit {
+        ops_audited: seq.ops.len(),
+        monotonic,
+        combine_containment,
+        final_containment,
+        diagnostics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_editops::ImageId;
+    use mmdb_histogram::{ColorHistogram, RgbQuantizer};
+    use mmdb_imaging::{draw, RasterImage, Rect};
+    use mmdb_rules::{ImageInfo, MapInfoResolver};
+
+    fn setup() -> (MapInfoResolver, RgbQuantizer) {
+        let q = RgbQuantizer::default_64();
+        let mut img = RasterImage::filled(10, 10, Rgb::WHITE).unwrap();
+        draw::fill_rect(&mut img, &Rect::new(0, 0, 10, 3), Rgb::RED);
+        let hist = ColorHistogram::extract(&img, &q);
+        let mut r = MapInfoResolver::new();
+        r.insert(ImageId::new(1), ImageInfo::new(hist, 10, 10));
+        (r, q)
+    }
+
+    #[test]
+    fn widening_sequence_audits_clean() {
+        let (r, q) = setup();
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(1, 1, 8, 8))
+            .blur()
+            .modify(Rgb::RED, Rgb::GREEN)
+            .translate(2.0, 2.0)
+            .define(Rect::new(0, 0, 10, 6))
+            .crop_to_region()
+            .build();
+        let audit = audit_sequence(&q, Rgb::BLACK, &seq, &r).unwrap();
+        assert!(audit.is_clean(), "{:?}", audit.diagnostics);
+        assert_eq!(audit.ops_audited, 6);
+        // The blur over a non-empty region must flag the Table 1 caveat.
+        assert!(audit
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::CombineCaveat));
+    }
+
+    #[test]
+    fn blur_over_empty_region_no_caveat() {
+        let (r, q) = setup();
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(50, 50, 60, 60)) // clips to empty
+            .blur()
+            .build();
+        let audit = audit_sequence(&q, Rgb::BLACK, &seq, &r).unwrap();
+        assert!(audit.is_clean());
+        assert!(!audit
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::CombineCaveat));
+    }
+
+    #[test]
+    fn integer_scale_monotone_under_both_profiles() {
+        let (r, q) = setup();
+        let seq = EditSequence::builder(ImageId::new(1))
+            .scale(2.0, 2.0)
+            .build();
+        let audit = audit_sequence(&q, Rgb::BLACK, &seq, &r).unwrap();
+        assert!(audit.is_clean(), "{:?}", audit.diagnostics);
+        assert!(audit
+            .diagnostics
+            .iter()
+            .all(|d| d.code != LintCode::FractionNarrowing));
+    }
+
+    #[test]
+    fn fractional_scale_narrowing_downgraded_to_w110() {
+        let (r, q) = setup();
+        // 10×10 → 12×12 (scale 1.2): the literal rule multiplies raw counts
+        // by 1.44 and rounds, which can narrow fraction intervals — the
+        // documented exception, never an E009.
+        let seq = EditSequence::builder(ImageId::new(1))
+            .scale(1.2, 1.2)
+            .build();
+        let audit = audit_sequence(&q, Rgb::BLACK, &seq, &r).unwrap();
+        assert!(audit.monotonic, "{:?}", audit.diagnostics);
+        assert!(audit
+            .diagnostics
+            .iter()
+            .all(|d| d.code != LintCode::MonotonicityViolation));
+    }
+
+    #[test]
+    fn unknown_base_is_an_error() {
+        let (r, q) = setup();
+        let seq = EditSequence::builder(ImageId::new(42)).build();
+        assert!(audit_sequence(&q, Rgb::BLACK, &seq, &r).is_err());
+    }
+}

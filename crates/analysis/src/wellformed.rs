@@ -1,0 +1,495 @@
+//! Pass 1 — well-formedness checks over a single sequence.
+//!
+//! Structural checks (non-finite parameters, degenerate regions, zero-sum
+//! kernels, non-affine matrices) need nothing but the op list. When an
+//! [`InfoResolver`] is supplied, the pass additionally walks the sequence's
+//! canvas/region geometry — mirroring the rule engine's `BoundState`
+//! trajectory — and catches errors the executor would only hit at
+//! instantiation time: crops of an empty region, canvas growth past the
+//! pixel cap, and pastes landing entirely outside their target.
+//!
+//! Reference existence/kind checks (`E001`–`E004`) are deliberately *not*
+//! here: they belong to the catalog graph pass ([`crate::graph`]), so a
+//! missing resolver entry merely degrades geometric precision instead of
+//! double-reporting.
+
+use crate::diagnostics::{Diagnostic, LintCode};
+use mmdb_editops::exec::MAX_CANVAS_PIXELS;
+use mmdb_editops::{EditOp, EditSequence};
+use mmdb_imaging::Rect;
+use mmdb_rules::InfoResolver;
+
+/// Paste coordinates beyond this magnitude cannot intersect any canvas the
+/// executor accepts (the cap bounds every dimension by `MAX_CANVAS_PIXELS`)
+/// and risk `i64` overflow in rectangle arithmetic, so they are rejected
+/// outright.
+const MAX_PASTE_COORD: i64 = (MAX_CANVAS_PIXELS as i64) * 2;
+
+/// Symbolic walker state. `canvas`/`dr` are exact when the base dimensions
+/// resolved; otherwise only the certainty flag `dr_empty` is tracked (set
+/// by a statically empty `Define`, cleared by anything that replaces the
+/// region wholesale).
+struct Geometry {
+    canvas: Option<Rect>,
+    dr: Option<Rect>,
+    dr_empty: bool,
+}
+
+impl Geometry {
+    fn lose_precision(&mut self) {
+        self.canvas = None;
+        self.dr = None;
+        self.dr_empty = false;
+    }
+}
+
+/// Runs the well-formedness pass. `resolver` (when given) supplies base and
+/// merge-target dimensions for the geometric checks.
+pub fn check(seq: &EditSequence, resolver: Option<&dyn InfoResolver>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let base_rect = resolver
+        .and_then(|r| r.info(seq.base))
+        .map(|info| Rect::of_image(info.width, info.height));
+    let mut geo = Geometry {
+        canvas: base_rect,
+        dr: base_rect,
+        dr_empty: false,
+    };
+    let mut saw_define = false;
+    let mut noted_early_edit = false;
+
+    for (i, op) in seq.ops.iter().enumerate() {
+        if !saw_define && !noted_early_edit && op.reads_region() {
+            noted_early_edit = true;
+            diags.push(
+                Diagnostic::new(
+                    LintCode::EditBeforeDefine,
+                    format!(
+                        "{} runs before any Define and edits the whole image",
+                        op.kind()
+                    ),
+                )
+                .at_op(i),
+            );
+        }
+        match op {
+            EditOp::Define { region } => {
+                saw_define = true;
+                if region.is_empty() {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::DegenerateRegion,
+                            "Define region is empty as written".to_string(),
+                        )
+                        .at_op(i),
+                    );
+                    geo.dr_empty = true;
+                    if let Some(canvas) = geo.canvas {
+                        geo.dr = Some(region.intersect(&canvas));
+                    }
+                } else if let Some(canvas) = geo.canvas {
+                    let clipped = region.intersect(&canvas);
+                    if clipped.is_empty() {
+                        diags.push(
+                            Diagnostic::new(
+                                LintCode::DegenerateRegion,
+                                format!(
+                                    "Define region clips to empty on the {}x{} canvas",
+                                    canvas.width(),
+                                    canvas.height()
+                                ),
+                            )
+                            .at_op(i),
+                        );
+                    }
+                    geo.dr_empty = clipped.is_empty();
+                    geo.dr = Some(clipped);
+                } else {
+                    geo.dr_empty = false;
+                }
+            }
+            EditOp::Combine { weights } => {
+                if weights.iter().any(|w| !w.is_finite()) {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::NonFiniteParams,
+                            "Combine weights contain NaN or infinity".to_string(),
+                        )
+                        .at_op(i),
+                    );
+                } else if weights.iter().sum::<f32>() == 0.0 {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::ZeroCombine,
+                            "Combine weights sum to zero; the executor leaves pixels unchanged"
+                                .to_string(),
+                        )
+                        .at_op(i),
+                    );
+                }
+            }
+            EditOp::Modify { .. } => {}
+            EditOp::Mutate { matrix } => {
+                let finite = matrix.m.iter().flatten().all(|v| v.is_finite());
+                if !finite {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::NonFiniteParams,
+                            "Mutate matrix contains NaN or infinity".to_string(),
+                        )
+                        .at_op(i),
+                    );
+                    geo.lose_precision();
+                    continue;
+                }
+                if !matrix.is_affine() {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::NonAffineMutate,
+                            "Mutate matrix is projective (last row is not 0 0 1); only affine \
+                             transforms are executable"
+                                .to_string(),
+                        )
+                        .at_op(i),
+                    );
+                    geo.lose_precision();
+                    continue;
+                }
+                if !matrix.is_identity() && matrix.affine_inverse().is_none() {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::SingularMutate,
+                            "Mutate matrix is singular; the defined region collapses".to_string(),
+                        )
+                        .at_op(i),
+                    );
+                }
+                apply_mutate_geometry(&mut geo, matrix, i, &mut diags);
+            }
+            EditOp::Merge { target: None, .. } => {
+                if geo.dr_empty || geo.dr.is_some_and(|dr| dr.is_empty()) {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::EmptyCrop,
+                            "Merge(NULL) crops to an empty defined region; the executor rejects \
+                             this sequence"
+                                .to_string(),
+                        )
+                        .at_op(i),
+                    );
+                    // Best effort beyond the error: the sequence cannot run,
+                    // so stop tracking geometry.
+                    geo.lose_precision();
+                } else if let Some(dr) = geo.dr {
+                    let canvas = Rect::new(0, 0, dr.width(), dr.height());
+                    geo.canvas = Some(canvas);
+                    geo.dr = Some(canvas);
+                } else {
+                    geo.lose_precision();
+                }
+            }
+            EditOp::Merge {
+                target: Some(id),
+                xp,
+                yp,
+            } => {
+                if xp.abs() > MAX_PASTE_COORD || yp.abs() > MAX_PASTE_COORD {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::CanvasOverflow,
+                            format!(
+                                "Merge paste coordinates ({xp}, {yp}) are out of range for any \
+                                 executable canvas"
+                            ),
+                        )
+                        .at_op(i),
+                    );
+                    geo.lose_precision();
+                    continue;
+                }
+                let target_rect = resolver
+                    .and_then(|r| r.info(*id))
+                    .map(|info| Rect::of_image(info.width, info.height));
+                match (target_rect, geo.dr) {
+                    (Some(target_rect), Some(dr)) => {
+                        let dest = Rect::from_origin_size(*xp, *yp, dr.width(), dr.height());
+                        let canvas = target_rect.union(&dest);
+                        if canvas.area() > MAX_CANVAS_PIXELS {
+                            diags.push(
+                                Diagnostic::new(
+                                    LintCode::CanvasOverflow,
+                                    format!(
+                                        "Merge would produce a {}x{} canvas, over the executor's \
+                                         pixel cap",
+                                        canvas.width(),
+                                        canvas.height()
+                                    ),
+                                )
+                                .at_op(i),
+                            );
+                            geo.lose_precision();
+                            continue;
+                        }
+                        if !dr.is_empty() && dest.intersect(&target_rect).is_empty() {
+                            diags.push(
+                                Diagnostic::new(
+                                    LintCode::DisjointPaste,
+                                    format!(
+                                        "Merge pastes the region at ({xp}, {yp}), entirely \
+                                         outside the {}x{} target; only background gap fill \
+                                         connects them",
+                                        target_rect.width(),
+                                        target_rect.height()
+                                    ),
+                                )
+                                .at_op(i),
+                            );
+                        }
+                        let new_canvas = Rect::new(0, 0, canvas.width(), canvas.height());
+                        geo.canvas = Some(new_canvas);
+                        geo.dr = Some(
+                            dest.translate(-canvas.x0, -canvas.y0)
+                                .intersect(&new_canvas),
+                        );
+                        geo.dr_empty = geo.dr.is_some_and(|d| d.is_empty());
+                    }
+                    _ => geo.lose_precision(),
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Mirrors the rule engine's `Mutate` geometry: whole-image axis scales
+/// resize the canvas; everything else replaces the DR with the clipped
+/// bounding box of its transform.
+fn apply_mutate_geometry(
+    geo: &mut Geometry,
+    matrix: &mmdb_editops::Matrix3,
+    op_index: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let (Some(canvas), Some(dr)) = (geo.canvas, geo.dr) else {
+        return;
+    };
+    if dr.is_empty() {
+        return;
+    }
+    if dr == canvas && matrix.is_axis_scale() {
+        let new_w = ((canvas.width() as f64 * matrix.m[0][0]).round() as i64).max(1);
+        let new_h = ((canvas.height() as f64 * matrix.m[1][1]).round() as i64).max(1);
+        if (new_w as u64).saturating_mul(new_h as u64) > MAX_CANVAS_PIXELS {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::CanvasOverflow,
+                    format!(
+                        "Mutate would produce a {new_w}x{new_h} canvas, over the executor's \
+                         pixel cap"
+                    ),
+                )
+                .at_op(op_index),
+            );
+            geo.lose_precision();
+            return;
+        }
+        let rect = Rect::new(0, 0, new_w, new_h);
+        geo.canvas = Some(rect);
+        geo.dr = Some(rect);
+        geo.dr_empty = false;
+        return;
+    }
+    let corners = [
+        (dr.x0 as f64, dr.y0 as f64),
+        (dr.x1 as f64, dr.y0 as f64),
+        (dr.x0 as f64, dr.y1 as f64),
+        (dr.x1 as f64, dr.y1 as f64),
+    ];
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for (cx, cy) in corners {
+        let (tx, ty) = matrix.apply(cx, cy);
+        min_x = min_x.min(tx);
+        min_y = min_y.min(ty);
+        max_x = max_x.max(tx);
+        max_y = max_y.max(ty);
+    }
+    if !(min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite()) {
+        // Finite matrices on finite rects only overflow for absurd scales;
+        // treat like the executor's non-finite region error.
+        diags.push(
+            Diagnostic::new(
+                LintCode::NonFiniteParams,
+                "Mutate transform produced a non-finite region".to_string(),
+            )
+            .at_op(op_index),
+        );
+        geo.lose_precision();
+        return;
+    }
+    let bbox = Rect::new(
+        min_x.floor() as i64,
+        min_y.floor() as i64,
+        max_x.ceil() as i64,
+        max_y.ceil() as i64,
+    );
+    let dest = bbox.intersect(&canvas);
+    geo.dr = Some(dest);
+    geo.dr_empty = dest.is_empty();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_editops::{ImageId, Matrix3};
+    use mmdb_histogram::{ColorHistogram, RgbQuantizer};
+    use mmdb_imaging::{RasterImage, Rgb};
+    use mmdb_rules::{ImageInfo, MapInfoResolver};
+
+    fn resolver() -> MapInfoResolver {
+        let img = RasterImage::filled(10, 10, Rgb::WHITE).unwrap();
+        let hist = ColorHistogram::extract(&img, &RgbQuantizer::default_64());
+        let mut r = MapInfoResolver::new();
+        r.insert(ImageId::new(1), ImageInfo::new(hist, 10, 10));
+        let target = RasterImage::filled(20, 20, Rgb::RED).unwrap();
+        let hist = ColorHistogram::extract(&target, &RgbQuantizer::default_64());
+        r.insert(ImageId::new(2), ImageInfo::new(hist, 20, 20));
+        r
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<LintCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_sequence_no_diagnostics() {
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .blur()
+            .modify(Rgb::RED, Rgb::GREEN)
+            .build();
+        assert!(check(&seq, Some(&resolver())).is_empty());
+    }
+
+    #[test]
+    fn edit_before_define_noted_once() {
+        let seq = EditSequence::builder(ImageId::new(1))
+            .blur()
+            .modify(Rgb::RED, Rgb::GREEN)
+            .build();
+        let d = check(&seq, None);
+        assert_eq!(codes(&d), vec![LintCode::EditBeforeDefine]);
+        assert_eq!(d[0].op_index, Some(0));
+    }
+
+    #[test]
+    fn degenerate_regions_both_flavours() {
+        // Empty as written (no resolver needed).
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(5, 5, 5, 9))
+            .blur()
+            .build();
+        assert!(codes(&check(&seq, None)).contains(&LintCode::DegenerateRegion));
+        // Clips to empty on the actual canvas (resolver needed).
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(50, 50, 60, 60))
+            .blur()
+            .build();
+        assert!(check(&seq, None).is_empty());
+        assert!(codes(&check(&seq, Some(&resolver()))).contains(&LintCode::DegenerateRegion));
+    }
+
+    #[test]
+    fn empty_crop_is_error() {
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(3, 3, 3, 3))
+            .crop_to_region()
+            .build();
+        // Statically empty region: provable even without a resolver.
+        assert!(codes(&check(&seq, None)).contains(&LintCode::EmptyCrop));
+        // Clipped-to-empty region: needs the resolver.
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(50, 50, 60, 60))
+            .crop_to_region()
+            .build();
+        assert!(!codes(&check(&seq, None)).contains(&LintCode::EmptyCrop));
+        assert!(codes(&check(&seq, Some(&resolver()))).contains(&LintCode::EmptyCrop));
+    }
+
+    #[test]
+    fn non_finite_params_detected() {
+        let seq = EditSequence::builder(ImageId::new(1))
+            .combine([f32::NAN, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+            .mutate(Matrix3::new([
+                [f64::INFINITY, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ]))
+            .build();
+        let c = codes(&check(&seq, Some(&resolver())));
+        assert_eq!(
+            c.iter()
+                .filter(|c| **c == LintCode::NonFiniteParams)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn projective_and_singular_mutates() {
+        let mut proj = Matrix3::IDENTITY;
+        proj.m[2] = [0.01, 0.0, 1.0];
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .mutate(proj)
+            .build();
+        assert!(codes(&check(&seq, None)).contains(&LintCode::NonAffineMutate));
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .mutate(Matrix3::scale(0.0, 1.0))
+            .build();
+        let c = codes(&check(&seq, None));
+        assert!(c.contains(&LintCode::SingularMutate));
+        assert!(!c.contains(&LintCode::NonAffineMutate));
+    }
+
+    #[test]
+    fn canvas_overflow_from_scale_and_paste() {
+        let seq = EditSequence::builder(ImageId::new(1))
+            .scale(100_000.0, 100_000.0)
+            .build();
+        assert!(codes(&check(&seq, Some(&resolver()))).contains(&LintCode::CanvasOverflow));
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .merge_into(ImageId::new(2), i64::MAX / 2, 0)
+            .build();
+        // Out-of-range paste coordinates are structural: no resolver needed.
+        assert!(codes(&check(&seq, None)).contains(&LintCode::CanvasOverflow));
+    }
+
+    #[test]
+    fn disjoint_paste_warned() {
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .merge_into(ImageId::new(2), 100, 100)
+            .build();
+        assert!(codes(&check(&seq, Some(&resolver()))).contains(&LintCode::DisjointPaste));
+        // An interior paste is clean.
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .merge_into(ImageId::new(2), 2, 2)
+            .build();
+        assert!(check(&seq, Some(&resolver())).is_empty());
+    }
+
+    #[test]
+    fn zero_sum_combine_warned() {
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(0, 0, 4, 4))
+            .combine([1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 0.0])
+            .build();
+        assert_eq!(codes(&check(&seq, None)), vec![LintCode::ZeroCombine]);
+    }
+}

@@ -1,0 +1,146 @@
+//! The dead-op-elimination proof obligation, enforced by property test:
+//! for any edit sequence the executor accepts, instantiating the
+//! [`mmdb_analysis::simplify`]-rewritten sequence produces the **same
+//! raster** (hence the same histogram) as the original — and when the
+//! original cannot be instantiated, neither can the rewrite.
+//!
+//! The op generator deliberately over-weights the degenerate shapes the
+//! analyzer targets (self-`Modify`, identity `Mutate`, identity and
+//! zero-sum `Combine`, shadowed `Define`s) so most cases actually exercise
+//! the rewrite instead of returning the sequence unchanged.
+
+use mmdb_analysis::simplify;
+use mmdb_editops::{EditOp, EditSequence, ImageId, InstantiationEngine, MapResolver, Matrix3};
+use mmdb_imaging::{draw, RasterImage, Rect, Rgb};
+use proptest::prelude::*;
+
+const PALETTE: [Rgb; 5] = [
+    Rgb::new(255, 0, 0),
+    Rgb::new(0, 255, 0),
+    Rgb::new(0, 0, 255),
+    Rgb::new(255, 255, 255),
+    Rgb::new(0, 0, 0),
+];
+
+fn arb_color() -> impl Strategy<Value = Rgb> {
+    (0..PALETTE.len()).prop_map(|i| PALETTE[i])
+}
+
+fn arb_image(max_side: i64) -> impl Strategy<Value = RasterImage> {
+    (
+        6..max_side,
+        6..max_side,
+        arb_color(),
+        proptest::collection::vec(
+            (
+                0..max_side,
+                0..max_side,
+                1..max_side,
+                1..max_side,
+                arb_color(),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(w, h, bg, rects)| {
+            let mut img = RasterImage::filled(w as u32, h as u32, bg).unwrap();
+            for (x, y, rw, rh, c) in rects {
+                draw::fill_rect(&mut img, &Rect::from_origin_size(x, y, rw, rh), c);
+            }
+            img
+        })
+}
+
+fn arb_op(side: i64) -> impl Strategy<Value = EditOp> {
+    prop_oneof![
+        // Live ops the rewrite must leave alone.
+        (-4..side, -4..side, 0..side, 0..side).prop_map(|(x, y, w, h)| EditOp::Define {
+            region: Rect::from_origin_size(x, y, w, h),
+        }),
+        (arb_color(), arb_color()).prop_map(|(from, to)| EditOp::Modify { from, to }),
+        Just(EditOp::box_blur()),
+        (-6i64..6, -6i64..6).prop_map(|(dx, dy)| EditOp::Mutate {
+            matrix: Matrix3::translation(dx as f64, dy as f64),
+        }),
+        (1u32..3, 1u32..3).prop_map(|(sx, sy)| EditOp::Mutate {
+            matrix: Matrix3::scale(sx as f64, sy as f64),
+        }),
+        Just(EditOp::Merge {
+            target: None,
+            xp: 0,
+            yp: 0
+        }),
+        (-5i64..20, -5i64..20).prop_map(|(xp, yp)| EditOp::Merge {
+            target: Some(ImageId::new(2)),
+            xp,
+            yp,
+        }),
+        // Dead shapes the analyzer removes.
+        arb_color().prop_map(|c| EditOp::Modify { from: c, to: c }),
+        Just(EditOp::Mutate {
+            matrix: Matrix3::IDENTITY,
+        }),
+        Just(EditOp::Combine { weights: [0.0; 9] }),
+        (1u32..40).prop_map(|w| {
+            let mut weights = [0.0f32; 9];
+            weights[4] = w as f32 / 10.0;
+            EditOp::Combine { weights }
+        }),
+    ]
+}
+
+fn arb_case() -> impl Strategy<Value = (RasterImage, RasterImage, EditSequence)> {
+    (
+        arb_image(20),
+        arb_image(16),
+        proptest::collection::vec(arb_op(20), 0..8),
+    )
+        .prop_map(|(base, target, ops)| (base, target, EditSequence::new(ImageId::new(1), ops)))
+}
+
+fn check_preservation(
+    base: RasterImage,
+    target: RasterImage,
+    seq: EditSequence,
+) -> Result<(), proptest::TestCaseError> {
+    let mut resolver = MapResolver::new();
+    resolver.insert(ImageId::new(1), base);
+    resolver.insert(ImageId::new(2), target);
+    let engine = InstantiationEngine::new(&resolver);
+
+    let simplified = simplify(&seq);
+    prop_assert!(
+        simplified.sequence.ops.len() + simplified.removed.len() == seq.ops.len(),
+        "rewrite must account for every op"
+    );
+
+    let original = engine.instantiate(&seq);
+    let rewritten = engine.instantiate(&simplified.sequence);
+    match (original, rewritten) {
+        (Ok(a), Ok(b)) => prop_assert!(
+            a == b,
+            "dead-op elimination changed the raster (removed {:?})",
+            simplified.removed
+        ),
+        (Err(_), Err(_)) => {}
+        (a, b) => prop_assert!(
+            false,
+            "elimination changed instantiability: original {:?}, rewritten {:?} (removed {:?})",
+            a.map(|_| ()),
+            b.map(|_| ()),
+            simplified.removed
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dead_op_elimination_preserves_instantiated_raster(
+        (base, target, seq) in arb_case()
+    ) {
+        check_preservation(base, target, seq)?;
+    }
+}

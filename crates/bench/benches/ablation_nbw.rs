@@ -40,7 +40,7 @@ fn bench_nbw(c: &mut Criterion) {
                             };
                             std::hint::black_box(out);
                         }
-                    })
+                    });
                 },
             );
         }

@@ -40,7 +40,7 @@ fn bench_fig3(c: &mut Criterion) {
                     for q in &queries {
                         std::hint::black_box(qp.range_rbm(q).unwrap());
                     }
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -51,7 +51,7 @@ fn bench_fig3(c: &mut Criterion) {
                     for q in &queries {
                         std::hint::black_box(qp.range_bwm(q).unwrap());
                     }
-                })
+                });
             },
         );
     }

@@ -36,7 +36,7 @@ fn bench_fig4(c: &mut Criterion) {
                     for q in &queries {
                         std::hint::black_box(qp.range_rbm(q).unwrap());
                     }
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -47,7 +47,7 @@ fn bench_fig4(c: &mut Criterion) {
                     for q in &queries {
                         std::hint::black_box(qp.range_bwm(q).unwrap());
                     }
-                })
+                });
             },
         );
     }

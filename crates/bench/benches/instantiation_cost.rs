@@ -47,12 +47,12 @@ fn bench_instantiation(c: &mut Criterion) {
                     // Re-extract (the raster itself is cached; extraction is
                     // the dominant per-query cost an uncached system pays).
                     std::hint::black_box(ColorHistogram::extract(&raster, db.quantizer()));
-                })
+                });
             },
         );
         let engine = RuleEngine::new(db.quantizer(), RuleProfile::Conservative);
         group.bench_with_input(BenchmarkId::new("bounds", n_ops), &n_ops, |b, _| {
-            b.iter(|| std::hint::black_box(engine.bounds(&seq, 0, &db).unwrap()))
+            b.iter(|| std::hint::black_box(engine.bounds(&seq, 0, &db).unwrap()));
         });
     }
     group.finish();

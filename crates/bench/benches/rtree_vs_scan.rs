@@ -23,7 +23,7 @@ fn bench_rtree(c: &mut Criterion) {
         let ids = db.binary_ids();
 
         group.bench_with_input(BenchmarkId::new("rtree_bin_range", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(index.bin_range(red, 0.3, 1.0)))
+            b.iter(|| std::hint::black_box(index.bin_range(red, 0.3, 1.0)));
         });
         group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
             b.iter(|| {
@@ -36,12 +36,12 @@ fn bench_rtree(c: &mut Criterion) {
                     }
                 }
                 std::hint::black_box(hits)
-            })
+            });
         });
         // k-NN through the index vs. brute force.
         let probe = db.info(ids[0]).unwrap().histogram;
         group.bench_with_input(BenchmarkId::new("rtree_knn10", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(index.nearest(&probe, 10)))
+            b.iter(|| std::hint::black_box(index.nearest(&probe, 10)));
         });
         group.bench_with_input(BenchmarkId::new("brute_knn10", n), &n, |b, _| {
             b.iter(|| {
@@ -55,7 +55,7 @@ fn bench_rtree(c: &mut Criterion) {
                 dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
                 dists.truncate(10);
                 std::hint::black_box(dists)
-            })
+            });
         });
     }
     group.finish();

@@ -16,16 +16,16 @@ fn bench_substrates(c: &mut Criterion) {
     let q = RgbQuantizer::default_64();
 
     c.bench_function("histogram_extract_180x120", |b| {
-        b.iter(|| std::hint::black_box(ColorHistogram::extract(&flag, &q)))
+        b.iter(|| std::hint::black_box(ColorHistogram::extract(&flag, &q)));
     });
 
     let h1 = ColorHistogram::extract(&flag, &q);
     let h2 = ColorHistogram::extract(&FlagGenerator::new(42, 180, 120).generate(7), &q);
     c.bench_function("histogram_intersection_64", |b| {
-        b.iter(|| std::hint::black_box(histogram_intersection(&h1, &h2)))
+        b.iter(|| std::hint::black_box(histogram_intersection(&h1, &h2)));
     });
     c.bench_function("l2_distance_64", |b| {
-        b.iter(|| std::hint::black_box(l2_distance(&h1, &h2)))
+        b.iter(|| std::hint::black_box(l2_distance(&h1, &h2)));
     });
 
     let mut group = c.benchmark_group("ppm_codec");
@@ -35,10 +35,10 @@ fn bench_substrates(c: &mut Criterion) {
     ] {
         let encoded = ppm::encode(&flag, format);
         group.bench_with_input(BenchmarkId::new("encode", name), &format, |b, &f| {
-            b.iter(|| std::hint::black_box(ppm::encode(&flag, f)))
+            b.iter(|| std::hint::black_box(ppm::encode(&flag, f)));
         });
         group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, e| {
-            b.iter(|| std::hint::black_box(ppm::decode(e).unwrap()))
+            b.iter(|| std::hint::black_box(ppm::decode(e).unwrap()));
         });
     }
     group.finish();
@@ -52,10 +52,10 @@ fn bench_substrates(c: &mut Criterion) {
         .build();
     let bytes = codec::encode(&seq);
     c.bench_function("editseq_encode_5ops", |b| {
-        b.iter(|| std::hint::black_box(codec::encode(&seq)))
+        b.iter(|| std::hint::black_box(codec::encode(&seq)));
     });
     c.bench_function("editseq_decode_5ops", |b| {
-        b.iter(|| std::hint::black_box(codec::decode(&bytes).unwrap()))
+        b.iter(|| std::hint::black_box(codec::decode(&bytes).unwrap()));
     });
 
     c.bench_function("lru_insert_get_mixed", |b| {
@@ -65,7 +65,7 @@ fn bench_substrates(c: &mut Criterion) {
             i = i.wrapping_add(1);
             cache.insert(i % 512, i, 8);
             std::hint::black_box(cache.get(&(i % 512)));
-        })
+        });
     });
 }
 
@@ -85,7 +85,7 @@ fn bench_structure_build(c: &mut Criterion) {
                 info.edited_ids.iter().copied(),
                 &db,
             ))
-        })
+        });
     });
     // Per-image incremental classification (fresh structure per batch so
     // the cluster lists do not grow across iterations).
@@ -99,7 +99,7 @@ fn bench_structure_build(c: &mut Criterion) {
             },
             |mut s| std::hint::black_box(s.insert_edited(info.edited_ids[0], &seq)),
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
 }
 

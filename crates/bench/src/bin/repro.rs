@@ -7,8 +7,8 @@
 //!
 //! Subcommands: `table2`, `fig3`, `fig4`, `headline`, `ablation-nbw`,
 //! `ablation-selectivity`, `ablation-profile`, `ablation-knn`,
-//! `ablation-bins`, `fig3-constmix`, `fig4-constmix`, `storage`, `all`.
-//! `--fast` runs a reduced configuration; CSVs land in `results/`.
+//! `ablation-bins`, `fig3-constmix`, `fig4-constmix`, `storage`, `lint`,
+//! `all`. `--fast` runs a reduced configuration; CSVs land in `results/`.
 
 use mmdb_bench::csvout;
 use mmdb_bench::experiments::{self, Figure, SweepConfig, METRICS_HEADERS, SWEEP_HEADERS};
@@ -107,7 +107,10 @@ fn run_figure(figure: Figure, cfg: &SweepConfig) {
 
     // Telemetry companion files: per-point counter deltas as CSV, plus the
     // full end-of-sweep registry in Prometheus text form.
-    let metric_rows: Vec<Vec<String>> = points.iter().map(|p| p.metrics_csv_row()).collect();
+    let metric_rows: Vec<Vec<String>> = points
+        .iter()
+        .map(mmdb_bench::SweepPoint::metrics_csv_row)
+        .collect();
     let metrics_path = results_dir().join(format!("{name}.metrics.csv"));
     csvout::write_csv(&metrics_path, &METRICS_HEADERS, &metric_rows).expect("write metrics csv");
     println!("[csv] {}", metrics_path.display());
@@ -131,9 +134,9 @@ fn run_headline(cfg: &SweepConfig) {
             report.avg_reduction_pct,
             report.figure.paper_reduction_pct(),
             report.first_reduction_pct,
-            report.points.first().map(|p| p.pct * 100.0).unwrap_or(0.0),
+            report.points.first().map_or(0.0, |p| p.pct * 100.0),
             report.last_reduction_pct,
-            report.points.last().map(|p| p.pct * 100.0).unwrap_or(0.0),
+            report.points.last().map_or(0.0, |p| p.pct * 100.0),
         );
     }
     println!("(the paper reports the reduction decreasing as more images are stored as editing operations)");
@@ -451,6 +454,67 @@ fn run_storage(cfg: &SweepConfig) {
     }
 }
 
+fn run_lint(cfg: &SweepConfig) {
+    use mmdbms::analysis::{analyze_catalog, Analyzer, Severity};
+    println!();
+    println!("Lint — static analysis throughput over generated catalogs");
+    print_rule(76);
+    let mut rows = Vec::new();
+    for collection in [Collection::Helmets, Collection::Flags] {
+        let (db, _info) = mmdb_datagen::DatasetBuilder::new(collection)
+            .total_images(cfg.total_images)
+            .pct_edited(0.8)
+            .seed(cfg.seed)
+            .build();
+        let analyzer = Analyzer::with_resolver(db.quantizer(), db.background(), &db);
+        let start = std::time::Instant::now();
+        let report = analyze_catalog(&db, &analyzer);
+        let elapsed = start.elapsed();
+        let warns = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warn)
+            .count();
+        println!(
+            "{collection:<8} {:>4} sequence(s) in {elapsed:>10.2?}   errors: {:>3}   warnings: {:>4}   audits clean: {}/{}",
+            report.sequences_analyzed,
+            report.error_count(),
+            warns,
+            report.audits_clean,
+            report.audited,
+        );
+        assert!(
+            !report.has_errors(),
+            "generated {collection} catalog must lint clean"
+        );
+        rows.push(vec![
+            collection.to_string(),
+            report.sequences_analyzed.to_string(),
+            format!("{:.6}", elapsed.as_secs_f64()),
+            report.error_count().to_string(),
+            warns.to_string(),
+            report.audits_clean.to_string(),
+            report.audited.to_string(),
+        ]);
+    }
+    let path = results_dir().join("lint.csv");
+    csvout::write_csv(
+        &path,
+        &[
+            "collection",
+            "sequences",
+            "seconds",
+            "errors",
+            "warnings",
+            "audits_clean",
+            "audited",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    println!("[csv] {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -485,6 +549,7 @@ fn main() {
         "fig3-constmix" => run_figure_constmix(Figure::Fig3Helmet, &cfg),
         "fig4-constmix" => run_figure_constmix(Figure::Fig4Flag, &cfg),
         "storage" => run_storage(&cfg),
+        "lint" => run_lint(&cfg),
         "all" => {
             run_table2(cfg.seed);
             run_figure(Figure::Fig3Helmet, &cfg);
@@ -496,12 +561,14 @@ fn main() {
             run_ablation_bins(&cfg);
             run_figure_constmix(Figure::Fig4Flag, &cfg);
             run_storage(&cfg);
+            run_lint(&cfg);
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
             eprintln!(
                 "usage: repro [table2|fig3|fig4|headline|ablation-nbw|ablation-selectivity|\
-                 ablation-profile|ablation-knn|ablation-bins|fig3-constmix|fig4-constmix|storage|all] [--fast]"
+                 ablation-profile|ablation-knn|ablation-bins|fig3-constmix|fig4-constmix|storage|\
+                 lint|all] [--fast]"
             );
             std::process::exit(2);
         }

@@ -529,8 +529,8 @@ pub fn headline(cfg: &SweepConfig) -> Vec<HeadlineReport> {
             HeadlineReport {
                 figure,
                 avg_reduction_pct: avg,
-                first_reduction_pct: points.first().map(|p| p.reduction_pct).unwrap_or(0.0),
-                last_reduction_pct: points.last().map(|p| p.reduction_pct).unwrap_or(0.0),
+                first_reduction_pct: points.first().map_or(0.0, |p| p.reduction_pct),
+                last_reduction_pct: points.last().map_or(0.0, |p| p.reduction_pct),
                 points,
             }
         })
@@ -708,12 +708,10 @@ pub fn profile_ablation(collection: Collection, cfg: &SweepConfig) -> ProfileRep
         for q in queries.iter().take(8) {
             cons_width += cons_engine
                 .bounds(&seq, q.bin, &db)
-                .map(|b| b.fraction_width())
-                .unwrap_or(1.0);
+                .map_or(1.0, |b| b.fraction_width());
             lit_width += lit_engine
                 .bounds(&seq, q.bin, &db)
-                .map(|b| b.fraction_width())
-                .unwrap_or(1.0);
+                .map_or(1.0, |b| b.fraction_width());
             samples += 1;
         }
     }

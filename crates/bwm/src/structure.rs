@@ -63,11 +63,12 @@ impl BwmStructure {
         self.main.entry(id).or_default();
     }
 
-    /// Fig. 1 for an edited image: analyze the operations; all
-    /// bound-widening → append to the base's cluster in Main, otherwise
-    /// append to Unclassified. Returns the classification.
+    /// Fig. 1 for an edited image: ask the static analyzer for the
+    /// sequence's widening verdict; all bound-widening → append to the
+    /// base's cluster in Main, otherwise append to Unclassified. Returns
+    /// the classification.
     pub fn insert_edited(&mut self, id: ImageId, sequence: &EditSequence) -> Classification {
-        if sequence.all_bound_widening() {
+        if mmdb_analysis::widening_verdict(sequence).all_widening {
             counter!(r#"mmdb_bwm_edited_inserts_total{component="classified"}"#).inc();
             self.main.entry(sequence.base).or_default().push(id);
             Classification::Main

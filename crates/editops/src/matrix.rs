@@ -87,6 +87,13 @@ impl Matrix3 {
         self.m[2] == [0.0, 0.0, 1.0]
     }
 
+    /// True when the matrix is exactly the identity transform. Used by the
+    /// static analyzer's dead-op pass: an identity `Mutate` stamps every DR
+    /// pixel onto itself and leaves the raster unchanged.
+    pub fn is_identity(&self) -> bool {
+        *self == Matrix3::IDENTITY
+    }
+
     /// True when the transform preserves area (|det| = 1) — the paper's
     /// "rigid body" rule condition, which also admits shears and reflections
     /// of unit determinant.

@@ -133,6 +133,15 @@ impl EditOp {
         !matches!(self.kind(), OpKind::MergeTarget)
     }
 
+    /// Whether this operation **reads** the current defined region — i.e.
+    /// its effect depends on which DR is selected when it runs. Everything
+    /// except `Define` does; a `Define` only *replaces* the DR. The dead-op
+    /// analysis uses this to decide when an earlier `Define` is never
+    /// observed.
+    pub fn reads_region(&self) -> bool {
+        !matches!(self, EditOp::Define { .. })
+    }
+
     /// Convenience constructor: a box blur with uniform weights.
     pub fn box_blur() -> EditOp {
         EditOp::Combine { weights: [1.0; 9] }

@@ -96,7 +96,7 @@ proptest! {
     fn classification_is_conjunction(seq in arb_sequence()) {
         prop_assert_eq!(
             seq.all_bound_widening(),
-            seq.ops.iter().all(|op| op.is_bound_widening())
+            seq.ops.iter().all(mmdb_editops::EditOp::is_bound_widening)
         );
     }
 }

@@ -14,6 +14,8 @@
 //! mmdbctl knn --db ./mydb probe.ppm --k 5 [--augmented]
 //! mmdbctl export --db ./mydb --id 7 out.ppm
 //! mmdbctl script --db ./mydb --id 9        # print an edited image's script
+//! mmdbctl lint --db ./mydb [--format text|json]   # static analysis
+//! mmdbctl analyze --db ./mydb --id 9       # per-sequence analysis detail
 //! mmdbctl verify --db ./mydb               # fsck-style consistency check
 //! mmdbctl delete --db ./mydb --id 7
 //! ```
@@ -121,8 +123,7 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     let collection = args
         .options
         .get("collection")
-        .map(String::as_str)
-        .unwrap_or("flags");
+        .map_or("flags", String::as_str);
     let config = VariantConfig::default();
     let mut inserted = 0usize;
     for i in 0..count {
@@ -392,6 +393,85 @@ fn cmd_script(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    // Register the analyzer's series up front so `mmdbctl metrics` shows
+    // run counts, latency, and per-lint counters even before the first
+    // finding.
+    mmdbms::register_all_metrics();
+    let report = db.lint();
+    match args.options.get("format").map(String::as_str) {
+        None | Some("text") => print!("{}", report.render_text()),
+        Some("json") => println!("{}", report.render_json()),
+        Some(other) => return Err(format!("unknown format {other:?} (text|json)")),
+    }
+    if report.has_errors() {
+        Err(format!(
+            "{} error-level diagnostic(s)",
+            report.error_count()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let id = args.id()?;
+    let analysis = db.analyze(id).map_err(|e| e.to_string())?;
+    let seq = db
+        .storage()
+        .edit_sequence(id)
+        .ok_or_else(|| format!("{id} is not an edited image"))?;
+    println!("{id}: {} op(s), base {}", seq.len(), seq.base);
+    let verdict = mmdbms::analysis::widening_verdict(&seq);
+    if verdict.all_widening {
+        println!("  classification: all rules bound-widening (BWM Main)");
+    } else {
+        println!(
+            "  classification: {} non-widening op(s), first at index {} (BWM Unclassified)",
+            verdict.non_widening_count,
+            verdict.first_non_widening.unwrap_or(0)
+        );
+    }
+    match &analysis.audit {
+        Some(audit) => println!(
+            "  soundness audit: {} over {} op(s) (monotone: {}, Combine containment: {}, \
+             final containment: {})",
+            if audit.is_clean() { "clean" } else { "DIRTY" },
+            audit.ops_audited,
+            audit.monotonic,
+            audit.combine_containment,
+            audit.final_containment
+        ),
+        None => println!("  soundness audit: skipped (unresolved references or prior errors)"),
+    }
+    if analysis.dead_ops.is_empty() {
+        println!("  dead ops: none");
+    } else {
+        let simplified = mmdbms::analysis::simplify(&seq);
+        println!(
+            "  dead ops: {} removable ({} -> {} op(s) after elimination)",
+            analysis.dead_ops.len(),
+            seq.len(),
+            simplified.sequence.len()
+        );
+    }
+    if analysis.diagnostics.is_empty() {
+        println!("  diagnostics: none");
+    } else {
+        println!("  diagnostics:");
+        for d in &analysis.diagnostics {
+            println!("    {d}");
+        }
+    }
+    if analysis.has_errors() {
+        Err("sequence has error-level diagnostics".to_string())
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_verify(args: &Args) -> Result<(), String> {
     let db = open_db(args)?;
     let problems = db.storage().verify();
@@ -422,7 +502,7 @@ fn cmd_delete(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|knn|export|script|delete> [options]
+const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|knn|export|script|lint|analyze|verify|compact|delete> [options]
   create        --db DIR [--quantizer rgb-uniform/4]
   gen           --db DIR [--collection flags|helmets] [--count N] [--augment N] [--seed S]
   insert        --db DIR FILE.ppm [--augment N] [--seed S]
@@ -435,6 +515,8 @@ const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|que
   knn           --db DIR PROBE.ppm [--k N] [--augmented true]
   export        --db DIR --id N OUT.ppm
   script        --db DIR --id N
+  lint          --db DIR [--format text|json]
+  analyze       --db DIR --id N
   verify        --db DIR
   compact       --db DIR
   delete        --db DIR --id N";
@@ -446,8 +528,7 @@ fn main() -> ExitCode {
         let broken_pipe = info
             .payload()
             .downcast_ref::<String>()
-            .map(|s| s.contains("Broken pipe"))
-            .unwrap_or(false);
+            .is_some_and(|s| s.contains("Broken pipe"));
         if broken_pipe {
             std::process::exit(0);
         }
@@ -475,6 +556,8 @@ fn main() -> ExitCode {
         "knn" => cmd_knn(&args),
         "export" => cmd_export(&args),
         "script" => cmd_script(&args),
+        "lint" => cmd_lint(&args),
+        "analyze" => cmd_analyze(&args),
         "verify" => cmd_verify(&args),
         "compact" => cmd_compact(&args),
         "delete" => cmd_delete(&args),
@@ -494,7 +577,12 @@ mod tests {
     use super::*;
 
     fn parse(tokens: &[&str]) -> Result<Args, String> {
-        parse_args(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        parse_args(
+            &tokens
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]

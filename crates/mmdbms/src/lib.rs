@@ -53,6 +53,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 // Re-export the component crates under stable names.
+pub use mmdb_analysis as analysis;
 pub use mmdb_bwm as bwm;
 pub use mmdb_datagen as datagen;
 pub use mmdb_editops as editops;
@@ -89,6 +90,7 @@ pub fn register_all_metrics() {
     mmdb_rules::register_metrics();
     mmdb_bwm::register_metrics();
     mmdb_query::register_metrics();
+    mmdb_analysis::register_metrics();
 }
 
 /// The top-level multimedia database handle.
@@ -328,6 +330,41 @@ impl MultimediaDatabase {
         Ok(())
     }
 
+    /// Runs the static analyzer over the whole catalog: reference-graph
+    /// checks (dangling ids, cycles), per-sequence well-formedness, dead-op
+    /// detection, and the bound-soundness audit. This is the library entry
+    /// point behind `mmdbctl lint`; run counts, latency, and per-lint
+    /// counters land in [`MultimediaDatabase::metrics`].
+    pub fn lint(&self) -> mmdb_analysis::AnalysisReport {
+        let analyzer = mmdb_analysis::Analyzer::with_resolver(
+            self.storage.quantizer(),
+            self.storage.background(),
+            &self.storage,
+        );
+        mmdb_analysis::analyze_catalog(&self.storage, &analyzer)
+    }
+
+    /// Analyzes one stored edit sequence in detail: diagnostics, removable
+    /// dead ops, the soundness audit, and the BWM widening verdict.
+    pub fn analyze(&self, id: ImageId) -> Result<mmdb_analysis::SequenceAnalysis> {
+        let sequence = self
+            .storage
+            .edit_sequence(id)
+            .ok_or(mmdb_storage::StorageError::NotFound(id))?;
+        let analyzer = mmdb_analysis::Analyzer::with_resolver(
+            self.storage.quantizer(),
+            self.storage.background(),
+            &self.storage,
+        );
+        Ok(analyzer.analyze_sequence(&sequence))
+    }
+
+    /// Enables or disables analyzer-backed ingest validation (on by
+    /// default); see [`StorageEngine::set_ingest_validation`].
+    pub fn set_ingest_validation(&self, enabled: bool) {
+        self.storage.set_ingest_validation(enabled);
+    }
+
     /// A read-only snapshot view of the BWM structure.
     pub fn bwm_snapshot(&self) -> BwmStructure {
         self.bwm.read().clone()
@@ -501,8 +538,7 @@ mod tests {
             static SEQ: AtomicU64 = AtomicU64::new(0);
             let nanos = std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_nanos() as u64)
-                .unwrap_or(0);
+                .map_or(0, |d| d.as_nanos() as u64);
             let dir = std::env::temp_dir().join(format!(
                 "mmdbms_{tag}_{}_{nanos}_{}",
                 std::process::id(),

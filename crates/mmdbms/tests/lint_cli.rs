@@ -1,0 +1,188 @@
+//! End-to-end test of `mmdbctl lint` against a database seeded with the
+//! three canonical catalog defects: a dangling merge target (`E002`), a
+//! reference cycle (`E004`), and a dead `Define` (`W101`).
+//!
+//! The first two cannot be created through the validated insert path, so the
+//! test rewrites the catalog file directly — exactly the kind of corruption
+//! (crash, bit rot, an older buggy writer) the lint exists to catch.
+
+use mmdbms::editops::EditSequence;
+use mmdbms::prelude::*;
+use mmdbms::storage::{Catalog, CatalogEntry};
+use mmdbms::MultimediaDatabase;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::Arc;
+
+fn mmdbctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mmdbctl"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_db(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmdbctl_lint_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Builds a database with one healthy warning (dead Define) through the
+/// front door, then splices a dangling merge target and a two-node
+/// reference cycle into the catalog file behind the engine's back.
+fn seed_bad_database(dir: &Path) {
+    {
+        let db = MultimediaDatabase::create(dir, Box::new(RgbQuantizer::default_64())).unwrap();
+        let mut img = RasterImage::filled(16, 16, Rgb::WHITE).unwrap();
+        mmdbms::imaging::draw::fill_rect(&mut img, &Rect::new(0, 0, 16, 8), Rgb::RED);
+        let base = db.insert_image(&img).unwrap();
+        // W101: the first Define is shadowed before any op reads it. Warn
+        // level, so the validated insert path accepts it.
+        db.insert_edited(
+            EditSequence::builder(base)
+                .define(Rect::new(0, 0, 2, 2))
+                .define(Rect::new(0, 0, 8, 8))
+                .blur()
+                .build(),
+        )
+        .unwrap();
+        db.flush().unwrap();
+    }
+    // Splice in the error-level defects.
+    let catalog_path = dir.join("catalog.mmdb");
+    let bytes = std::fs::read(&catalog_path).unwrap();
+    let (mut catalog, free_list) = Catalog::decode(&bytes).unwrap();
+    let base = ImageId::new(1);
+    // E002: merge target that does not exist.
+    let dangling = catalog.allocate_id();
+    catalog.insert(
+        dangling,
+        CatalogEntry::Edited {
+            sequence: Arc::new(
+                EditSequence::builder(base)
+                    .define(Rect::new(0, 0, 4, 4))
+                    .merge_into(ImageId::new(9999), 0, 0)
+                    .build(),
+            ),
+        },
+    );
+    // E004: two edited images whose bases reference each other.
+    let a = catalog.allocate_id();
+    let b = catalog.allocate_id();
+    catalog.insert(
+        a,
+        CatalogEntry::Edited {
+            sequence: Arc::new(EditSequence::builder(b).blur().build()),
+        },
+    );
+    catalog.insert(
+        b,
+        CatalogEntry::Edited {
+            sequence: Arc::new(EditSequence::builder(a).blur().build()),
+        },
+    );
+    std::fs::write(&catalog_path, catalog.encode(&free_list)).unwrap();
+}
+
+#[test]
+fn lint_reports_seeded_defects_and_exits_nonzero() {
+    let dir = temp_db("seeded");
+    seed_bad_database(&dir);
+    let db_s = dir.to_str().unwrap();
+
+    let out = mmdbctl(&["lint", "--db", db_s]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "lint must exit nonzero on errors:\n{stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("E002"), "dangling merge target:\n{stdout}");
+    assert!(stdout.contains("E004"), "reference cycle:\n{stdout}");
+    assert!(stdout.contains("W101"), "dead define:\n{stdout}");
+    assert!(stderr.contains("error-level diagnostic"), "{stderr}");
+
+    // JSON form carries the same codes, machine-readable.
+    let out = mmdbctl(&["lint", "--db", db_s, "--format", "json"]);
+    assert!(!out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    for code in ["E002", "E004", "W101"] {
+        assert!(json.contains(&format!("\"code\":\"{code}\"")), "{json}");
+    }
+
+    // `verify` (fsck) now reports the same error-level findings.
+    let out = mmdbctl(&["verify", "--db", db_s]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("E002"), "{stdout}");
+    assert!(stdout.contains("E004"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_clean_database_exits_zero_and_feeds_metrics() {
+    let dir = temp_db("clean");
+    {
+        let db = MultimediaDatabase::create(&dir, Box::new(RgbQuantizer::default_64())).unwrap();
+        let mut img = RasterImage::filled(16, 16, Rgb::WHITE).unwrap();
+        mmdbms::imaging::draw::fill_rect(&mut img, &Rect::new(0, 0, 16, 8), Rgb::BLUE);
+        let base = db.insert_image(&img).unwrap();
+        db.insert_edited(
+            EditSequence::builder(base)
+                .define(Rect::new(0, 0, 8, 8))
+                .modify(Rgb::BLUE, Rgb::GREEN)
+                .build(),
+        )
+        .unwrap();
+        db.flush().unwrap();
+    }
+    let db_s = dir.to_str().unwrap();
+    let out = mmdbctl(&["lint", "--db", db_s]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("1 sequence(s) analyzed"), "{stdout}");
+    assert!(stdout.contains("1 audited (1 clean)"), "{stdout}");
+
+    // In-process: a lint run surfaces through `metrics()` — run counter,
+    // latency histogram, and per-lint series.
+    let db = MultimediaDatabase::open(&dir).unwrap();
+    mmdbms::register_all_metrics();
+    let report = db.lint();
+    assert!(!report.has_errors());
+    let text = db.metrics().render_prometheus();
+    assert!(text.contains("mmdb_analysis_runs_total"), "{text}");
+    assert!(text.contains("mmdb_analysis_latency_seconds"), "{text}");
+    assert!(text.contains("mmdb_analysis_diagnostics_total"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_prints_per_sequence_detail() {
+    let dir = temp_db("analyze");
+    {
+        let db = MultimediaDatabase::create(&dir, Box::new(RgbQuantizer::default_64())).unwrap();
+        let img = RasterImage::filled(12, 12, Rgb::RED).unwrap();
+        let base = db.insert_image(&img).unwrap();
+        // One dead op (self-modify) in an otherwise healthy sequence.
+        db.insert_edited(
+            EditSequence::builder(base)
+                .define(Rect::new(0, 0, 6, 6))
+                .modify(Rgb::RED, Rgb::RED)
+                .blur()
+                .build(),
+        )
+        .unwrap();
+        db.flush().unwrap();
+    }
+    let db_s = dir.to_str().unwrap();
+    let out = mmdbctl(&["analyze", "--db", db_s, "--id", "2"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("soundness audit: clean"), "{stdout}");
+    assert!(stdout.contains("dead ops: 1 removable"), "{stdout}");
+    assert!(stdout.contains("W102"), "{stdout}");
+    assert!(stdout.contains("bound-widening"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -18,8 +18,12 @@ pub struct BoundRange {
 
 impl BoundRange {
     /// An exact (zero-width) range, as derived from a known histogram value.
+    /// A `count` above `total` (a corrupt histogram) is clamped so the
+    /// documented `min <= max <= total` invariant holds in release builds
+    /// too, not only under the debug assertion.
     pub fn exact(count: u64, total: u64) -> Self {
-        debug_assert!(count <= total);
+        debug_assert!(count <= total, "count {count} exceeds total {total}");
+        let count = count.min(total);
         BoundRange {
             min: count,
             max: count,
@@ -90,6 +94,15 @@ mod tests {
         assert!(r.admits(25));
         assert!(!r.admits(26));
         assert_eq!(r.fraction_width(), 0.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "exceeds total"))]
+    fn exact_clamps_corrupt_counts_in_release() {
+        // Debug builds assert; release builds clamp so the struct invariant
+        // `min <= max <= total` survives a corrupt histogram count.
+        let r = BoundRange::exact(120, 100);
+        assert_eq!(r, BoundRange::exact(100, 100));
     }
 
     #[test]

@@ -253,6 +253,38 @@ impl<'q> RuleEngine<'q> {
         Ok(states.into_iter().map(|s| s.range).collect())
     }
 
+    /// Like [`RuleEngine::bounds_vector`], but additionally snapshots the
+    /// per-bin triples **after every operation**: element `0` is the base
+    /// state, element `i + 1` the state after `seq.ops[i]`. The soundness
+    /// audit in `mmdb-analysis` walks these snapshots to check widening
+    /// monotonicity and per-op profile containment; the final element is
+    /// exactly what `bounds_vector` returns.
+    pub fn bounds_trace(
+        &self,
+        seq: &EditSequence,
+        resolver: &dyn InfoResolver,
+    ) -> Result<Vec<Vec<BoundRange>>> {
+        let base = resolver.require(seq.base)?;
+        let image_rect = Rect::of_image(base.width, base.height);
+        let bins = self.quantizer.bin_count();
+        let mut states: Vec<BoundState> = (0..bins)
+            .map(|bin| BoundState {
+                range: BoundRange::exact(base.histogram.count(bin), base.histogram.total()),
+                image_rect,
+                dr: image_rect,
+            })
+            .collect();
+        let mut trace = Vec::with_capacity(seq.ops.len() + 1);
+        trace.push(states.iter().map(|s| s.range).collect::<Vec<_>>());
+        for op in &seq.ops {
+            for (bin, state) in states.iter_mut().enumerate() {
+                self.apply(state, op, bin, resolver)?;
+            }
+            trace.push(states.iter().map(|s| s.range).collect::<Vec<_>>());
+        }
+        Ok(trace)
+    }
+
     /// Convenience: does the edited image *possibly* satisfy `query`? This
     /// is the §3 pruning test — `false` is definitive (no false negatives),
     /// `true` means the image must be kept as a candidate.
@@ -945,6 +977,31 @@ mod tests {
         // least 100 − 25 = 75 minus prior uncertainty → range covers truth.
         assert!(b.max <= 100);
         assert!(b.min <= 75 && 75 <= b.max);
+    }
+
+    #[test]
+    fn bounds_trace_matches_bounds_per_op() {
+        let (r, quant) = setup();
+        let seq = EditSequence::builder(ImageId::new(1))
+            .define(Rect::new(1, 1, 8, 8))
+            .blur()
+            .modify(Rgb::RED, Rgb::GREEN)
+            .translate(2.0, 2.0)
+            .define(Rect::new(0, 0, 10, 6))
+            .crop_to_region()
+            .build();
+        for profile in [RuleProfile::PaperTable1, RuleProfile::Conservative] {
+            let engine = RuleEngine::new(&quant, profile);
+            let trace = engine.bounds_trace(&seq, &r).unwrap();
+            assert_eq!(trace.len(), seq.ops.len() + 1);
+            // Element 0 is the exact base state.
+            assert!(trace[0].iter().all(super::BoundRange::is_exact));
+            // The final element agrees with bounds() on every bin.
+            for (bin, bound) in trace[seq.ops.len()].iter().enumerate() {
+                let b = engine.bounds(&seq, bin, &r).unwrap();
+                assert_eq!(*bound, b, "{profile:?} bin {bin}");
+            }
+        }
     }
 
     #[test]

@@ -130,7 +130,7 @@ impl Catalog {
 
     /// Edited images derived from `base` (the paper's x → op(x) connection).
     pub fn children_of(&self, base: ImageId) -> &[ImageId] {
-        self.children.get(&base).map(Vec::as_slice).unwrap_or(&[])
+        self.children.get(&base).map_or(&[], Vec::as_slice)
     }
 
     /// The base image of an edited image, or `None` for binary images and

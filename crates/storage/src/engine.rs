@@ -5,6 +5,7 @@ use crate::catalog::{Catalog, CatalogEntry, StoredKind};
 use crate::error::StorageError;
 use crate::lru::LruCache;
 use crate::Result;
+use mmdb_analysis::{Analyzer, CatalogGraph, NodeKind, Severity};
 use mmdb_editops::{
     EditError, EditSequence, ExecOptions, ImageId, ImageResolver, InstantiationEngine,
 };
@@ -15,6 +16,7 @@ use mmdb_rules::{ImageInfo, InfoResolver};
 use mmdb_telemetry::{counter, histogram};
 use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -71,6 +73,7 @@ pub struct StorageEngine {
     quantizer: Box<dyn Quantizer>,
     background: Rgb,
     catalog_path: Option<PathBuf>,
+    validate_ingest: AtomicBool,
 }
 
 impl StorageEngine {
@@ -97,6 +100,7 @@ impl StorageEngine {
             quantizer,
             background: Rgb::BLACK,
             catalog_path: Some(catalog_path),
+            validate_ingest: AtomicBool::new(true),
         };
         engine.flush()?;
         Ok(engine)
@@ -122,6 +126,7 @@ impl StorageEngine {
             quantizer,
             background: Rgb::BLACK,
             catalog_path: Some(catalog_path),
+            validate_ingest: AtomicBool::new(true),
         })
     }
 
@@ -136,6 +141,7 @@ impl StorageEngine {
             quantizer,
             background: Rgb::BLACK,
             catalog_path: None,
+            validate_ingest: AtomicBool::new(true),
         }
     }
 
@@ -147,6 +153,19 @@ impl StorageEngine {
     /// The background color used when instantiating edit sequences.
     pub fn background(&self) -> Rgb {
         self.background
+    }
+
+    /// Enables or disables analyzer-backed ingest validation (on by
+    /// default). With validation off, `insert_edited` falls back to the
+    /// legacy single-bin BOUNDS probe, which still refuses sequences the
+    /// rule engine cannot bound but skips the full static-analysis passes.
+    pub fn set_ingest_validation(&self, enabled: bool) {
+        self.validate_ingest.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether analyzer-backed ingest validation is enabled.
+    pub fn ingest_validation(&self) -> bool {
+        self.validate_ingest.load(Ordering::Relaxed)
     }
 
     /// Inserts a conventionally stored image; its exact histogram is
@@ -176,10 +195,12 @@ impl StorageEngine {
     /// and every merge target must already be stored as *binary* images —
     /// the paper's model derives edited images from originals, and the rule
     /// engine needs exact histograms for every referenced image. The
-    /// sequence is also **validated** (a symbolic BOUNDS walk): a script
-    /// that could neither be instantiated nor bounded is refused, which
-    /// guarantees every stored edited image is processable by RBM, BWM and
-    /// the executor alike.
+    /// sequence is also **validated** by the static analyzer
+    /// (well-formedness, dead ops, soundness audit): any Error-level
+    /// diagnostic refuses the insert, which guarantees every stored edited
+    /// image is processable by RBM, BWM and the executor alike. Warn/Note
+    /// findings are recorded in telemetry but do not block. See
+    /// [`StorageEngine::set_ingest_validation`] for the legacy fallback.
     pub fn insert_edited(&self, sequence: EditSequence) -> Result<ImageId> {
         let check_refs = |inner: &Inner| -> Result<()> {
             for (role, rid) in std::iter::once(("base", sequence.base)).chain(
@@ -206,17 +227,33 @@ impl StorageEngine {
             }
             Ok(())
         };
-        // Phase 1 (no exclusive lock held): reference check + structural
-        // validation. The bound-error conditions are bin-independent, so one
-        // bin suffices.
+        // Phase 1 (no exclusive lock held): reference check + static
+        // analysis.
         check_refs(&self.inner.read())?;
-        let engine = mmdb_rules::RuleEngine::with_background(
-            self.quantizer.as_ref(),
-            mmdb_rules::RuleProfile::Conservative,
-            self.background,
-        );
-        if let Err(e) = engine.bounds(&sequence, 0, self) {
-            return Err(StorageError::InvalidSequence(e.to_string()));
+        if self.validate_ingest.load(Ordering::Relaxed) {
+            let analyzer = Analyzer::with_resolver(self.quantizer.as_ref(), self.background, self);
+            let analysis = analyzer.analyze_sequence(&sequence);
+            mmdb_analysis::record_diagnostics(&analysis.diagnostics);
+            let errors: Vec<String> = analysis
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity() == Severity::Error)
+                .map(std::string::ToString::to_string)
+                .collect();
+            if !errors.is_empty() {
+                return Err(StorageError::InvalidSequence(errors.join("; ")));
+            }
+        } else {
+            // Legacy probe: a symbolic BOUNDS walk. The bound-error
+            // conditions are bin-independent, so one bin suffices.
+            let engine = mmdb_rules::RuleEngine::with_background(
+                self.quantizer.as_ref(),
+                mmdb_rules::RuleProfile::Conservative,
+                self.background,
+            );
+            if let Err(e) = engine.bounds(&sequence, 0, self) {
+                return Err(StorageError::InvalidSequence(e.to_string()));
+            }
         }
         // Phase 2: re-verify references under the exclusive lock (a
         // concurrent delete may have raced phase 1), then insert.
@@ -239,7 +276,7 @@ impl StorageEngine {
             .read()
             .catalog
             .get(id)
-            .map(|e| e.kind())
+            .map(super::catalog::CatalogEntry::kind)
             .ok_or(StorageError::NotFound(id))
     }
 
@@ -459,8 +496,9 @@ impl StorageEngine {
     ///
     /// * every binary entry's blob decodes to a raster of the cataloged
     ///   dimensions and its stored histogram matches a re-extraction,
-    /// * every edit sequence references existing binary images and passes
-    ///   the structural BOUNDS validation,
+    /// * the static analyzer finds no Error-level diagnostic: every edit
+    ///   sequence references existing binary images, the reference graph is
+    ///   acyclic, and every sequence is well-formed and boundable,
     /// * no blob overlaps another blob or a free-list hole.
     ///
     /// Returns the list of problems found (empty = healthy).
@@ -477,7 +515,6 @@ impl StorageEngine {
             histogram: Arc<ColorHistogram>,
         }
         let mut binaries = Vec::new();
-        let mut edited = Vec::new();
         {
             let inner = self.inner.read();
             for (id, entry) in inner.catalog.iter() {
@@ -497,9 +534,7 @@ impl StorageEngine {
                             histogram: Arc::clone(histogram),
                         });
                     }
-                    CatalogEntry::Edited { sequence } => {
-                        edited.push((id, Arc::clone(sequence)));
-                    }
+                    CatalogEntry::Edited { .. } => {}
                 }
             }
             // Blob overlap checks (blobs vs blobs and blobs vs free holes).
@@ -538,25 +573,19 @@ impl StorageEngine {
                 }
             }
         }
-        let engine = mmdb_rules::RuleEngine::with_background(
-            self.quantizer.as_ref(),
-            mmdb_rules::RuleProfile::Conservative,
-            self.background,
+        // Static analysis over every stored sequence plus the reference
+        // graph: dangling or non-binary references, cycles, malformed or
+        // unboundable sequences. Error-level findings are corruption;
+        // warnings (dead ops, the Combine caveat) are not.
+        let analyzer = Analyzer::with_resolver(self.quantizer.as_ref(), self.background, self);
+        let report = mmdb_analysis::analyze_catalog(self, &analyzer);
+        problems.extend(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity() == Severity::Error)
+                .map(ToString::to_string),
         );
-        for (id, sequence) in edited {
-            for rid in std::iter::once(sequence.base).chain(sequence.merge_targets()) {
-                match self.kind(rid) {
-                    Ok(StoredKind::Binary) => {}
-                    Ok(StoredKind::Edited) => {
-                        problems.push(format!("{id}: references edited image {rid}"))
-                    }
-                    Err(_) => problems.push(format!("{id}: dangling reference {rid}")),
-                }
-            }
-            if let Err(e) = engine.bounds(&sequence, 0, self) {
-                problems.push(format!("{id}: unboundable sequence: {e}"));
-            }
-        }
         problems
     }
 
@@ -593,6 +622,26 @@ impl ImageResolver for StorageEngine {
             Err(StorageError::NotFound(_)) => Err(EditError::UnknownImage(id)),
             Err(other) => Err(EditError::InvalidOperation(other.to_string())),
         }
+    }
+}
+
+/// Lets the static analyzer walk the catalog's reference graph without
+/// touching pixel data.
+impl CatalogGraph for StorageEngine {
+    fn node_ids(&self) -> Vec<ImageId> {
+        self.ids()
+    }
+
+    fn node_kind(&self, id: ImageId) -> Option<NodeKind> {
+        match self.inner.read().catalog.get(id).map(CatalogEntry::kind) {
+            Some(StoredKind::Binary) => Some(NodeKind::Binary),
+            Some(StoredKind::Edited) => Some(NodeKind::Edited),
+            None => None,
+        }
+    }
+
+    fn node_sequence(&self, id: ImageId) -> Option<Arc<EditSequence>> {
+        self.edit_sequence(id)
     }
 }
 
@@ -946,6 +995,100 @@ mod tests {
             "expected a stale-histogram finding, got {problems:?}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_validation_rejects_errors_and_records_lints() {
+        mmdb_analysis::register_metrics();
+        let db = engine();
+        assert!(db.ingest_validation());
+        let base = db
+            .insert_binary(&two_tone(8, 8, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        // Error-level: non-affine Mutate (projective bottom row).
+        let mut m = mmdb_editops::Matrix3::IDENTITY;
+        m.m[2][0] = 0.5;
+        let bad = EditSequence::builder(base).mutate(m).build();
+        let err = db.insert_edited(bad).unwrap_err();
+        match err {
+            StorageError::InvalidSequence(msg) => {
+                assert!(msg.contains("E007"), "expected the lint code, got: {msg}");
+            }
+            other => panic!("expected InvalidSequence, got {other:?}"),
+        }
+        // Warn-level findings (a dead Define) do not block the insert but
+        // land in the per-lint telemetry counters.
+        let warned = EditSequence::builder(base)
+            .define(Rect::new(0, 0, 2, 2))
+            .define(Rect::new(0, 0, 4, 4))
+            .blur()
+            .build();
+        assert!(db.insert_edited(warned).is_ok());
+        let text = mmdb_telemetry::global().render_prometheus();
+        assert!(
+            text.contains(r#"mmdb_analysis_diagnostics_total{code="E007"}"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"mmdb_analysis_diagnostics_total{code="W101"}"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn ingest_validation_can_fall_back_to_bounds_probe() {
+        let db = engine();
+        db.set_ingest_validation(false);
+        assert!(!db.ingest_validation());
+        let base = db
+            .insert_binary(&two_tone(8, 8, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        // The legacy probe still refuses unboundable sequences...
+        let bad = EditSequence::builder(base)
+            .define(Rect::new(100, 100, 120, 120))
+            .crop_to_region()
+            .build();
+        assert!(matches!(
+            db.insert_edited(bad),
+            Err(StorageError::InvalidSequence(_))
+        ));
+        // ...and still accepts healthy ones.
+        let good = EditSequence::builder(base).blur().build();
+        assert!(db.insert_edited(good).is_ok());
+    }
+
+    #[test]
+    fn verify_reports_analyzer_errors_with_lint_codes() {
+        let db = engine();
+        let base = db
+            .insert_binary(&two_tone(8, 8, Rgb::RED, Rgb::WHITE))
+            .unwrap();
+        db.insert_edited(EditSequence::builder(base).blur().build())
+            .unwrap();
+        // Deleting the child first, then the base, then re-adding an edited
+        // image is the supported path; to simulate corruption we bypass
+        // validation with a dangling merge target via the catalog itself.
+        db.set_ingest_validation(false);
+        {
+            let mut inner = db.inner.write();
+            let id = inner.catalog.allocate_id();
+            inner.catalog.insert(
+                id,
+                CatalogEntry::Edited {
+                    sequence: Arc::new(
+                        EditSequence::builder(base)
+                            .define(Rect::new(0, 0, 4, 4))
+                            .merge_into(ImageId::new(4242), 0, 0)
+                            .build(),
+                    ),
+                },
+            );
+        }
+        let problems = db.verify();
+        assert!(
+            problems.iter().any(|p| p.contains("E002")),
+            "expected a dangling-merge-target finding, got {problems:?}"
+        );
     }
 
     #[test]

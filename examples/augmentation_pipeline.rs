@@ -76,7 +76,7 @@ fn main() {
     let variant = db.storage().children_of(base)[0];
     let out = dir.join("variant.ppm");
     db.export_ppm(variant, &out).expect("export");
-    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    let size = std::fs::metadata(&out).map_or(0, |m| m.len());
     println!(
         "exported instantiated variant {variant} to {} ({size} bytes)",
         out.display()
