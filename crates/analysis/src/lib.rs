@@ -172,9 +172,26 @@ pub fn analyze_catalog(graph: &dyn CatalogGraph, analyzer: &Analyzer<'_>) -> Ana
     report.sort();
     counter!("mmdb_analysis_sequence_checks_total").add(report.sequences_analyzed as u64);
     record_diagnostics(&report.diagnostics);
+    let elapsed = start.elapsed();
     mmdb_telemetry::global()
         .histogram("mmdb_analysis_latency_seconds")
-        .observe(start.elapsed());
+        .observe(elapsed);
+    if mmdb_telemetry::instrumentation_enabled() {
+        mmdb_telemetry::recorder().record(
+            mmdb_telemetry::EventKind::LintRun,
+            format!(
+                "{} sequence(s) in {}",
+                report.sequences_analyzed,
+                mmdb_telemetry::format_duration(elapsed)
+            ),
+            &[
+                ("sequences", report.sequences_analyzed as u64),
+                ("errors", report.error_count() as u64),
+                ("warnings", report.warn_count() as u64),
+                ("notes", report.note_count() as u64),
+            ],
+        );
+    }
     report
 }
 

@@ -8,7 +8,8 @@
 //! Subcommands: `table2`, `fig3`, `fig4`, `headline`, `ablation-nbw`,
 //! `ablation-selectivity`, `ablation-profile`, `ablation-knn`,
 //! `ablation-bins`, `fig3-constmix`, `fig4-constmix`, `storage`, `lint`,
-//! `all`. `--fast` runs a reduced configuration; CSVs land in `results/`.
+//! `overhead`, `all`. `--fast` runs a reduced configuration; CSVs land in
+//! `results/`.
 
 use mmdb_bench::csvout;
 use mmdb_bench::experiments::{self, Figure, SweepConfig, METRICS_HEADERS, SWEEP_HEADERS};
@@ -515,6 +516,35 @@ fn run_lint(cfg: &SweepConfig) {
     println!("[csv] {}", path.display());
 }
 
+fn run_overhead(cfg: &SweepConfig) {
+    println!();
+    println!("Overhead — cost of the always-on instrumentation on the BWM hot path");
+    print_rule(76);
+    let report = experiments::overhead_experiment(Collection::Flags, cfg);
+    println!("instrumentation on:  {:>10.4} ms/query", report.enabled_ms);
+    println!("instrumentation off: {:>10.4} ms/query", report.disabled_ms);
+    println!(
+        "overhead: {:+.2}%   (acceptance bar: < 5% mean latency)",
+        report.overhead_pct()
+    );
+    let path = results_dir().join("overhead.csv");
+    csvout::write_csv(
+        &path,
+        &[
+            "enabled_ms_per_query",
+            "disabled_ms_per_query",
+            "overhead_pct",
+        ],
+        &[vec![
+            format!("{:.4}", report.enabled_ms),
+            format!("{:.4}", report.disabled_ms),
+            format!("{:.2}", report.overhead_pct()),
+        ]],
+    )
+    .expect("write csv");
+    println!("[csv] {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -550,6 +580,7 @@ fn main() {
         "fig4-constmix" => run_figure_constmix(Figure::Fig4Flag, &cfg),
         "storage" => run_storage(&cfg),
         "lint" => run_lint(&cfg),
+        "overhead" => run_overhead(&cfg),
         "all" => {
             run_table2(cfg.seed);
             run_figure(Figure::Fig3Helmet, &cfg);
@@ -562,13 +593,14 @@ fn main() {
             run_figure_constmix(Figure::Fig4Flag, &cfg);
             run_storage(&cfg);
             run_lint(&cfg);
+            run_overhead(&cfg);
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
             eprintln!(
                 "usage: repro [table2|fig3|fig4|headline|ablation-nbw|ablation-selectivity|\
                  ablation-profile|ablation-knn|ablation-bins|fig3-constmix|fig4-constmix|storage|\
-                 lint|all] [--fast]"
+                 lint|overhead|all] [--fast]"
             );
             std::process::exit(2);
         }

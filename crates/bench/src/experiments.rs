@@ -5,7 +5,7 @@ use mmdb_datagen::{Collection, DatasetBuilder, DatasetInfo, QueryGenerator, Vari
 use mmdb_query::QueryProcessor;
 use mmdb_rules::{ColorRangeQuery, RuleProfile};
 use mmdb_storage::StorageEngine;
-use mmdb_telemetry::Snapshot;
+use mmdb_telemetry::{HistogramSnapshot, Snapshot};
 
 /// Which figure of the paper a sweep reproduces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +93,31 @@ impl SweepConfig {
     }
 }
 
+/// p50/p95/p99 latency estimates (milliseconds) extracted from one plan's
+/// telemetry histogram over a timed window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyPercentiles {
+    /// Median, ms.
+    pub p50_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+}
+
+impl LatencyPercentiles {
+    /// Extracts percentiles from a histogram-snapshot window (zeros when the
+    /// window holds no observations).
+    pub fn from_window(window: &HistogramSnapshot) -> Self {
+        let ms = |d: Option<std::time::Duration>| d.map_or(0.0, |d| d.as_secs_f64() * 1e3);
+        LatencyPercentiles {
+            p50_ms: ms(window.quantile(0.50)),
+            p95_ms: ms(window.quantile(0.95)),
+            p99_ms: ms(window.quantile(0.99)),
+        }
+    }
+}
+
 /// One x-axis point of Figure 3/4.
 #[derive(Clone, Debug)]
 pub struct SweepPoint {
@@ -123,6 +148,11 @@ pub struct SweepPoint {
     pub bwm_bounds_per_query: f64,
     /// Whether RBM and BWM returned identical result sets on every query.
     pub results_equal: bool,
+    /// RBM latency percentiles over the timed passes, from the telemetry
+    /// histogram delta (not best-of: all timed passes contribute).
+    pub rbm_latency: LatencyPercentiles,
+    /// BWM latency percentiles over the timed passes.
+    pub bwm_latency: LatencyPercentiles,
     /// Telemetry registry deltas over the timed passes (warm-up excluded):
     /// what the global counters attribute to this sweep point. Keyed by
     /// series name exactly as the live registry exposes them.
@@ -143,6 +173,12 @@ impl SweepPoint {
             format!("{:.2}", self.reduction_pct),
             format!("{:.3}", self.base_hit_rate),
             self.results_equal.to_string(),
+            format!("{:.4}", self.rbm_latency.p50_ms),
+            format!("{:.4}", self.rbm_latency.p95_ms),
+            format!("{:.4}", self.rbm_latency.p99_ms),
+            format!("{:.4}", self.bwm_latency.p50_ms),
+            format!("{:.4}", self.bwm_latency.p95_ms),
+            format!("{:.4}", self.bwm_latency.p99_ms),
         ]
     }
 
@@ -192,7 +228,7 @@ pub const METRICS_HEADERS: [&str; 13] = [
 ];
 
 /// CSV headers for sweep outputs.
-pub const SWEEP_HEADERS: [&str; 10] = [
+pub const SWEEP_HEADERS: [&str; 16] = [
     "pct_edited",
     "binary_images",
     "edited_images",
@@ -203,6 +239,12 @@ pub const SWEEP_HEADERS: [&str; 10] = [
     "reduction_pct",
     "base_hit_rate",
     "results_equal",
+    "rbm_p50_ms",
+    "rbm_p95_ms",
+    "rbm_p99_ms",
+    "bwm_p50_ms",
+    "bwm_p95_ms",
+    "bwm_p99_ms",
 ];
 
 fn build_dataset(
@@ -260,7 +302,11 @@ fn measure_point(
         std::hint::black_box(qp.range_bwm(q).unwrap());
     }
     mmdb_rules::flush_metrics(); // drain warm-up remnants out of the window
-    let telemetry_before = mmdb_telemetry::global().snapshot();
+    let g = mmdb_telemetry::global();
+    let rbm_hist = g.histogram(r#"mmdb_query_range_latency_seconds{plan="rbm"}"#);
+    let bwm_hist = g.histogram(r#"mmdb_query_range_latency_seconds{plan="bwm"}"#);
+    let (rbm_before, bwm_before) = (rbm_hist.snapshot(), bwm_hist.snapshot());
+    let telemetry_before = g.snapshot();
     let ((rbm_ms, rbm_out), (bwm_ms, bwm_out)) = crate::timing::time_interleaved(
         &queries,
         cfg.repeats,
@@ -268,7 +314,9 @@ fn measure_point(
         |q| qp.range_bwm(q).unwrap(),
     );
     mmdb_rules::flush_metrics();
-    let metrics = mmdb_telemetry::global().snapshot().delta(&telemetry_before);
+    let metrics = g.snapshot().delta(&telemetry_before);
+    let rbm_latency = LatencyPercentiles::from_window(&rbm_hist.snapshot().diff(&rbm_before));
+    let bwm_latency = LatencyPercentiles::from_window(&bwm_hist.snapshot().diff(&bwm_before));
 
     let results_equal = rbm_out
         .iter()
@@ -305,7 +353,72 @@ fn measure_point(
         rbm_bounds_per_query,
         bwm_bounds_per_query,
         results_equal,
+        rbm_latency,
+        bwm_latency,
         metrics,
+    }
+}
+
+/// Result of the instrumentation-overhead experiment (`repro overhead`).
+#[derive(Clone, Debug)]
+pub struct OverheadReport {
+    /// Mean BWM ms/query with histograms and the flight recorder live.
+    pub enabled_ms: f64,
+    /// Mean BWM ms/query with instrumentation gated off.
+    pub disabled_ms: f64,
+}
+
+impl OverheadReport {
+    /// `100 × (enabled − disabled) / disabled` — what the always-on
+    /// observability costs the BWM hot path. The acceptance bar is < 5%.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.disabled_ms <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.enabled_ms - self.disabled_ms) / self.disabled_ms
+        }
+    }
+}
+
+/// Measures the cost of the always-on instrumentation on the BWM hot path:
+/// interleaved best-of passes over the same batch with the histogram +
+/// flight-recorder gate enabled (arm A) vs. off (arm B), so machine drift
+/// hits both arms equally. The gate is flipped per call — an atomic store
+/// both arms pay identically.
+pub fn overhead_experiment(collection: Collection, cfg: &SweepConfig) -> OverheadReport {
+    let (db, _info) = build_dataset(
+        collection,
+        cfg.total_images,
+        0.8,
+        cfg.seed,
+        cfg.variant_ops,
+        0.25,
+    );
+    let mut qp = QueryProcessor::new(&db);
+    qp.build_bwm();
+    // The effect under measurement is sub-microsecond per query, so this
+    // experiment needs a bigger batch and more best-of passes than the
+    // figure sweeps to keep scheduler noise from swamping it.
+    let queries = QueryGenerator::weighted_from_db(cfg.seed ^ 0x0B5E, &db)
+        .thresholds(0.02, 0.15)
+        .two_sided_probability(0.0)
+        .batch(cfg.queries.max(60));
+    let ((enabled_ms, _), (disabled_ms, _)) = crate::timing::time_interleaved(
+        &queries,
+        cfg.repeats.max(15),
+        |q| {
+            mmdb_telemetry::set_instrumentation(true);
+            qp.range_bwm(q).unwrap()
+        },
+        |q| {
+            mmdb_telemetry::set_instrumentation(false);
+            qp.range_bwm(q).unwrap()
+        },
+    );
+    mmdb_telemetry::set_instrumentation(true);
+    OverheadReport {
+        enabled_ms,
+        disabled_ms,
     }
 }
 
@@ -749,6 +862,12 @@ mod tests {
             // telemetry delta must have attributed some to this point.
             assert!(p.metrics.get("mmdb_rules_bounds_computed_total") > 0);
             assert_eq!(p.metrics_csv_row().len(), METRICS_HEADERS.len());
+            assert_eq!(p.csv_row().len(), SWEEP_HEADERS.len());
+            // The timed passes feed the latency histograms, so the
+            // percentile window must be populated and ordered.
+            assert!(p.rbm_latency.p50_ms > 0.0 && p.bwm_latency.p50_ms > 0.0);
+            assert!(p.rbm_latency.p50_ms <= p.rbm_latency.p95_ms);
+            assert!(p.rbm_latency.p95_ms <= p.rbm_latency.p99_ms);
         }
         // Fixed BW pool: the non-BW count grows along the sweep.
         assert!(points[0].nbw < points[2].nbw);
@@ -824,6 +943,18 @@ mod extension_tests {
             let share = p.nbw as f64 / p.edited.max(1) as f64;
             assert!((share - 0.25).abs() < 0.25, "share {share} at {}", p.pct);
         }
+    }
+
+    #[test]
+    fn overhead_experiment_runs_and_restores_gate() {
+        let mut cfg = SweepConfig::fast();
+        cfg.total_images = 60;
+        cfg.queries = 6;
+        let report = overhead_experiment(Collection::Flags, &cfg);
+        assert!(report.enabled_ms > 0.0 && report.disabled_ms > 0.0);
+        assert!(report.overhead_pct().is_finite());
+        // The experiment must leave instrumentation on for everyone else.
+        assert!(mmdb_telemetry::instrumentation_enabled());
     }
 
     #[test]

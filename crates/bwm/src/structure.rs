@@ -106,6 +106,13 @@ impl BwmStructure {
         counter!("mmdb_bwm_removals_total").inc();
         if let Some(orphans) = self.main.remove(&id) {
             counter!("mmdb_bwm_orphaned_total").add(orphans.len() as u64);
+            if !orphans.is_empty() && mmdb_telemetry::instrumentation_enabled() {
+                mmdb_telemetry::recorder().record(
+                    mmdb_telemetry::EventKind::BwmReclassified,
+                    format!("base {id} removed, cluster dissolved"),
+                    &[("orphaned", orphans.len() as u64)],
+                );
+            }
             return orphans;
         }
         for list in self.main.values_mut() {

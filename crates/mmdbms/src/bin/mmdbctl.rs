@@ -9,8 +9,12 @@
 //! mmdbctl info --db ./mydb [--id 7]
 //! mmdbctl query --db ./mydb --color '#ce1126' --min 0.25 [--max 1.0]
 //!               [--plan bwm|rbm|instantiate] [--expand]
-//! mmdbctl explain --db ./mydb --color '#ce1126' --min 0.25 [--plan bwm]
+//! mmdbctl explain --db ./mydb --color '#ce1126' --min 0.25 [--plan bwm] [--json true]
 //! mmdbctl metrics --db ./mydb [--format prometheus|json]
+//! mmdbctl serve --db ./mydb [--listen 127.0.0.1:9184] [--warmup N]
+//!               [--slow-ms MS] [--recorder-capacity N]
+//! mmdbctl events --db ./mydb [--warmup N] [--limit N]
+//! mmdbctl top --db ./mydb [--queries N] [--seed S]
 //! mmdbctl knn --db ./mydb probe.ppm --k 5 [--augmented]
 //! mmdbctl export --db ./mydb --id 7 out.ppm
 //! mmdbctl script --db ./mydb --id 9        # print an edited image's script
@@ -277,8 +281,9 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         outcome.sorted_results()
     };
     println!(
-        "{} result(s) in {elapsed:?} under plan {plan} (bounds computed: {}, shortcut emissions: {})",
+        "{} result(s) in {} under plan {plan} (bounds computed: {}, shortcut emissions: {})",
         results.len(),
+        mmdbms::telemetry::format_duration(elapsed),
         outcome.stats.bounds_computed,
         outcome.stats.shortcut_emissions
     );
@@ -330,12 +335,126 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     let (outcome, trace) = db
         .query_range_traced(&query, plan)
         .map_err(|e| e.to_string())?;
+    if args.options.contains_key("json") {
+        println!("{}", trace.render_json());
+        return Ok(());
+    }
     print!("{}", trace.render());
     println!(
         "{} result(s): {:?}",
         outcome.results.len(),
         outcome.sorted_results()
     );
+    Ok(())
+}
+
+/// Runs `n` seeded range queries under both the RBM and BWM plans so the
+/// histograms, counters, and flight recorder have data before exposition.
+/// Databases with no binary images (no palette mass to draw queries from)
+/// are skipped with a notice.
+fn run_warmup(db: &MultimediaDatabase, n: u64, seed: u64) -> Result<usize, String> {
+    if n == 0 {
+        return Ok(0);
+    }
+    if db.storage().binary_ids().is_empty() {
+        eprintln!("warmup skipped: database has no binary images");
+        return Ok(0);
+    }
+    let mut gen = mmdbms::datagen::QueryGenerator::weighted_from_db(seed, db.storage())
+        .thresholds(0.02, 0.15);
+    let mut ran = 0usize;
+    for _ in 0..n {
+        let query = gen.next_query();
+        for plan in [QueryPlan::Rbm, QueryPlan::Bwm] {
+            db.query_range_with_plan(&query, plan)
+                .map_err(|e| e.to_string())?;
+            ran += 1;
+        }
+    }
+    mmdbms::rules::flush_metrics();
+    Ok(ran)
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    mmdbms::register_all_metrics();
+    let config = mmdbms::ObservabilityConfig {
+        slow_query_threshold: std::time::Duration::from_millis(args.u64_opt("slow-ms", 250)?),
+        recorder_capacity: args.u64_opt(
+            "recorder-capacity",
+            mmdbms::telemetry::DEFAULT_RECORDER_CAPACITY as u64,
+        )? as usize,
+    };
+    mmdbms::configure_observability(&config);
+    run_warmup(&db, args.u64_opt("warmup", 0)?, args.u64_opt("seed", 42)?)?;
+    let listen = args
+        .options
+        .get("listen")
+        .map_or("127.0.0.1:9184", String::as_str);
+    // Scrapes must see exact counts: the rules layer batches its metrics in
+    // thread-locals, so flush right before every render.
+    let hook: mmdbms::telemetry::PrerenderHook = std::sync::Arc::new(mmdbms::rules::flush_metrics);
+    let server =
+        mmdbms::telemetry::serve(listen, Some(hook)).map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = server.local_addr();
+    // Flush explicitly: when stdout is a pipe (the CI smoke test, scripts
+    // reading the ephemeral port) the line would otherwise sit in the block
+    // buffer until exit — which for `serve` is never.
+    println!("serving /metrics /events /healthz on http://{addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_events(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    mmdbms::register_all_metrics();
+    run_warmup(&db, args.u64_opt("warmup", 0)?, args.u64_opt("seed", 42)?)?;
+    let limit = args.u64_opt("limit", 100)? as usize;
+    let events = mmdbms::telemetry::recorder().events();
+    let tail = &events[events.len().saturating_sub(limit)..];
+    println!("{}", mmdbms::telemetry::events_to_json(tail));
+    Ok(())
+}
+
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    mmdbms::register_all_metrics();
+    let queries = args.u64_opt("queries", 20)?;
+    let ran = run_warmup(&db, queries, args.u64_opt("seed", 42)?)?;
+    if ran > 0 {
+        println!("warmed up with {ran} queries");
+    }
+    let fmt = mmdbms::telemetry::format_duration;
+    let rows: Vec<(String, mmdbms::telemetry::HistogramSnapshot)> = mmdbms::telemetry::global()
+        .histograms()
+        .into_iter()
+        .map(|(name, hist)| (name, hist.snapshot()))
+        .filter(|(_, snap)| snap.count > 0)
+        .collect();
+    let width = rows
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0)
+        .max("histogram".len());
+    println!(
+        "{:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "histogram", "count", "mean", "p50", "p90", "p99", "max"
+    );
+    for (name, snap) in rows {
+        println!(
+            "{name:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+            snap.count,
+            fmt(snap.mean().unwrap_or_default()),
+            fmt(snap.p50().unwrap_or_default()),
+            fmt(snap.p90().unwrap_or_default()),
+            fmt(snap.p99().unwrap_or_default()),
+            fmt(snap.max())
+        );
+    }
     Ok(())
 }
 
@@ -502,7 +621,7 @@ fn cmd_delete(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|knn|export|script|lint|analyze|verify|compact|delete> [options]
+const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|serve|events|top|knn|export|script|lint|analyze|verify|compact|delete> [options]
   create        --db DIR [--quantizer rgb-uniform/4]
   gen           --db DIR [--collection flags|helmets] [--count N] [--augment N] [--seed S]
   insert        --db DIR FILE.ppm [--augment N] [--seed S]
@@ -510,8 +629,11 @@ const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|que
   ls            --db DIR
   info          --db DIR [--id N]
   query         --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate] [--expand true]
-  explain       --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate]
+  explain       --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate] [--json true]
   metrics       --db DIR [--format prometheus|json]
+  serve         --db DIR [--listen HOST:PORT] [--warmup N] [--slow-ms MS] [--recorder-capacity N]
+  events        --db DIR [--warmup N] [--limit N]
+  top           --db DIR [--queries N] [--seed S]
   knn           --db DIR PROBE.ppm [--k N] [--augmented true]
   export        --db DIR --id N OUT.ppm
   script        --db DIR --id N
@@ -553,6 +675,9 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args),
         "explain" => cmd_explain(&args),
         "metrics" => cmd_metrics(&args),
+        "serve" => cmd_serve(&args),
+        "events" => cmd_events(&args),
+        "top" => cmd_top(&args),
         "knn" => cmd_knn(&args),
         "export" => cmd_export(&args),
         "script" => cmd_script(&args),

@@ -93,6 +93,34 @@ pub fn register_all_metrics() {
     mmdb_analysis::register_metrics();
 }
 
+/// Tuning knobs for the always-on observability pipeline. Both settings are
+/// process-wide: the flight recorder and the slow-query threshold are shared
+/// by every database handle in the process (they instrument the global
+/// telemetry layer, not one catalog).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObservabilityConfig {
+    /// Queries at or above this duration emit a `slow_query` flight-recorder
+    /// event and bump `mmdb_query_slow_total`. Default 250ms.
+    pub slow_query_threshold: std::time::Duration,
+    /// How many recent events the flight recorder retains. Default 1024.
+    pub recorder_capacity: usize,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            slow_query_threshold: mmdb_telemetry::DEFAULT_SLOW_QUERY_THRESHOLD,
+            recorder_capacity: mmdb_telemetry::DEFAULT_RECORDER_CAPACITY,
+        }
+    }
+}
+
+/// Applies an [`ObservabilityConfig`] to the process-wide telemetry layer.
+pub fn configure_observability(config: &ObservabilityConfig) {
+    mmdb_telemetry::set_slow_query_threshold(config.slow_query_threshold);
+    mmdb_telemetry::recorder().set_capacity(config.recorder_capacity);
+}
+
 /// The top-level multimedia database handle.
 ///
 /// Thread-safe. The BWM structure is maintained incrementally on every
@@ -272,6 +300,17 @@ impl MultimediaDatabase {
     pub fn metrics(&self) -> &'static mmdb_telemetry::Registry {
         mmdb_rules::flush_metrics();
         mmdb_telemetry::global()
+    }
+
+    /// The process-global flight recorder: the ring buffer of recent
+    /// structured events (query start/end, slow queries, BWM
+    /// reclassifications, ingest accept/reject, cache evictions). Drain
+    /// with [`FlightRecorder::events`](mmdb_telemetry::FlightRecorder::events)
+    /// or serialize with
+    /// [`FlightRecorder::render_json`](mmdb_telemetry::FlightRecorder::render_json);
+    /// size it with [`configure_observability`].
+    pub fn flight_recorder(&self) -> &'static mmdb_telemetry::FlightRecorder {
+        mmdb_telemetry::recorder()
     }
 
     /// Convenience form of the paper's example query: "retrieve all images
@@ -579,6 +618,32 @@ mod tests {
         db.export_ppm(base, &out_path).unwrap();
         let back = mmdb_imaging::ppm::read_file(&out_path).unwrap();
         assert_eq!(back, red_flag());
+    }
+
+    #[test]
+    fn observability_config_and_flight_recorder() {
+        let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+        let base = db.insert_image(&red_flag()).unwrap();
+        db.insert_edited(EditSequence::builder(base).blur().build())
+            .unwrap();
+        assert_eq!(ObservabilityConfig::default().recorder_capacity, 1024);
+        // A zero threshold marks every query slow; capacity is applied to
+        // the process-global recorder.
+        configure_observability(&ObservabilityConfig {
+            slow_query_threshold: std::time::Duration::ZERO,
+            recorder_capacity: 512,
+        });
+        assert_eq!(db.flight_recorder().capacity(), 512);
+        let q = ColorRangeQuery::at_least(db.bin_of(Rgb::RED), 0.2);
+        db.query_range(&q).unwrap();
+        let events = db.flight_recorder().events();
+        let kind_count = |k: telemetry::EventKind| events.iter().filter(|e| e.kind == k).count();
+        assert!(kind_count(telemetry::EventKind::IngestAccepted) >= 1);
+        assert!(kind_count(telemetry::EventKind::QueryStart) >= 1);
+        assert!(kind_count(telemetry::EventKind::QueryEnd) >= 1);
+        assert!(kind_count(telemetry::EventKind::SlowQuery) >= 1);
+        // Restore process-wide defaults for other tests.
+        configure_observability(&ObservabilityConfig::default());
     }
 
     #[test]

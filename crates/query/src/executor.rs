@@ -6,10 +6,10 @@ use mmdb_bwm::{BwmQueryStats, BwmStructure, QueryOutcome};
 use mmdb_editops::ImageId;
 use mmdb_rules::{ColorRangeQuery, InfoResolver, RuleEngine, RuleError, RuleProfile};
 use mmdb_storage::{StorageEngine, StorageError};
-use mmdb_telemetry::{counter, histogram, QueryTrace};
+use mmdb_telemetry::{counter, histogram, EventKind, QueryTrace};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Errors from query execution.
 #[derive(Debug)]
@@ -53,10 +53,38 @@ impl From<StorageError> for QueryError {
 /// Result alias for query execution.
 pub type Result<T> = std::result::Result<T, QueryError>;
 
-/// Records one range-query execution in the global registry: a per-plan
-/// counter plus a per-plan latency histogram. One `Instant` read and two
-/// relaxed RMWs per query — negligible next to any scan.
-fn observe_range(plan: QueryPlan, elapsed: std::time::Duration) {
+/// Records the start of one range query in the flight recorder. Gated (with
+/// its string formatting) on the instrumentation switch.
+fn observe_range_start(plan: QueryPlan, query: &ColorRangeQuery) {
+    if !mmdb_telemetry::instrumentation_enabled() {
+        return;
+    }
+    mmdb_telemetry::recorder().record(
+        EventKind::QueryStart,
+        format!(
+            "plan={plan} bin={} range=[{:.4}, {:.4}]",
+            query.bin, query.pct_min, query.pct_max
+        ),
+        &[("bin", query.bin as u64)],
+    );
+}
+
+/// Records one completed range query: a per-plan counter, the per-plan and
+/// per-(plan, profile) latency histograms, a `query_end` flight-recorder
+/// event carrying the bounds-check counts, and — past the configured
+/// threshold — a slow-query counter + event. The whole body is behind one
+/// relaxed load of the instrumentation switch, so the disabled cost is near
+/// zero and the enabled cost is a handful of relaxed RMWs per query.
+fn observe_range(
+    plan: QueryPlan,
+    profile: RuleProfile,
+    query: &ColorRangeQuery,
+    out: &QueryOutcome,
+    elapsed: Duration,
+) {
+    if !mmdb_telemetry::instrumentation_enabled() {
+        return;
+    }
     match plan {
         QueryPlan::Instantiate => {
             counter!(r#"mmdb_query_range_total{plan="instantiate"}"#).inc();
@@ -70,6 +98,69 @@ fn observe_range(plan: QueryPlan, elapsed: std::time::Duration) {
             counter!(r#"mmdb_query_range_total{plan="bwm"}"#).inc();
             histogram!(r#"mmdb_query_range_latency_seconds{plan="bwm"}"#).observe(elapsed);
         }
+    }
+    // Per-(plan, profile) latency distributions. Spelled out so each
+    // combination is its own `histogram!` call site with a cached handle.
+    match (plan, profile) {
+        (QueryPlan::Instantiate, RuleProfile::Conservative) => {
+            histogram!(
+                r#"mmdb_query_range_latency_seconds{plan="instantiate",profile="conservative"}"#
+            )
+            .observe(elapsed);
+        }
+        (QueryPlan::Instantiate, RuleProfile::PaperTable1) => {
+            histogram!(
+                r#"mmdb_query_range_latency_seconds{plan="instantiate",profile="paper_table1"}"#
+            )
+            .observe(elapsed);
+        }
+        (QueryPlan::Rbm, RuleProfile::Conservative) => {
+            histogram!(r#"mmdb_query_range_latency_seconds{plan="rbm",profile="conservative"}"#)
+                .observe(elapsed);
+        }
+        (QueryPlan::Rbm, RuleProfile::PaperTable1) => {
+            histogram!(r#"mmdb_query_range_latency_seconds{plan="rbm",profile="paper_table1"}"#)
+                .observe(elapsed);
+        }
+        (QueryPlan::Bwm, RuleProfile::Conservative) => {
+            histogram!(r#"mmdb_query_range_latency_seconds{plan="bwm",profile="conservative"}"#)
+                .observe(elapsed);
+        }
+        (QueryPlan::Bwm, RuleProfile::PaperTable1) => {
+            histogram!(r#"mmdb_query_range_latency_seconds{plan="bwm",profile="paper_table1"}"#)
+                .observe(elapsed);
+        }
+    }
+    mmdb_telemetry::recorder().record(
+        EventKind::QueryEnd,
+        format!("plan={plan} profile={} bin={}", profile.label(), query.bin),
+        &[
+            ("results", out.results.len() as u64),
+            ("bounds_computed", out.stats.bounds_computed as u64),
+            ("bounds_widened", out.stats.bounds_widened as u64),
+            (
+                "duration_nanos",
+                elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            ),
+        ],
+    );
+    if elapsed >= mmdb_telemetry::slow_query_threshold() {
+        counter!("mmdb_query_slow_total").inc();
+        mmdb_telemetry::recorder().record(
+            EventKind::SlowQuery,
+            format!(
+                "plan={plan} bin={} took {}",
+                query.bin,
+                mmdb_telemetry::format_duration(elapsed)
+            ),
+            &[
+                (
+                    "duration_nanos",
+                    elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                ),
+                ("results", out.results.len() as u64),
+            ],
+        );
     }
 }
 
@@ -154,6 +245,7 @@ impl<'db> QueryProcessor<'db> {
         query: &ColorRangeQuery,
     ) -> Result<(QueryOutcome, QueryTrace)> {
         let started = Instant::now();
+        observe_range_start(plan, query);
         let (out, mut trace) = match plan {
             QueryPlan::Bwm => {
                 let structure = self
@@ -206,7 +298,7 @@ impl<'db> QueryProcessor<'db> {
         trace.event("bin", query.bin.to_string());
         trace.event("range", format!("[{}, {}]", query.pct_min, query.pct_max));
         trace.finish(started.elapsed());
-        observe_range(plan, started.elapsed());
+        observe_range(plan, self.profile, query, &out, started.elapsed());
         Ok((out, trace))
     }
 
@@ -215,11 +307,12 @@ impl<'db> QueryProcessor<'db> {
     /// the full BOUNDS computation over all of its operations.
     pub fn range_rbm(&self, query: &ColorRangeQuery) -> Result<QueryOutcome> {
         let started = Instant::now();
+        observe_range_start(QueryPlan::Rbm, query);
         let engine = self.engine();
         let mut out = QueryOutcome::default();
         self.rbm_binary_scan(query, &mut out)?;
         self.rbm_edited_scan(&engine, query, &mut out)?;
-        observe_range(QueryPlan::Rbm, started.elapsed());
+        observe_range(QueryPlan::Rbm, self.profile, query, &out, started.elapsed());
         Ok(out)
     }
 
@@ -269,6 +362,7 @@ impl<'db> QueryProcessor<'db> {
     ) -> Result<QueryOutcome> {
         assert!(threads > 0, "need at least one thread");
         let started = Instant::now();
+        observe_range_start(QueryPlan::Rbm, query);
         let mut out = QueryOutcome::default();
         self.rbm_binary_scan(query, &mut out)?;
         let edited = self.db.edited_ids();
@@ -314,7 +408,7 @@ impl<'db> QueryProcessor<'db> {
             out.stats.ops_processed += stats.ops_processed;
             out.stats.bounds_widened += stats.bounds_widened;
         }
-        observe_range(QueryPlan::Rbm, started.elapsed());
+        observe_range(QueryPlan::Rbm, self.profile, query, &out, started.elapsed());
         Ok(out)
     }
 
@@ -338,9 +432,10 @@ impl<'db> QueryProcessor<'db> {
         query: &ColorRangeQuery,
     ) -> Result<QueryOutcome> {
         let started = Instant::now();
+        observe_range_start(QueryPlan::Bwm, query);
         let engine = self.engine();
         let out = mmdb_bwm::query::execute(structure, query, &engine, self.db, self.db)?;
-        observe_range(QueryPlan::Bwm, started.elapsed());
+        observe_range(QueryPlan::Bwm, self.profile, query, &out, started.elapsed());
         Ok(out)
     }
 
@@ -351,6 +446,7 @@ impl<'db> QueryProcessor<'db> {
         query: &ColorRangeQuery,
     ) -> Result<(QueryOutcome, QueryTrace)> {
         let started = Instant::now();
+        observe_range_start(QueryPlan::Bwm, query);
         let engine = self.engine();
         let (out, mut trace) =
             mmdb_bwm::query::execute_traced(structure, query, &engine, self.db, self.db)?;
@@ -358,7 +454,7 @@ impl<'db> QueryProcessor<'db> {
         trace.event("bin", query.bin.to_string());
         trace.event("range", format!("[{}, {}]", query.pct_min, query.pct_max));
         trace.finish(started.elapsed());
-        observe_range(QueryPlan::Bwm, started.elapsed());
+        observe_range(QueryPlan::Bwm, self.profile, query, &out, started.elapsed());
         Ok((out, trace))
     }
 
@@ -369,9 +465,16 @@ impl<'db> QueryProcessor<'db> {
     /// verification and the instantiation-cost benchmarks.
     pub fn range_instantiate(&self, query: &ColorRangeQuery) -> Result<QueryOutcome> {
         let started = Instant::now();
+        observe_range_start(QueryPlan::Instantiate, query);
         let mut out = QueryOutcome::default();
         self.instantiate_scan(query, &mut out)?;
-        observe_range(QueryPlan::Instantiate, started.elapsed());
+        observe_range(
+            QueryPlan::Instantiate,
+            self.profile,
+            query,
+            &out,
+            started.elapsed(),
+        );
         Ok(out)
     }
 

@@ -40,6 +40,7 @@ pub fn register_metrics() {
         r#"mmdb_query_knn_total{path="brute_force"}"#,
         "mmdb_query_knn_edited_pruned_total",
         "mmdb_query_knn_edited_instantiated_total",
+        "mmdb_query_slow_total",
     ] {
         let _ = g.counter(name);
     }
@@ -47,6 +48,12 @@ pub fn register_metrics() {
         r#"mmdb_query_range_latency_seconds{plan="instantiate"}"#,
         r#"mmdb_query_range_latency_seconds{plan="rbm"}"#,
         r#"mmdb_query_range_latency_seconds{plan="bwm"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="instantiate",profile="conservative"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="instantiate",profile="paper_table1"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="rbm",profile="conservative"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="rbm",profile="paper_table1"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="bwm",profile="conservative"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="bwm",profile="paper_table1"}"#,
         r#"mmdb_query_knn_latency_seconds{path="augmented"}"#,
         r#"mmdb_query_knn_latency_seconds{path="brute_force"}"#,
     ] {

@@ -129,6 +129,17 @@ pub enum RuleProfile {
     Conservative,
 }
 
+impl RuleProfile {
+    /// Stable lowercase label used in telemetry series, matching the
+    /// existing `mmdb_rules_widening_ops_total{profile="..."}` spellings.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuleProfile::PaperTable1 => "paper_table1",
+            RuleProfile::Conservative => "conservative",
+        }
+    }
+}
+
 /// Walker state: the bound triple plus the geometry needed to evaluate |DR|
 /// and canvas sizes symbolically.
 #[derive(Clone, Copy, Debug)]

@@ -202,6 +202,17 @@ impl StorageEngine {
     /// findings are recorded in telemetry but do not block. See
     /// [`StorageEngine::set_ingest_validation`] for the legacy fallback.
     pub fn insert_edited(&self, sequence: EditSequence) -> Result<ImageId> {
+        let started = Instant::now();
+        let reject = |detail: String, errors: u64| {
+            counter!(r#"mmdb_storage_ingest_total{result="rejected"}"#).inc();
+            if mmdb_telemetry::instrumentation_enabled() {
+                mmdb_telemetry::recorder().record(
+                    mmdb_telemetry::EventKind::IngestRejected,
+                    detail,
+                    &[("errors", errors)],
+                );
+            }
+        };
         let check_refs = |inner: &Inner| -> Result<()> {
             for (role, rid) in std::iter::once(("base", sequence.base)).chain(
                 sequence
@@ -241,6 +252,13 @@ impl StorageEngine {
                 .map(std::string::ToString::to_string)
                 .collect();
             if !errors.is_empty() {
+                let codes: Vec<&str> = analysis
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity() == Severity::Error)
+                    .map(|d| d.code.code())
+                    .collect();
+                reject(format!("codes={}", codes.join(",")), errors.len() as u64);
                 return Err(StorageError::InvalidSequence(errors.join("; ")));
             }
         } else {
@@ -252,6 +270,7 @@ impl StorageEngine {
                 self.background,
             );
             if let Err(e) = engine.bounds(&sequence, 0, self) {
+                reject(format!("probe: {e}"), 1);
                 return Err(StorageError::InvalidSequence(e.to_string()));
             }
         }
@@ -260,6 +279,7 @@ impl StorageEngine {
         let mut inner = self.inner.write();
         check_refs(&inner)?;
         let id = inner.catalog.allocate_id();
+        let (base, ops) = (sequence.base, sequence.len());
         inner.catalog.insert(
             id,
             CatalogEntry::Edited {
@@ -267,6 +287,15 @@ impl StorageEngine {
             },
         );
         counter!("mmdb_storage_edited_inserts_total").inc();
+        counter!(r#"mmdb_storage_ingest_total{result="accepted"}"#).inc();
+        histogram!("mmdb_storage_ingest_latency_seconds").observe(started.elapsed());
+        if mmdb_telemetry::instrumentation_enabled() {
+            mmdb_telemetry::recorder().record(
+                mmdb_telemetry::EventKind::IngestAccepted,
+                format!("{id} (base {base})"),
+                &[("ops", ops as u64)],
+            );
+        }
         Ok(id)
     }
 
@@ -372,7 +401,17 @@ impl StorageEngine {
         };
         let image = Arc::new(image);
         let weight = image.pixel_count() as usize * 3;
-        self.cache.lock().insert(id, Arc::clone(&image), weight);
+        let evicted = self.cache.lock().insert(id, Arc::clone(&image), weight);
+        if evicted > 0 {
+            counter!("mmdb_storage_cache_evictions_total").add(evicted as u64);
+            if mmdb_telemetry::instrumentation_enabled() {
+                mmdb_telemetry::recorder().record(
+                    mmdb_telemetry::EventKind::CacheEviction,
+                    format!("admitting {id} evicted {evicted} raster(s)"),
+                    &[("evicted", evicted as u64), ("bytes", weight as u64)],
+                );
+            }
+        }
         Ok(image)
     }
 

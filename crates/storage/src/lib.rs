@@ -52,8 +52,12 @@ pub fn register_metrics() {
         "mmdb_storage_blob_reads_total",
         "mmdb_storage_blob_read_bytes_total",
         "mmdb_storage_instantiations_total",
+        "mmdb_storage_cache_evictions_total",
+        r#"mmdb_storage_ingest_total{result="accepted"}"#,
+        r#"mmdb_storage_ingest_total{result="rejected"}"#,
     ] {
         let _ = g.counter(name);
     }
     let _ = g.histogram("mmdb_storage_instantiation_latency_seconds");
+    let _ = g.histogram("mmdb_storage_ingest_latency_seconds");
 }

@@ -101,8 +101,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Inserts `value` with weight `bytes`, evicting LRU entries as needed.
-    /// Replaces (and re-weighs) an existing entry for the same key.
-    pub fn insert(&mut self, key: K, value: V, bytes: usize) {
+    /// Replaces (and re-weighs) an existing entry for the same key. Returns
+    /// how many entries were evicted to make room, so callers can account
+    /// for cache pressure.
+    pub fn insert(&mut self, key: K, value: V, bytes: usize) -> usize {
         if let Some(&idx) = self.map.get(&key) {
             self.cur_bytes = self.cur_bytes - self.nodes[idx].bytes + bytes;
             self.nodes[idx].value = value;
@@ -114,7 +116,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.push_front(idx);
             self.cur_bytes += bytes;
         }
-        self.evict_overflow();
+        self.evict_overflow()
     }
 
     /// Invalidates `key` if cached. The arena slot is recycled on the next
@@ -188,7 +190,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.nodes[idx].next = NIL;
     }
 
-    fn evict_overflow(&mut self) {
+    fn evict_overflow(&mut self) -> usize {
+        let mut evicted = 0;
         while self.map.len() > self.max_entries
             || (self.cur_bytes > self.max_bytes && self.map.len() > 1)
         {
@@ -199,7 +202,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             let key = self.nodes[victim].key.clone();
             self.map.remove(&key);
             self.free.push(victim);
+            evicted += 1;
         }
+        evicted
     }
 
     /// Drops every entry.
@@ -231,12 +236,12 @@ mod tests {
     #[test]
     fn evicts_least_recently_used_by_count() {
         let mut c: LruCache<u32, u32> = LruCache::new(3, usize::MAX);
-        c.insert(1, 10, 0);
-        c.insert(2, 20, 0);
-        c.insert(3, 30, 0);
+        assert_eq!(c.insert(1, 10, 0), 0);
+        assert_eq!(c.insert(2, 20, 0), 0);
+        assert_eq!(c.insert(3, 30, 0), 0);
         // Touch 1 so 2 becomes LRU.
         assert!(c.get(&1).is_some());
-        c.insert(4, 40, 0);
+        assert_eq!(c.insert(4, 40, 0), 1);
         assert!(c.contains(&1));
         assert!(!c.contains(&2), "2 should have been evicted");
         assert!(c.contains(&3));
@@ -258,7 +263,8 @@ mod tests {
     fn oversized_entry_still_admitted() {
         let mut c: LruCache<u32, u8> = LruCache::new(10, 5);
         c.insert(1, 0, 3);
-        c.insert(2, 0, 100); // over budget but must stay (last inserted)
+        // Over budget but must stay (last inserted); the other entry goes.
+        assert_eq!(c.insert(2, 0, 100), 1);
         assert!(c.contains(&2));
         assert!(!c.contains(&1));
         assert_eq!(c.len(), 1);

@@ -22,16 +22,60 @@
 //! Tracing is explicit: untraced query paths never build a trace, and
 //! layer-internal stage timing is gated on [`tracing_enabled`] — a single
 //! relaxed atomic load — so the disabled cost is near zero.
+//!
+//! # Always-on observability
+//!
+//! Three additional pieces form the always-on pipeline:
+//!
+//! * [`HistogramSnapshot`] — mergeable, diffable copies of histogram state
+//!   with p50/p90/p99/max estimation;
+//! * [`FlightRecorder`] (via [`recorder`]) — a fixed-capacity ring buffer of
+//!   recent structured [`Event`]s (query start/end, slow queries, BWM
+//!   reclassifications, ingest accept/reject, cache evictions), drainable
+//!   as JSON;
+//! * [`serve`] — a dependency-free HTTP server exposing `/metrics`
+//!   (Prometheus text with histogram buckets), `/events`, and `/healthz`.
+//!
+//! Hot-path recording is gated on [`instrumentation_enabled`] so the bench
+//! harness can measure (and bound) the instrumentation overhead.
 
+mod fmt;
+mod percentile;
+mod recorder;
 mod registry;
+mod server;
 mod trace;
 
+pub use fmt::format_duration;
+pub use percentile::HistogramSnapshot;
+pub use recorder::{
+    events_to_json, recorder, set_slow_query_threshold, slow_query_threshold, Event, EventKind,
+    FlightRecorder, DEFAULT_RECORDER_CAPACITY, DEFAULT_SLOW_QUERY_THRESHOLD,
+};
 pub use registry::{global, Counter, Gauge, Histogram, Registry, Snapshot};
+pub use server::{serve, MetricsServer, PrerenderHook};
 pub use trace::{QueryTrace, Span};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Master switch for hot-path instrumentation (latency histograms, flight
+/// recorder events, slow-query detection). On by default; the bench
+/// harness's `overhead` mode turns it off to measure instrumentation cost.
+static INSTRUMENTATION: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables hot-path instrumentation process-wide.
+pub fn set_instrumentation(enabled: bool) {
+    INSTRUMENTATION.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether hot-path instrumentation is on. A single relaxed load — safe to
+/// call per query.
+#[inline]
+pub fn instrumentation_enabled() -> bool {
+    INSTRUMENTATION.load(Ordering::Relaxed)
+}
 
 /// Globally enables or disables detailed stage timing inside query layers.
 pub fn set_tracing(enabled: bool) {
@@ -89,6 +133,15 @@ mod tests {
         assert!(tracing_enabled());
         set_tracing(false);
         assert!(!tracing_enabled());
+    }
+
+    #[test]
+    fn instrumentation_defaults_on_and_toggles() {
+        assert!(instrumentation_enabled());
+        set_instrumentation(false);
+        assert!(!instrumentation_enabled());
+        set_instrumentation(true);
+        assert!(instrumentation_enabled());
     }
 
     #[test]

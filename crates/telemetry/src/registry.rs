@@ -58,6 +58,9 @@ pub struct Histogram {
     buckets: [AtomicU64; LATENCY_BOUNDS_SECONDS.len() + 1],
     sum_nanos: AtomicU64,
     count: AtomicU64,
+    /// Largest single observation so far — anchors the `+Inf` bucket for
+    /// quantile estimation and feeds the `max` column of `mmdbctl top`.
+    max_nanos: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -66,6 +69,7 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum_nanos: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
         }
     }
 }
@@ -78,10 +82,11 @@ impl Histogram {
             .iter()
             .position(|&b| secs <= b)
             .unwrap_or(LATENCY_BOUNDS_SECONDS.len());
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos
-            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
@@ -90,6 +95,32 @@ impl Histogram {
 
     pub fn sum(&self) -> Duration {
         Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Largest single observation so far.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// The shared upper bucket bounds, in seconds, excluding the implicit
+    /// trailing `+Inf` bucket.
+    pub fn bucket_bounds() -> &'static [f64] {
+        &LATENCY_BOUNDS_SECONDS
+    }
+
+    /// A mergeable point-in-time copy of this histogram's state, suitable
+    /// for quantile estimation and windowed diffs.
+    pub fn snapshot(&self) -> crate::HistogramSnapshot {
+        crate::HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// Cumulative bucket counts paired with their upper bounds, ending with
@@ -179,6 +210,16 @@ impl Registry {
     /// Get-or-register the latency histogram `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         get_or_insert(&self.histograms, name)
+    }
+
+    /// Every registered histogram, name-sorted — the iteration surface
+    /// behind `mmdbctl top`.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(name, h)| (name.clone(), Arc::clone(h)))
+            .collect()
     }
 
     /// Point-in-time copy of all series.

@@ -1,0 +1,233 @@
+//! A dependency-free metrics exposition server over `std::net`.
+//!
+//! Serves three GET routes on a background accept thread:
+//!
+//! * `/metrics` — the global registry in Prometheus text format
+//!   (`?format=json` switches to the JSON exposition),
+//! * `/events`  — the flight recorder's retained events as JSON,
+//! * `/healthz` — liveness probe (`ok`).
+//!
+//! The server is deliberately minimal HTTP/1.1: it parses the request line,
+//! drains headers, answers with `Connection: close`, and handles one request
+//! per connection — exactly what a Prometheus scraper or `curl` needs, with
+//! zero dependencies beyond `std::net::TcpListener`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Callback run before each `/metrics` render, letting the embedder flush
+/// thread-local staging (e.g. `mmdb_rules::flush_metrics`) so scrapes see
+/// exact totals.
+pub type PrerenderHook = Arc<dyn Fn() + Send + Sync>;
+
+/// A running exposition server; dropping it shuts the accept loop down.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; a self-connection wakes it so
+        // it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`, or `:0` for an ephemeral port) and
+/// serves `/metrics`, `/events`, and `/healthz` from a background thread.
+pub fn serve(addr: &str, prerender: Option<PrerenderHook>) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("mmdb-metrics-server".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    let _ = handle_connection(stream, prerender.as_ref());
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_connection(stream: TcpStream, prerender: Option<&PrerenderHook>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers up to the blank line; the bodyless GETs we serve need
+    // nothing from them.
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let (status, content_type, body) = route(method, path, query, prerender);
+    respond(stream, status, content_type, &body)
+}
+
+fn route(
+    method: &str,
+    path: &str,
+    query: &str,
+    prerender: Option<&PrerenderHook>,
+) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        );
+    }
+    match path {
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        "/metrics" => {
+            if let Some(hook) = prerender {
+                hook();
+            }
+            if query.split('&').any(|kv| kv == "format=json") {
+                ("200 OK", "application/json", crate::global().render_json())
+            } else {
+                (
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    crate::global().render_prometheus(),
+                )
+            }
+        }
+        "/events" => (
+            "200 OK",
+            "application/json",
+            crate::recorder().render_json(),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    }
+}
+
+fn respond(
+    mut stream: TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn get(addr: SocketAddr, target: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_metrics_events_and_healthz() {
+        crate::global().counter("mmdb_server_test_total").add(7);
+        crate::recorder().record(crate::EventKind::LintRun, "server-test", &[]);
+        let server = serve("127.0.0.1:0", None).unwrap();
+        let addr = server.local_addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"));
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("mmdb_server_test_total 7"));
+
+        let metrics_json = get(addr, "/metrics?format=json");
+        assert!(metrics_json.contains("application/json"));
+        assert!(metrics_json.contains("\"mmdb_server_test_total\": 7"));
+
+        let events = get(addr, "/events");
+        assert!(events.contains("\"events\""));
+        assert!(events.contains("server-test"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn prerender_hook_runs_before_scrape() {
+        let hook_ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&hook_ran);
+        let server = serve(
+            "127.0.0.1:0",
+            Some(Arc::new(move || flag.store(true, Ordering::SeqCst))),
+        )
+        .unwrap();
+        let _ = get(server.local_addr(), "/metrics");
+        assert!(hook_ran.load(Ordering::SeqCst));
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let server = serve("127.0.0.1:0", None).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+        server.shutdown();
+    }
+}

@@ -37,11 +37,29 @@ impl Span {
         self.children.last_mut().expect("just pushed")
     }
 
+    /// Breadth-first counter lookup: the shallowest span carrying `counter`
+    /// wins, with left-to-right order breaking ties at equal depth. This is
+    /// deterministic regardless of how deep child stages duplicate a name.
     fn find(&self, counter: &str) -> Option<u64> {
-        if let Some((_, v)) = self.counters.iter().find(|(n, _)| n == counter) {
-            return Some(*v);
+        let mut queue = std::collections::VecDeque::from([self]);
+        while let Some(span) = queue.pop_front() {
+            if let Some((_, v)) = span.counters.iter().find(|(n, _)| n == counter) {
+                return Some(*v);
+            }
+            queue.extend(span.children.iter());
         }
-        self.children.iter().find_map(|c| c.find(counter))
+        None
+    }
+
+    /// This span's counters with repeated names removed (first occurrence
+    /// wins) — layers occasionally re-report a counter when retrying a
+    /// stage, and rendering both would just be noise.
+    fn deduped_counters(&self) -> Vec<&(String, u64)> {
+        let mut seen = std::collections::BTreeSet::new();
+        self.counters
+            .iter()
+            .filter(|(n, _)| seen.insert(n.as_str()))
+            .collect()
     }
 
     fn render_into(&self, out: &mut String, prefix: &str, last: bool, root: bool) {
@@ -52,13 +70,15 @@ impl Span {
         } else {
             (format!("{prefix}├─ "), format!("{prefix}│  "))
         };
-        let _ = write!(out, "{branch}{} [{:?}]", self.name, self.duration);
-        if !self.counters.is_empty() {
-            let rendered: Vec<String> = self
-                .counters
-                .iter()
-                .map(|(n, v)| format!("{n}={v}"))
-                .collect();
+        let _ = write!(
+            out,
+            "{branch}{} [{}]",
+            self.name,
+            crate::format_duration(self.duration)
+        );
+        let counters = self.deduped_counters();
+        if !counters.is_empty() {
+            let rendered: Vec<String> = counters.iter().map(|(n, v)| format!("{n}={v}")).collect();
             let _ = write!(out, "  {}", rendered.join(" "));
         }
         out.push('\n');
@@ -67,6 +87,46 @@ impl Span {
             child.render_into(out, &next_prefix, i + 1 == n, false);
         }
     }
+
+    fn render_json_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"duration_nanos\": {}, \"duration\": \"{}\", \"counters\": {{",
+            json_escape(&self.name),
+            self.duration.as_nanos(),
+            crate::format_duration(self.duration)
+        );
+        for (i, (name, value)) in self.deduped_counters().iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}\"{}\": {value}", json_escape(name));
+        }
+        out.push_str("}, \"children\": [");
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            child.render_json_into(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A completed (or in-progress) query trace: query-level events plus the
@@ -112,8 +172,9 @@ impl QueryTrace {
         &self.root
     }
 
-    /// Looks a counter up anywhere in the tree (root first, then depth
-    /// first) — handy for asserting trace contents in tests.
+    /// Looks a counter up anywhere in the tree, breadth first: the
+    /// shallowest span carrying `name` wins, ties at equal depth resolve
+    /// left-to-right. Handy for asserting trace contents in tests.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         self.root.find(name)
     }
@@ -132,6 +193,29 @@ impl QueryTrace {
             let _ = writeln!(out, "{k}={v}");
         }
         self.root.render_into(&mut out, "", true, true);
+        out
+    }
+
+    /// Serializes the whole trace — events plus the span tree, counters
+    /// included — as a JSON document suitable for diffing and archiving:
+    ///
+    /// ```json
+    /// {"events": [["plan", "bwm"]],
+    ///  "root": {"name": "bwm_range", "duration_nanos": 1200000,
+    ///           "duration": "1.20ms", "counters": {"results": 42},
+    ///           "children": [...]}}
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"events\": [");
+        for (i, (k, v)) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[\"{}\", \"{}\"]", json_escape(k), json_escape(v));
+        }
+        out.push_str("], \"root\": ");
+        self.root.render_json_into(&mut out);
+        out.push_str("}\n");
         out
     }
 }
@@ -163,6 +247,65 @@ mod tests {
         assert!(text.contains("├─ main_component"));
         assert!(text.contains("└─ unclassified"));
         assert!(text.contains("clusters_visited=30"));
+    }
+
+    #[test]
+    fn find_prefers_shallowest_match() {
+        let mut t = QueryTrace::new("q");
+        // The same counter name appears at depth 1 (twice) and depth 2;
+        // breadth-first search must return the first depth-1 value.
+        let a = t.stage("a", Duration::from_micros(1));
+        a.child(Span::new("a_deep", Duration::from_micros(1)))
+            .counter("dup", 999);
+        t.stage("b", Duration::from_micros(1)).counter("dup", 7);
+        t.stage("c", Duration::from_micros(1)).counter("dup", 8);
+        assert_eq!(t.counter_value("dup"), Some(7));
+        // A root-level counter beats any child.
+        t.counter("dup", 1);
+        assert_eq!(t.counter_value("dup"), Some(1));
+    }
+
+    #[test]
+    fn render_dedupes_repeated_counter_names() {
+        let mut t = QueryTrace::new("q");
+        t.stage("s", Duration::from_micros(5))
+            .counter("hits", 3)
+            .counter("hits", 9)
+            .counter("misses", 1);
+        let text = t.render();
+        // First occurrence wins; the duplicate is not printed.
+        assert!(text.contains("hits=3"));
+        assert!(!text.contains("hits=9"));
+        assert!(text.contains("misses=1"));
+    }
+
+    #[test]
+    fn renders_human_durations() {
+        let mut t = QueryTrace::new("q");
+        t.stage("s", Duration::from_nanos(22_400));
+        t.finish(Duration::from_millis(2));
+        let text = t.render();
+        assert!(text.contains("q [2.00ms]"), "{text}");
+        assert!(text.contains("s [22.40µs]"), "{text}");
+    }
+
+    #[test]
+    fn render_json_roundtrips_structure() {
+        let mut t = QueryTrace::new("bwm_range");
+        t.event("plan", "bwm");
+        t.counter("results", 42);
+        t.stage("main_component", Duration::from_micros(800))
+            .counter("clusters_visited", 30);
+        t.finish(Duration::from_micros(1200));
+        let json = t.render_json();
+        assert!(json.contains("\"events\": [[\"plan\", \"bwm\"]]"));
+        assert!(json.contains("\"name\": \"bwm_range\""));
+        assert!(json.contains("\"duration_nanos\": 1200000"));
+        assert!(json.contains("\"duration\": \"1.20ms\""));
+        assert!(json.contains("\"results\": 42"));
+        assert!(json.contains("\"clusters_visited\": 30"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

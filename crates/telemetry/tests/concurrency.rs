@@ -1,8 +1,10 @@
-//! Registry concurrency: the relaxed-atomic counters and histograms must
-//! lose no increments when many threads hammer the same series, and
-//! concurrent get-or-register races must all resolve to one handle.
+//! Telemetry concurrency: the relaxed-atomic counters and histograms must
+//! lose no increments when many threads hammer the same series, concurrent
+//! get-or-register races must all resolve to one handle, and the flight
+//! recorder's ring buffer must stay consistent through wraparound under
+//! concurrent writers.
 
-use mmdb_telemetry::Registry;
+use mmdb_telemetry::{EventKind, FlightRecorder, Registry};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -77,4 +79,80 @@ fn racing_registrations_share_one_series() {
     );
     // One series, not one per thread.
     assert_eq!(registry.snapshot().values.len(), 1);
+}
+
+#[test]
+fn ring_buffer_wraparound_under_concurrent_writers() {
+    const CAPACITY: usize = 64;
+    const EVENTS_PER_THREAD: u64 = 1_000;
+    let recorder = Arc::new(FlightRecorder::with_capacity(CAPACITY));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&recorder);
+            std::thread::spawn(move || {
+                for i in 0..EVENTS_PER_THREAD {
+                    r.record(
+                        EventKind::QueryEnd,
+                        format!("t{t}e{i}"),
+                        &[("thread", t as u64), ("i", i)],
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Every claim was counted, even though most slots were overwritten.
+    let total = THREADS as u64 * EVENTS_PER_THREAD;
+    assert_eq!(recorder.recorded_total(), total);
+
+    // After the dust settles the ring holds exactly the newest CAPACITY
+    // events, in strictly increasing sequence order.
+    let events = recorder.events();
+    assert_eq!(events.len(), CAPACITY);
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    assert_eq!(events.last().unwrap().seq, total - 1);
+    assert_eq!(events.first().unwrap().seq, total - CAPACITY as u64);
+    // Payloads survived intact: detail matches the structured counts.
+    for e in &events {
+        let (t, i) = (e.counts[0].1, e.counts[1].1);
+        assert_eq!(e.detail, format!("t{t}e{i}"));
+        assert_eq!(e.kind, EventKind::QueryEnd);
+    }
+}
+
+#[test]
+fn draining_while_writers_race_yields_consistent_events() {
+    const CAPACITY: usize = 32;
+    let recorder = Arc::new(FlightRecorder::with_capacity(CAPACITY));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let r = Arc::clone(&recorder);
+            let s = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !s.load(std::sync::atomic::Ordering::Relaxed) {
+                    r.record(EventKind::CacheEviction, format!("t{t}"), &[("i", i)]);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    // Drain repeatedly mid-flight: every drain must be a strictly ordered
+    // slice of valid events, never torn or duplicated.
+    for _ in 0..200 {
+        let events = recorder.events();
+        assert!(events.len() <= CAPACITY);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        for e in &events {
+            assert!(e.detail.starts_with('t'));
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
 }
