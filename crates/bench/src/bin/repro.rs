@@ -8,8 +8,10 @@
 //! Subcommands: `table2`, `fig3`, `fig4`, `headline`, `ablation-nbw`,
 //! `ablation-selectivity`, `ablation-profile`, `ablation-knn`,
 //! `ablation-bins`, `fig3-constmix`, `fig4-constmix`, `storage`, `lint`,
-//! `overhead`, `all`. `--fast` runs a reduced configuration; CSVs land in
-//! `results/`.
+//! `overhead`, `serve-load`, `all`. `--fast` runs a reduced configuration;
+//! CSVs land in `results/`. `serve-load [--connect HOST:PORT]` drives the
+//! network query server (self-hosted unless `--connect` points at a
+//! running `mmdbctl serve-queries`).
 
 use mmdb_bench::csvout;
 use mmdb_bench::experiments::{self, Figure, SweepConfig, METRICS_HEADERS, SWEEP_HEADERS};
@@ -545,6 +547,74 @@ fn run_overhead(cfg: &SweepConfig) {
     println!("[csv] {}", path.display());
 }
 
+fn run_serve_load(fast: bool, raw_args: &[String]) {
+    use mmdb_bench::serveload::{self, LoadConfig, LOAD_HEADERS};
+    let cfg = if fast {
+        LoadConfig::fast()
+    } else {
+        LoadConfig::default_sweep()
+    };
+    let connect = raw_args
+        .iter()
+        .position(|a| a == "--connect")
+        .and_then(|i| raw_args.get(i + 1));
+    println!();
+    let points = match connect {
+        Some(addr) => {
+            use std::net::ToSocketAddrs;
+            println!("Serve-load — closed-loop throughput against {addr}");
+            let addr = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut it| it.next())
+                .unwrap_or_else(|| panic!("bad --connect address {addr:?}"));
+            serveload::run_sweep_against(addr, &cfg)
+        }
+        None => {
+            println!(
+                "Serve-load — closed-loop throughput, self-hosted helmet database \
+                 ({} base images, +{} variants each)",
+                cfg.base_images, cfg.augment
+            );
+            serveload::run_self_hosted(&cfg)
+        }
+    };
+    print_rule(96);
+    println!(
+        "{:>8} {:>6} {:>9} {:>7} {:>7} {:>9} {:>10} {:>9} {:>9} {:>9}",
+        "scenario",
+        "conc",
+        "requests",
+        "ok",
+        "ovld",
+        "deadline",
+        "qps",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms"
+    );
+    let mut rows = Vec::new();
+    for p in &points {
+        println!(
+            "{:>8} {:>6} {:>9} {:>7} {:>7} {:>9} {:>10.1} {:>9.3} {:>9.3} {:>9.3}",
+            p.scenario,
+            p.concurrency,
+            p.requests,
+            p.ok,
+            p.overloaded,
+            p.deadline_exceeded,
+            p.qps,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms
+        );
+        rows.push(p.csv_row());
+    }
+    let path = results_dir().join("serve_throughput.csv");
+    csvout::write_csv(&path, &LOAD_HEADERS, &rows).expect("write csv");
+    println!("[csv] {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -581,6 +651,7 @@ fn main() {
         "storage" => run_storage(&cfg),
         "lint" => run_lint(&cfg),
         "overhead" => run_overhead(&cfg),
+        "serve-load" => run_serve_load(fast, &args),
         "all" => {
             run_table2(cfg.seed);
             run_figure(Figure::Fig3Helmet, &cfg);
@@ -600,7 +671,7 @@ fn main() {
             eprintln!(
                 "usage: repro [table2|fig3|fig4|headline|ablation-nbw|ablation-selectivity|\
                  ablation-profile|ablation-knn|ablation-bins|fig3-constmix|fig4-constmix|storage|\
-                 lint|overhead|all] [--fast]"
+                 lint|overhead|serve-load [--connect HOST:PORT]|all] [--fast]"
             );
             std::process::exit(2);
         }

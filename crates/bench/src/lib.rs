@@ -26,6 +26,7 @@
 
 pub mod csvout;
 pub mod experiments;
+pub mod serveload;
 pub mod timing;
 
 pub use experiments::{

@@ -1,0 +1,326 @@
+//! Closed-loop load generator for the network query server (`repro
+//! serve-load`). N client threads each run a fixed budget of range queries
+//! back-to-back over their own connection; a sweep over N measures
+//! throughput (qps) and latency percentiles per concurrency level, plus a
+//! deliberately under-provisioned "tight" scenario that exercises the
+//! admission-control (`OVERLOADED`) and deadline (`DEADLINE_EXCEEDED`)
+//! paths. Results land in `results/serve_throughput.csv`.
+
+use mmdbms::datagen::helmets::HelmetGenerator;
+use mmdbms::prelude::*;
+use mmdbms::server::protocol::{PlanKind, ProfileKind};
+use mmdbms::server::{Client, ClientError, QueryServer, RangeRequest, ServerConfig, Status};
+use mmdbms::MultimediaDatabase;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// CSV header for [`LoadPoint::csv_row`].
+pub const LOAD_HEADERS: [&str; 10] = [
+    "scenario",
+    "concurrency",
+    "requests",
+    "ok",
+    "overloaded",
+    "deadline_exceeded",
+    "qps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+];
+
+/// Load-generator shape: how much data to self-host and how hard to push.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Binary base images in the self-hosted database.
+    pub base_images: usize,
+    /// Edited variants generated per base image.
+    pub augment: usize,
+    /// Master seed (dataset and query mix).
+    pub seed: u64,
+    /// The concurrency sweep: one measurement per client count.
+    pub concurrency_levels: Vec<usize>,
+    /// Closed-loop request budget per client thread.
+    pub queries_per_client: usize,
+}
+
+impl LoadConfig {
+    /// The default sweep.
+    pub fn default_sweep() -> Self {
+        LoadConfig {
+            base_images: 40,
+            augment: 3,
+            seed: 42,
+            concurrency_levels: vec![1, 2, 4, 8, 16],
+            queries_per_client: 150,
+        }
+    }
+
+    /// A reduced configuration for CI and `--fast`.
+    pub fn fast() -> Self {
+        LoadConfig {
+            base_images: 12,
+            augment: 2,
+            seed: 42,
+            concurrency_levels: vec![1, 2, 4],
+            queries_per_client: 40,
+        }
+    }
+}
+
+/// One measured concurrency level.
+#[derive(Clone, Debug)]
+pub struct LoadPoint {
+    /// `sweep` for the normal capacity server, `tight` for the
+    /// under-provisioned overload/deadline scenario.
+    pub scenario: &'static str,
+    /// Client threads driving the closed loop.
+    pub concurrency: usize,
+    /// Requests issued (and answered — the loop is closed).
+    pub requests: usize,
+    /// Requests answered `OK`.
+    pub ok: usize,
+    /// Requests refused by admission control.
+    pub overloaded: usize,
+    /// Requests whose deadline expired in queue.
+    pub deadline_exceeded: usize,
+    /// Completed requests per second of wall-clock time.
+    pub qps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl LoadPoint {
+    /// The row matching [`LOAD_HEADERS`].
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.scenario.to_string(),
+            self.concurrency.to_string(),
+            self.requests.to_string(),
+            self.ok.to_string(),
+            self.overloaded.to_string(),
+            self.deadline_exceeded.to_string(),
+            format!("{:.1}", self.qps),
+            format!("{:.3}", self.p50_ms),
+            format!("{:.3}", self.p95_ms),
+            format!("{:.3}", self.p99_ms),
+        ]
+    }
+}
+
+/// Builds the self-hosted helmet database the server fronts.
+pub fn build_database(cfg: &LoadConfig) -> Arc<MultimediaDatabase> {
+    let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+    let generator = HelmetGenerator::with_seed(cfg.seed);
+    for i in 0..cfg.base_images as u64 {
+        let image = generator.generate(i);
+        db.insert_image_with_augmentation(
+            &image,
+            cfg.augment,
+            mmdbms::datagen::VariantConfig::default(),
+            cfg.seed ^ i,
+        )
+        .expect("load-gen dataset insert");
+    }
+    Arc::new(db)
+}
+
+/// Tiny deterministic generator for the query mix (no `rand` needed here;
+/// the split-mix constants give a uniform-enough bin spread).
+struct QueryMix {
+    state: u64,
+}
+
+impl QueryMix {
+    fn new(seed: u64) -> Self {
+        QueryMix {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    fn next_request(&mut self) -> RangeRequest {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let bin = (self.state >> 32) % 64;
+        let plan = match self.state % 4 {
+            0 => PlanKind::Rbm,
+            _ => PlanKind::Bwm,
+        };
+        RangeRequest {
+            plan,
+            profile: ProfileKind::Conservative,
+            bin: bin as u32,
+            pct_min: 0.05,
+            pct_max: 1.0,
+        }
+    }
+}
+
+/// Runs one closed-loop measurement at `concurrency` clients against a
+/// running server. Every request is answered (OK or a structured error);
+/// transport or protocol failures abort the run.
+pub fn run_level(
+    addr: SocketAddr,
+    scenario: &'static str,
+    concurrency: usize,
+    queries_per_client: usize,
+    deadline_ms: u32,
+    seed: u64,
+) -> LoadPoint {
+    let barrier = Arc::new(Barrier::new(concurrency + 1));
+    let workers: Vec<_> = (0..concurrency)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("load-gen connect");
+                let mut mix = QueryMix::new(seed ^ (c as u64 + 1));
+                let mut latencies_ms = Vec::with_capacity(queries_per_client);
+                let (mut ok, mut overloaded, mut deadline_exceeded) = (0usize, 0usize, 0usize);
+                barrier.wait();
+                for _ in 0..queries_per_client {
+                    let request = mix.next_request();
+                    let start = Instant::now();
+                    match client.range_with_deadline(request, deadline_ms) {
+                        Ok(_) => ok += 1,
+                        Err(ClientError::Server {
+                            status: Status::Overloaded,
+                            ..
+                        }) => overloaded += 1,
+                        Err(ClientError::Server {
+                            status: Status::DeadlineExceeded,
+                            ..
+                        }) => deadline_exceeded += 1,
+                        Err(other) => panic!("load-gen client {c}: {other}"),
+                    }
+                    latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                }
+                (latencies_ms, ok, overloaded, deadline_exceeded)
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let wall_start = Instant::now();
+    let mut latencies_ms = Vec::with_capacity(concurrency * queries_per_client);
+    let (mut ok, mut overloaded, mut deadline_exceeded) = (0usize, 0usize, 0usize);
+    for handle in workers {
+        let (lats, o, ov, de) = handle.join().expect("load-gen client panicked");
+        latencies_ms.extend(lats);
+        ok += o;
+        overloaded += ov;
+        deadline_exceeded += de;
+    }
+    let wall = wall_start.elapsed().as_secs_f64().max(1e-9);
+
+    latencies_ms.sort_by(f64::total_cmp);
+    let requests = latencies_ms.len();
+    LoadPoint {
+        scenario,
+        concurrency,
+        requests,
+        ok,
+        overloaded,
+        deadline_exceeded,
+        qps: requests as f64 / wall,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p95_ms: percentile(&latencies_ms, 0.95),
+        p99_ms: percentile(&latencies_ms, 0.99),
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (sorted_ms.len() as f64 * q).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// The concurrency sweep against an already-running server (the
+/// `--connect` path; also used by the CI smoke job).
+pub fn run_sweep_against(addr: SocketAddr, cfg: &LoadConfig) -> Vec<LoadPoint> {
+    cfg.concurrency_levels
+        .iter()
+        .map(|&n| run_level(addr, "sweep", n, cfg.queries_per_client, 0, cfg.seed))
+        .collect()
+}
+
+/// Self-hosted mode: builds the dataset, boots a full-capacity server for
+/// the sweep, then an under-provisioned one (one worker, queue depth 2) at
+/// the highest concurrency with a short deadline, so the `OVERLOADED` and
+/// `DEADLINE_EXCEEDED` paths show up in the results and in `/metrics`.
+pub fn run_self_hosted(cfg: &LoadConfig) -> Vec<LoadPoint> {
+    let db = build_database(cfg);
+
+    let server = QueryServer::bind(
+        "127.0.0.1:0",
+        Arc::<MultimediaDatabase>::clone(&db) as Arc<dyn mmdbms::server::QueryBackend>,
+        ServerConfig::default(),
+    )
+    .expect("bind load-gen server");
+    let mut points = run_sweep_against(server.local_addr(), cfg);
+    server.shutdown();
+
+    let tight = QueryServer::bind(
+        "127.0.0.1:0",
+        Arc::<MultimediaDatabase>::clone(&db) as Arc<dyn mmdbms::server::QueryBackend>,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind tight server");
+    let stress_concurrency = cfg.concurrency_levels.iter().copied().max().unwrap_or(8);
+    points.push(run_level(
+        tight.local_addr(),
+        "tight",
+        stress_concurrency,
+        cfg.queries_per_client,
+        2,
+        cfg.seed,
+    ));
+    tight.shutdown();
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_indexing() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.95), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn tiny_self_hosted_run_completes() {
+        let cfg = LoadConfig {
+            base_images: 4,
+            augment: 1,
+            seed: 7,
+            concurrency_levels: vec![1, 2],
+            queries_per_client: 5,
+        };
+        let points = run_self_hosted(&cfg);
+        assert_eq!(points.len(), 3); // two sweep levels + tight scenario
+        for p in &points {
+            assert_eq!(
+                p.requests,
+                p.concurrency * cfg.queries_per_client,
+                "closed loop must answer every request"
+            );
+            assert_eq!(p.requests, p.ok + p.overloaded + p.deadline_exceeded);
+            assert!(p.qps > 0.0);
+        }
+        assert!(points.iter().all(|p| p.p50_ms <= p.p99_ms));
+    }
+}

@@ -267,6 +267,9 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_query(args: &Args) -> Result<(), String> {
+    if args.options.contains_key("connect") {
+        return cmd_query_remote(args);
+    }
     let db = open_db(args)?;
     let (query, plan) = parse_query(args, &db)?;
     let start = std::time::Instant::now();
@@ -403,9 +406,122 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     println!("serving /metrics /events /healthz on http://{addr}");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    loop {
-        std::thread::park();
+    // Ctrl-C / SIGTERM: stop accepting scrapes, drain, exit 0.
+    let signal = mmdbms::server::ShutdownSignal::install();
+    signal.wait(std::time::Duration::from_millis(100));
+    eprintln!("signal received, draining metrics server");
+    server.shutdown();
+    Ok(())
+}
+
+fn cmd_serve_queries(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    mmdbms::register_all_metrics();
+    run_warmup(&db, args.u64_opt("warmup", 0)?, args.u64_opt("seed", 42)?)?;
+    let listen = args
+        .options
+        .get("listen")
+        .map_or("127.0.0.1:9190", String::as_str);
+    let mut config = mmdbms::server::ServerConfig::default();
+    config.workers = args.u64_opt("workers", config.workers as u64)? as usize;
+    config.queue_depth = args.u64_opt("queue-depth", config.queue_depth as u64)? as usize;
+    let backend: std::sync::Arc<dyn mmdbms::server::QueryBackend> = std::sync::Arc::new(db);
+    let server = mmdbms::server::QueryServer::bind(listen, backend, config)
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    // An optional metrics endpoint rides along so operators can watch the
+    // server counters (overloads, deadline misses, latency) live.
+    let metrics = match args.options.get("metrics") {
+        Some(addr) => {
+            let hook: mmdbms::telemetry::PrerenderHook =
+                std::sync::Arc::new(mmdbms::rules::flush_metrics);
+            let m = mmdbms::telemetry::serve(addr, Some(hook))
+                .map_err(|e| format!("bind metrics {addr}: {e}"))?;
+            eprintln!("metrics on http://{}", m.local_addr());
+            Some(m)
+        }
+        None => None,
+    };
+    println!(
+        "serving queries on {} (workers {}, queue depth {})",
+        server.local_addr(),
+        config.workers,
+        config.queue_depth
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let signal = mmdbms::server::ShutdownSignal::install();
+    signal.wait(std::time::Duration::from_millis(100));
+    eprintln!("signal received, draining in-flight requests");
+    let drained = server.shutdown();
+    if let Some(m) = metrics {
+        m.shutdown();
     }
+    println!("drained ({} queued at stop)", drained.queued_at_stop);
+    Ok(())
+}
+
+/// `query --connect HOST:PORT`: run the range query over the wire instead
+/// of in-process. The histogram bin is selected with `--bin N` (the server
+/// owns the quantizer; resolving a hex color needs a local `--db`).
+fn cmd_query_remote(args: &Args) -> Result<(), String> {
+    use mmdbms::server::protocol::{PlanKind, ProfileKind};
+    let addr = args.options.get("connect").expect("checked by caller");
+    let bin = match args.options.get("bin") {
+        Some(v) => v.parse::<u32>().map_err(|_| format!("bad --bin {v:?}"))?,
+        None => {
+            if !args.options.contains_key("db") {
+                return Err(
+                    "--connect needs --bin N (or --db plus --color to resolve one locally)"
+                        .to_string(),
+                );
+            }
+            let db = open_db(args)?;
+            let color = args
+                .options
+                .get("color")
+                .ok_or_else(|| "--color '#rrggbb' is required".to_string())?;
+            let color = Rgb::from_hex(color).ok_or_else(|| format!("bad color {color:?}"))?;
+            db.bin_of(color) as u32
+        }
+    };
+    let plan = match args.options.get("plan").map(String::as_str) {
+        None | Some("bwm") => PlanKind::Bwm,
+        Some("rbm") => PlanKind::Rbm,
+        Some("instantiate") => PlanKind::Instantiate,
+        Some(other) => return Err(format!("unknown plan {other:?}")),
+    };
+    let profile = match args.options.get("profile").map(String::as_str) {
+        None | Some("conservative") => ProfileKind::Conservative,
+        Some("paper-table1") => ProfileKind::PaperTable1,
+        Some(other) => return Err(format!("unknown profile {other:?}")),
+    };
+    let request = mmdbms::server::RangeRequest {
+        plan,
+        profile,
+        bin,
+        pct_min: args.f64_opt("min", 0.0)?,
+        pct_max: args.f64_opt("max", 1.0)?,
+    };
+    let deadline_ms = args.u64_opt("deadline-ms", 0)? as u32;
+    let mut client = mmdbms::server::Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let reply = client
+        .range_with_deadline(request, deadline_ms)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    println!(
+        "{} result(s) in {} from {addr} (bounds computed: {}, shortcut emissions: {})",
+        reply.ids.len(),
+        mmdbms::telemetry::format_duration(elapsed),
+        reply.bounds_computed,
+        reply.shortcut_emissions
+    );
+    let mut ids = reply.ids;
+    ids.sort_unstable();
+    for id in ids {
+        println!("  img#{id}");
+    }
+    Ok(())
 }
 
 fn cmd_events(args: &Args) -> Result<(), String> {
@@ -621,7 +737,7 @@ fn cmd_delete(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|serve|events|top|knn|export|script|lint|analyze|verify|compact|delete> [options]
+const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|serve|serve-queries|events|top|knn|export|script|lint|analyze|verify|compact|delete> [options]
   create        --db DIR [--quantizer rgb-uniform/4]
   gen           --db DIR [--collection flags|helmets] [--count N] [--augment N] [--seed S]
   insert        --db DIR FILE.ppm [--augment N] [--seed S]
@@ -629,9 +745,11 @@ const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|que
   ls            --db DIR
   info          --db DIR [--id N]
   query         --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate] [--expand true]
+                --connect HOST:PORT --bin N [--min F] [--max F] [--plan P] [--profile conservative|paper-table1] [--deadline-ms MS]
   explain       --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate] [--json true]
   metrics       --db DIR [--format prometheus|json]
   serve         --db DIR [--listen HOST:PORT] [--warmup N] [--slow-ms MS] [--recorder-capacity N]
+  serve-queries --db DIR [--listen HOST:PORT] [--workers N] [--queue-depth N] [--metrics HOST:PORT] [--warmup N]
   events        --db DIR [--warmup N] [--limit N]
   top           --db DIR [--queries N] [--seed S]
   knn           --db DIR PROBE.ppm [--k N] [--augmented true]
@@ -676,6 +794,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&args),
         "metrics" => cmd_metrics(&args),
         "serve" => cmd_serve(&args),
+        "serve-queries" => cmd_serve_queries(&args),
         "events" => cmd_events(&args),
         "top" => cmd_top(&args),
         "knn" => cmd_knn(&args),

@@ -62,8 +62,11 @@ pub use mmdb_imaging as imaging;
 pub use mmdb_index as index;
 pub use mmdb_query as query;
 pub use mmdb_rules as rules;
+pub use mmdb_server as server;
 pub use mmdb_storage as storage;
 pub use mmdb_telemetry as telemetry;
+
+mod serve;
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
@@ -91,6 +94,7 @@ pub fn register_all_metrics() {
     mmdb_bwm::register_metrics();
     mmdb_query::register_metrics();
     mmdb_analysis::register_metrics();
+    mmdb_server::register_metrics();
 }
 
 /// Tuning knobs for the always-on observability pipeline. Both settings are
@@ -261,7 +265,20 @@ impl MultimediaDatabase {
         query: &ColorRangeQuery,
         plan: QueryPlan,
     ) -> Result<mmdb_bwm::QueryOutcome> {
-        let qp = QueryProcessor::with_profile(&self.storage, self.profile);
+        self.query_range_with(query, plan, self.profile)
+    }
+
+    /// Runs a color range query under an explicit plan *and* rule profile,
+    /// overriding the handle-level default for this one query. This is the
+    /// entry point the network server uses: the wire protocol selects plan
+    /// and profile per request.
+    pub fn query_range_with(
+        &self,
+        query: &ColorRangeQuery,
+        plan: QueryPlan,
+        profile: RuleProfile,
+    ) -> Result<mmdb_bwm::QueryOutcome> {
+        let qp = QueryProcessor::with_profile(&self.storage, profile);
         match plan {
             QueryPlan::Bwm => qp.range_bwm_with(&self.bwm.read(), query),
             QueryPlan::Rbm => qp.range_rbm(query),

@@ -1,0 +1,528 @@
+//! The query server: a `TcpListener` accept loop, one reader/writer thread
+//! pair per connection, and a fixed worker pool fed through a bounded
+//! submission queue.
+//!
+//! ## Request lifecycle
+//!
+//! 1. The connection reader parses a frame and decodes the request.
+//!    Malformed input is answered with a structured `BAD_REQUEST` (and, for
+//!    unframeable streams — oversized length prefixes — a clean disconnect).
+//! 2. `Ping` is answered inline by the reader, so liveness probes succeed
+//!    even when the pool is saturated.
+//! 3. Everything else is submitted to the bounded queue. A full queue means
+//!    the request is *refused immediately* with `OVERLOADED` — admission
+//!    control instead of an unbounded backlog.
+//! 4. A worker dequeues the job. If its deadline expired while queued it is
+//!    answered `DEADLINE_EXCEEDED` without executing; otherwise the backend
+//!    runs it and the reply is routed back through the connection's writer
+//!    thread (request ids correlate pipelined responses).
+//!
+//! ## Graceful shutdown
+//!
+//! [`QueryServer::shutdown`] stops the accept loop, lets connection readers
+//! notice the stop flag (they poll it every ~100ms between reads), waits
+//! for writers to flush every in-flight response, closes the queue so the
+//! workers drain the backlog and exit, and joins all threads. No accepted
+//! request is dropped.
+
+use crate::backend::QueryBackend;
+use crate::protocol::{
+    decode_request, encode_err, encode_ok, Opcode, ReplyBody, Request, RequestBody, Status,
+    DEFAULT_MAX_FRAME_LEN,
+};
+use crate::queue::{BoundedQueue, PushError};
+use mmdb_telemetry::{counter, gauge, histogram, EventKind};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked reads re-check the stop flag.
+const STOP_POLL: Duration = Duration::from_millis(100);
+
+/// Tuning knobs for [`QueryServer::bind`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (min 1).
+    pub workers: usize,
+    /// Bounded submission-queue depth; requests beyond it are refused with
+    /// `OVERLOADED` (min 1).
+    pub queue_depth: usize,
+    /// Maximum accepted frame payload length.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8)),
+            queue_depth: 64,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Counters reported by [`QueryServer::shutdown`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Requests still queued when the drain began (all of them completed
+    /// before shutdown returned).
+    pub queued_at_stop: usize,
+}
+
+/// Tracks live connections so shutdown can wait for their writers to flush.
+#[derive(Default)]
+struct ConnGate {
+    active: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl ConnGate {
+    fn enter(self: &Arc<Self>) -> ConnGuard {
+        *self.active.lock().expect("gate lock poisoned") += 1;
+        ConnGuard(Arc::clone(self))
+    }
+
+    /// Waits until no connection is active, up to `timeout`. Returns whether
+    /// it drained fully.
+    fn wait_idle(&self, timeout: Duration) -> bool {
+        let mut active = self.active.lock().expect("gate lock poisoned");
+        let deadline = Instant::now() + timeout;
+        while *active > 0 {
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (guard, result) = self
+                .idle
+                .wait_timeout(active, remaining)
+                .expect("gate lock poisoned");
+            active = guard;
+            if result.timed_out() {
+                return *active == 0;
+            }
+        }
+        true
+    }
+}
+
+struct ConnGuard(Arc<ConnGate>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let mut active = self.0.active.lock().expect("gate lock poisoned");
+        *active -= 1;
+        if *active == 0 {
+            self.0.idle.notify_all();
+        }
+    }
+}
+
+/// One queued unit of work. `Ping` never becomes a job.
+struct Job {
+    request: Request,
+    accepted_at: Instant,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+/// A running query server; [`QueryServer::shutdown`] (or drop) drains it.
+pub struct QueryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<Job>>,
+    gate: Arc<ConnGate>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and worker pool.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn QueryBackend>,
+        config: ServerConfig,
+    ) -> std::io::Result<QueryServer> {
+        register_metrics();
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::<Job>::new(config.queue_depth));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let backend = Arc::clone(&backend);
+                std::thread::Builder::new()
+                    .name(format!("mmdb-server-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, backend.as_ref()))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let gate = Arc::new(ConnGate::default());
+        let accept_stop = Arc::clone(&stop);
+        let accept_queue = Arc::clone(&queue);
+        let accept_gate = Arc::clone(&gate);
+        let accept_handle = std::thread::Builder::new()
+            .name("mmdb-server-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let guard = accept_gate.enter();
+                    let stop = Arc::clone(&accept_stop);
+                    let queue = Arc::clone(&accept_queue);
+                    let max_frame = config.max_frame_len;
+                    let spawned = std::thread::Builder::new()
+                        .name("mmdb-server-conn".into())
+                        .spawn(move || serve_connection(stream, &stop, &queue, max_frame, guard));
+                    // Thread exhaustion: refuse the connection rather than
+                    // crash the accept loop.
+                    drop(spawned);
+                }
+            })?;
+
+        Ok(QueryServer {
+            addr: local,
+            stop,
+            queue,
+            gate,
+            accept_handle: Some(accept_handle),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests currently waiting in the submission queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests, close.
+    pub fn shutdown(mut self) -> DrainStats {
+        self.stop_and_drain()
+    }
+
+    fn stop_and_drain(&mut self) -> DrainStats {
+        let Some(accept_handle) = self.accept_handle.take() else {
+            return DrainStats::default();
+        };
+        let queued_at_stop = self.queue.len();
+        if mmdb_telemetry::instrumentation_enabled() {
+            mmdb_telemetry::recorder().record(
+                EventKind::ServerDrain,
+                "phase=begin",
+                &[("queued", queued_at_stop as u64)],
+            );
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; a self-connection wakes it.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept_handle.join();
+        // Connection readers exit within one STOP_POLL; each writer exits
+        // once every in-flight response for its connection (the queue drains
+        // because the workers are still running) has been delivered. Only
+        // then is it safe to close the queue and retire the pool.
+        self.gate.wait_idle(Duration::from_secs(10));
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if mmdb_telemetry::instrumentation_enabled() {
+            mmdb_telemetry::recorder().record(EventKind::ServerDrain, "phase=complete", &[]);
+        }
+        DrainStats { queued_at_stop }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.stop_and_drain();
+        }
+    }
+}
+
+/// Eagerly registers every `mmdb_server_*` series so exposition shows the
+/// full schema from process start.
+pub fn register_metrics() {
+    for opcode in [
+        Opcode::Ping,
+        Opcode::Range,
+        Opcode::Knn,
+        Opcode::Lookup,
+        Opcode::Stats,
+    ] {
+        let _ = requests_counter(opcode);
+        let _ = latency_histogram(opcode);
+    }
+    let _ = counter!("mmdb_server_connections_total");
+    let _ = counter!("mmdb_server_overloaded_total");
+    let _ = counter!("mmdb_server_deadline_exceeded_total");
+    let _ = counter!("mmdb_server_malformed_total");
+    let _ = gauge!("mmdb_server_queue_depth");
+    let _ = histogram!("mmdb_server_queue_wait_seconds");
+}
+
+fn requests_counter(op: Opcode) -> &'static mmdb_telemetry::Counter {
+    match op {
+        Opcode::Ping => counter!(r#"mmdb_server_requests_total{opcode="ping"}"#),
+        Opcode::Range => counter!(r#"mmdb_server_requests_total{opcode="range"}"#),
+        Opcode::Knn => counter!(r#"mmdb_server_requests_total{opcode="knn"}"#),
+        Opcode::Lookup => counter!(r#"mmdb_server_requests_total{opcode="lookup"}"#),
+        Opcode::Stats => counter!(r#"mmdb_server_requests_total{opcode="stats"}"#),
+    }
+}
+
+fn latency_histogram(op: Opcode) -> &'static mmdb_telemetry::Histogram {
+    match op {
+        Opcode::Ping => histogram!(r#"mmdb_server_request_latency_seconds{opcode="ping"}"#),
+        Opcode::Range => histogram!(r#"mmdb_server_request_latency_seconds{opcode="range"}"#),
+        Opcode::Knn => histogram!(r#"mmdb_server_request_latency_seconds{opcode="knn"}"#),
+        Opcode::Lookup => histogram!(r#"mmdb_server_request_latency_seconds{opcode="lookup"}"#),
+        Opcode::Stats => histogram!(r#"mmdb_server_request_latency_seconds{opcode="stats"}"#),
+    }
+}
+
+/// What a stop-aware read produced.
+enum ReadOutcome {
+    Frame(Vec<u8>),
+    /// Clean end of stream (or stop flag raised between frames).
+    Closed,
+    /// The length prefix exceeded the configured maximum.
+    Oversized(u32),
+}
+
+/// Reads one frame, polling the stop flag between timed-out reads. Any
+/// partial frame at stop time is abandoned (the connection is closing).
+fn read_frame_stop(
+    stream: &mut TcpStream,
+    max_len: u32,
+    stop: &AtomicBool,
+) -> std::io::Result<ReadOutcome> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_stop(stream, &mut len_buf, stop)? {
+        return Ok(ReadOutcome::Closed);
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max_len {
+        return Ok(ReadOutcome::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !read_exact_stop(stream, &mut payload, stop)? {
+        return Ok(ReadOutcome::Closed);
+    }
+    Ok(ReadOutcome::Frame(payload))
+}
+
+/// `read_exact` that re-checks `stop` on every read timeout. Returns
+/// `Ok(false)` on stop or on EOF before the first byte of `buf`.
+fn read_exact_stop(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    stop: &Arc<AtomicBool>,
+    queue: &Arc<BoundedQueue<Job>>,
+    max_frame_len: u32,
+    guard: ConnGuard,
+) {
+    counter!("mmdb_server_connections_total").inc();
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    if mmdb_telemetry::instrumentation_enabled() {
+        mmdb_telemetry::recorder().record(
+            EventKind::ServerConnAccepted,
+            format!("peer={peer}"),
+            &[],
+        );
+    }
+    // Generous handshake window, then short timeouts so the reader can poll
+    // the stop flag.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    match crate::protocol::server_handshake(&mut stream) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => return, // guard drops, connection closes
+    }
+    let _ = stream.set_read_timeout(Some(STOP_POLL));
+
+    // Writer half: all responses (inline errors, pings, worker replies)
+    // funnel through one channel so frame writes never interleave.
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = std::thread::Builder::new()
+        .name("mmdb-server-write".into())
+        .spawn(move || {
+            let _guard = guard; // released when the last response is flushed
+            let mut stream = write_stream;
+            while let Ok(frame) = reply_rx.recv() {
+                if crate::protocol::write_frame(&mut stream, &frame).is_err() {
+                    break;
+                }
+            }
+            let _ = std::io::Write::flush(&mut stream);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        });
+    if writer.is_err() {
+        return;
+    }
+
+    loop {
+        let payload = match read_frame_stop(&mut stream, max_frame_len, stop) {
+            Ok(ReadOutcome::Frame(p)) => p,
+            Ok(ReadOutcome::Closed) | Err(_) => break,
+            Ok(ReadOutcome::Oversized(len)) => {
+                // The stream can no longer be framed — answer and disconnect.
+                counter!("mmdb_server_malformed_total").inc();
+                let msg = format!("frame length {len} exceeds maximum {max_frame_len}");
+                let _ = reply_tx.send(encode_err(0, Status::BadRequest, &msg));
+                break;
+            }
+        };
+        let request = match decode_request(&payload) {
+            Ok(r) => r,
+            Err((id, err)) => {
+                counter!("mmdb_server_malformed_total").inc();
+                let _ = reply_tx.send(encode_err(id, Status::BadRequest, &err.to_string()));
+                continue;
+            }
+        };
+        requests_counter(request.body.opcode()).inc();
+        if matches!(request.body, RequestBody::Ping) {
+            let _ = reply_tx.send(encode_ok(request.id, &ReplyBody::Pong));
+            continue;
+        }
+        let job = Job {
+            request,
+            accepted_at: Instant::now(),
+            reply: reply_tx.clone(),
+        };
+        match queue.try_push(job) {
+            Ok(()) => {
+                gauge!("mmdb_server_queue_depth").set(queue.len() as u64);
+            }
+            Err((job, push_err)) => {
+                counter!("mmdb_server_overloaded_total").inc();
+                let detail = match push_err {
+                    PushError::Full => format!("queue full (depth {})", queue.capacity()),
+                    PushError::Closed => "server shutting down".to_string(),
+                };
+                if mmdb_telemetry::instrumentation_enabled() {
+                    mmdb_telemetry::recorder().record(
+                        EventKind::ServerOverload,
+                        format!("opcode={} {detail}", job.request.body.opcode().name()),
+                        &[("request_id", job.request.id)],
+                    );
+                }
+                let _ = job
+                    .reply
+                    .send(encode_err(job.request.id, Status::Overloaded, &detail));
+            }
+        }
+    }
+    // Dropping reply_tx lets the writer exit once pending worker replies
+    // (which hold their own clones) are delivered.
+}
+
+fn worker_loop(queue: &BoundedQueue<Job>, backend: &dyn QueryBackend) {
+    while let Some(job) = queue.pop() {
+        gauge!("mmdb_server_queue_depth").set(queue.len() as u64);
+        let waited = job.accepted_at.elapsed();
+        histogram!("mmdb_server_queue_wait_seconds").observe(waited);
+        let id = job.request.id;
+        if job.request.deadline_ms > 0
+            && waited >= Duration::from_millis(u64::from(job.request.deadline_ms))
+        {
+            counter!("mmdb_server_deadline_exceeded_total").inc();
+            if mmdb_telemetry::instrumentation_enabled() {
+                mmdb_telemetry::recorder().record(
+                    EventKind::ServerDeadlineExceeded,
+                    format!(
+                        "opcode={} queued_for={}",
+                        job.request.body.opcode().name(),
+                        mmdb_telemetry::format_duration(waited)
+                    ),
+                    &[
+                        ("request_id", id),
+                        ("deadline_ms", u64::from(job.request.deadline_ms)),
+                    ],
+                );
+            }
+            let msg = format!(
+                "deadline of {}ms expired after {} in queue; request not executed",
+                job.request.deadline_ms,
+                mmdb_telemetry::format_duration(waited)
+            );
+            let _ = job
+                .reply
+                .send(encode_err(id, Status::DeadlineExceeded, &msg));
+            continue;
+        }
+        let opcode = job.request.body.opcode();
+        let start = Instant::now();
+        let payload = match execute(backend, &job.request.body) {
+            Ok(body) => encode_ok(id, &body),
+            Err(err) => encode_err(id, err.status(), &err.message()),
+        };
+        latency_histogram(opcode).observe(start.elapsed());
+        let _ = job.reply.send(payload);
+    }
+}
+
+fn execute(
+    backend: &dyn QueryBackend,
+    body: &RequestBody,
+) -> Result<ReplyBody, crate::backend::BackendError> {
+    match body {
+        RequestBody::Ping => Ok(ReplyBody::Pong),
+        RequestBody::Range(req) => backend.range(req).map(ReplyBody::Range),
+        RequestBody::Knn { probe_id, k } => backend.knn(*probe_id, *k).map(ReplyBody::Knn),
+        RequestBody::Lookup { id } => backend.lookup(*id).map(ReplyBody::Lookup),
+        RequestBody::Stats => Ok(ReplyBody::Stats(backend.stats())),
+    }
+}

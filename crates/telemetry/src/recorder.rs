@@ -37,6 +37,14 @@ pub enum EventKind {
     CacheEviction,
     /// A catalog-wide lint (analyzer) run completed.
     LintRun,
+    /// The query server accepted a client connection.
+    ServerConnAccepted,
+    /// Admission control refused a request (submission queue full).
+    ServerOverload,
+    /// A request's deadline expired while queued; it was not executed.
+    ServerDeadlineExceeded,
+    /// The query server began or completed a graceful drain.
+    ServerDrain,
 }
 
 impl EventKind {
@@ -51,6 +59,10 @@ impl EventKind {
             EventKind::IngestRejected => "ingest_rejected",
             EventKind::CacheEviction => "cache_eviction",
             EventKind::LintRun => "lint_run",
+            EventKind::ServerConnAccepted => "server_conn_accepted",
+            EventKind::ServerOverload => "server_overload",
+            EventKind::ServerDeadlineExceeded => "server_deadline_exceeded",
+            EventKind::ServerDrain => "server_drain",
         }
     }
 }
