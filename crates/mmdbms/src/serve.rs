@@ -29,9 +29,17 @@ fn profile_of(kind: ProfileKind) -> RuleProfile {
 
 impl QueryBackend for MultimediaDatabase {
     fn range(&self, req: &RangeRequest) -> Result<RangeReply, BackendError> {
-        // The wire decoder already validated the percentage range, so the
-        // panicking `ColorRangeQuery::new` checks cannot fire; build the
-        // query from the raw fields anyway to keep this path panic-free.
+        // The wire decoder validates the percentage range but cannot know
+        // this database's quantizer, so the bin bound is checked here —
+        // an out-of-range bin would otherwise panic deep in the rule
+        // engine and histogram indexing.
+        let bins = self.quantizer().bin_count();
+        if req.bin as usize >= bins {
+            return Err(BackendError::BadRequest(format!(
+                "bin {} out of range for quantizer with {bins} bins",
+                req.bin
+            )));
+        }
         let query = ColorRangeQuery {
             bin: req.bin as usize,
             pct_min: req.pct_min,
@@ -156,5 +164,31 @@ mod tests {
 
         let stats = QueryBackend::stats(&db);
         assert_eq!(stats.binary_count, 1);
+    }
+
+    /// A wire-supplied bin beyond the quantizer's range must come back as a
+    /// structured BadRequest, never reach the (panicking) rule engine.
+    #[test]
+    fn out_of_range_bin_is_rejected_not_panicking() {
+        let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+        let bins = db.quantizer().bin_count() as u32;
+        for bad_bin in [bins, bins + 1, u32::MAX] {
+            let result = QueryBackend::range(
+                &db,
+                &RangeRequest {
+                    plan: PlanKind::Rbm,
+                    profile: ProfileKind::Conservative,
+                    bin: bad_bin,
+                    pct_min: 0.0,
+                    pct_max: 1.0,
+                },
+            );
+            match result {
+                Err(BackendError::BadRequest(msg)) => {
+                    assert!(msg.contains("out of range"), "unhelpful message: {msg}");
+                }
+                other => panic!("bin {bad_bin}: expected BadRequest, got {other:?}"),
+            }
+        }
     }
 }

@@ -226,7 +226,19 @@ impl QueryServer {
         }
         self.stop.store(true, Ordering::SeqCst);
         // The accept loop blocks in `accept`; a self-connection wakes it.
-        let _ = TcpStream::connect(self.addr);
+        // A wildcard bind address (0.0.0.0 / ::) is not connectable on all
+        // platforms, so aim the wake-up at loopback on the bound port.
+        let wake_addr = if self.addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = if self.addr.is_ipv4() {
+                std::net::Ipv4Addr::LOCALHOST.into()
+            } else {
+                std::net::Ipv6Addr::LOCALHOST.into()
+            };
+            SocketAddr::new(loopback, self.addr.port())
+        } else {
+            self.addr
+        };
+        let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(2));
         let _ = accept_handle.join();
         // Connection readers exit within one STOP_POLL; each writer exits
         // once every in-flight response for its connection (the queue drains
@@ -269,6 +281,7 @@ pub fn register_metrics() {
     let _ = counter!("mmdb_server_overloaded_total");
     let _ = counter!("mmdb_server_deadline_exceeded_total");
     let _ = counter!("mmdb_server_malformed_total");
+    let _ = counter!("mmdb_server_backend_panics_total");
     let _ = gauge!("mmdb_server_queue_depth");
     let _ = histogram!("mmdb_server_queue_wait_seconds");
 }
@@ -505,12 +518,41 @@ fn worker_loop(queue: &BoundedQueue<Job>, backend: &dyn QueryBackend) {
         }
         let opcode = job.request.body.opcode();
         let start = Instant::now();
-        let payload = match execute(backend, &job.request.body) {
-            Ok(body) => encode_ok(id, &body),
-            Err(err) => encode_err(id, err.status(), &err.message()),
+        // A panic in the backend must not unwind the worker: the pool is
+        // fixed-size with no respawn, so an unwinding request would both
+        // drop its reply (hanging the client until its read timeout) and
+        // permanently shrink the pool. Catch it and answer INTERNAL.
+        let payload = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(backend, &job.request.body)
+        })) {
+            Ok(Ok(body)) => encode_ok(id, &body),
+            Ok(Err(err)) => encode_err(id, err.status(), &err.message()),
+            Err(panic) => {
+                counter!("mmdb_server_backend_panics_total").inc();
+                let detail = panic_message(panic.as_ref());
+                if mmdb_telemetry::instrumentation_enabled() {
+                    mmdb_telemetry::recorder().record(
+                        EventKind::ServerBackendPanic,
+                        format!("opcode={} {detail}", opcode.name()),
+                        &[("request_id", id)],
+                    );
+                }
+                encode_err(id, Status::Internal, &format!("backend panicked: {detail}"))
+            }
         };
         latency_histogram(opcode).observe(start.elapsed());
         let _ = job.reply.send(payload);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 

@@ -45,6 +45,9 @@ impl MockBackend {
 impl QueryBackend for MockBackend {
     fn range(&self, req: &RangeRequest) -> Result<RangeReply, BackendError> {
         self.range_calls.fetch_add(1, Ordering::SeqCst);
+        if req.bin == 666 {
+            panic!("backend exploded on bin 666");
+        }
         if !self.range_delay.is_zero() {
             std::thread::sleep(self.range_delay);
         }
@@ -422,6 +425,43 @@ fn backend_errors_map_to_structured_statuses() {
     }
     let found = client.lookup(1).unwrap();
     assert_eq!(found.pixels, 64);
+    server.shutdown();
+}
+
+#[test]
+fn backend_panic_answers_internal_and_worker_survives() {
+    // One worker: if the panic unwound the worker thread, the follow-up
+    // requests would never be executed and the reply for the panicking
+    // request would be silently dropped (client hang). The server must
+    // instead answer INTERNAL and keep the worker alive.
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    };
+    let backend = MockBackend::instant();
+    let server =
+        QueryServer::bind("127.0.0.1:0", Arc::<MockBackend>::clone(&backend), config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    for round in 0..3 {
+        let mut bad = range_request();
+        bad.bin = 666;
+        match client.range(bad) {
+            Err(ClientError::Server { status, message }) => {
+                assert_eq!(status, Status::Internal, "round {round}");
+                assert!(
+                    message.contains("panic"),
+                    "round {round}: unhelpful message: {message}"
+                );
+            }
+            other => panic!("round {round}: expected INTERNAL, got {other:?}"),
+        }
+        // The sole worker must still be alive to serve this.
+        let reply = client.range(range_request()).unwrap();
+        assert_eq!(reply.ids, vec![7]);
+    }
+    assert_eq!(backend.range_calls.load(Ordering::SeqCst), 6);
     server.shutdown();
 }
 

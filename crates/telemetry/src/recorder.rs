@@ -45,6 +45,8 @@ pub enum EventKind {
     ServerDeadlineExceeded,
     /// The query server began or completed a graceful drain.
     ServerDrain,
+    /// A backend call panicked; the worker caught it and answered INTERNAL.
+    ServerBackendPanic,
 }
 
 impl EventKind {
@@ -63,6 +65,7 @@ impl EventKind {
             EventKind::ServerOverload => "server_overload",
             EventKind::ServerDeadlineExceeded => "server_deadline_exceeded",
             EventKind::ServerDrain => "server_drain",
+            EventKind::ServerBackendPanic => "server_backend_panic",
         }
     }
 }
