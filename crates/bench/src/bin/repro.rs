@@ -66,9 +66,9 @@ fn run_figure(figure: Figure, cfg: &SweepConfig) {
     println!(
         "execution time per range query vs. percentage of images stored as editing operations"
     );
-    print_rule(100);
+    print_rule(120);
     println!(
-        "{:>4}% {:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>10} {:>9} {:>7}",
+        "{:>4}% {:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>10} {:>11} {:>9} {:>9} {:>7}",
         "pct",
         "binary",
         "edited",
@@ -77,6 +77,8 @@ fn run_figure(figure: Figure, cfg: &SweepConfig) {
         "RBM ms/q",
         "BWM ms/q",
         "saved %",
+        "IDX ms/q",
+        "idx-spdup",
         "base-hit",
         "equal"
     );
@@ -84,7 +86,7 @@ fn run_figure(figure: Figure, cfg: &SweepConfig) {
     let mut rows = Vec::new();
     for p in &points {
         println!(
-            "{:>4.0}% {:>8} {:>8} {:>8} {:>8} {:>12.4} {:>12.4} {:>10.2} {:>9.3} {:>7}",
+            "{:>4.0}% {:>8} {:>8} {:>8} {:>8} {:>12.4} {:>12.4} {:>10.2} {:>11.4} {:>8.1}x {:>9.3} {:>7}",
             p.pct * 100.0,
             p.binary,
             p.edited,
@@ -93,15 +95,19 @@ fn run_figure(figure: Figure, cfg: &SweepConfig) {
             p.rbm_ms,
             p.bwm_ms,
             p.reduction_pct,
+            p.indexed_ms,
+            p.indexed_speedup_vs_bwm,
             p.base_hit_rate,
             p.results_equal
         );
         rows.push(p.csv_row());
     }
     let avg = points.iter().map(|p| p.reduction_pct).sum::<f64>() / points.len() as f64;
-    print_rule(100);
+    let avg_speedup =
+        points.iter().map(|p| p.indexed_speedup_vs_bwm).sum::<f64>() / points.len() as f64;
+    print_rule(120);
     println!(
-        "average reduction: {avg:.2}%   (paper reports {:.2}%)",
+        "average reduction: {avg:.2}%   (paper reports {:.2}%)   indexed avg speedup vs BWM: {avg_speedup:.1}x",
         figure.paper_reduction_pct()
     );
     let path = results_dir().join(format!("{name}.csv"));
@@ -309,9 +315,9 @@ fn run_figure_constmix(figure: Figure, cfg: &SweepConfig) {
     println!(
         "(contrast with the fixed-pool sweep: here BWM's advantage grows with the edited share)"
     );
-    print_rule(100);
+    print_rule(120);
     println!(
-        "{:>4}% {:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>10} {:>9} {:>7}",
+        "{:>4}% {:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>10} {:>11} {:>9} {:>9} {:>7}",
         "pct",
         "binary",
         "edited",
@@ -320,6 +326,8 @@ fn run_figure_constmix(figure: Figure, cfg: &SweepConfig) {
         "RBM ms/q",
         "BWM ms/q",
         "saved %",
+        "IDX ms/q",
+        "idx-spdup",
         "base-hit",
         "equal"
     );
@@ -327,7 +335,7 @@ fn run_figure_constmix(figure: Figure, cfg: &SweepConfig) {
     let mut rows = Vec::new();
     for p in &points {
         println!(
-            "{:>4.0}% {:>8} {:>8} {:>8} {:>8} {:>12.4} {:>12.4} {:>10.2} {:>9.3} {:>7}",
+            "{:>4.0}% {:>8} {:>8} {:>8} {:>8} {:>12.4} {:>12.4} {:>10.2} {:>11.4} {:>8.1}x {:>9.3} {:>7}",
             p.pct * 100.0,
             p.binary,
             p.edited,
@@ -336,6 +344,8 @@ fn run_figure_constmix(figure: Figure, cfg: &SweepConfig) {
             p.rbm_ms,
             p.bwm_ms,
             p.reduction_pct,
+            p.indexed_ms,
+            p.indexed_speedup_vs_bwm,
             p.base_hit_rate,
             p.results_equal
         );

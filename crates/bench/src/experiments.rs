@@ -146,13 +146,21 @@ pub struct SweepPoint {
     /// Mean BOUNDS computations per query under BWM (what the shortcut
     /// saves).
     pub bwm_bounds_per_query: f64,
-    /// Whether RBM and BWM returned identical result sets on every query.
+    /// Mean indexed-plan time per query (ms) — bound-interval index lookup.
+    pub indexed_ms: f64,
+    /// `bwm_ms / indexed_ms`: how many times faster the index answers the
+    /// same queries than the scan-based BWM.
+    pub indexed_speedup_vs_bwm: f64,
+    /// Whether RBM, BWM, and the indexed plan returned identical result sets
+    /// on every query.
     pub results_equal: bool,
     /// RBM latency percentiles over the timed passes, from the telemetry
     /// histogram delta (not best-of: all timed passes contribute).
     pub rbm_latency: LatencyPercentiles,
     /// BWM latency percentiles over the timed passes.
     pub bwm_latency: LatencyPercentiles,
+    /// Indexed-plan latency percentiles over the timed passes.
+    pub indexed_latency: LatencyPercentiles,
     /// Telemetry registry deltas over the timed passes (warm-up excluded):
     /// what the global counters attribute to this sweep point. Keyed by
     /// series name exactly as the live registry exposes them.
@@ -179,6 +187,11 @@ impl SweepPoint {
             format!("{:.4}", self.bwm_latency.p50_ms),
             format!("{:.4}", self.bwm_latency.p95_ms),
             format!("{:.4}", self.bwm_latency.p99_ms),
+            format!("{:.4}", self.indexed_ms),
+            format!("{:.2}", self.indexed_speedup_vs_bwm),
+            format!("{:.4}", self.indexed_latency.p50_ms),
+            format!("{:.4}", self.indexed_latency.p95_ms),
+            format!("{:.4}", self.indexed_latency.p99_ms),
         ]
     }
 
@@ -205,13 +218,17 @@ impl SweepPoint {
                 .to_string(),
             m.get(r#"mmdb_query_range_latency_seconds{plan="bwm"}_sum_nanos"#)
                 .to_string(),
+            m.get("mmdb_boundidx_hits_total").to_string(),
+            m.get("mmdb_boundidx_misses_total").to_string(),
+            m.get(r#"mmdb_query_range_latency_seconds{plan="indexed"}_sum_nanos"#)
+                .to_string(),
         ]
     }
 }
 
 /// CSV headers for the per-point metrics-snapshot file written next to each
 /// figure's timing CSV (`<figure>.metrics.csv`).
-pub const METRICS_HEADERS: [&str; 13] = [
+pub const METRICS_HEADERS: [&str; 16] = [
     "pct_edited",
     "rules_bounds_computed",
     "rules_widening_ops",
@@ -225,10 +242,13 @@ pub const METRICS_HEADERS: [&str; 13] = [
     "storage_cache_misses",
     "rbm_latency_sum_nanos",
     "bwm_latency_sum_nanos",
+    "boundidx_hits",
+    "boundidx_misses",
+    "indexed_latency_sum_nanos",
 ];
 
 /// CSV headers for sweep outputs.
-pub const SWEEP_HEADERS: [&str; 16] = [
+pub const SWEEP_HEADERS: [&str; 21] = [
     "pct_edited",
     "binary_images",
     "edited_images",
@@ -245,6 +265,11 @@ pub const SWEEP_HEADERS: [&str; 16] = [
     "bwm_p50_ms",
     "bwm_p95_ms",
     "bwm_p99_ms",
+    "indexed_ms_per_query",
+    "indexed_speedup_vs_bwm",
+    "indexed_p50_ms",
+    "indexed_p95_ms",
+    "indexed_p99_ms",
 ];
 
 fn build_dataset(
@@ -284,6 +309,7 @@ fn measure_point(
     );
     let mut qp = QueryProcessor::new(&db);
     qp.build_bwm();
+    qp.build_bound_index().expect("bound index build");
     // Mass-weighted colors with modest thresholds: the paper's users query
     // for colors the collection actually contains.
     let mut qgen = QueryGenerator::weighted_from_db(cfg.seed ^ 0xBEEF, &db)
@@ -294,34 +320,47 @@ fn measure_point(
     }
     let queries = qgen.batch(cfg.queries);
 
-    // Warm both code paths (page-in, allocator, CPU frequency) before any
+    // Warm all code paths (page-in, allocator, CPU frequency) before any
     // timing, then measure with interleaved best-of passes so machine drift
-    // hits both methods equally.
+    // hits every method equally.
     for q in &queries {
         std::hint::black_box(qp.range_rbm(q).unwrap());
         std::hint::black_box(qp.range_bwm(q).unwrap());
+        std::hint::black_box(qp.range_indexed(q).unwrap());
     }
     mmdb_rules::flush_metrics(); // drain warm-up remnants out of the window
     let g = mmdb_telemetry::global();
     let rbm_hist = g.histogram(r#"mmdb_query_range_latency_seconds{plan="rbm"}"#);
     let bwm_hist = g.histogram(r#"mmdb_query_range_latency_seconds{plan="bwm"}"#);
-    let (rbm_before, bwm_before) = (rbm_hist.snapshot(), bwm_hist.snapshot());
-    let telemetry_before = g.snapshot();
-    let ((rbm_ms, rbm_out), (bwm_ms, bwm_out)) = crate::timing::time_interleaved(
-        &queries,
-        cfg.repeats,
-        |q| qp.range_rbm(q).unwrap(),
-        |q| qp.range_bwm(q).unwrap(),
+    let idx_hist = g.histogram(r#"mmdb_query_range_latency_seconds{plan="indexed"}"#);
+    let (rbm_before, bwm_before, idx_before) = (
+        rbm_hist.snapshot(),
+        bwm_hist.snapshot(),
+        idx_hist.snapshot(),
     );
+    let telemetry_before = g.snapshot();
+    let ((rbm_ms, rbm_out), (bwm_ms, bwm_out), (indexed_ms, idx_out)) =
+        crate::timing::time_interleaved3(
+            &queries,
+            cfg.repeats,
+            |q| qp.range_rbm(q).unwrap(),
+            |q| qp.range_bwm(q).unwrap(),
+            |q| qp.range_indexed(q).unwrap(),
+        );
     mmdb_rules::flush_metrics();
     let metrics = g.snapshot().delta(&telemetry_before);
     let rbm_latency = LatencyPercentiles::from_window(&rbm_hist.snapshot().diff(&rbm_before));
     let bwm_latency = LatencyPercentiles::from_window(&bwm_hist.snapshot().diff(&bwm_before));
+    let indexed_latency = LatencyPercentiles::from_window(&idx_hist.snapshot().diff(&idx_before));
 
     let results_equal = rbm_out
         .iter()
         .zip(&bwm_out)
-        .all(|(a, b)| a.sorted_results() == b.sorted_results());
+        .zip(&idx_out)
+        .all(|((a, b), c)| {
+            let rbm = a.sorted_results();
+            rbm == b.sorted_results() && rbm == c.sorted_results()
+        });
     let (hits, clusters) = bwm_out.iter().fold((0usize, 0usize), |(h, c), o| {
         (h + o.stats.base_hits, c + o.stats.clusters_visited)
     });
@@ -352,9 +391,16 @@ fn measure_point(
         base_hit_rate,
         rbm_bounds_per_query,
         bwm_bounds_per_query,
+        indexed_ms,
+        indexed_speedup_vs_bwm: if indexed_ms > 0.0 {
+            bwm_ms / indexed_ms
+        } else {
+            0.0
+        },
         results_equal,
         rbm_latency,
         bwm_latency,
+        indexed_latency,
         metrics,
     }
 }
@@ -855,8 +901,14 @@ mod tests {
         let points = figure_sweep(Figure::Fig4Flag, &cfg);
         assert_eq!(points.len(), 3);
         for p in &points {
-            assert!(p.results_equal, "RBM and BWM must agree at pct {}", p.pct);
-            assert!(p.rbm_ms > 0.0 && p.bwm_ms > 0.0);
+            assert!(
+                p.results_equal,
+                "RBM, BWM, and indexed must agree at pct {}",
+                p.pct
+            );
+            assert!(p.rbm_ms > 0.0 && p.bwm_ms > 0.0 && p.indexed_ms > 0.0);
+            // The timed passes answered queries from the index.
+            assert!(p.metrics.get("mmdb_boundidx_lookups_total") > 0);
             assert_eq!(p.binary + p.edited, cfg.total_images);
             // The timed passes ran BOUNDS computations, so the per-point
             // telemetry delta must have attributed some to this point.

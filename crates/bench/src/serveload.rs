@@ -149,7 +149,8 @@ impl QueryMix {
         let bin = (self.state >> 32) % 64;
         let plan = match self.state % 4 {
             0 => PlanKind::Rbm,
-            _ => PlanKind::Bwm,
+            1 => PlanKind::Bwm,
+            _ => PlanKind::Indexed,
         };
         RangeRequest {
             plan,

@@ -65,6 +65,54 @@ pub fn time_interleaved(
     ((best_a * 1e3 / n, warm_a), (best_b * 1e3 / n, warm_b))
 }
 
+/// [`time_interleaved`] for three competing executions (A, B, C, A, B, C,
+/// …): used by the Figure-3/4 sweeps to race RBM, BWM, and the indexed plan
+/// under identical machine conditions.
+#[allow(clippy::type_complexity)]
+pub fn time_interleaved3(
+    queries: &[ColorRangeQuery],
+    repeats: usize,
+    mut fa: impl FnMut(&ColorRangeQuery) -> QueryOutcome,
+    mut fb: impl FnMut(&ColorRangeQuery) -> QueryOutcome,
+    mut fc: impl FnMut(&ColorRangeQuery) -> QueryOutcome,
+) -> (
+    (f64, Vec<QueryOutcome>),
+    (f64, Vec<QueryOutcome>),
+    (f64, Vec<QueryOutcome>),
+) {
+    assert!(repeats > 0, "need at least one timed pass");
+    assert!(!queries.is_empty(), "empty query batch");
+    let warm_a: Vec<QueryOutcome> = queries.iter().map(&mut fa).collect();
+    let warm_b: Vec<QueryOutcome> = queries.iter().map(&mut fb).collect();
+    let warm_c: Vec<QueryOutcome> = queries.iter().map(&mut fc).collect();
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    let mut best_c = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        for q in queries {
+            std::hint::black_box(fa(q));
+        }
+        best_a = best_a.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for q in queries {
+            std::hint::black_box(fb(q));
+        }
+        best_b = best_b.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for q in queries {
+            std::hint::black_box(fc(q));
+        }
+        best_c = best_c.min(start.elapsed().as_secs_f64());
+    }
+    let n = queries.len() as f64;
+    (
+        (best_a * 1e3 / n, warm_a),
+        (best_b * 1e3 / n, warm_b),
+        (best_c * 1e3 / n, warm_c),
+    )
+}
+
 /// Times a single closure, returning milliseconds.
 pub fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
     let start = Instant::now();

@@ -1,0 +1,633 @@
+//! The bound-interval index proper: memoized per-image BOUNDS vectors plus
+//! per-bin interval lists, with epoch-stamped synchronization and transitive
+//! invalidation through the catalog reference graph.
+
+use crate::interval::{BinIntervals, IntervalEntry};
+use mmdb_bwm::SequenceStore;
+use mmdb_editops::ImageId;
+use mmdb_histogram::Quantizer;
+use mmdb_imaging::Rgb;
+use mmdb_rules::{
+    BoundRange, ColorRangeQuery, InfoResolver, Result, RuleEngine, RuleError, RuleProfile,
+};
+use mmdb_telemetry::{counter, gauge, histogram};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Instant;
+
+/// Stable slot for a [`RuleProfile`] — the facade keeps one index per
+/// profile in a fixed-size array (the profile enum is deliberately small and
+/// non-`Hash`).
+pub fn profile_slot(profile: RuleProfile) -> usize {
+    match profile {
+        RuleProfile::Conservative => 0,
+        RuleProfile::PaperTable1 => 1,
+    }
+}
+
+/// Number of profile slots ([`profile_slot`] codomain size).
+pub const PROFILE_SLOTS: usize = 2;
+
+/// What one [`BoundIndex::sync`] call did — surfaced in query traces so
+/// `mmdbctl explain` shows incremental maintenance cost next to lookup cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Entries added (newly inserted images plus re-added invalidation
+    /// victims).
+    pub added: usize,
+    /// Entries removed (deleted images plus their transitive dependents).
+    pub removed: usize,
+    /// Fresh BOUNDS vector computations performed (memo misses).
+    pub recomputed: usize,
+}
+
+/// One indexed range lookup: the candidate set plus how many resident
+/// intervals were consulted (each a rule walk or histogram probe avoided).
+#[derive(Clone, Debug, Default)]
+pub struct IndexedLookup {
+    /// Candidate images, unsorted. Same set as the RBM/BWM scans emit.
+    pub ids: Vec<ImageId>,
+    /// Intervals scanned to answer the query (the smaller endpoint prefix).
+    pub scanned: usize,
+}
+
+/// The resident per-image record: the full memoized bounds vector (one
+/// [`BoundRange`] per bin — this *is* the `(ImageId, bin, RuleProfile)`
+/// memo, realized as a per-profile index holding per-image vectors) plus the
+/// ids this image's sequence references (base and merge targets), which are
+/// the edges the transitive invalidation walks.
+#[derive(Clone, Debug)]
+struct IndexEntry {
+    bounds: Vec<BoundRange>,
+    refs: Vec<ImageId>,
+}
+
+/// Bound-interval index for one rule profile.
+///
+/// All mutation goes through `&mut self`; the facade wraps the index in a
+/// `RwLock` and enforces the serving invariant that a lookup is only
+/// answered when [`BoundIndex::synced_epoch`] equals the storage engine's
+/// current mutation epoch — a stale entry is therefore never served even if
+/// an eager invalidation hook was missed.
+#[derive(Clone, Debug)]
+pub struct BoundIndex {
+    profile: RuleProfile,
+    bins: Vec<BinIntervals>,
+    entries: HashMap<ImageId, IndexEntry>,
+    /// referenced id → images whose bounds depend on it.
+    dependents: HashMap<ImageId, BTreeSet<ImageId>>,
+    synced_epoch: u64,
+}
+
+impl BoundIndex {
+    /// An empty index for `profile` over `bin_count` histogram bins.
+    pub fn new(profile: RuleProfile, bin_count: usize) -> Self {
+        BoundIndex {
+            profile,
+            bins: vec![BinIntervals::default(); bin_count],
+            entries: HashMap::new(),
+            dependents: HashMap::new(),
+            synced_epoch: 0,
+        }
+    }
+
+    /// The rule profile this index memoizes bounds for.
+    pub fn profile(&self) -> RuleProfile {
+        self.profile
+    }
+
+    /// The storage mutation epoch this index was last synchronized to.
+    pub fn synced_epoch(&self) -> u64 {
+        self.synced_epoch
+    }
+
+    /// Number of indexed images.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no image is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bulk build over the full catalog, stamping the result with `epoch`
+    /// (capture the storage epoch *before* reading the id lists — a
+    /// concurrent mutation then leaves the stamp behind the real epoch and
+    /// the next lookup re-syncs, never the reverse). Edited images' bounds
+    /// vectors are computed on `threads` crossbeam scoped workers, each with
+    /// its own rule engine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build<R, S>(
+        profile: RuleProfile,
+        quantizer: &dyn Quantizer,
+        background: Rgb,
+        binary: &[ImageId],
+        edited: &[ImageId],
+        resolver: &R,
+        store: &S,
+        epoch: u64,
+        threads: usize,
+    ) -> Result<Self>
+    where
+        R: InfoResolver + Sync,
+        S: SequenceStore + Sync,
+    {
+        let started = Instant::now();
+        let bin_count = quantizer.bin_count();
+        let mut idx = BoundIndex::new(profile, bin_count);
+        idx.synced_epoch = epoch;
+
+        let mut pending: Vec<Vec<IntervalEntry>> = vec![Vec::new(); bin_count];
+        for &id in binary {
+            let entry = binary_entry(id, bin_count, resolver)?;
+            stage_entry(&mut pending, id, &entry.bounds);
+            idx.link_refs(id, &entry.refs);
+            idx.entries.insert(id, entry);
+        }
+
+        let threads = threads.max(1).min(edited.len().max(1));
+        let computed = if threads <= 1 || edited.len() < 2 {
+            let engine = RuleEngine::with_background(quantizer, profile, background);
+            compute_chunk(&engine, edited, resolver, store)?
+        } else {
+            compute_parallel(
+                quantizer, profile, background, edited, resolver, store, threads,
+            )?
+        };
+        counter!("mmdb_boundidx_misses_total").add(computed.len() as u64);
+        for (id, entry) in computed {
+            stage_entry(&mut pending, id, &entry.bounds);
+            idx.link_refs(id, &entry.refs);
+            idx.entries.insert(id, entry);
+        }
+
+        for (bin, entries) in pending.into_iter().enumerate() {
+            idx.bins[bin] = BinIntervals::from_entries(entries);
+        }
+        counter!("mmdb_boundidx_builds_total").inc();
+        histogram!("mmdb_boundidx_build_seconds").observe(started.elapsed());
+        gauge!("mmdb_boundidx_entries").set(idx.len() as u64);
+        Ok(idx)
+    }
+
+    /// Incremental synchronization to the catalog state captured by
+    /// `epoch`/`binary`/`edited`: removes entries for deleted images (and,
+    /// transitively, everything whose bounds referenced them), then
+    /// (re)computes entries for every image not resident. Returns what was
+    /// done for tracing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sync<R, S>(
+        &mut self,
+        epoch: u64,
+        binary: &[ImageId],
+        edited: &[ImageId],
+        quantizer: &dyn Quantizer,
+        background: Rgb,
+        resolver: &R,
+        store: &S,
+    ) -> Result<SyncStats>
+    where
+        R: InfoResolver,
+        S: SequenceStore,
+    {
+        let started = Instant::now();
+        let mut stats = SyncStats::default();
+        let current: HashSet<ImageId> = binary.iter().chain(edited).copied().collect();
+        let stale: Vec<ImageId> = self
+            .entries
+            .keys()
+            .filter(|id| !current.contains(id))
+            .copied()
+            .collect();
+        for id in stale {
+            stats.removed += self.invalidate(id);
+        }
+
+        let bin_count = self.bins.len();
+        for &id in binary {
+            if !self.entries.contains_key(&id) {
+                let entry = binary_entry(id, bin_count, resolver)?;
+                self.insert_entry(id, entry);
+                stats.added += 1;
+            }
+        }
+        let engine = RuleEngine::with_background(quantizer, self.profile, background);
+        for &id in edited {
+            if !self.entries.contains_key(&id) {
+                let entry = edited_entry(&engine, id, resolver, store)?;
+                counter!("mmdb_boundidx_misses_total").inc();
+                self.insert_entry(id, entry);
+                stats.added += 1;
+                stats.recomputed += 1;
+            }
+        }
+        self.synced_epoch = epoch;
+        histogram!("mmdb_boundidx_sync_seconds").observe(started.elapsed());
+        gauge!("mmdb_boundidx_entries").set(self.len() as u64);
+        Ok(stats)
+    }
+
+    /// Removes `id`'s entry *and, transitively, every resident entry whose
+    /// bounds reference it* (base links and Merge/Combine targets) — the
+    /// reference-graph closure that makes eager invalidation sound. Returns
+    /// the number of entries dropped. Does not advance the epoch: the next
+    /// lookup still re-syncs, which re-admits any victim that is still in
+    /// the catalog.
+    pub fn invalidate(&mut self, id: ImageId) -> usize {
+        let mut affected = Vec::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![id];
+        while let Some(node) = stack.pop() {
+            if !seen.insert(node) {
+                continue;
+            }
+            affected.push(node);
+            if let Some(deps) = self.dependents.get(&node) {
+                stack.extend(deps.iter().copied());
+            }
+        }
+        let mut removed = 0;
+        for victim in affected {
+            removed += usize::from(self.remove_entry(victim));
+        }
+        counter!("mmdb_boundidx_invalidations_total").add(removed as u64);
+        removed
+    }
+
+    /// Answers a range query from the per-bin interval lists.
+    ///
+    /// # Panics
+    /// Panics when `query.bin` is outside this index's bin range (the same
+    /// contract as `RuleEngine::bounds`; callers validate wire input first).
+    pub fn lookup(&self, query: &ColorRangeQuery) -> IndexedLookup {
+        assert!(
+            query.bin < self.bins.len(),
+            "bin {} out of range for index with {} bins",
+            query.bin,
+            self.bins.len()
+        );
+        let mut ids = Vec::new();
+        let scanned = self.bins[query.bin].overlapping(query.pct_min, query.pct_max, &mut ids);
+        counter!("mmdb_boundidx_lookups_total").inc();
+        counter!("mmdb_boundidx_hits_total").add(scanned as u64);
+        IndexedLookup { ids, scanned }
+    }
+
+    /// The memoized bounds for `(id, bin)`, if resident — the BWM fast path
+    /// consults this before falling back to a full rule walk.
+    pub fn cached_bounds(&self, id: ImageId, bin: usize) -> Option<BoundRange> {
+        self.entries.get(&id).map(|e| e.bounds[bin])
+    }
+
+    fn insert_entry(&mut self, id: ImageId, entry: IndexEntry) {
+        for (bin, range) in entry.bounds.iter().enumerate() {
+            let (lo, hi) = range.fraction_range();
+            self.bins[bin].insert(IntervalEntry { lo, hi, id });
+        }
+        self.link_refs(id, &entry.refs);
+        self.entries.insert(id, entry);
+    }
+
+    fn remove_entry(&mut self, id: ImageId) -> bool {
+        let Some(entry) = self.entries.remove(&id) else {
+            return false;
+        };
+        for (bin, range) in entry.bounds.iter().enumerate() {
+            let (lo, hi) = range.fraction_range();
+            let removed = self.bins[bin].remove(IntervalEntry { lo, hi, id });
+            debug_assert!(removed, "bin list out of step with entry map");
+        }
+        for r in entry.refs {
+            if let Some(deps) = self.dependents.get_mut(&r) {
+                deps.remove(&id);
+                if deps.is_empty() {
+                    self.dependents.remove(&r);
+                }
+            }
+        }
+        true
+    }
+
+    fn link_refs(&mut self, id: ImageId, refs: &[ImageId]) {
+        for &r in refs {
+            self.dependents.entry(r).or_default().insert(id);
+        }
+    }
+}
+
+impl mmdb_bwm::BoundsCache for BoundIndex {
+    fn cached_bounds(&self, id: ImageId, bin: usize) -> Option<BoundRange> {
+        let cached = BoundIndex::cached_bounds(self, id, bin);
+        if cached.is_some() {
+            counter!("mmdb_boundidx_hits_total").inc();
+        } else {
+            counter!("mmdb_boundidx_misses_total").inc();
+        }
+        cached
+    }
+}
+
+fn binary_entry<R>(id: ImageId, bin_count: usize, resolver: &R) -> Result<IndexEntry>
+where
+    R: InfoResolver,
+{
+    let info = resolver.require(id)?;
+    let total = info.histogram.total();
+    let bounds = (0..bin_count)
+        .map(|bin| BoundRange::exact(info.histogram.count(bin), total))
+        .collect();
+    Ok(IndexEntry {
+        bounds,
+        refs: Vec::new(),
+    })
+}
+
+fn edited_entry<R, S>(
+    engine: &RuleEngine<'_>,
+    id: ImageId,
+    resolver: &R,
+    store: &S,
+) -> Result<IndexEntry>
+where
+    R: InfoResolver,
+    S: SequenceStore,
+{
+    let seq = store.sequence(id).ok_or(RuleError::UnknownImage(id))?;
+    let bounds = engine.bounds_vector(&seq, resolver)?;
+    let mut refs = seq.merge_targets();
+    refs.push(seq.base);
+    refs.sort_unstable();
+    refs.dedup();
+    Ok(IndexEntry { bounds, refs })
+}
+
+fn compute_chunk<R, S>(
+    engine: &RuleEngine<'_>,
+    ids: &[ImageId],
+    resolver: &R,
+    store: &S,
+) -> Result<Vec<(ImageId, IndexEntry)>>
+where
+    R: InfoResolver,
+    S: SequenceStore,
+{
+    ids.iter()
+        .map(|&id| Ok((id, edited_entry(engine, id, resolver, store)?)))
+        .collect()
+}
+
+fn compute_parallel<R, S>(
+    quantizer: &dyn Quantizer,
+    profile: RuleProfile,
+    background: Rgb,
+    edited: &[ImageId],
+    resolver: &R,
+    store: &S,
+    threads: usize,
+) -> Result<Vec<(ImageId, IndexEntry)>>
+where
+    R: InfoResolver + Sync,
+    S: SequenceStore + Sync,
+{
+    let chunk = edited.len().div_ceil(threads).max(1);
+    let results = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = edited
+            .chunks(chunk)
+            .map(|ids| {
+                scope.spawn(move |_| {
+                    let engine = RuleEngine::with_background(quantizer, profile, background);
+                    compute_chunk(&engine, ids, resolver, store)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bound-index build worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("bound-index build scope panicked");
+    let mut out = Vec::with_capacity(edited.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+fn stage_entry(pending: &mut [Vec<IntervalEntry>], id: ImageId, bounds: &[BoundRange]) {
+    for (bin, range) in bounds.iter().enumerate() {
+        let (lo, hi) = range.fraction_range();
+        pending[bin].push(IntervalEntry { lo, hi, id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_editops::EditSequence;
+    use mmdb_histogram::{ColorHistogram, RgbQuantizer};
+    use mmdb_imaging::{draw, RasterImage, Rect};
+    use mmdb_rules::{ImageInfo, MapInfoResolver};
+    use std::sync::Arc;
+
+    struct Fixture {
+        resolver: MapInfoResolver,
+        store: HashMap<ImageId, Arc<EditSequence>>,
+        quant: RgbQuantizer,
+        binary: Vec<ImageId>,
+        edited: Vec<ImageId>,
+    }
+
+    /// Bases #1 (50% red) and #2 (10% red); edited #10 (blur on 1),
+    /// #11 (modify on 2), #12 (merges base 1 into base 2's variant).
+    fn fixture() -> Fixture {
+        let quant = RgbQuantizer::default_64();
+        let mut resolver = MapInfoResolver::new();
+        let mut img1 = RasterImage::filled(10, 10, Rgb::WHITE).unwrap();
+        draw::fill_rect(&mut img1, &Rect::new(0, 0, 10, 5), Rgb::RED);
+        resolver.insert(
+            ImageId::new(1),
+            ImageInfo::new(ColorHistogram::extract(&img1, &quant), 10, 10),
+        );
+        let mut img2 = RasterImage::filled(10, 10, Rgb::WHITE).unwrap();
+        draw::fill_rect(&mut img2, &Rect::new(0, 0, 10, 1), Rgb::RED);
+        resolver.insert(
+            ImageId::new(2),
+            ImageInfo::new(ColorHistogram::extract(&img2, &quant), 10, 10),
+        );
+
+        let mut store: HashMap<ImageId, Arc<EditSequence>> = HashMap::new();
+        store.insert(
+            ImageId::new(10),
+            Arc::new(
+                EditSequence::builder(ImageId::new(1))
+                    .define(Rect::new(0, 0, 3, 3))
+                    .blur()
+                    .build(),
+            ),
+        );
+        store.insert(
+            ImageId::new(11),
+            Arc::new(
+                EditSequence::builder(ImageId::new(2))
+                    .define(Rect::new(0, 0, 2, 2))
+                    .modify(Rgb::WHITE, Rgb::RED)
+                    .build(),
+            ),
+        );
+        store.insert(
+            ImageId::new(12),
+            Arc::new(
+                EditSequence::builder(ImageId::new(2))
+                    .define(Rect::new(0, 0, 4, 4))
+                    .merge_into(ImageId::new(1), 0, 0)
+                    .build(),
+            ),
+        );
+        Fixture {
+            resolver,
+            store,
+            quant,
+            binary: vec![ImageId::new(1), ImageId::new(2)],
+            edited: vec![ImageId::new(10), ImageId::new(11), ImageId::new(12)],
+        }
+    }
+
+    fn build(f: &Fixture, threads: usize) -> BoundIndex {
+        BoundIndex::build(
+            RuleProfile::Conservative,
+            &f.quant,
+            Rgb::WHITE,
+            &f.binary,
+            &f.edited,
+            &f.resolver,
+            &f.store,
+            1,
+            threads,
+        )
+        .unwrap()
+    }
+
+    /// The indexed candidate set must equal a per-image scan using the same
+    /// engine (the RBM criterion), for every bin and a spread of ranges.
+    fn scan_candidates(f: &Fixture, q: &ColorRangeQuery) -> Vec<ImageId> {
+        let engine = RuleEngine::new(&f.quant, RuleProfile::Conservative);
+        let mut out = Vec::new();
+        for &id in &f.binary {
+            let info = f.resolver.require(id).unwrap();
+            if q.matches_fraction(info.histogram.fraction(q.bin)) {
+                out.push(id);
+            }
+        }
+        for &id in &f.edited {
+            let seq = &f.store[&id];
+            let b = engine.bounds(seq, q.bin, &f.resolver).unwrap();
+            if b.overlaps_fraction(q.pct_min, q.pct_max) {
+                out.push(id);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn lookup_matches_scan_for_all_bins() {
+        let f = fixture();
+        let idx = build(&f, 1);
+        assert_eq!(idx.len(), 5);
+        for bin in 0..f.quant.bin_count() {
+            for (pmin, pmax) in [(0.0, 1.0), (0.0, 0.05), (0.4, 0.6), (0.9, 1.0)] {
+                let q = ColorRangeQuery::new(bin, pmin, pmax);
+                let mut got = idx.lookup(&q).ids;
+                got.sort_unstable();
+                assert_eq!(got, scan_candidates(&f, &q), "bin {bin} [{pmin},{pmax}]");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_equals_serial() {
+        let f = fixture();
+        let serial = build(&f, 1);
+        let parallel = build(&f, 3);
+        for bin in 0..f.quant.bin_count() {
+            let q = ColorRangeQuery::new(bin, 0.0, 1.0);
+            assert_eq!(
+                {
+                    let mut v = serial.lookup(&q).ids;
+                    v.sort_unstable();
+                    v
+                },
+                {
+                    let mut v = parallel.lookup(&q).ids;
+                    v.sort_unstable();
+                    v
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn invalidation_is_transitive_through_references() {
+        let f = fixture();
+        let mut idx = build(&f, 1);
+        // #12 merges base 1, #10 is based on 1: invalidating base 1 must
+        // drop 1, 10 and 12 but keep 2 and 11.
+        let removed = idx.invalidate(ImageId::new(1));
+        assert_eq!(removed, 3);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.cached_bounds(ImageId::new(12), 0).is_none());
+        assert!(idx.cached_bounds(ImageId::new(11), 0).is_some());
+        // Invalidating something unknown is a no-op.
+        assert_eq!(idx.invalidate(ImageId::new(999)), 0);
+    }
+
+    #[test]
+    fn sync_restores_invalidated_and_drops_deleted() {
+        let f = fixture();
+        let mut idx = build(&f, 1);
+        idx.invalidate(ImageId::new(1));
+        // Catalog unchanged → sync re-admits the victims.
+        let stats = idx
+            .sync(
+                2,
+                &f.binary,
+                &f.edited,
+                &f.quant,
+                Rgb::WHITE,
+                &f.resolver,
+                &f.store,
+            )
+            .unwrap();
+        assert_eq!(stats.added, 3);
+        assert_eq!(stats.recomputed, 2); // #10 and #12; base 1 is exact
+        assert_eq!(idx.synced_epoch(), 2);
+        assert_eq!(idx.len(), 5);
+
+        // Now delete edited #11 from the catalog: sync drops exactly it.
+        let edited: Vec<ImageId> = vec![ImageId::new(10), ImageId::new(12)];
+        let stats = idx
+            .sync(
+                3,
+                &f.binary,
+                &edited,
+                &f.quant,
+                Rgb::WHITE,
+                &f.resolver,
+                &f.store,
+            )
+            .unwrap();
+        assert_eq!(stats.removed, 1);
+        assert_eq!(idx.len(), 4);
+        assert!(idx.cached_bounds(ImageId::new(11), 0).is_none());
+        let q = ColorRangeQuery::new(0, 0.0, 1.0);
+        assert!(!idx.lookup(&q).ids.contains(&ImageId::new(11)));
+    }
+
+    #[test]
+    fn profile_slots_are_distinct_and_in_range() {
+        let all = [RuleProfile::Conservative, RuleProfile::PaperTable1];
+        let slots: Vec<usize> = all.iter().map(|&p| profile_slot(p)).collect();
+        assert!(slots.iter().all(|&s| s < PROFILE_SLOTS));
+        assert_ne!(slots[0], slots[1]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-bin sorted-endpoint interval lists with galloping overlap search.
+//!
+//! For one histogram bin, every image contributes a fraction interval
+//! `[lo, hi]` (exact histogram value for binary images, BOUNDS range for
+//! edited ones). A range query `[pct_min, pct_max]` must emit exactly the
+//! intervals that overlap it: `lo <= pct_max && hi >= pct_min`. Keeping two
+//! orderings of the same entries — ascending by `lo` and descending by
+//! `hi` — turns each half of that conjunction into a *prefix*:
+//!
+//! * the entries with `lo <= pct_max` are a prefix of `by_lo`;
+//! * the entries with `hi >= pct_min` are a prefix of `by_hi`.
+//!
+//! The overlap set is the intersection of the two prefixes, so scanning the
+//! *smaller* prefix and filtering on the other endpoint visits
+//! `min(|prefix_lo|, |prefix_hi|)` entries instead of all `N`. Prefix
+//! lengths are found by galloping (exponential probe + binary search), which
+//! costs `O(log p)` for a prefix of length `p` — selective queries never pay
+//! a full `O(log N)` let alone `O(N)`.
+
+use mmdb_editops::ImageId;
+use std::cmp::Ordering;
+
+/// One image's fraction interval in one bin.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntervalEntry {
+    /// Lower fraction bound (`BOUNDmin / imagesize`).
+    pub lo: f64,
+    /// Upper fraction bound (`BOUNDmax / imagesize`).
+    pub hi: f64,
+    /// The image owning this interval.
+    pub id: ImageId,
+}
+
+fn lo_order(a: &IntervalEntry, b: &IntervalEntry) -> Ordering {
+    a.lo.total_cmp(&b.lo).then_with(|| a.id.cmp(&b.id))
+}
+
+fn hi_order(a: &IntervalEntry, b: &IntervalEntry) -> Ordering {
+    b.hi.total_cmp(&a.hi).then_with(|| a.id.cmp(&b.id))
+}
+
+/// Length of the leading run of indices for which `pred` holds, found by
+/// galloping. `pred` must be prefix-monotone: once false, false forever.
+fn gallop_prefix(len: usize, pred: impl Fn(usize) -> bool) -> usize {
+    if len == 0 || !pred(0) {
+        return 0;
+    }
+    // Exponential probe: find a false index (or run off the end).
+    let mut bound = 1;
+    while bound < len && pred(bound) {
+        bound <<= 1;
+    }
+    if bound >= len && pred(len - 1) {
+        return len;
+    }
+    // Invariant: pred(lo) is true, pred(hi) is false.
+    let mut lo = bound >> 1;
+    let mut hi = bound.min(len - 1);
+    if pred(hi) {
+        return hi + 1;
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// The interval set of one histogram bin, maintained in both endpoint
+/// orders.
+#[derive(Clone, Debug, Default)]
+pub struct BinIntervals {
+    by_lo: Vec<IntervalEntry>,
+    by_hi: Vec<IntervalEntry>,
+}
+
+impl BinIntervals {
+    /// Bulk construction: sorts once per ordering instead of inserting
+    /// entry by entry.
+    pub fn from_entries(entries: Vec<IntervalEntry>) -> Self {
+        let mut by_lo = entries;
+        let mut by_hi = by_lo.clone();
+        by_lo.sort_unstable_by(lo_order);
+        by_hi.sort_unstable_by(hi_order);
+        BinIntervals { by_lo, by_hi }
+    }
+
+    /// Number of intervals stored.
+    pub fn len(&self) -> usize {
+        self.by_lo.len()
+    }
+
+    /// True when no interval is stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_lo.is_empty()
+    }
+
+    /// Inserts one interval, keeping both orders. `O(n)` worst case (vector
+    /// shift) — incremental sync churn is small; bulk build uses
+    /// [`BinIntervals::from_entries`].
+    pub fn insert(&mut self, entry: IntervalEntry) {
+        let pos = self
+            .by_lo
+            .partition_point(|e| lo_order(e, &entry) == Ordering::Less);
+        self.by_lo.insert(pos, entry);
+        let pos = self
+            .by_hi
+            .partition_point(|e| hi_order(e, &entry) == Ordering::Less);
+        self.by_hi.insert(pos, entry);
+    }
+
+    /// Removes the interval previously inserted for `id`. The caller passes
+    /// the stored `(lo, hi)` back in, so the binary-search keys are
+    /// bit-identical to the resident entry.
+    pub fn remove(&mut self, entry: IntervalEntry) -> bool {
+        let pos = self
+            .by_lo
+            .partition_point(|e| lo_order(e, &entry) == Ordering::Less);
+        let Some(found) = self.by_lo.get(pos) else {
+            return false;
+        };
+        if found.id != entry.id {
+            return false;
+        }
+        self.by_lo.remove(pos);
+        let pos = self
+            .by_hi
+            .partition_point(|e| hi_order(e, &entry) == Ordering::Less);
+        debug_assert_eq!(self.by_hi[pos].id, entry.id, "endpoint orders diverged");
+        self.by_hi.remove(pos);
+        true
+    }
+
+    /// Emits the ids of every interval overlapping `[pct_min, pct_max]`
+    /// into `out` and returns how many entries were scanned (the smaller
+    /// prefix length) — the index-hit count for telemetry.
+    pub fn overlapping(&self, pct_min: f64, pct_max: f64, out: &mut Vec<ImageId>) -> usize {
+        let n_lo = gallop_prefix(self.by_lo.len(), |i| self.by_lo[i].lo <= pct_max);
+        let n_hi = gallop_prefix(self.by_hi.len(), |i| self.by_hi[i].hi >= pct_min);
+        if n_lo.min(n_hi) == 0 {
+            return 0;
+        }
+        if n_lo <= n_hi {
+            for e in &self.by_lo[..n_lo] {
+                if e.hi >= pct_min {
+                    out.push(e.id);
+                }
+            }
+            n_lo
+        } else {
+            for e in &self.by_hi[..n_hi] {
+                if e.lo <= pct_max {
+                    out.push(e.id);
+                }
+            }
+            n_hi
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(lo: f64, hi: f64, id: u64) -> IntervalEntry {
+        IntervalEntry {
+            lo,
+            hi,
+            id: ImageId::new(id),
+        }
+    }
+
+    fn brute_force(entries: &[IntervalEntry], pct_min: f64, pct_max: f64) -> Vec<ImageId> {
+        let mut v: Vec<ImageId> = entries
+            .iter()
+            .filter(|e| e.lo <= pct_max && e.hi >= pct_min)
+            .map(|e| e.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn gallop_prefix_matches_linear_scan() {
+        for len in 0..40usize {
+            for cut in 0..=len {
+                let got = gallop_prefix(len, |i| i < cut);
+                assert_eq!(got, cut, "len={len} cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_agrees_with_brute_force() {
+        // Deterministic xorshift interval soup, including exact (lo == hi)
+        // and full-width intervals.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut entries = Vec::new();
+        for id in 0..200u64 {
+            let a = next();
+            let b = next();
+            let (lo, hi) = if id % 5 == 0 {
+                (a, a) // exact interval
+            } else {
+                (a.min(b), a.max(b))
+            };
+            entries.push(entry(lo, hi, id));
+        }
+        let bin = BinIntervals::from_entries(entries.clone());
+        for _ in 0..200 {
+            let a = next();
+            let b = next();
+            let (qmin, qmax) = (a.min(b), a.max(b));
+            let mut got = Vec::new();
+            let scanned = bin.overlapping(qmin, qmax, &mut got);
+            got.sort_unstable();
+            let want = brute_force(&entries, qmin, qmax);
+            assert_eq!(got, want, "query [{qmin}, {qmax}]");
+            assert!(scanned >= got.len());
+            assert!(scanned <= entries.len());
+        }
+        // Degenerate queries.
+        let mut got = Vec::new();
+        bin.overlapping(0.0, 1.0, &mut got);
+        got.sort_unstable();
+        assert_eq!(got, brute_force(&entries, 0.0, 1.0));
+    }
+
+    #[test]
+    fn incremental_insert_remove_matches_bulk() {
+        let entries = vec![
+            entry(0.1, 0.4, 1),
+            entry(0.0, 0.0, 2),
+            entry(0.35, 0.9, 3),
+            entry(0.2, 0.2, 4),
+            entry(0.5, 1.0, 5),
+        ];
+        let bulk = BinIntervals::from_entries(entries.clone());
+        let mut inc = BinIntervals::default();
+        for &e in &entries {
+            inc.insert(e);
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        bulk.overlapping(0.15, 0.45, &mut a);
+        inc.overlapping(0.15, 0.45, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        assert!(inc.remove(entry(0.35, 0.9, 3)));
+        assert!(!inc.remove(entry(0.35, 0.9, 3)), "double remove");
+        assert_eq!(inc.len(), 4);
+        let mut after = Vec::new();
+        inc.overlapping(0.0, 1.0, &mut after);
+        assert!(!after.contains(&ImageId::new(3)));
+    }
+
+    #[test]
+    fn scanned_is_smaller_prefix() {
+        // Many low intervals, one high: a high selective query must scan
+        // only the short prefix.
+        let mut entries: Vec<IntervalEntry> = (0..100).map(|i| entry(0.0, 0.1, i)).collect();
+        entries.push(entry(0.95, 1.0, 100));
+        let bin = BinIntervals::from_entries(entries);
+        let mut got = Vec::new();
+        let scanned = bin.overlapping(0.9, 1.0, &mut got);
+        assert_eq!(got, vec![ImageId::new(100)]);
+        assert!(
+            scanned <= 2,
+            "scanned {scanned} entries, wanted the short prefix"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # mmdb-boundidx
+//!
+//! A bound-interval index over the catalog: the paper's §3.1 observation
+//! that "histograms can be organized in multidimensional indexes" applied to
+//! the BOUNDS machinery. A bound interval depends only on
+//! `(edit sequence, bin, rule profile)` — it is query-invariant — so this
+//! crate memoizes the full per-bin bounds vector of every image once and
+//! organizes the resulting fraction intervals in per-bin sorted-endpoint
+//! lists ([`interval::BinIntervals`]). A range query then becomes two
+//! galloping prefix searches plus a scan of the smaller prefix instead of a
+//! rule walk per edited image, while returning *exactly* the RBM/BWM
+//! candidate set (no false negatives, same false-positive bounds — verified
+//! by property test in `mmdbms`).
+//!
+//! Freshness is epoch-based: the storage engine stamps every catalog
+//! mutation, [`BoundIndex::sync`] reconciles the index to a stamped catalog
+//! snapshot, and the facade refuses to serve a lookup whose
+//! [`BoundIndex::synced_epoch`] is behind the engine. Deletion invalidates
+//! transitively through the reference graph (base links and Merge targets),
+//! so an entry whose inputs vanished is never consulted.
+
+mod index;
+mod interval;
+
+pub use index::{profile_slot, BoundIndex, IndexedLookup, SyncStats, PROFILE_SLOTS};
+pub use interval::{BinIntervals, IntervalEntry};
+
+/// Eagerly registers this layer's metric series (zero-valued until traffic
+/// arrives) so exposition shows the index schema from process start.
+pub fn register_metrics() {
+    let g = mmdb_telemetry::global();
+    for name in [
+        "mmdb_boundidx_hits_total",
+        "mmdb_boundidx_misses_total",
+        "mmdb_boundidx_invalidations_total",
+        "mmdb_boundidx_lookups_total",
+        "mmdb_boundidx_builds_total",
+    ] {
+        let _ = g.counter(name);
+    }
+    let _ = g.gauge("mmdb_boundidx_entries");
+    for name in ["mmdb_boundidx_build_seconds", "mmdb_boundidx_sync_seconds"] {
+        let _ = g.histogram(name);
+    }
+}

@@ -28,7 +28,9 @@
 pub mod query;
 pub mod structure;
 
-pub use query::{execute, execute_traced, BwmQueryStats, QueryOutcome};
+pub use query::{
+    execute, execute_traced, execute_with_cache, BoundsCache, BwmQueryStats, QueryOutcome,
+};
 pub use structure::{BwmStructure, Classification, SequenceStore};
 
 /// Eagerly registers this layer's metric series (zero-valued until traffic
@@ -46,6 +48,8 @@ pub fn register_metrics() {
         "mmdb_bwm_base_hits_total",
         "mmdb_bwm_shortcut_emissions_total",
         "mmdb_bwm_ops_processed_total",
+        "mmdb_bwm_bounds_widened_total",
+        "mmdb_bwm_bound_cache_hits_total",
         r#"mmdb_bwm_scans_total{component="classified"}"#,
         r#"mmdb_bwm_scans_total{component="unclassified"}"#,
     ] {

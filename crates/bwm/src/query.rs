@@ -2,9 +2,22 @@
 
 use crate::structure::{BwmStructure, SequenceStore};
 use mmdb_editops::ImageId;
-use mmdb_rules::{ColorRangeQuery, InfoResolver, Result, RuleEngine, RuleError};
+use mmdb_rules::{BoundRange, ColorRangeQuery, InfoResolver, Result, RuleEngine, RuleError};
 use mmdb_telemetry::{counter, QueryTrace};
 use std::time::Instant;
+
+/// A read-only source of memoized BOUNDS results. When a bounds cache is
+/// supplied, `bounds_test` consults it before walking the operation list —
+/// the bound-interval index (`mmdb-boundidx`) implements this, turning the
+/// per-edited-image cost of a non-shortcut cluster from `O(ops)` into a map
+/// probe. The cache must serve bounds computed with the *same* rule profile
+/// and a catalog state at least as fresh as the structure being queried;
+/// the facade enforces both.
+pub trait BoundsCache {
+    /// The memoized range for `(id, bin)`, or `None` to fall back to the
+    /// rule engine.
+    fn cached_bounds(&self, id: ImageId, bin: usize) -> Option<BoundRange>;
+}
 
 /// Work counters for one query execution — these are what Figures 3/4 of
 /// the paper measure indirectly (execution time tracks the number of rule
@@ -27,6 +40,8 @@ pub struct BwmQueryStats {
     pub ops_processed: usize,
     /// Unclassified-Component entries scanned.
     pub unclassified_scanned: usize,
+    /// Bounds served from a [`BoundsCache`] instead of a rule walk.
+    pub bound_cache_hits: usize,
 }
 
 /// The result of a BWM (or RBM) range-query execution.
@@ -64,9 +79,23 @@ pub fn execute<S: SequenceStore>(
     resolver: &dyn InfoResolver,
     store: &S,
 ) -> Result<QueryOutcome> {
+    execute_with_cache(structure, query, engine, resolver, store, None)
+}
+
+/// [`execute`] with an optional memoized-bounds fast path: clusters whose
+/// base misses (and Unclassified entries) probe `cache` before running the
+/// BOUNDS rules. Result sets are identical with or without a cache.
+pub fn execute_with_cache<S: SequenceStore>(
+    structure: &BwmStructure,
+    query: &ColorRangeQuery,
+    engine: &RuleEngine<'_>,
+    resolver: &dyn InfoResolver,
+    store: &S,
+    cache: Option<&dyn BoundsCache>,
+) -> Result<QueryOutcome> {
     let mut out = QueryOutcome::default();
-    scan_main(structure, query, engine, resolver, store, &mut out)?;
-    scan_unclassified(structure, query, engine, resolver, store, &mut out)?;
+    scan_main(structure, query, engine, resolver, store, cache, &mut out)?;
+    scan_unclassified(structure, query, engine, resolver, store, cache, &mut out)?;
     flush_query_metrics(&out.stats);
     Ok(out)
 }
@@ -83,12 +112,12 @@ pub fn execute_traced<S: SequenceStore>(
 ) -> Result<(QueryOutcome, QueryTrace)> {
     let mut out = QueryOutcome::default();
     let started = Instant::now();
-    scan_main(structure, query, engine, resolver, store, &mut out)?;
+    scan_main(structure, query, engine, resolver, store, None, &mut out)?;
     let main_elapsed = started.elapsed();
     let main_stats = out.stats;
 
     let uncl_started = Instant::now();
-    scan_unclassified(structure, query, engine, resolver, store, &mut out)?;
+    scan_unclassified(structure, query, engine, resolver, store, None, &mut out)?;
     let uncl_elapsed = uncl_started.elapsed();
     flush_query_metrics(&out.stats);
 
@@ -125,6 +154,7 @@ fn scan_main<S: SequenceStore>(
     engine: &RuleEngine<'_>,
     resolver: &dyn InfoResolver,
     store: &S,
+    cache: Option<&dyn BoundsCache>,
     out: &mut QueryOutcome,
 ) -> Result<()> {
     for (base, cluster) in structure.clusters() {
@@ -140,7 +170,7 @@ fn scan_main<S: SequenceStore>(
         } else {
             // 4.3: fall back to the BOUNDS algorithm per edited image.
             for &edited in cluster {
-                bounds_test(edited, query, engine, resolver, store, out)?;
+                bounds_test(edited, query, engine, resolver, store, cache, out)?;
             }
         }
     }
@@ -154,24 +184,34 @@ fn scan_unclassified<S: SequenceStore>(
     engine: &RuleEngine<'_>,
     resolver: &dyn InfoResolver,
     store: &S,
+    cache: Option<&dyn BoundsCache>,
     out: &mut QueryOutcome,
 ) -> Result<()> {
     for &edited in structure.unclassified() {
         out.stats.unclassified_scanned += 1;
-        bounds_test(edited, query, engine, resolver, store, out)?;
+        bounds_test(edited, query, engine, resolver, store, cache, out)?;
     }
     Ok(())
 }
 
-/// Runs BOUNDS for one edited image and emits it when the range overlaps.
+/// Runs BOUNDS for one edited image (serving a memoized range from `cache`
+/// when available) and emits it when the range overlaps.
 fn bounds_test<S: SequenceStore>(
     edited: ImageId,
     query: &ColorRangeQuery,
     engine: &RuleEngine<'_>,
     resolver: &dyn InfoResolver,
     store: &S,
+    cache: Option<&dyn BoundsCache>,
     out: &mut QueryOutcome,
 ) -> Result<()> {
+    if let Some(bounds) = cache.and_then(|c| c.cached_bounds(edited, query.bin)) {
+        out.stats.bound_cache_hits += 1;
+        if bounds.overlaps_fraction(query.pct_min, query.pct_max) {
+            out.results.push(edited);
+        }
+        return Ok(());
+    }
     let seq = store
         .sequence(edited)
         .ok_or(RuleError::UnknownImage(edited))?;
@@ -195,7 +235,11 @@ fn flush_query_metrics(stats: &BwmQueryStats) {
     counter!("mmdb_bwm_base_hits_total").add(stats.base_hits as u64);
     counter!("mmdb_bwm_shortcut_emissions_total").add(stats.shortcut_emissions as u64);
     counter!("mmdb_bwm_ops_processed_total").add(stats.ops_processed as u64);
-    let classified = stats.bounds_computed - stats.unclassified_scanned;
+    counter!("mmdb_bwm_bounds_widened_total").add(stats.bounds_widened as u64);
+    counter!("mmdb_bwm_bound_cache_hits_total").add(stats.bound_cache_hits as u64);
+    let classified = stats
+        .bounds_computed
+        .saturating_sub(stats.unclassified_scanned);
     counter!(r#"mmdb_bwm_scans_total{component="classified"}"#).add(classified as u64);
     counter!(r#"mmdb_bwm_scans_total{component="unclassified"}"#)
         .add(stats.unclassified_scanned as u64);
@@ -345,6 +389,81 @@ mod tests {
         // #10 has 2 ops, #11 has 2 ops, #12 has 2 ops.
         assert_eq!(out.stats.ops_processed, 6);
         assert_eq!(out.stats.clusters_visited, 2);
+    }
+
+    /// A cache holding every edited image's true bounds must produce the
+    /// identical result set with zero rule walks outside shortcut clusters.
+    #[test]
+    fn bounds_cache_preserves_results_and_skips_rule_walks() {
+        struct MapCache(HashMap<(ImageId, usize), mmdb_rules::BoundRange>);
+        impl BoundsCache for MapCache {
+            fn cached_bounds(&self, id: ImageId, bin: usize) -> Option<mmdb_rules::BoundRange> {
+                self.0.get(&(id, bin)).copied()
+            }
+        }
+
+        let f = fixture();
+        let engine = RuleEngine::new(&f.quant, RuleProfile::Conservative);
+        let red = f.quant.bin_of(Rgb::RED);
+        let mut cache = MapCache(HashMap::new());
+        for (&id, seq) in &f.store {
+            for bin in [red, 0] {
+                cache
+                    .0
+                    .insert((id, bin), engine.bounds(seq, bin, &f.resolver).unwrap());
+            }
+        }
+
+        for q in [
+            ColorRangeQuery::new(red, 0.4, 0.6),
+            ColorRangeQuery::new(red, 0.9, 1.0),
+            ColorRangeQuery::new(0, 0.0, 1.0),
+        ] {
+            let plain = execute(&f.structure, &q, &engine, &f.resolver, &f.store).unwrap();
+            let cached = execute_with_cache(
+                &f.structure,
+                &q,
+                &engine,
+                &f.resolver,
+                &f.store,
+                Some(&cache),
+            )
+            .unwrap();
+            assert_eq!(plain.sorted_results(), cached.sorted_results());
+            assert_eq!(
+                cached.stats.bounds_computed, 0,
+                "cache must cover every walk"
+            );
+            assert_eq!(
+                cached.stats.bound_cache_hits, plain.stats.bounds_computed,
+                "every avoided rule walk must be a counted hit"
+            );
+        }
+    }
+
+    /// Satellite check: `bounds_widened` reaches the Prometheus registry —
+    /// the counter delta across an execution must cover the per-query stat
+    /// (`>=` because tests in this binary run concurrently).
+    #[test]
+    fn widened_counter_is_flushed() {
+        let f = fixture();
+        let engine = RuleEngine::new(&f.quant, RuleProfile::Conservative);
+        let q = ColorRangeQuery::new(f.quant.bin_of(Rgb::RED), 0.9, 1.0);
+        let before = mmdb_telemetry::global()
+            .snapshot()
+            .get("mmdb_bwm_bounds_widened_total");
+        let out = execute(&f.structure, &q, &engine, &f.resolver, &f.store).unwrap();
+        assert!(
+            out.stats.bounds_widened > 0,
+            "fixture must widen some bound"
+        );
+        let after = mmdb_telemetry::global()
+            .snapshot()
+            .get("mmdb_bwm_bounds_widened_total");
+        assert!(
+            after - before >= out.stats.bounds_widened as u64,
+            "flush_query_metrics must export bounds_widened ({before} -> {after})"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! mmdbctl ls --db ./mydb
 //! mmdbctl info --db ./mydb [--id 7]
 //! mmdbctl query --db ./mydb --color '#ce1126' --min 0.25 [--max 1.0]
-//!               [--plan bwm|rbm|instantiate] [--expand]
+//!               [--plan bwm|rbm|instantiate|indexed] [--expand]
 //! mmdbctl explain --db ./mydb --color '#ce1126' --min 0.25 [--plan bwm] [--json true]
 //! mmdbctl metrics --db ./mydb [--format prometheus|json]
 //! mmdbctl serve --db ./mydb [--listen 127.0.0.1:9184] [--warmup N]
@@ -312,6 +312,7 @@ fn parse_query(
         None | Some("bwm") => QueryPlan::Bwm,
         Some("rbm") => QueryPlan::Rbm,
         Some("instantiate") => QueryPlan::Instantiate,
+        Some("indexed") => QueryPlan::Indexed,
         Some(other) => return Err(format!("unknown plan {other:?}")),
     };
     Ok((ColorRangeQuery::new(db.bin_of(color), min, max), plan))
@@ -351,8 +352,10 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs `n` seeded range queries under both the RBM and BWM plans so the
-/// histograms, counters, and flight recorder have data before exposition.
+/// Runs `n` seeded range queries under the RBM, BWM, and indexed plans so
+/// the histograms, counters, and flight recorder have data before exposition
+/// (the indexed pass also builds the bound-interval index and populates its
+/// hit counters).
 /// Databases with no binary images (no palette mass to draw queries from)
 /// are skipped with a notice.
 fn run_warmup(db: &MultimediaDatabase, n: u64, seed: u64) -> Result<usize, String> {
@@ -368,7 +371,7 @@ fn run_warmup(db: &MultimediaDatabase, n: u64, seed: u64) -> Result<usize, Strin
     let mut ran = 0usize;
     for _ in 0..n {
         let query = gen.next_query();
-        for plan in [QueryPlan::Rbm, QueryPlan::Bwm] {
+        for plan in [QueryPlan::Rbm, QueryPlan::Bwm, QueryPlan::Indexed] {
             db.query_range_with_plan(&query, plan)
                 .map_err(|e| e.to_string())?;
             ran += 1;
@@ -488,6 +491,7 @@ fn cmd_query_remote(args: &Args) -> Result<(), String> {
         None | Some("bwm") => PlanKind::Bwm,
         Some("rbm") => PlanKind::Rbm,
         Some("instantiate") => PlanKind::Instantiate,
+        Some("indexed") => PlanKind::Indexed,
         Some(other) => return Err(format!("unknown plan {other:?}")),
     };
     let profile = match args.options.get("profile").map(String::as_str) {
@@ -744,9 +748,9 @@ const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|que
   insert-script --db DIR SCRIPT.edit
   ls            --db DIR
   info          --db DIR [--id N]
-  query         --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate] [--expand true]
+  query         --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate|indexed] [--expand true]
                 --connect HOST:PORT --bin N [--min F] [--max F] [--plan P] [--profile conservative|paper-table1] [--deadline-ms MS]
-  explain       --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate] [--json true]
+  explain       --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate|indexed] [--json true]
   metrics       --db DIR [--format prometheus|json]
   serve         --db DIR [--listen HOST:PORT] [--warmup N] [--slow-ms MS] [--recorder-capacity N]
   serve-queries --db DIR [--listen HOST:PORT] [--workers N] [--queue-depth N] [--metrics HOST:PORT] [--warmup N]

@@ -37,7 +37,8 @@
 //! assert!(outcome.results.contains(&edited));
 //! ```
 
-use mmdb_bwm::BwmStructure;
+use mmdb_boundidx::{profile_slot, BoundIndex, SyncStats, PROFILE_SLOTS};
+use mmdb_bwm::{BoundsCache, BwmStructure};
 use mmdb_datagen::edits::TargetInfo;
 use mmdb_datagen::{VariantConfig, VariantGenerator};
 use mmdb_editops::{EditSequence, ImageId};
@@ -54,6 +55,7 @@ use std::sync::Arc;
 
 // Re-export the component crates under stable names.
 pub use mmdb_analysis as analysis;
+pub use mmdb_boundidx as boundidx;
 pub use mmdb_bwm as bwm;
 pub use mmdb_datagen as datagen;
 pub use mmdb_editops as editops;
@@ -92,6 +94,7 @@ pub fn register_all_metrics() {
     mmdb_storage::register_metrics();
     mmdb_rules::register_metrics();
     mmdb_bwm::register_metrics();
+    mmdb_boundidx::register_metrics();
     mmdb_query::register_metrics();
     mmdb_analysis::register_metrics();
     mmdb_server::register_metrics();
@@ -135,6 +138,11 @@ pub struct MultimediaDatabase {
     storage: StorageEngine,
     bwm: RwLock<BwmStructure>,
     signature_index: RwLock<Option<Arc<SignatureIndex>>>,
+    /// One lazily built [`BoundIndex`] per rule profile. The serving
+    /// invariant is `index.synced_epoch() == storage.current_epoch()`: a
+    /// slot whose epoch trails the storage engine is never consulted — it is
+    /// re-synced (or built) under the write lock first.
+    bound_index: RwLock<[Option<BoundIndex>; PROFILE_SLOTS]>,
     profile: RuleProfile,
 }
 
@@ -145,6 +153,7 @@ impl MultimediaDatabase {
             storage,
             bwm: RwLock::new(bwm),
             signature_index: RwLock::new(None),
+            bound_index: RwLock::new(std::array::from_fn(|_| None)),
             profile: RuleProfile::Conservative,
         }
     }
@@ -247,8 +256,15 @@ impl MultimediaDatabase {
     /// the storage layer).
     pub fn delete(&self, id: ImageId) -> Result<()> {
         self.storage.delete(id)?;
-        self.bwm.write().remove(id);
+        let orphans = self.bwm.write().remove(id);
         self.signature_index.write().take();
+        // Eager index invalidation: the deleted image plus any edited images
+        // the BWM reclassified (their bounds are unchanged — sequences are
+        // immutable — but dropping them keeps both layers' views aligned;
+        // the epoch bump re-admits survivors on the next indexed query).
+        let mut victims = vec![id];
+        victims.extend(orphans);
+        self.invalidate_indexes(&victims);
         Ok(())
     }
 
@@ -280,9 +296,101 @@ impl MultimediaDatabase {
     ) -> Result<mmdb_bwm::QueryOutcome> {
         let qp = QueryProcessor::with_profile(&self.storage, profile);
         match plan {
-            QueryPlan::Bwm => qp.range_bwm_with(&self.bwm.read(), query),
+            QueryPlan::Bwm => {
+                // Fast path: when a fresh index exists for this profile, BWM
+                // probes it for memoized bounds instead of walking operation
+                // lists. A stale (or absent) index is simply skipped — the
+                // BWM plan never pays a sync.
+                let idx_guard = self.bound_index.read();
+                let cache = idx_guard[profile_slot(profile)]
+                    .as_ref()
+                    .filter(|idx| idx.synced_epoch() == self.storage.current_epoch())
+                    .map(|idx| idx as &dyn BoundsCache);
+                qp.range_bwm_with_cache(&self.bwm.read(), query, cache)
+            }
             QueryPlan::Rbm => qp.range_rbm(query),
             QueryPlan::Instantiate => qp.range_instantiate(query),
+            QueryPlan::Indexed => {
+                self.with_bound_index(profile, |idx, _sync| qp.range_indexed_with(idx, query))?
+            }
+        }
+    }
+
+    /// Runs `f` against a bound index for `profile` that satisfies the
+    /// serving invariant (`synced_epoch == storage.current_epoch()`),
+    /// building or incrementally re-syncing the slot first when needed.
+    ///
+    /// The epoch is captured *before* the id lists are read: a mutation that
+    /// races the snapshot leaves the stamp behind the real epoch, so the next
+    /// query re-syncs — stale entries are never served.
+    fn with_bound_index<T>(
+        &self,
+        profile: RuleProfile,
+        f: impl FnOnce(&BoundIndex, SyncStats) -> T,
+    ) -> Result<T> {
+        let slot = profile_slot(profile);
+        {
+            let guard = self.bound_index.read();
+            if let Some(idx) = guard[slot].as_ref() {
+                if idx.synced_epoch() == self.storage.current_epoch() {
+                    return Ok(f(idx, SyncStats::default()));
+                }
+            }
+        }
+        // Slow path: build or re-sync under the write lock, then serve under
+        // it (this lock has no downgrade; the next query takes the read fast
+        // path above).
+        let mut guard = self.bound_index.write();
+        let epoch = self.storage.current_epoch();
+        let binary = self.storage.binary_ids();
+        let edited = self.storage.edited_ids();
+        let stats = match guard[slot].as_mut() {
+            Some(idx) if idx.synced_epoch() == epoch => SyncStats::default(),
+            Some(idx) => idx.sync(
+                epoch,
+                &binary,
+                &edited,
+                self.storage.quantizer(),
+                self.storage.background(),
+                &self.storage,
+                &self.storage,
+            )?,
+            None => {
+                let threads =
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+                let built = BoundIndex::build(
+                    profile,
+                    self.storage.quantizer(),
+                    self.storage.background(),
+                    &binary,
+                    &edited,
+                    &self.storage,
+                    &self.storage,
+                    epoch,
+                    threads,
+                )?;
+                guard[slot] = Some(built);
+                SyncStats::default()
+            }
+        };
+        let idx = guard[slot].as_ref().expect("slot populated above");
+        Ok(f(idx, stats))
+    }
+
+    /// Eagerly drops `ids` (and, transitively, every indexed image whose
+    /// sequence references them) from both profile slots. Correctness does
+    /// not depend on this — the storage epoch already forces a re-sync — but
+    /// eager removal frees deleted entries immediately instead of at the
+    /// next indexed query.
+    fn invalidate_indexes(&self, ids: &[ImageId]) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut guard = self.bound_index.write();
+        for idx in guard.iter_mut().flatten() {
+            for &id in ids {
+                idx.invalidate(id);
+            }
         }
     }
 
@@ -299,6 +407,9 @@ impl MultimediaDatabase {
         let qp = QueryProcessor::with_profile(&self.storage, self.profile);
         match plan {
             QueryPlan::Bwm => qp.range_bwm_with_traced(&self.bwm.read(), query),
+            QueryPlan::Indexed => self.with_bound_index(self.profile, |idx, sync| {
+                qp.range_indexed_with_traced(idx, query, sync)
+            })?,
             _ => qp.range_with_plan_traced(plan, query),
         }
     }

@@ -17,6 +17,7 @@ fn plan_of(kind: PlanKind) -> QueryPlan {
         PlanKind::Bwm => QueryPlan::Bwm,
         PlanKind::Rbm => QueryPlan::Rbm,
         PlanKind::Instantiate => QueryPlan::Instantiate,
+        PlanKind::Indexed => QueryPlan::Indexed,
     }
 }
 

@@ -1,0 +1,195 @@
+//! Property tests for the bound-interval index: on random databases, the
+//! `Indexed` plan must return exactly the result set of the RBM and BWM
+//! plans, under both rule profiles, and it must keep doing so *immediately*
+//! after inserts and deletes (the epoch discipline: a mutation can never
+//! leave the served index stale).
+
+use mmdbms::prelude::*;
+use mmdbms::MultimediaDatabase;
+use proptest::prelude::*;
+
+const W: i64 = 24;
+const H: i64 = 16;
+
+const PALETTE: [Rgb; 5] = [
+    Rgb::RED,
+    Rgb::GREEN,
+    Rgb::BLUE,
+    Rgb::WHITE,
+    Rgb::new(0xCE, 0x11, 0x26),
+];
+
+/// One operation of a randomly generated variant sequence.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Define a region, then recolor `from` to `to` inside it.
+    Recolor {
+        x0: i64,
+        y0: i64,
+        w: i64,
+        h: i64,
+        from: usize,
+        to: usize,
+    },
+    /// Whole-image blur (a bound-widening Combine).
+    Blur,
+    /// Merge another image into this one (non-bound-widening; exercises the
+    /// reference graph and with it transitive invalidation).
+    Merge,
+}
+
+/// A base image: horizontal stripes of two palette colors.
+#[derive(Clone, Debug)]
+struct BaseSpec {
+    top: usize,
+    bottom: usize,
+    split: i64,
+}
+
+#[derive(Clone, Debug)]
+struct QuerySpec {
+    color: usize,
+    lo: f64,
+    width: f64,
+}
+
+fn arb_base() -> impl Strategy<Value = BaseSpec> {
+    (0usize..PALETTE.len(), 0usize..PALETTE.len(), 1i64..H)
+        .prop_map(|(top, bottom, split)| BaseSpec { top, bottom, split })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            0i64..W - 1,
+            0i64..H - 1,
+            1i64..W,
+            1i64..H,
+            0usize..PALETTE.len(),
+            0usize..PALETTE.len(),
+        )
+            .prop_map(|(x0, y0, w, h, from, to)| Op::Recolor {
+                x0,
+                y0,
+                w,
+                h,
+                from,
+                to
+            }),
+        Just(Op::Blur),
+        Just(Op::Merge),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = QuerySpec> {
+    (0usize..PALETTE.len(), 0.0f64..0.6, 0.05f64..1.0).prop_map(|(color, lo, width)| QuerySpec {
+        color,
+        lo,
+        width,
+    })
+}
+
+fn raster_of(spec: &BaseSpec) -> RasterImage {
+    let mut img = RasterImage::filled(W as u32, H as u32, PALETTE[spec.bottom]).unwrap();
+    mmdb_imaging::draw::fill_rect(&mut img, &Rect::new(0, 0, W, spec.split), PALETTE[spec.top]);
+    img
+}
+
+fn sequence_of(base: ImageId, ops: &[Op], merge_target: ImageId) -> EditSequence {
+    let mut b = EditSequence::builder(base);
+    for op in ops {
+        b = match *op {
+            Op::Recolor {
+                x0,
+                y0,
+                w,
+                h,
+                from,
+                to,
+            } => b
+                .define(Rect::new(x0, y0, (x0 + w).min(W), (y0 + h).min(H)))
+                .modify(PALETTE[from], PALETTE[to]),
+            Op::Blur => b.blur(),
+            Op::Merge => b.merge_into(merge_target, 0, 0),
+        };
+    }
+    b.build()
+}
+
+/// All three scan-equivalent plans agree on every query, under a profile.
+fn assert_plans_agree(db: &MultimediaDatabase, queries: &[QuerySpec], profile: RuleProfile) {
+    for spec in queries {
+        let query = ColorRangeQuery::new(
+            db.bin_of(PALETTE[spec.color]),
+            spec.lo,
+            (spec.lo + spec.width).min(1.0),
+        );
+        let rbm = db
+            .query_range_with(&query, QueryPlan::Rbm, profile)
+            .unwrap()
+            .sorted_results();
+        let bwm = db
+            .query_range_with(&query, QueryPlan::Bwm, profile)
+            .unwrap()
+            .sorted_results();
+        let indexed = db
+            .query_range_with(&query, QueryPlan::Indexed, profile)
+            .unwrap()
+            .sorted_results();
+        assert_eq!(rbm, bwm, "RBM vs BWM under {profile:?} on {query:?}");
+        assert_eq!(
+            rbm, indexed,
+            "RBM vs Indexed under {profile:?} on {query:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn indexed_plan_matches_scans_through_mutations(
+        bases in proptest::collection::vec(arb_base(), 2..4),
+        variants in proptest::collection::vec(
+            proptest::collection::vec(arb_op(), 1..5), 2..6),
+        late_variant in proptest::collection::vec(arb_op(), 1..5),
+        queries in proptest::collection::vec(arb_query(), 1..5),
+    ) {
+        let db = MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+        let base_ids: Vec<ImageId> = bases
+            .iter()
+            .map(|b| db.insert_image(&raster_of(b)).unwrap())
+            .collect();
+        let mut edited_ids = Vec::new();
+        for (i, ops) in variants.iter().enumerate() {
+            let base = base_ids[i % base_ids.len()];
+            // Merges target a *different* base, so deleting that base's
+            // subtree exercises transitive invalidation through refs.
+            let target = base_ids[(i + 1) % base_ids.len()];
+            edited_ids.push(db.insert_edited(sequence_of(base, ops, target)).unwrap());
+        }
+
+        for profile in [RuleProfile::Conservative, RuleProfile::PaperTable1] {
+            assert_plans_agree(&db, &queries, profile);
+        }
+
+        // Immediately after an insert the index must re-sync, never serve
+        // the pre-insert view.
+        let late = db
+            .insert_edited(sequence_of(base_ids[0], &late_variant, base_ids[1 % base_ids.len()]))
+            .unwrap();
+        for profile in [RuleProfile::Conservative, RuleProfile::PaperTable1] {
+            assert_plans_agree(&db, &queries, profile);
+        }
+
+        // ...and immediately after deletes (which also reclassify BWM
+        // clusters and trigger transitive invalidation).
+        db.delete(late).unwrap();
+        if let Some(&victim) = edited_ids.first() {
+            db.delete(victim).unwrap();
+        }
+        for profile in [RuleProfile::Conservative, RuleProfile::PaperTable1] {
+            assert_plans_agree(&db, &queries, profile);
+        }
+    }
+}

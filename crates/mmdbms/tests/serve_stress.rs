@@ -40,7 +40,9 @@ fn concurrent_queries_survive_inserts_and_deletes() {
     let done = Arc::new(AtomicBool::new(false));
 
     // Mutator: churn inserts and deletes through the same shared handle the
-    // server's workers are querying.
+    // server's workers are querying. Each round also stores and deletes an
+    // *edited* image, so the bound-interval index sees the full invalidation
+    // surface (epoch bumps, entry removal, reference-graph links) mid-query.
     let mutator = {
         let db = Arc::clone(&db);
         let done = Arc::clone(&done);
@@ -50,6 +52,10 @@ fn concurrent_queries_survive_inserts_and_deletes() {
             let mut i = 100;
             while !done.load(Ordering::SeqCst) {
                 let id = db.insert_image(&generator.generate(i)).unwrap();
+                let edited = db
+                    .insert_edited(EditSequence::builder(id).blur().build())
+                    .unwrap();
+                db.delete(edited).unwrap();
                 db.delete(id).unwrap();
                 churned += 1;
                 i += 1;
@@ -94,10 +100,10 @@ fn concurrent_queries_survive_inserts_and_deletes() {
                 let mut answered = 0usize;
                 for q in 0..QUERIES_PER_CLIENT {
                     let request = RangeRequest {
-                        plan: if q % 2 == 0 {
-                            PlanKind::Bwm
-                        } else {
-                            PlanKind::Rbm
+                        plan: match q % 3 {
+                            0 => PlanKind::Bwm,
+                            1 => PlanKind::Rbm,
+                            _ => PlanKind::Indexed,
                         },
                         profile: ProfileKind::Conservative,
                         bin: ((c * QUERIES_PER_CLIENT + q) % 64) as u32,
@@ -136,6 +142,30 @@ fn concurrent_queries_survive_inserts_and_deletes() {
     );
     assert!(churned > 0, "mutator never ran");
     assert!(polls > 0, "stats poller never ran");
+
+    // Post-churn consistency: with the database quiescent again, the indexed
+    // plan must agree bin-for-bin with a fresh RBM scan over the wire — the
+    // epoch discipline may serve an index built mid-churn only after
+    // re-syncing it, so a surviving stale bound would show up here as a
+    // false negative (or phantom) against the scan.
+    let mut verifier = Client::connect(addr).unwrap();
+    for bin in 0..64u32 {
+        let request = |plan| RangeRequest {
+            plan,
+            profile: ProfileKind::Conservative,
+            bin,
+            pct_min: 0.02,
+            pct_max: 1.0,
+        };
+        let mut scan = verifier.range(request(PlanKind::Rbm)).unwrap().ids;
+        let mut indexed = verifier.range(request(PlanKind::Indexed)).unwrap().ids;
+        scan.sort_unstable();
+        indexed.sort_unstable();
+        assert_eq!(
+            scan, indexed,
+            "indexed plan diverged from the post-churn scan at bin {bin}"
+        );
+    }
 
     let drained = server.shutdown();
     // Everything was answered before shutdown began.

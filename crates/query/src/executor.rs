@@ -2,7 +2,8 @@
 //! engine.
 
 use crate::plan::QueryPlan;
-use mmdb_bwm::{BwmQueryStats, BwmStructure, QueryOutcome};
+use mmdb_boundidx::{BoundIndex, SyncStats};
+use mmdb_bwm::{BoundsCache, BwmQueryStats, BwmStructure, QueryOutcome};
 use mmdb_editops::ImageId;
 use mmdb_rules::{ColorRangeQuery, InfoResolver, RuleEngine, RuleError, RuleProfile};
 use mmdb_storage::{StorageEngine, StorageError};
@@ -98,6 +99,10 @@ fn observe_range(
             counter!(r#"mmdb_query_range_total{plan="bwm"}"#).inc();
             histogram!(r#"mmdb_query_range_latency_seconds{plan="bwm"}"#).observe(elapsed);
         }
+        QueryPlan::Indexed => {
+            counter!(r#"mmdb_query_range_total{plan="indexed"}"#).inc();
+            histogram!(r#"mmdb_query_range_latency_seconds{plan="indexed"}"#).observe(elapsed);
+        }
     }
     // Per-(plan, profile) latency distributions. Spelled out so each
     // combination is its own `histogram!` call site with a cached handle.
@@ -129,6 +134,18 @@ fn observe_range(
         (QueryPlan::Bwm, RuleProfile::PaperTable1) => {
             histogram!(r#"mmdb_query_range_latency_seconds{plan="bwm",profile="paper_table1"}"#)
                 .observe(elapsed);
+        }
+        (QueryPlan::Indexed, RuleProfile::Conservative) => {
+            histogram!(
+                r#"mmdb_query_range_latency_seconds{plan="indexed",profile="conservative"}"#
+            )
+            .observe(elapsed);
+        }
+        (QueryPlan::Indexed, RuleProfile::PaperTable1) => {
+            histogram!(
+                r#"mmdb_query_range_latency_seconds{plan="indexed",profile="paper_table1"}"#
+            )
+            .observe(elapsed);
         }
     }
     mmdb_telemetry::recorder().record(
@@ -172,6 +189,7 @@ pub struct QueryProcessor<'db> {
     db: &'db StorageEngine,
     profile: RuleProfile,
     bwm: Option<BwmStructure>,
+    boundidx: Option<BoundIndex>,
 }
 
 impl<'db> QueryProcessor<'db> {
@@ -181,6 +199,7 @@ impl<'db> QueryProcessor<'db> {
             db,
             profile: RuleProfile::Conservative,
             bwm: None,
+            boundidx: None,
         }
     }
 
@@ -190,6 +209,7 @@ impl<'db> QueryProcessor<'db> {
             db,
             profile,
             bwm: None,
+            boundidx: None,
         }
     }
 
@@ -208,6 +228,49 @@ impl<'db> QueryProcessor<'db> {
     /// The attached BWM structure, if any.
     pub fn bwm(&self) -> Option<&BwmStructure> {
         self.bwm.as_ref()
+    }
+
+    /// Bulk-builds (parallel, crossbeam scoped workers) and attaches the
+    /// bound-interval index for this processor's profile, enabling
+    /// [`QueryProcessor::range_indexed`].
+    ///
+    /// # Errors
+    /// Propagates rule-engine failures from the BOUNDS computations.
+    pub fn build_bound_index(&mut self) -> Result<()> {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let epoch = self.db.current_epoch();
+        let index = BoundIndex::build(
+            self.profile,
+            self.db.quantizer(),
+            self.db.background(),
+            &self.db.binary_ids(),
+            &self.db.edited_ids(),
+            self.db,
+            self.db,
+            epoch,
+            threads,
+        )?;
+        self.boundidx = Some(index);
+        Ok(())
+    }
+
+    /// Attaches a prebuilt bound-interval index.
+    ///
+    /// # Panics
+    /// Panics when the index was built for a different rule profile — its
+    /// memoized bounds would be wrong for this processor's queries.
+    pub fn attach_bound_index(&mut self, index: BoundIndex) {
+        assert_eq!(
+            index.profile(),
+            self.profile,
+            "bound index profile must match the processor profile"
+        );
+        self.boundidx = Some(index);
+    }
+
+    /// The attached bound-interval index, if any.
+    pub fn bound_index(&self) -> Option<&BoundIndex> {
+        self.boundidx.as_ref()
     }
 
     /// The plan [`QueryProcessor::range`] will use.
@@ -292,6 +355,13 @@ impl<'db> QueryProcessor<'db> {
                     .stage("exact_scan", scan_elapsed)
                     .counter("scanned", self.db.ids().len() as u64);
                 (out, trace)
+            }
+            QueryPlan::Indexed => {
+                let index = self
+                    .boundidx
+                    .as_ref()
+                    .expect("Indexed plan requires an attached bound index");
+                return self.range_indexed_with_traced(index, query, SyncStats::default());
             }
         };
         trace.event("plan", plan.to_string());
@@ -458,6 +528,117 @@ impl<'db> QueryProcessor<'db> {
         Ok((out, trace))
     }
 
+    /// Figure 2 with a memoized-bounds fast path: clusters whose base
+    /// misses (and Unclassified entries) probe `cache` before walking any
+    /// operation list. The caller is responsible for cache freshness (the
+    /// facade only passes an index whose epoch matches the storage engine).
+    pub fn range_bwm_with_cache(
+        &self,
+        structure: &BwmStructure,
+        query: &ColorRangeQuery,
+        cache: Option<&dyn BoundsCache>,
+    ) -> Result<QueryOutcome> {
+        let started = Instant::now();
+        observe_range_start(QueryPlan::Bwm, query);
+        let engine = self.engine();
+        let out = mmdb_bwm::query::execute_with_cache(
+            structure, query, &engine, self.db, self.db, cache,
+        )?;
+        observe_range(QueryPlan::Bwm, self.profile, query, &out, started.elapsed());
+        Ok(out)
+    }
+
+    /// Answers `query` from the attached bound-interval index: two galloping
+    /// prefix searches and a scan of the smaller prefix — no rule walk.
+    ///
+    /// # Panics
+    /// Panics when no index is attached, or when the attached index's epoch
+    /// trails the storage engine (a mutation landed after the build; the
+    /// stale-serving invariant makes this a hard error here — the `mmdbms`
+    /// facade is the layer that re-syncs instead).
+    pub fn range_indexed(&self, query: &ColorRangeQuery) -> Result<QueryOutcome> {
+        let index = self
+            .boundidx
+            .as_ref()
+            .expect("range_indexed requires an attached bound index");
+        assert_eq!(
+            index.synced_epoch(),
+            self.db.current_epoch(),
+            "bound index is stale; rebuild it before serving"
+        );
+        self.range_indexed_with(index, query)
+    }
+
+    /// Indexed lookup against an externally owned index (used by callers
+    /// that maintain the index incrementally, like the `mmdbms` facade).
+    pub fn range_indexed_with(
+        &self,
+        index: &BoundIndex,
+        query: &ColorRangeQuery,
+    ) -> Result<QueryOutcome> {
+        let started = Instant::now();
+        observe_range_start(QueryPlan::Indexed, query);
+        let lookup = index.lookup(query);
+        let mut out = QueryOutcome::default();
+        out.stats.bound_cache_hits = lookup.scanned;
+        out.results = lookup.ids;
+        observe_range(
+            QueryPlan::Indexed,
+            self.profile,
+            query,
+            &out,
+            started.elapsed(),
+        );
+        Ok(out)
+    }
+
+    /// [`QueryProcessor::range_indexed_with`] with tracing: one
+    /// `index_sync` stage (what incremental maintenance the caller just
+    /// performed — zeros when the index was already fresh) and one
+    /// `index_lookup` stage with hit/scan counters, for `mmdbctl explain`.
+    pub fn range_indexed_with_traced(
+        &self,
+        index: &BoundIndex,
+        query: &ColorRangeQuery,
+        sync: SyncStats,
+    ) -> Result<(QueryOutcome, QueryTrace)> {
+        let started = Instant::now();
+        observe_range_start(QueryPlan::Indexed, query);
+        let lookup_started = Instant::now();
+        let lookup = index.lookup(query);
+        let lookup_elapsed = lookup_started.elapsed();
+        let mut out = QueryOutcome::default();
+        out.stats.bound_cache_hits = lookup.scanned;
+        out.results = lookup.ids;
+
+        let mut trace = QueryTrace::new("indexed_range");
+        trace.counter("results", out.results.len() as u64);
+        trace.counter("index_hits", lookup.scanned as u64);
+        trace.counter("index_misses", sync.recomputed as u64);
+        trace
+            .stage("index_sync", Duration::ZERO)
+            .counter("added", sync.added as u64)
+            .counter("removed", sync.removed as u64)
+            .counter("recomputed", sync.recomputed as u64);
+        trace
+            .stage("index_lookup", lookup_elapsed)
+            .counter("entries", index.len() as u64)
+            .counter("scanned", lookup.scanned as u64)
+            .counter("hits", out.results.len() as u64);
+        trace.event("plan", QueryPlan::Indexed.to_string());
+        trace.event("bin", query.bin.to_string());
+        trace.event("range", format!("[{}, {}]", query.pct_min, query.pct_max));
+        trace.finish(started.elapsed());
+        observe_range(
+            QueryPlan::Indexed,
+            self.profile,
+            query,
+            &out,
+            started.elapsed(),
+        );
+        Ok((out, trace))
+    }
+
     /// Ground truth: instantiates every edited image, extracts its exact
     /// histogram, and applies the query predicate directly. Binary images
     /// use their stored histograms. This is the expensive path whose
@@ -614,6 +795,79 @@ mod tests {
             let parallel = qp.range_rbm_parallel(&q, threads).unwrap();
             assert_eq!(serial.sorted_results(), parallel.sorted_results());
             assert_eq!(serial.stats.bounds_computed, parallel.stats.bounds_computed);
+        }
+    }
+
+    #[test]
+    fn indexed_matches_scans_for_both_profiles() {
+        let (db, _bases, _edits) = setup();
+        for profile in [RuleProfile::Conservative, RuleProfile::PaperTable1] {
+            let mut qp = QueryProcessor::with_profile(&db, profile);
+            qp.build_bwm();
+            qp.build_bound_index().unwrap();
+            for (lo, hi) in [
+                (0.0, 1.0),
+                (0.25, 0.55),
+                (0.45, 0.52),
+                (0.9, 1.0),
+                (0.0, 0.05),
+            ] {
+                let q = ColorRangeQuery::new(red_bin(&db), lo, hi);
+                let rbm = qp.range_rbm(&q).unwrap().sorted_results();
+                let bwm = qp.range_bwm(&q).unwrap().sorted_results();
+                let idx = qp.range_indexed(&q).unwrap().sorted_results();
+                assert_eq!(idx, rbm, "{profile:?} [{lo},{hi}] indexed vs rbm");
+                assert_eq!(idx, bwm, "{profile:?} [{lo},{hi}] indexed vs bwm");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_trace_reports_hits() {
+        let (db, _bases, _edits) = setup();
+        let mut qp = QueryProcessor::new(&db);
+        qp.build_bound_index().unwrap();
+        let q = ColorRangeQuery::new(red_bin(&db), 0.0, 1.0);
+        let (out, trace) = qp.range_with_plan_traced(QueryPlan::Indexed, &q).unwrap();
+        assert!(!out.results.is_empty());
+        assert!(trace.counter_value("index_hits").unwrap_or(0) > 0);
+        let rendered = trace.render();
+        assert!(rendered.contains("index_lookup"), "{rendered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn indexed_serving_refuses_stale_epoch() {
+        let (db, _bases, edits) = setup();
+        let mut qp = QueryProcessor::new(&db);
+        qp.build_bound_index().unwrap();
+        db.delete(*edits.last().unwrap()).unwrap();
+        let q = ColorRangeQuery::new(red_bin(&db), 0.0, 1.0);
+        let _ = qp.range_indexed(&q);
+    }
+
+    #[test]
+    fn bwm_cache_fast_path_preserves_results() {
+        let (db, _bases, _edits) = setup();
+        let mut qp = QueryProcessor::new(&db);
+        qp.build_bwm();
+        qp.build_bound_index().unwrap();
+        let structure = qp.bwm().unwrap().clone();
+        for (lo, hi) in [(0.0, 1.0), (0.45, 0.52), (0.9, 1.0)] {
+            let q = ColorRangeQuery::new(red_bin(&db), lo, hi);
+            let plain = qp.range_bwm_with(&structure, &q).unwrap();
+            let cached = qp
+                .range_bwm_with_cache(
+                    &structure,
+                    &q,
+                    qp.bound_index().map(|i| i as &dyn BoundsCache),
+                )
+                .unwrap();
+            assert_eq!(plain.sorted_results(), cached.sorted_results());
+            assert_eq!(
+                cached.stats.bounds_computed, 0,
+                "fresh index must serve every non-shortcut bounds test"
+            );
         }
     }
 

@@ -36,6 +36,7 @@ pub fn register_metrics() {
         r#"mmdb_query_range_total{plan="instantiate"}"#,
         r#"mmdb_query_range_total{plan="rbm"}"#,
         r#"mmdb_query_range_total{plan="bwm"}"#,
+        r#"mmdb_query_range_total{plan="indexed"}"#,
         r#"mmdb_query_knn_total{path="augmented"}"#,
         r#"mmdb_query_knn_total{path="brute_force"}"#,
         "mmdb_query_knn_edited_pruned_total",
@@ -48,12 +49,15 @@ pub fn register_metrics() {
         r#"mmdb_query_range_latency_seconds{plan="instantiate"}"#,
         r#"mmdb_query_range_latency_seconds{plan="rbm"}"#,
         r#"mmdb_query_range_latency_seconds{plan="bwm"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="indexed"}"#,
         r#"mmdb_query_range_latency_seconds{plan="instantiate",profile="conservative"}"#,
         r#"mmdb_query_range_latency_seconds{plan="instantiate",profile="paper_table1"}"#,
         r#"mmdb_query_range_latency_seconds{plan="rbm",profile="conservative"}"#,
         r#"mmdb_query_range_latency_seconds{plan="rbm",profile="paper_table1"}"#,
         r#"mmdb_query_range_latency_seconds{plan="bwm",profile="conservative"}"#,
         r#"mmdb_query_range_latency_seconds{plan="bwm",profile="paper_table1"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="indexed",profile="conservative"}"#,
+        r#"mmdb_query_range_latency_seconds{plan="indexed",profile="paper_table1"}"#,
         r#"mmdb_query_knn_latency_seconds{path="augmented"}"#,
         r#"mmdb_query_knn_latency_seconds{path="brute_force"}"#,
     ] {

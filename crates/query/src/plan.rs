@@ -14,11 +14,18 @@ pub enum QueryPlan {
     /// Bound-Widening Method (§4): Figure 2 over the Main/Unclassified
     /// structure. "With data structure" in Figures 3–4.
     Bwm,
+    /// Bound-interval index lookup (§3.1's "organize histograms in an
+    /// index", realized over BOUNDS results): answer from memoized per-bin
+    /// intervals — no rule walk at query time. Same result set as RBM/BWM.
+    Indexed,
 }
 
 impl QueryPlan {
-    /// Picks the preferred plan: BWM when a structure is attached, RBM
-    /// otherwise. Instantiation is never chosen automatically.
+    /// Picks the preferred scan plan: BWM when a structure is attached, RBM
+    /// otherwise. Instantiation is never chosen automatically, and neither
+    /// is `Indexed` — the facade upgrades to it explicitly because serving
+    /// from the index carries a freshness obligation (epoch sync) that plain
+    /// scans do not.
     pub fn choose(bwm_available: bool) -> QueryPlan {
         if bwm_available {
             QueryPlan::Bwm
@@ -34,6 +41,7 @@ impl fmt::Display for QueryPlan {
             QueryPlan::Instantiate => "instantiate",
             QueryPlan::Rbm => "rbm",
             QueryPlan::Bwm => "bwm",
+            QueryPlan::Indexed => "indexed",
         };
         f.write_str(s)
     }
@@ -54,5 +62,6 @@ mod tests {
         assert_eq!(QueryPlan::Instantiate.to_string(), "instantiate");
         assert_eq!(QueryPlan::Rbm.to_string(), "rbm");
         assert_eq!(QueryPlan::Bwm.to_string(), "bwm");
+        assert_eq!(QueryPlan::Indexed.to_string(), "indexed");
     }
 }

@@ -172,6 +172,8 @@ pub enum PlanKind {
     Rbm,
     /// Instantiate every edited image (ground truth).
     Instantiate,
+    /// Bound-interval index lookup (memoized bounds; no rule walk).
+    Indexed,
 }
 
 impl PlanKind {
@@ -181,6 +183,7 @@ impl PlanKind {
             0 => Some(PlanKind::Bwm),
             1 => Some(PlanKind::Rbm),
             2 => Some(PlanKind::Instantiate),
+            3 => Some(PlanKind::Indexed),
             _ => None,
         }
     }
@@ -191,6 +194,7 @@ impl PlanKind {
             PlanKind::Bwm => 0,
             PlanKind::Rbm => 1,
             PlanKind::Instantiate => 2,
+            PlanKind::Indexed => 3,
         }
     }
 }
@@ -763,6 +767,13 @@ mod tests {
             bin: 12,
             pct_min: 0.25,
             pct_max: 0.75,
+        }));
+        roundtrip_request(RequestBody::Range(RangeRequest {
+            plan: PlanKind::Indexed,
+            profile: ProfileKind::Conservative,
+            bin: 3,
+            pct_min: 0.1,
+            pct_max: 0.9,
         }));
         roundtrip_request(RequestBody::Knn { probe_id: 9, k: 5 });
         roundtrip_request(RequestBody::Lookup { id: 7 });

@@ -16,7 +16,7 @@ use mmdb_rules::{ImageInfo, InfoResolver};
 use mmdb_telemetry::{counter, histogram};
 use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -74,6 +74,13 @@ pub struct StorageEngine {
     background: Rgb,
     catalog_path: Option<PathBuf>,
     validate_ingest: AtomicBool,
+    /// Mutation epoch: bumped (under the exclusive catalog lock) by every
+    /// insert and delete. Derived structures such as the bound-interval
+    /// index stamp themselves with the epoch they were built from and must
+    /// refuse to serve when it trails [`StorageEngine::current_epoch`] —
+    /// that comparison is what makes "a stale entry is never served" a
+    /// checkable invariant rather than a convention.
+    epoch: AtomicU64,
 }
 
 impl StorageEngine {
@@ -101,6 +108,7 @@ impl StorageEngine {
             background: Rgb::BLACK,
             catalog_path: Some(catalog_path),
             validate_ingest: AtomicBool::new(true),
+            epoch: AtomicU64::new(0),
         };
         engine.flush()?;
         Ok(engine)
@@ -127,6 +135,7 @@ impl StorageEngine {
             background: Rgb::BLACK,
             catalog_path: Some(catalog_path),
             validate_ingest: AtomicBool::new(true),
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -142,7 +151,20 @@ impl StorageEngine {
             background: Rgb::BLACK,
             catalog_path: None,
             validate_ingest: AtomicBool::new(true),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The current mutation epoch. Readers building derived structures must
+    /// capture the epoch *before* reading catalog state: a racing mutation
+    /// then leaves the derived stamp behind the true epoch (forcing a
+    /// re-sync) rather than ahead of it (serving stale data).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// The quantizer every histogram in this database uses.
@@ -188,6 +210,7 @@ impl StorageEngine {
                 histogram,
             },
         );
+        self.bump_epoch();
         Ok(id)
     }
 
@@ -286,6 +309,7 @@ impl StorageEngine {
                 sequence: Arc::new(sequence),
             },
         );
+        self.bump_epoch();
         counter!("mmdb_storage_edited_inserts_total").inc();
         counter!(r#"mmdb_storage_ingest_total{result="accepted"}"#).inc();
         histogram!("mmdb_storage_ingest_latency_seconds").observe(started.elapsed());
@@ -450,6 +474,7 @@ impl StorageEngine {
         if let Some(CatalogEntry::Binary { blob, .. }) = inner.catalog.remove(id) {
             inner.blobs.delete(blob);
         }
+        self.bump_epoch();
         drop(inner);
         self.cache.lock().invalidate(&id);
         Ok(())

@@ -371,7 +371,7 @@ impl_tuple_arbitrary! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Inclusive size bounds for [`vec`] — accepts `n`, `a..b`, `a..=b`.
+    /// Inclusive size bounds for [`vec()`] — accepts `n`, `a..b`, `a..=b`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -403,7 +403,7 @@ pub mod collection {
         }
     }
 
-    /// Result of [`vec`].
+    /// Result of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
