@@ -8,10 +8,11 @@
 //! Subcommands: `table2`, `fig3`, `fig4`, `headline`, `ablation-nbw`,
 //! `ablation-selectivity`, `ablation-profile`, `ablation-knn`,
 //! `ablation-bins`, `fig3-constmix`, `fig4-constmix`, `storage`, `lint`,
-//! `overhead`, `serve-load`, `all`. `--fast` runs a reduced configuration;
-//! CSVs land in `results/`. `serve-load [--connect HOST:PORT]` drives the
-//! network query server (self-hosted unless `--connect` points at a
-//! running `mmdbctl serve-queries`).
+//! `overhead`, `serve-load`, `trace-overhead`, `all`. `--fast` runs a
+//! reduced configuration; CSVs land in `results/`. `serve-load
+//! [--connect HOST:PORT]` drives the network query server (self-hosted
+//! unless `--connect` points at a running `mmdbctl serve-queries`);
+//! `trace-overhead` measures the serving cost of the request-tracing modes.
 
 use mmdb_bench::csvout;
 use mmdb_bench::experiments::{self, Figure, SweepConfig, METRICS_HEADERS, SWEEP_HEADERS};
@@ -625,6 +626,60 @@ fn run_serve_load(fast: bool, raw_args: &[String]) {
     println!("[csv] {}", path.display());
 }
 
+fn run_trace_overhead(fast: bool) {
+    use mmdb_bench::serveload::{self, LoadConfig, TRACE_OVERHEAD_HEADERS};
+    let cfg = if fast {
+        LoadConfig::fast()
+    } else {
+        LoadConfig::default_sweep()
+    };
+    println!();
+    println!(
+        "Trace overhead — identical closed-loop workload vs. tracing mode \
+         (off / tail-sampled / 100% retention)"
+    );
+    print_rule(96);
+    println!(
+        "{:>12} {:>6} {:>9} {:>12} {:>10} {:>9} {:>9} {:>9} {:>12}",
+        "trace_mode",
+        "conc",
+        "requests",
+        "kept_traces",
+        "qps",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "qps vs off"
+    );
+    let points = serveload::run_trace_overhead(&cfg);
+    let mut rows = Vec::new();
+    for p in &points {
+        println!(
+            "{:>12} {:>6} {:>9} {:>12} {:>10.1} {:>9.3} {:>9.3} {:>9.3} {:>11.1}%",
+            p.label,
+            p.point.concurrency,
+            p.point.requests,
+            p.kept_traces,
+            p.point.qps,
+            p.point.p50_ms,
+            p.point.p95_ms,
+            p.point.p99_ms,
+            p.qps_vs_off_pct
+        );
+        rows.push(p.csv_row());
+    }
+    print_rule(96);
+    let tail = &points[1];
+    println!(
+        "tail-sampled throughput is {:.1}% of tracing-off (acceptance bar: >= 95%); with the \
+         keep threshold at the off-run p99, the store captured {} slow-tail trace(s) of {}",
+        tail.qps_vs_off_pct, points[3].kept_traces, points[3].point.requests
+    );
+    let path = results_dir().join("trace_overhead.csv");
+    csvout::write_csv(&path, &TRACE_OVERHEAD_HEADERS, &rows).expect("write csv");
+    println!("[csv] {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -662,6 +717,7 @@ fn main() {
         "lint" => run_lint(&cfg),
         "overhead" => run_overhead(&cfg),
         "serve-load" => run_serve_load(fast, &args),
+        "trace-overhead" => run_trace_overhead(fast),
         "all" => {
             run_table2(cfg.seed);
             run_figure(Figure::Fig3Helmet, &cfg);
@@ -681,7 +737,7 @@ fn main() {
             eprintln!(
                 "usage: repro [table2|fig3|fig4|headline|ablation-nbw|ablation-selectivity|\
                  ablation-profile|ablation-knn|ablation-bins|fig3-constmix|fig4-constmix|storage|\
-                 lint|overhead|serve-load [--connect HOST:PORT]|all] [--fast]"
+                 lint|overhead|serve-load [--connect HOST:PORT]|trace-overhead|all] [--fast]"
             );
             std::process::exit(2);
         }

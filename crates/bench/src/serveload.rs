@@ -9,7 +9,9 @@
 use mmdbms::datagen::helmets::HelmetGenerator;
 use mmdbms::prelude::*;
 use mmdbms::server::protocol::{PlanKind, ProfileKind};
-use mmdbms::server::{Client, ClientError, QueryServer, RangeRequest, ServerConfig, Status};
+use mmdbms::server::{
+    Client, ClientError, QueryServer, RangeRequest, ServerConfig, Status, TraceMode,
+};
 use mmdbms::MultimediaDatabase;
 use std::net::SocketAddr;
 use std::sync::{Arc, Barrier};
@@ -290,9 +292,126 @@ pub fn run_self_hosted(cfg: &LoadConfig) -> Vec<LoadPoint> {
     points
 }
 
+/// CSV header for [`TraceOverheadPoint::csv_row`].
+pub const TRACE_OVERHEAD_HEADERS: [&str; 9] = [
+    "trace_mode",
+    "concurrency",
+    "requests",
+    "kept_traces",
+    "qps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "qps_vs_off_pct",
+];
+
+/// One tracing mode measured against the identical workload.
+#[derive(Clone, Debug)]
+pub struct TraceOverheadPoint {
+    /// Row label (`trace-off`, `trace-tail`, `trace-full`, `tail-capture`).
+    pub label: &'static str,
+    /// The server's tracing mode for this run.
+    pub mode: TraceMode,
+    /// Traces retained by the tail sampler during the run.
+    pub kept_traces: usize,
+    /// Throughput relative to the `off` baseline, percent (100 = equal).
+    pub qps_vs_off_pct: f64,
+    /// The underlying load measurement.
+    pub point: LoadPoint,
+}
+
+impl TraceOverheadPoint {
+    /// The row matching [`TRACE_OVERHEAD_HEADERS`].
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.label.to_string(),
+            self.point.concurrency.to_string(),
+            self.point.requests.to_string(),
+            self.kept_traces.to_string(),
+            format!("{:.1}", self.point.qps),
+            format!("{:.3}", self.point.p50_ms),
+            format!("{:.3}", self.point.p95_ms),
+            format!("{:.3}", self.point.p99_ms),
+            format!("{:.1}", self.qps_vs_off_pct),
+        ]
+    }
+}
+
+/// Measures the serving cost of request tracing: the same closed-loop
+/// workload against self-hosted servers that differ only in [`TraceMode`]
+/// (off / tail-sampled / 100% retention). The acceptance bar is
+/// tail-sampled throughput within 5% of tracing-off; `full` quantifies what
+/// always-on retention would cost instead. A fourth `tail-capture` arm
+/// reruns tail sampling with the retroactive-keep threshold pinned to the
+/// off-run's p99, demonstrating that the store captures (roughly) the
+/// slowest 1% of requests without being told which ones in advance.
+pub fn run_trace_overhead(cfg: &LoadConfig) -> Vec<TraceOverheadPoint> {
+    let db = build_database(cfg);
+    let concurrency = cfg.concurrency_levels.iter().copied().max().unwrap_or(8);
+    let run_mode = |label, mode| {
+        mmdbms::telemetry::trace_store().clear();
+        let server = QueryServer::bind(
+            "127.0.0.1:0",
+            Arc::<MultimediaDatabase>::clone(&db) as Arc<dyn mmdbms::server::QueryBackend>,
+            ServerConfig {
+                trace_mode: mode,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind trace-overhead server");
+        // A short unmeasured warm pass so lazy structures (bound index,
+        // raster cache) are identical across the measured runs.
+        run_level(server.local_addr(), "warm", 2, 20, 0, cfg.seed ^ 0xBEEF);
+        let point = run_level(
+            server.local_addr(),
+            label,
+            concurrency,
+            cfg.queries_per_client,
+            0,
+            cfg.seed,
+        );
+        let kept_traces = mmdbms::telemetry::trace_store().len();
+        server.shutdown();
+        TraceOverheadPoint {
+            label,
+            mode,
+            kept_traces,
+            qps_vs_off_pct: 0.0,
+            point,
+        }
+    };
+
+    let mut out = vec![
+        run_mode("trace-off", TraceMode::Off),
+        run_mode("trace-tail", TraceMode::Tail),
+        run_mode("trace-full", TraceMode::Full),
+    ];
+    // Capture arm: keep threshold = the off-run's p99, so the tail store
+    // should retain roughly the slowest 1% of the 0-deadline workload.
+    let p99_off = out[0].point.p99_ms;
+    mmdbms::telemetry::set_trace_keep_threshold(std::time::Duration::from_secs_f64(p99_off / 1e3));
+    out.push(run_mode("tail-capture", TraceMode::Tail));
+    mmdbms::telemetry::set_trace_keep_threshold(mmdbms::telemetry::DEFAULT_TRACE_KEEP_THRESHOLD);
+
+    let baseline = out[0].point.qps.max(1e-9);
+    for p in &mut out {
+        p.qps_vs_off_pct = 100.0 * p.point.qps / baseline;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that touch the process-global trace store (the
+    /// default server config tail-samples, so even the plain load test can
+    /// write to it).
+    fn store_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     #[test]
     fn percentile_indexing() {
@@ -304,6 +423,7 @@ mod tests {
 
     #[test]
     fn tiny_self_hosted_run_completes() {
+        let _guard = store_lock();
         let cfg = LoadConfig {
             base_images: 4,
             augment: 1,
@@ -323,5 +443,36 @@ mod tests {
             assert!(p.qps > 0.0);
         }
         assert!(points.iter().all(|p| p.p50_ms <= p.p99_ms));
+    }
+
+    #[test]
+    fn trace_overhead_covers_all_modes() {
+        let _guard = store_lock();
+        let cfg = LoadConfig {
+            base_images: 4,
+            augment: 1,
+            seed: 9,
+            concurrency_levels: vec![2],
+            queries_per_client: 10,
+        };
+        let points = run_trace_overhead(&cfg);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].mode, TraceMode::Off);
+        assert_eq!(points[0].kept_traces, 0, "off must keep nothing");
+        assert_eq!(points[2].mode, TraceMode::Full);
+        assert!(
+            points[2].kept_traces > 0,
+            "full retention must keep every trace"
+        );
+        // The capture arm exists and restores the default threshold; the
+        // kept count is workload-dependent (at this tiny scale the p99 is
+        // the max, which a rerun may never exceed), so it is not asserted.
+        assert_eq!(points[3].label, "tail-capture");
+        assert_eq!(points[3].mode, TraceMode::Tail);
+        assert_eq!(
+            mmdbms::telemetry::trace_keep_threshold(),
+            mmdbms::telemetry::DEFAULT_TRACE_KEEP_THRESHOLD
+        );
+        assert!((points[0].qps_vs_off_pct - 100.0).abs() < 1e-9);
     }
 }

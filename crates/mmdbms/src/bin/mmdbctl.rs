@@ -13,6 +13,8 @@
 //! mmdbctl metrics --db ./mydb [--format prometheus|json]
 //! mmdbctl serve --db ./mydb [--listen 127.0.0.1:9184] [--warmup N]
 //!               [--slow-ms MS] [--recorder-capacity N]
+//! mmdbctl traces --connect 127.0.0.1:9184 [--id HEX]
+//! mmdbctl profile --connect 127.0.0.1:9184 [--seconds N]
 //! mmdbctl events --db ./mydb [--warmup N] [--limit N]
 //! mmdbctl top --db ./mydb [--queries N] [--seed S]
 //! mmdbctl knn --db ./mydb probe.ppm --k 5 [--augmented]
@@ -381,9 +383,72 @@ fn run_warmup(db: &MultimediaDatabase, n: u64, seed: u64) -> Result<usize, Strin
     Ok(ran)
 }
 
+/// The build profile this binary was compiled under, for `mmdb_build_info`.
+fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+/// A shared readiness latch: `/readyz` answers 503 with the current detail
+/// string until [`ReadyLatch::set_ready`] flips it to 200.
+#[derive(Clone)]
+struct ReadyLatch {
+    ready: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    detail: std::sync::Arc<std::sync::Mutex<String>>,
+}
+
+impl ReadyLatch {
+    fn new(initial_detail: &str) -> ReadyLatch {
+        ReadyLatch {
+            ready: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            detail: std::sync::Arc::new(std::sync::Mutex::new(initial_detail.to_string())),
+        }
+    }
+
+    fn set_detail(&self, detail: String) {
+        *self.detail.lock().unwrap() = detail;
+    }
+
+    fn set_ready(&self, detail: String) {
+        self.set_detail(detail);
+        self.ready.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    fn probe(&self) -> mmdbms::telemetry::ReadinessProbe {
+        let latch = self.clone();
+        std::sync::Arc::new(move || {
+            let detail = latch.detail.lock().unwrap().clone();
+            if latch.ready.load(std::sync::atomic::Ordering::Acquire) {
+                Ok(detail)
+            } else {
+                Err(detail)
+            }
+        })
+    }
+}
+
+/// Binds the metrics/exposition server with the standard prerender hook
+/// (flush the rules layer's thread-local counters) plus a readiness probe.
+fn bind_exposition(
+    listen: &str,
+    latch: &ReadyLatch,
+) -> Result<mmdbms::telemetry::MetricsServer, String> {
+    // Scrapes must see exact counts: the rules layer batches its metrics in
+    // thread-locals, so flush right before every render.
+    let options = mmdbms::telemetry::ServeOptions {
+        prerender: Some(std::sync::Arc::new(mmdbms::rules::flush_metrics)),
+        readiness: Some(latch.probe()),
+    };
+    mmdbms::telemetry::serve_with(listen, options).map_err(|e| format!("bind {listen}: {e}"))
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let db = open_db(args)?;
     mmdbms::register_all_metrics();
+    mmdbms::telemetry::register_build_info(env!("CARGO_PKG_VERSION"), build_profile());
     let config = mmdbms::ObservabilityConfig {
         slow_query_threshold: std::time::Duration::from_millis(args.u64_opt("slow-ms", 250)?),
         recorder_capacity: args.u64_opt(
@@ -392,23 +457,23 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         )? as usize,
     };
     mmdbms::configure_observability(&config);
-    run_warmup(&db, args.u64_opt("warmup", 0)?, args.u64_opt("seed", 42)?)?;
     let listen = args
         .options
         .get("listen")
         .map_or("127.0.0.1:9184", String::as_str);
-    // Scrapes must see exact counts: the rules layer batches its metrics in
-    // thread-locals, so flush right before every render.
-    let hook: mmdbms::telemetry::PrerenderHook = std::sync::Arc::new(mmdbms::rules::flush_metrics);
-    let server =
-        mmdbms::telemetry::serve(listen, Some(hook)).map_err(|e| format!("bind {listen}: {e}"))?;
+    // Bind *before* the warmup so `/readyz` is observable (503) while the
+    // catalog warms, then flips to 200 — orchestrators gate traffic on it.
+    let latch = ReadyLatch::new("warming up");
+    let server = bind_exposition(listen, &latch)?;
     let addr = server.local_addr();
     // Flush explicitly: when stdout is a pipe (the CI smoke test, scripts
     // reading the ephemeral port) the line would otherwise sit in the block
     // buffer until exit — which for `serve` is never.
-    println!("serving /metrics /events /healthz on http://{addr}");
+    println!("serving /metrics /events /healthz /readyz /traces on http://{addr}");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
+    let warmed = run_warmup(&db, args.u64_opt("warmup", 0)?, args.u64_opt("seed", 42)?)?;
+    latch.set_ready(format!("catalog loaded, {warmed} warmup queries"));
     // Ctrl-C / SIGTERM: stop accepting scrapes, drain, exit 0.
     let signal = mmdbms::server::ShutdownSignal::install();
     signal.wait(std::time::Duration::from_millis(100));
@@ -420,35 +485,52 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 fn cmd_serve_queries(args: &Args) -> Result<(), String> {
     let db = open_db(args)?;
     mmdbms::register_all_metrics();
-    run_warmup(&db, args.u64_opt("warmup", 0)?, args.u64_opt("seed", 42)?)?;
-    let listen = args
-        .options
-        .get("listen")
-        .map_or("127.0.0.1:9190", String::as_str);
+    mmdbms::telemetry::register_build_info(env!("CARGO_PKG_VERSION"), build_profile());
     let mut config = mmdbms::server::ServerConfig::default();
     config.workers = args.u64_opt("workers", config.workers as u64)? as usize;
     config.queue_depth = args.u64_opt("queue-depth", config.queue_depth as u64)? as usize;
-    let backend: std::sync::Arc<dyn mmdbms::server::QueryBackend> = std::sync::Arc::new(db);
-    let server = mmdbms::server::QueryServer::bind(listen, backend, config)
-        .map_err(|e| format!("bind {listen}: {e}"))?;
+    config.trace_mode = match args.options.get("trace-mode") {
+        None => mmdbms::server::TraceMode::default(),
+        Some(s) => mmdbms::server::TraceMode::parse(s)
+            .ok_or_else(|| format!("unknown trace mode {s:?} (off|tail|full)"))?,
+    };
+    if let Some(raw) = args.options.get("trace-keep-ms") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| format!("bad --trace-keep-ms {raw:?}"))?;
+        mmdbms::telemetry::set_trace_keep_threshold(std::time::Duration::from_millis(ms));
+    }
     // An optional metrics endpoint rides along so operators can watch the
-    // server counters (overloads, deadline misses, latency) live.
+    // server counters (overloads, deadline misses, latency) live, fetch
+    // kept traces from /traces, and gate traffic on /readyz. Bound *before*
+    // the warmup so the unready window is observable.
+    let latch = ReadyLatch::new("warming up");
     let metrics = match args.options.get("metrics") {
         Some(addr) => {
-            let hook: mmdbms::telemetry::PrerenderHook =
-                std::sync::Arc::new(mmdbms::rules::flush_metrics);
-            let m = mmdbms::telemetry::serve(addr, Some(hook))
-                .map_err(|e| format!("bind metrics {addr}: {e}"))?;
+            let m = bind_exposition(addr, &latch)?;
             eprintln!("metrics on http://{}", m.local_addr());
             Some(m)
         }
         None => None,
     };
+    run_warmup(&db, args.u64_opt("warmup", 0)?, args.u64_opt("seed", 42)?)?;
+    let listen = args
+        .options
+        .get("listen")
+        .map_or("127.0.0.1:9190", String::as_str);
+    let backend: std::sync::Arc<dyn mmdbms::server::QueryBackend> = std::sync::Arc::new(db);
+    let server = mmdbms::server::QueryServer::bind(listen, backend, config)
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    latch.set_ready(format!(
+        "catalog loaded, serving queries on {}",
+        server.local_addr()
+    ));
     println!(
-        "serving queries on {} (workers {}, queue depth {})",
+        "serving queries on {} (workers {}, queue depth {}, tracing {})",
         server.local_addr(),
         config.workers,
-        config.queue_depth
+        config.queue_depth,
+        config.trace_mode.name()
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -525,6 +607,81 @@ fn cmd_query_remote(args: &Args) -> Result<(), String> {
     for id in ids {
         println!("  img#{id}");
     }
+    Ok(())
+}
+
+/// A minimal HTTP/1.1 GET against the exposition server (dependency-free on
+/// purpose: it only needs to fetch from our own `MetricsServer`). Returns
+/// the body; non-2xx statuses become errors carrying the body as detail.
+fn http_get(addr: &str, path: &str, timeout: std::time::Duration) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("send {addr}{path}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read {addr}{path}: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response from {addr}{path}"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    if (200..300).contains(&status) {
+        Ok(body.to_string())
+    } else {
+        Err(format!(
+            "{addr}{path} answered {status}: {}",
+            body.trim_end()
+        ))
+    }
+}
+
+/// `traces --connect HOST:PORT [--id HEX]`: fetch the tail-sampled trace
+/// store from a serving process — summaries, or one full span tree by id.
+fn cmd_traces(args: &Args) -> Result<(), String> {
+    let addr = args
+        .options
+        .get("connect")
+        .ok_or_else(|| "--connect HOST:PORT (the metrics address) is required".to_string())?;
+    let path = match args.options.get("id") {
+        Some(id) => format!("/traces/{id}"),
+        None => "/traces".to_string(),
+    };
+    let body = http_get(addr, &path, std::time::Duration::from_secs(10))?;
+    println!("{}", body.trim_end());
+    Ok(())
+}
+
+/// `profile --connect HOST:PORT [--seconds N]`: capture a collapsed-stack
+/// wall-clock profile from a serving process (feed to a flamegraph tool).
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let addr = args
+        .options
+        .get("connect")
+        .ok_or_else(|| "--connect HOST:PORT (the metrics address) is required".to_string())?;
+    let seconds = args.u64_opt("seconds", 5)?;
+    let body = http_get(
+        addr,
+        &format!("/debug/profile?seconds={seconds}"),
+        // The server blocks for the whole window; pad the read timeout.
+        std::time::Duration::from_secs(seconds + 15),
+    )?;
+    print!("{body}");
     Ok(())
 }
 
@@ -741,7 +898,7 @@ fn cmd_delete(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|serve|serve-queries|events|top|knn|export|script|lint|analyze|verify|compact|delete> [options]
+const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|serve|serve-queries|traces|profile|events|top|knn|export|script|lint|analyze|verify|compact|delete> [options]
   create        --db DIR [--quantizer rgb-uniform/4]
   gen           --db DIR [--collection flags|helmets] [--count N] [--augment N] [--seed S]
   insert        --db DIR FILE.ppm [--augment N] [--seed S]
@@ -754,6 +911,9 @@ const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|que
   metrics       --db DIR [--format prometheus|json]
   serve         --db DIR [--listen HOST:PORT] [--warmup N] [--slow-ms MS] [--recorder-capacity N]
   serve-queries --db DIR [--listen HOST:PORT] [--workers N] [--queue-depth N] [--metrics HOST:PORT] [--warmup N]
+                [--trace-mode off|tail|full] [--trace-keep-ms MS]
+  traces        --connect HOST:PORT [--id HEX]       # HOST:PORT = metrics address
+  profile       --connect HOST:PORT [--seconds N]    # collapsed stacks for flamegraphs
   events        --db DIR [--warmup N] [--limit N]
   top           --db DIR [--queries N] [--seed S]
   knn           --db DIR PROBE.ppm [--k N] [--augmented true]
@@ -799,6 +959,8 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(&args),
         "serve" => cmd_serve(&args),
         "serve-queries" => cmd_serve_queries(&args),
+        "traces" => cmd_traces(&args),
+        "profile" => cmd_profile(&args),
         "events" => cmd_events(&args),
         "top" => cmd_top(&args),
         "knn" => cmd_knn(&args),

@@ -404,10 +404,24 @@ impl MultimediaDatabase {
         query: &ColorRangeQuery,
         plan: QueryPlan,
     ) -> Result<(mmdb_bwm::QueryOutcome, QueryTrace)> {
-        let qp = QueryProcessor::with_profile(&self.storage, self.profile);
+        self.query_range_traced_with(query, plan, self.profile)
+    }
+
+    /// Traced variant of [`MultimediaDatabase::query_range_with`]: explicit
+    /// plan *and* rule profile, plus the per-stage [`QueryTrace`]. This is
+    /// what the network backend runs for wire-traced requests, so the span
+    /// tree stored by the tail sampler reflects the profile the request
+    /// actually selected.
+    pub fn query_range_traced_with(
+        &self,
+        query: &ColorRangeQuery,
+        plan: QueryPlan,
+        profile: RuleProfile,
+    ) -> Result<(mmdb_bwm::QueryOutcome, QueryTrace)> {
+        let qp = QueryProcessor::with_profile(&self.storage, profile);
         match plan {
             QueryPlan::Bwm => qp.range_bwm_with_traced(&self.bwm.read(), query),
-            QueryPlan::Indexed => self.with_bound_index(self.profile, |idx, sync| {
+            QueryPlan::Indexed => self.with_bound_index(profile, |idx, sync| {
                 qp.range_indexed_with_traced(idx, query, sync)
             })?,
             _ => qp.range_with_plan_traced(plan, query),

@@ -11,6 +11,7 @@ use mmdb_rules::{ColorRangeQuery, RuleProfile};
 use mmdb_server::protocol::{PlanKind, ProfileKind};
 use mmdb_server::{BackendError, LookupReply, QueryBackend, RangeReply, RangeRequest, StatsReply};
 use mmdb_storage::StoredKind;
+use mmdb_telemetry::{profile_frame, QueryTrace};
 
 fn plan_of(kind: PlanKind) -> QueryPlan {
     match kind {
@@ -28,32 +29,65 @@ fn profile_of(kind: ProfileKind) -> RuleProfile {
     }
 }
 
+/// Shared wire-to-engine validation: the wire decoder validates the
+/// percentage range but cannot know this database's quantizer, so the bin
+/// bound is checked here — an out-of-range bin would otherwise panic deep
+/// in the rule engine and histogram indexing.
+fn checked_query(
+    db: &MultimediaDatabase,
+    req: &RangeRequest,
+) -> Result<ColorRangeQuery, BackendError> {
+    let bins = db.quantizer().bin_count();
+    if req.bin as usize >= bins {
+        return Err(BackendError::BadRequest(format!(
+            "bin {} out of range for quantizer with {bins} bins",
+            req.bin
+        )));
+    }
+    Ok(ColorRangeQuery {
+        bin: req.bin as usize,
+        pct_min: req.pct_min,
+        pct_max: req.pct_max,
+    })
+}
+
+fn reply_of(outcome: &mmdb_bwm::QueryOutcome) -> RangeReply {
+    RangeReply {
+        ids: outcome.results.iter().map(|id| id.0).collect(),
+        bounds_computed: outcome.stats.bounds_computed as u64,
+        shortcut_emissions: outcome.stats.shortcut_emissions as u64,
+    }
+}
+
+fn plan_frame_name(plan: PlanKind) -> &'static str {
+    match plan {
+        PlanKind::Bwm => "range/bwm",
+        PlanKind::Rbm => "range/rbm",
+        PlanKind::Instantiate => "range/instantiate",
+        PlanKind::Indexed => "range/indexed",
+    }
+}
+
 impl QueryBackend for MultimediaDatabase {
     fn range(&self, req: &RangeRequest) -> Result<RangeReply, BackendError> {
-        // The wire decoder validates the percentage range but cannot know
-        // this database's quantizer, so the bin bound is checked here —
-        // an out-of-range bin would otherwise panic deep in the rule
-        // engine and histogram indexing.
-        let bins = self.quantizer().bin_count();
-        if req.bin as usize >= bins {
-            return Err(BackendError::BadRequest(format!(
-                "bin {} out of range for quantizer with {bins} bins",
-                req.bin
-            )));
-        }
-        let query = ColorRangeQuery {
-            bin: req.bin as usize,
-            pct_min: req.pct_min,
-            pct_max: req.pct_max,
-        };
+        let query = checked_query(self, req)?;
+        let _frame = profile_frame(plan_frame_name(req.plan));
         let outcome = self
             .query_range_with(&query, plan_of(req.plan), profile_of(req.profile))
             .map_err(|e| BackendError::Internal(e.to_string()))?;
-        Ok(RangeReply {
-            ids: outcome.results.iter().map(|id| id.0).collect(),
-            bounds_computed: outcome.stats.bounds_computed as u64,
-            shortcut_emissions: outcome.stats.shortcut_emissions as u64,
-        })
+        Ok(reply_of(&outcome))
+    }
+
+    fn range_traced(
+        &self,
+        req: &RangeRequest,
+    ) -> Result<(RangeReply, Option<QueryTrace>), BackendError> {
+        let query = checked_query(self, req)?;
+        let _frame = profile_frame(plan_frame_name(req.plan));
+        let (outcome, trace) = self
+            .query_range_traced_with(&query, plan_of(req.plan), profile_of(req.profile))
+            .map_err(|e| BackendError::Internal(e.to_string()))?;
+        Ok((reply_of(&outcome), Some(trace)))
     }
 
     fn knn(&self, probe_id: u64, k: u32) -> Result<Vec<(u64, f64)>, BackendError> {

@@ -1,0 +1,280 @@
+//! End-to-end tests for cross-layer request tracing: wire-propagated trace
+//! ids, tail-sampled retroactive keeps, and queue-wait attribution visible
+//! through the `/traces/<id>` exposition endpoint.
+//!
+//! The trace store and keep threshold are process-global, so every test
+//! takes the same lock — otherwise one test's `clear()` or threshold change
+//! would race another's assertions.
+
+use mmdbms::datagen::helmets::HelmetGenerator;
+use mmdbms::prelude::*;
+use mmdbms::server::protocol::{PlanKind, ProfileKind};
+use mmdbms::server::{
+    BackendError, Client, LookupReply, QueryBackend, QueryServer, RangeReply, RangeRequest,
+    ServerConfig, StatsReply, TraceContext, TraceMode,
+};
+use mmdbms::telemetry::{
+    next_trace_id, serve_with, set_trace_keep_threshold, trace_store, KeepReason, ServeOptions,
+    DEFAULT_TRACE_KEEP_THRESHOLD,
+};
+use mmdbms::MultimediaDatabase;
+use std::io::{Read as _, Write as _};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serializes tests that touch the process-global trace store/threshold.
+fn global_trace_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A panic in another test must not wedge the rest of the suite.
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn seeded_db() -> Arc<MultimediaDatabase> {
+    let db = Arc::new(MultimediaDatabase::in_memory(Box::new(
+        RgbQuantizer::default_64(),
+    )));
+    let generator = HelmetGenerator::with_seed(11);
+    for i in 0..6 {
+        db.insert_image(&generator.generate(i)).unwrap();
+    }
+    db
+}
+
+fn range_request() -> RangeRequest {
+    RangeRequest {
+        plan: PlanKind::Bwm,
+        profile: ProfileKind::Conservative,
+        bin: 3,
+        pct_min: 0.0,
+        pct_max: 1.0,
+    }
+}
+
+#[test]
+fn trace_ids_round_trip_under_concurrency() {
+    let _guard = global_trace_lock();
+    trace_store().clear();
+    let db = seeded_db();
+    let server = QueryServer::bind(
+        "127.0.0.1:0",
+        db as Arc<dyn QueryBackend>,
+        ServerConfig {
+            workers: 4,
+            trace_mode: TraceMode::Tail,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                assert_eq!(client.protocol_version(), 2);
+                let mut sent = Vec::new();
+                for _ in 0..25 {
+                    let ctx = TraceContext::generate(true);
+                    let (_reply, echoed) = client.range_traced(range_request(), 0, ctx).unwrap();
+                    assert_eq!(
+                        echoed,
+                        Some(ctx.trace_id),
+                        "server must echo the exact trace id it was sent"
+                    );
+                    sent.push(ctx.trace_id);
+                }
+                sent
+            })
+        })
+        .collect();
+    let mut all_ids = Vec::new();
+    for h in handles {
+        all_ids.extend(h.join().unwrap());
+    }
+    server.shutdown();
+
+    // 100 distinct ids, none mixed up between pipelined connections.
+    all_ids.sort_unstable();
+    all_ids.dedup();
+    assert_eq!(all_ids.len(), 100, "trace ids must be distinct");
+    // Sampled contexts are kept unconditionally by the tail sampler, and
+    // 100 fits within the store's bounded capacity, so all must survive.
+    let kept = trace_store().len();
+    assert!(kept >= 100, "sampled traces must be kept, got {kept}");
+}
+
+#[test]
+fn slow_query_is_kept_retroactively_without_sampling() {
+    let _guard = global_trace_lock();
+    trace_store().clear();
+    // Any real query runs longer than 1µs, so an *unsampled* trace must be
+    // kept retroactively with reason "slow".
+    set_trace_keep_threshold(Duration::from_micros(1));
+    let db = seeded_db();
+    let server = QueryServer::bind(
+        "127.0.0.1:0",
+        db as Arc<dyn QueryBackend>,
+        ServerConfig {
+            trace_mode: TraceMode::Tail,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let ctx = TraceContext {
+        trace_id: next_trace_id(),
+        sampled: false,
+    };
+    let (_, echoed) = client.range_traced(range_request(), 0, ctx).unwrap();
+    assert_eq!(echoed, Some(ctx.trace_id));
+    let stored = trace_store()
+        .get(ctx.trace_id)
+        .expect("slow unsampled trace must be kept retroactively");
+    assert_eq!(stored.keep_reason, KeepReason::Slow);
+    assert_eq!(stored.opcode, "range");
+    assert_eq!(stored.status, "OK");
+    assert!(stored.total >= stored.queue_wait);
+    assert!(stored.trace.span("queue_wait").is_some());
+    assert!(stored.trace.span("execute").is_some());
+
+    // With the threshold back at its default, the same fast query is
+    // dropped: that asymmetry is the whole point of tail sampling.
+    set_trace_keep_threshold(DEFAULT_TRACE_KEEP_THRESHOLD);
+    let ctx2 = TraceContext {
+        trace_id: next_trace_id(),
+        sampled: false,
+    };
+    client.range_traced(range_request(), 0, ctx2).unwrap();
+    assert!(
+        trace_store().get(ctx2.trace_id).is_none(),
+        "fast unsampled trace must be dropped"
+    );
+    server.shutdown();
+}
+
+/// A backend whose range queries take a fixed time, so a second request
+/// demonstrably waits in the admission queue behind the single worker.
+struct SlowBackend(Duration);
+
+impl QueryBackend for SlowBackend {
+    fn range(&self, req: &RangeRequest) -> Result<RangeReply, BackendError> {
+        std::thread::sleep(self.0);
+        Ok(RangeReply {
+            ids: vec![u64::from(req.bin)],
+            bounds_computed: 0,
+            shortcut_emissions: 0,
+        })
+    }
+
+    fn knn(&self, _probe_id: u64, _k: u32) -> Result<Vec<(u64, f64)>, BackendError> {
+        Ok(Vec::new())
+    }
+
+    fn lookup(&self, id: u64) -> Result<LookupReply, BackendError> {
+        Err(BackendError::NotFound(id))
+    }
+
+    fn stats(&self) -> StatsReply {
+        StatsReply {
+            binary_count: 0,
+            edited_count: 0,
+            binary_bytes: 0,
+            edited_bytes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+    let status = head
+        .lines()
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    (status, body.to_string())
+}
+
+#[test]
+fn queued_request_reports_nonzero_queue_wait_via_http() {
+    let _guard = global_trace_lock();
+    trace_store().clear();
+    let server = QueryServer::bind(
+        "127.0.0.1:0",
+        Arc::new(SlowBackend(Duration::from_millis(80))) as Arc<dyn QueryBackend>,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            trace_mode: TraceMode::Tail,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let exposition = serve_with("127.0.0.1:0", ServeOptions::default()).unwrap();
+
+    // Occupy the only worker, then queue a sampled request behind it.
+    let holder = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.range(range_request()).unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    let mut client = Client::connect(addr).unwrap();
+    let ctx = TraceContext::generate(true);
+    let (_, echoed) = client.range_traced(range_request(), 0, ctx).unwrap();
+    holder.join().unwrap();
+    assert_eq!(echoed, Some(ctx.trace_id));
+
+    // The summary list knows the id…
+    let (status, list) = http_get(exposition.local_addr(), "/traces");
+    assert_eq!(status, 200);
+    let hex_id = format!("{:016x}", ctx.trace_id);
+    assert!(
+        list.contains(&hex_id),
+        "summary list must contain {hex_id}: {list}"
+    );
+
+    // …and the full tree attributes a nonzero queue wait (the request sat
+    // behind the 80ms holder for ~60ms).
+    let (status, body) = http_get(exposition.local_addr(), &format!("/traces/{hex_id}"));
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"queue_wait\""),
+        "missing queue_wait span: {body}"
+    );
+    let wait_nanos: u64 = body
+        .split("\"queue_wait_nanos\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.trim().parse().ok())
+        .expect("queue_wait_nanos field");
+    assert!(
+        wait_nanos > 10_000_000,
+        "queued request must report substantial queue wait, got {wait_nanos}ns"
+    );
+
+    // Unknown ids are a clean 404, not a panic or empty 200.
+    let (status, _) = http_get(exposition.local_addr(), "/traces/ffffffffffffffff");
+    assert_eq!(status, 404);
+
+    exposition.shutdown();
+    server.shutdown();
+}

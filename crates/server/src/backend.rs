@@ -4,6 +4,7 @@
 //! [`QueryBackend`] for `MultimediaDatabase`, and tests plug in mocks.
 
 use crate::protocol::{LookupReply, RangeReply, RangeRequest, StatsReply, Status};
+use mmdb_telemetry::QueryTrace;
 
 /// Why a backend call failed, mapped onto wire [`Status`] codes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,6 +42,17 @@ impl BackendError {
 pub trait QueryBackend: Send + Sync {
     /// Executes a color range query under the requested plan and profile.
     fn range(&self, req: &RangeRequest) -> Result<RangeReply, BackendError>;
+
+    /// Traced variant of [`QueryBackend::range`]: also returns the
+    /// per-plan stage tree (RBM/BWM scans, `index_sync`/`index_lookup`, …)
+    /// when the backend supports stage timing. The default delegates to
+    /// `range` and reports no stages, so mock backends need not care.
+    fn range_traced(
+        &self,
+        req: &RangeRequest,
+    ) -> Result<(RangeReply, Option<QueryTrace>), BackendError> {
+        self.range(req).map(|reply| (reply, None))
+    }
 
     /// The `k` nearest neighbours of stored image `probe_id` over the whole
     /// augmented database, as `(id, distance)` ascending.

@@ -5,7 +5,7 @@
 use crate::protocol::{
     client_handshake, decode_response, encode_request, read_frame, write_frame, LookupReply,
     RangeReply, RangeRequest, ReplyBody, Request, RequestBody, Response, StatsReply, Status,
-    DEFAULT_MAX_FRAME_LEN,
+    TraceContext, DEFAULT_MAX_FRAME_LEN,
 };
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -68,6 +68,12 @@ pub struct Client {
     stream: TcpStream,
     next_id: u64,
     max_frame_len: u32,
+    /// Negotiated protocol version for this connection.
+    version: u16,
+    /// Trace id echoed by the server on the most recent call (success or
+    /// structured error); `None` before any call, on v1 connections, or
+    /// when the server traced nothing.
+    last_trace_id: Option<u64>,
 }
 
 impl Client {
@@ -77,12 +83,14 @@ impl Client {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-        client_handshake(&mut stream)
+        let version = client_handshake(&mut stream)
             .map_err(|e| ClientError::Protocol(format!("handshake failed: {e}")))?;
         Ok(Client {
             stream,
             next_id: 1,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            version,
+            last_trace_id: None,
         })
     }
 
@@ -93,19 +101,44 @@ impl Client {
         Ok(())
     }
 
+    /// The protocol version negotiated at connect time.
+    pub fn protocol_version(&self) -> u16 {
+        self.version
+    }
+
+    /// The trace id the server echoed on the most recent call; fetch the
+    /// matching span tree from the exposition server's `/traces/<id>` when
+    /// the tail sampler kept it.
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.last_trace_id
+    }
+
     fn call(&mut self, body: RequestBody, deadline_ms: u32) -> Result<ReplyBody, ClientError> {
+        self.call_traced(body, deadline_ms, None)
+    }
+
+    fn call_traced(
+        &mut self,
+        body: RequestBody,
+        deadline_ms: u32,
+        trace: Option<TraceContext>,
+    ) -> Result<ReplyBody, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let opcode = body.opcode();
         let request = Request {
             id,
             deadline_ms,
+            trace,
             body,
         };
-        write_frame(&mut self.stream, &encode_request(&request))?;
+        write_frame(&mut self.stream, &encode_request(&request, self.version))?;
         let payload = read_frame(&mut self.stream, self.max_frame_len)?;
-        match decode_response(&payload, opcode).map_err(|e| ClientError::Protocol(e.to_string()))? {
-            Response::Ok { id: rid, body } => {
+        let response = decode_response(&payload, opcode, self.version)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        self.last_trace_id = response.trace_id();
+        match response {
+            Response::Ok { id: rid, body, .. } => {
                 if rid != id {
                     return Err(ClientError::Protocol(format!(
                         "response id {rid} does not match request id {id}"
@@ -117,6 +150,7 @@ impl Client {
                 id: rid,
                 status,
                 message,
+                ..
             } => {
                 // id 0 is the server's "could not even parse the id" marker.
                 if rid != id && rid != 0 {
@@ -153,6 +187,25 @@ impl Client {
     ) -> Result<RangeReply, ClientError> {
         match self.call(RequestBody::Range(req), deadline_ms)? {
             ReplyBody::Range(r) => Ok(r),
+            other => Err(ClientError::Protocol(format!(
+                "expected range reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Color range query carrying an explicit wire trace context. Returns
+    /// the reply plus the trace id the server recorded the request under
+    /// (normally the one sent; `None` only on v1 connections). Mark the
+    /// context `sampled` to force the server's tail sampler to keep the
+    /// trace regardless of latency.
+    pub fn range_traced(
+        &mut self,
+        req: RangeRequest,
+        deadline_ms: u32,
+        trace: TraceContext,
+    ) -> Result<(RangeReply, Option<u64>), ClientError> {
+        match self.call_traced(RequestBody::Range(req), deadline_ms, Some(trace))? {
+            ReplyBody::Range(r) => Ok((r, self.last_trace_id)),
             other => Err(ClientError::Protocol(format!(
                 "expected range reply, got {other:?}"
             ))),

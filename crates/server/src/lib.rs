@@ -45,7 +45,8 @@ pub use backend::{BackendError, QueryBackend};
 pub use client::{Client, ClientError};
 pub use protocol::{
     LookupReply, Opcode, PlanKind, ProfileKind, RangeReply, RangeRequest, StatsReply, Status,
+    TraceContext,
 };
 pub use queue::{BoundedQueue, PushError};
-pub use server::{register_metrics, DrainStats, QueryServer, ServerConfig};
+pub use server::{register_metrics, DrainStats, QueryServer, ServerConfig, TraceMode};
 pub use shutdown::ShutdownSignal;

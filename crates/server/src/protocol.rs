@@ -6,7 +6,10 @@
 //! Immediately after connecting, the client sends `MMDB` (4 bytes) followed
 //! by its protocol version (`u16`). The server answers with the same magic,
 //! its own version, and one status byte (0 = accepted, 1 = unsupported
-//! version). On rejection the server closes the connection.
+//! version). On rejection the server closes the connection. The server
+//! accepts any version in `[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]` and
+//! speaks the *client's* version on that connection, so old clients keep
+//! working against new servers unchanged.
 //!
 //! ## Frames
 //!
@@ -16,8 +19,21 @@
 //! u32 payload_len | payload
 //! ```
 //!
-//! A request payload is `u64 request_id | u8 opcode | u32 deadline_ms |
-//! body`; a response payload is `u64 request_id | u8 status | body`. A
+//! A version-1 request payload is `u64 request_id | u8 opcode |
+//! u32 deadline_ms | body`; a version-1 response payload is
+//! `u64 request_id | u8 status | body`. Version 2 inserts an optional
+//! trace context between the fixed header and the body:
+//!
+//! ```text
+//! request:  u64 id | u8 opcode | u32 deadline_ms | u8 trace_flags | [u64 trace_id] | body
+//! response: u64 id | u8 status | u8 trace_flags | [u64 trace_id] | body
+//! ```
+//!
+//! `trace_flags` bit 0 says a `u64 trace_id` follows; bit 1 (requests
+//! only) marks the request as head-sampled — the server's tail-sampling
+//! trace store keeps sampled requests unconditionally. Responses echo the
+//! trace id the server used (the client's, or a server-generated one), so
+//! callers can fetch the matching span tree from `/traces/<id>`. A
 //! `deadline_ms` of 0 means "no deadline". Oversized `payload_len` values
 //! (beyond the server's configured maximum) are answered with a structured
 //! error and a clean disconnect, since the stream can no longer be trusted
@@ -38,20 +54,36 @@
 
 use std::io::{Read, Write};
 
+pub use mmdb_telemetry::TraceContext;
+
 /// Connection preamble bytes.
 pub const MAGIC: [u8; 4] = *b"MMDB";
 
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The protocol version this build speaks (v2 adds the optional wire trace
+/// context).
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version the server still accepts; v1 connections simply
+/// never carry trace contexts.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Default cap on `payload_len`; larger frames are rejected as malformed.
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 4 << 20;
 
-/// Fixed prefix of every request payload: id (8) + opcode (1) + deadline (4).
+/// Fixed prefix of every v1 request payload: id (8) + opcode (1) +
+/// deadline (4). Version 2 appends a trace-flags byte (and optionally a
+/// trace id) to this prefix.
 pub const REQUEST_HEADER_LEN: usize = 13;
 
-/// Fixed prefix of every response payload: id (8) + status (1).
+/// Fixed prefix of every v1 response payload: id (8) + status (1).
+/// Version 2 appends a trace-flags byte (and optionally a trace id).
 pub const RESPONSE_HEADER_LEN: usize = 9;
+
+/// Trace-flags bit: a `u64 trace_id` follows the flags byte.
+const TRACE_FLAG_PRESENT: u8 = 0x1;
+
+/// Trace-flags bit (requests only): the client head-sampled this request.
+const TRACE_FLAG_SAMPLED: u8 = 0x2;
 
 /// Request opcodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -329,6 +361,9 @@ pub struct Request {
     pub id: u64,
     /// Deadline in milliseconds from server receipt; 0 = none.
     pub deadline_ms: u32,
+    /// Wire-propagated trace context (protocol v2+; always `None` on v1
+    /// connections).
+    pub trace: Option<TraceContext>,
     /// The opcode-specific body.
     pub body: RequestBody,
 }
@@ -369,6 +404,13 @@ impl<'a> Reader<'a> {
 
     fn f64(&mut self) -> Result<f64, DecodeError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Consumes and returns every remaining byte.
+    fn rest(&mut self) -> &'a [u8] {
+        let out = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        out
     }
 
     fn finish(&self) -> Result<(), DecodeError> {
@@ -421,14 +463,65 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+// ── Trace-context encode / decode ──────────────────────────────────────
+
+/// Appends the v2 trace-flags byte (and trace id when present).
+/// `allow_sampled` distinguishes requests (which carry the sampling bit)
+/// from responses (which only echo the id).
+fn put_trace(out: &mut Vec<u8>, trace: Option<&TraceContext>, allow_sampled: bool) {
+    match trace {
+        None => out.push(0),
+        Some(ctx) => {
+            let mut flags = TRACE_FLAG_PRESENT;
+            if allow_sampled && ctx.sampled {
+                flags |= TRACE_FLAG_SAMPLED;
+            }
+            out.push(flags);
+            put_u64(out, ctx.trace_id);
+        }
+    }
+}
+
+/// Reads the v2 trace-flags byte (and trace id when present).
+fn read_trace(
+    r: &mut Reader<'_>,
+    allow_sampled: bool,
+) -> Result<Option<TraceContext>, DecodeError> {
+    let flags = r.u8()?;
+    let known = if allow_sampled {
+        TRACE_FLAG_PRESENT | TRACE_FLAG_SAMPLED
+    } else {
+        TRACE_FLAG_PRESENT
+    };
+    if flags & !known != 0 {
+        return Err(DecodeError::BadSelector("trace flags", flags));
+    }
+    if flags & TRACE_FLAG_PRESENT == 0 {
+        if flags & TRACE_FLAG_SAMPLED != 0 {
+            // Sampled-but-absent is contradictory; reject rather than guess.
+            return Err(DecodeError::BadSelector("trace flags", flags));
+        }
+        return Ok(None);
+    }
+    Ok(Some(TraceContext {
+        trace_id: r.u64()?,
+        sampled: flags & TRACE_FLAG_SAMPLED != 0,
+    }))
+}
+
 // ── Request encode / decode ────────────────────────────────────────────
 
-/// Encodes a request payload (without the length prefix).
-pub fn encode_request(req: &Request) -> Vec<u8> {
+/// Encodes a request payload (without the length prefix) for the given
+/// negotiated protocol version. Version 1 silently drops the trace context
+/// — v1 peers have no field to carry it in.
+pub fn encode_request(req: &Request, version: u16) -> Vec<u8> {
     let mut out = Vec::with_capacity(REQUEST_HEADER_LEN + 32);
     put_u64(&mut out, req.id);
     out.push(req.body.opcode().as_u8());
     put_u32(&mut out, req.deadline_ms);
+    if version >= 2 {
+        put_trace(&mut out, req.trace.as_ref(), true);
+    }
     match &req.body {
         RequestBody::Ping | RequestBody::Stats => {}
         RequestBody::Range(r) => {
@@ -449,24 +542,29 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     out
 }
 
-/// Decodes a request payload. On failure the caller still learns the
-/// request id (when at least 8 bytes arrived) so the error response can be
-/// correlated.
-pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, DecodeError)> {
+/// Decodes a request payload under the given negotiated protocol version.
+/// On failure the caller still learns the request id (when at least 8 bytes
+/// arrived) so the error response can be correlated.
+pub fn decode_request(payload: &[u8], version: u16) -> Result<Request, (u64, DecodeError)> {
     let id = if payload.len() >= 8 {
         u64::from_le_bytes(payload[..8].try_into().unwrap())
     } else {
         0
     };
-    decode_request_inner(payload).map_err(|e| (id, e))
+    decode_request_inner(payload, version).map_err(|e| (id, e))
 }
 
-fn decode_request_inner(payload: &[u8]) -> Result<Request, DecodeError> {
+fn decode_request_inner(payload: &[u8], version: u16) -> Result<Request, DecodeError> {
     let mut r = Reader::new(payload);
     let id = r.u64()?;
     let opcode_byte = r.u8()?;
     let opcode = Opcode::from_u8(opcode_byte).ok_or(DecodeError::UnknownOpcode(opcode_byte))?;
     let deadline_ms = r.u32()?;
+    let trace = if version >= 2 {
+        read_trace(&mut r, true)?
+    } else {
+        None
+    };
     let body = match opcode {
         Opcode::Ping => RequestBody::Ping,
         Opcode::Stats => RequestBody::Stats,
@@ -502,6 +600,7 @@ fn decode_request_inner(payload: &[u8]) -> Result<Request, DecodeError> {
     Ok(Request {
         id,
         deadline_ms,
+        trace,
         body,
     })
 }
@@ -530,6 +629,9 @@ pub enum Response {
     Ok {
         /// Echoed request id.
         id: u64,
+        /// Trace id the server recorded this request under (v2+); fetchable
+        /// from the exposition server's `/traces/<id>` when kept.
+        trace_id: Option<u64>,
         /// The decoded body.
         body: ReplyBody,
     },
@@ -538,6 +640,8 @@ pub enum Response {
         /// Echoed request id (0 when the request could not be parsed far
         /// enough to learn it).
         id: u64,
+        /// Trace id the server recorded this request under (v2+).
+        trace_id: Option<u64>,
         /// The structured error class.
         status: Status,
         /// Human-readable detail.
@@ -545,11 +649,29 @@ pub enum Response {
     },
 }
 
-/// Encodes a success response payload (without the length prefix).
-pub fn encode_ok(id: u64, body: &ReplyBody) -> Vec<u8> {
+impl Response {
+    /// The echoed trace id, whatever the status.
+    pub fn trace_id(&self) -> Option<u64> {
+        match self {
+            Response::Ok { trace_id, .. } | Response::Err { trace_id, .. } => *trace_id,
+        }
+    }
+}
+
+/// Encodes a success response payload (without the length prefix) for the
+/// given negotiated protocol version; `trace_id` is echoed on v2+ and
+/// dropped on v1.
+pub fn encode_ok(id: u64, trace_id: Option<u64>, body: &ReplyBody, version: u16) -> Vec<u8> {
     let mut out = Vec::with_capacity(RESPONSE_HEADER_LEN + 32);
     put_u64(&mut out, id);
     out.push(Status::Ok.as_u8());
+    if version >= 2 {
+        let ctx = trace_id.map(|trace_id| TraceContext {
+            trace_id,
+            sampled: false,
+        });
+        put_trace(&mut out, ctx.as_ref(), false);
+    }
     match body {
         ReplyBody::Pong => {}
         ReplyBody::Range(r) => {
@@ -591,28 +713,53 @@ pub fn encode_ok(id: u64, body: &ReplyBody) -> Vec<u8> {
     out
 }
 
-/// Encodes an error response payload (without the length prefix).
-pub fn encode_err(id: u64, status: Status, message: &str) -> Vec<u8> {
+/// Encodes an error response payload (without the length prefix) for the
+/// given negotiated protocol version; `trace_id` is echoed on v2+ and
+/// dropped on v1.
+pub fn encode_err(
+    id: u64,
+    trace_id: Option<u64>,
+    status: Status,
+    message: &str,
+    version: u16,
+) -> Vec<u8> {
     debug_assert_ne!(status, Status::Ok);
     let mut out = Vec::with_capacity(RESPONSE_HEADER_LEN + message.len());
     put_u64(&mut out, id);
     out.push(status.as_u8());
+    if version >= 2 {
+        let ctx = trace_id.map(|trace_id| TraceContext {
+            trace_id,
+            sampled: false,
+        });
+        put_trace(&mut out, ctx.as_ref(), false);
+    }
     out.extend_from_slice(message.as_bytes());
     out
 }
 
-/// Decodes a response payload. `opcode` disambiguates the OK body layout.
-pub fn decode_response(payload: &[u8], opcode: Opcode) -> Result<Response, DecodeError> {
+/// Decodes a response payload under the given negotiated protocol version.
+/// `opcode` disambiguates the OK body layout.
+pub fn decode_response(
+    payload: &[u8],
+    opcode: Opcode,
+    version: u16,
+) -> Result<Response, DecodeError> {
     let mut r = Reader::new(payload);
     let id = r.u64()?;
     let status_byte = r.u8()?;
     let status =
         Status::from_u8(status_byte).ok_or(DecodeError::BadSelector("status", status_byte))?;
+    let trace_id = if version >= 2 {
+        read_trace(&mut r, false)?.map(|ctx| ctx.trace_id)
+    } else {
+        None
+    };
     if status != Status::Ok {
-        let message = String::from_utf8_lossy(&payload[RESPONSE_HEADER_LEN.min(payload.len())..])
-            .into_owned();
+        let message = String::from_utf8_lossy(r.rest()).into_owned();
         return Ok(Response::Err {
             id,
+            trace_id,
             status,
             message,
         });
@@ -666,7 +813,7 @@ pub fn decode_response(payload: &[u8], opcode: Opcode) -> Result<Response, Decod
         }),
     };
     r.finish()?;
-    Ok(Response::Ok { id, body })
+    Ok(Response::Ok { id, trace_id, body })
 }
 
 // ── Framed stream I/O ──────────────────────────────────────────────────
@@ -697,10 +844,21 @@ pub fn read_frame(r: &mut impl Read, max_len: u32) -> std::io::Result<Vec<u8>> {
 }
 
 /// Client side of the handshake: sends magic + version, checks the reply.
-pub fn client_handshake(stream: &mut (impl Read + Write)) -> std::io::Result<()> {
+/// Returns the version this connection speaks (always [`PROTOCOL_VERSION`]
+/// on success; the server adapts to us, never the reverse).
+pub fn client_handshake(stream: &mut (impl Read + Write)) -> std::io::Result<u16> {
+    client_handshake_with_version(stream, PROTOCOL_VERSION)
+}
+
+/// Client handshake announcing a specific `version` (used by compatibility
+/// tests and by clients deliberately speaking an older dialect).
+pub fn client_handshake_with_version(
+    stream: &mut (impl Read + Write),
+    version: u16,
+) -> std::io::Result<u16> {
     let mut hello = [0u8; 6];
     hello[..4].copy_from_slice(&MAGIC);
-    hello[4..].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    hello[4..].copy_from_slice(&version.to_le_bytes());
     stream.write_all(&hello)?;
     let mut reply = [0u8; 7];
     stream.read_exact(&mut reply)?;
@@ -714,32 +872,31 @@ pub fn client_handshake(stream: &mut (impl Read + Write)) -> std::io::Result<()>
     if reply[6] != 0 {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!(
-                "server rejected protocol version {PROTOCOL_VERSION} (it speaks {server_version})"
-            ),
+            format!("server rejected protocol version {version} (it speaks {server_version})"),
         ));
     }
-    Ok(())
+    Ok(version)
 }
 
 /// Server side of the handshake: checks magic + version, answers. Returns
-/// `false` when the connection must be closed (bad magic or version).
-pub fn server_handshake(stream: &mut (impl Read + Write)) -> std::io::Result<bool> {
+/// the version this connection must speak (the client's), or `None` when
+/// the connection must be closed (bad magic or unsupported version).
+pub fn server_handshake(stream: &mut (impl Read + Write)) -> std::io::Result<Option<u16>> {
     let mut hello = [0u8; 6];
     stream.read_exact(&mut hello)?;
     if hello[..4] != MAGIC {
         // Not our protocol — close without a reply (it could be HTTP or
         // garbage; echoing bytes at it helps nobody).
-        return Ok(false);
+        return Ok(None);
     }
     let client_version = u16::from_le_bytes(hello[4..6].try_into().unwrap());
-    let ok = client_version == PROTOCOL_VERSION;
+    let ok = (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&client_version);
     let mut reply = [0u8; 7];
     reply[..4].copy_from_slice(&MAGIC);
     reply[4..6].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
     reply[6] = u8::from(!ok);
     stream.write_all(&reply)?;
-    Ok(ok)
+    Ok(ok.then_some(client_version))
 }
 
 #[cfg(test)]
@@ -747,13 +904,32 @@ mod tests {
     use super::*;
 
     fn roundtrip_request(body: RequestBody) {
+        // v2, no trace context.
         let req = Request {
             id: 42,
             deadline_ms: 250,
+            trace: None,
             body,
         };
-        let bytes = encode_request(&req);
-        let back = decode_request(&bytes).unwrap();
+        let bytes = encode_request(&req, PROTOCOL_VERSION);
+        let back = decode_request(&bytes, PROTOCOL_VERSION).unwrap();
+        assert_eq!(back, req);
+
+        // v2, traced + sampled.
+        let traced = Request {
+            trace: Some(TraceContext {
+                trace_id: 0xDEAD_BEEF_CAFE_F00D,
+                sampled: true,
+            }),
+            ..req.clone()
+        };
+        let bytes = encode_request(&traced, PROTOCOL_VERSION);
+        let back = decode_request(&bytes, PROTOCOL_VERSION).unwrap();
+        assert_eq!(back, traced);
+
+        // v1 drops the trace context but carries everything else.
+        let bytes = encode_request(&traced, 1);
+        let back = decode_request(&bytes, 1).unwrap();
         assert_eq!(back, req);
     }
 
@@ -815,12 +991,24 @@ mod tests {
             ),
         ];
         for (opcode, body) in cases {
-            let bytes = encode_ok(7, &body);
-            match decode_response(&bytes, opcode).unwrap() {
-                Response::Ok { id, body: back } => {
+            // v2 with a trace echo.
+            let bytes = encode_ok(7, Some(0x1234), &body, PROTOCOL_VERSION);
+            match decode_response(&bytes, opcode, PROTOCOL_VERSION).unwrap() {
+                Response::Ok {
+                    id,
+                    trace_id,
+                    body: back,
+                } => {
                     assert_eq!(id, 7);
+                    assert_eq!(trace_id, Some(0x1234));
                     assert_eq!(back, body);
                 }
+                other => panic!("expected Ok, got {other:?}"),
+            }
+            // v1 carries no trace echo.
+            let bytes = encode_ok(7, Some(0x1234), &body, 1);
+            match decode_response(&bytes, opcode, 1).unwrap() {
+                Response::Ok { trace_id, .. } => assert_eq!(trace_id, None),
                 other => panic!("expected Ok, got {other:?}"),
             }
         }
@@ -828,26 +1016,67 @@ mod tests {
 
     #[test]
     fn error_response_roundtrips() {
-        let bytes = encode_err(3, Status::Overloaded, "queue full (depth 64)");
-        match decode_response(&bytes, Opcode::Range).unwrap() {
-            Response::Err {
-                id,
-                status,
-                message,
-            } => {
-                assert_eq!(id, 3);
-                assert_eq!(status, Status::Overloaded);
-                assert_eq!(message, "queue full (depth 64)");
+        for version in [1u16, PROTOCOL_VERSION] {
+            let bytes = encode_err(
+                3,
+                Some(0xFEED),
+                Status::Overloaded,
+                "queue full (depth 64)",
+                version,
+            );
+            match decode_response(&bytes, Opcode::Range, version).unwrap() {
+                Response::Err {
+                    id,
+                    trace_id,
+                    status,
+                    message,
+                } => {
+                    assert_eq!(id, 3);
+                    assert_eq!(trace_id, (version >= 2).then_some(0xFEED));
+                    assert_eq!(status, Status::Overloaded);
+                    assert_eq!(message, "queue full (depth 64)");
+                }
+                other => panic!("expected Err, got {other:?}"),
             }
-            other => panic!("expected Err, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn bad_trace_flags_are_rejected() {
+        // Unknown flag bit.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(Opcode::Ping.as_u8());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.push(0x4);
+        assert_eq!(
+            decode_request(&payload, PROTOCOL_VERSION).unwrap_err().1,
+            DecodeError::BadSelector("trace flags", 0x4)
+        );
+        // Sampled without a trace id is contradictory.
+        let last = payload.len() - 1;
+        payload[last] = 0x2;
+        assert_eq!(
+            decode_request(&payload, PROTOCOL_VERSION).unwrap_err().1,
+            DecodeError::BadSelector("trace flags", 0x2)
+        );
+        // The sampled bit is request-only; responses reject it.
+        let mut resp = Vec::new();
+        resp.extend_from_slice(&1u64.to_le_bytes());
+        resp.push(Status::Ok.as_u8());
+        resp.push(0x3);
+        resp.extend_from_slice(&9u64.to_le_bytes());
+        assert_eq!(
+            decode_response(&resp, Opcode::Ping, PROTOCOL_VERSION).unwrap_err(),
+            DecodeError::BadSelector("trace flags", 0x3)
+        );
     }
 
     #[test]
     fn truncated_and_malformed_payloads_are_rejected() {
         // Too short for even the id.
         assert_eq!(
-            decode_request(&[1, 2, 3]).unwrap_err().1,
+            decode_request(&[1, 2, 3], PROTOCOL_VERSION).unwrap_err().1,
             DecodeError::Truncated
         );
         // Unknown opcode: id + opcode 99 + deadline.
@@ -855,36 +1084,44 @@ mod tests {
         bad.extend_from_slice(&5u64.to_le_bytes());
         bad.push(99);
         bad.extend_from_slice(&0u32.to_le_bytes());
-        let (id, err) = decode_request(&bad).unwrap_err();
+        let (id, err) = decode_request(&bad, PROTOCOL_VERSION).unwrap_err();
         assert_eq!(id, 5);
         assert_eq!(err, DecodeError::UnknownOpcode(99));
         // A range request cut off mid-f64.
-        let ok = encode_request(&Request {
-            id: 8,
-            deadline_ms: 0,
-            body: RequestBody::Range(RangeRequest {
-                plan: PlanKind::Bwm,
-                profile: ProfileKind::Conservative,
-                bin: 1,
-                pct_min: 0.0,
-                pct_max: 1.0,
-            }),
-        });
-        let (id, err) = decode_request(&ok[..ok.len() - 3]).unwrap_err();
+        let ok = encode_request(
+            &Request {
+                id: 8,
+                deadline_ms: 0,
+                trace: None,
+                body: RequestBody::Range(RangeRequest {
+                    plan: PlanKind::Bwm,
+                    profile: ProfileKind::Conservative,
+                    bin: 1,
+                    pct_min: 0.0,
+                    pct_max: 1.0,
+                }),
+            },
+            PROTOCOL_VERSION,
+        );
+        let (id, err) = decode_request(&ok[..ok.len() - 3], PROTOCOL_VERSION).unwrap_err();
         assert_eq!(id, 8);
         assert_eq!(err, DecodeError::Truncated);
         // Trailing garbage.
-        let mut long = encode_request(&Request {
-            id: 9,
-            deadline_ms: 0,
-            body: RequestBody::Ping,
-        });
+        let mut long = encode_request(
+            &Request {
+                id: 9,
+                deadline_ms: 0,
+                trace: None,
+                body: RequestBody::Ping,
+            },
+            PROTOCOL_VERSION,
+        );
         long.push(0xFF);
         assert_eq!(
-            decode_request(&long).unwrap_err().1,
+            decode_request(&long, PROTOCOL_VERSION).unwrap_err().1,
             DecodeError::TrailingBytes
         );
-        // NaN percentage.
+        // NaN percentage (hand-built v1 layout, decoded as v1).
         let mut nan = Vec::new();
         nan.extend_from_slice(&1u64.to_le_bytes());
         nan.push(Opcode::Range.as_u8());
@@ -895,7 +1132,7 @@ mod tests {
         nan.extend_from_slice(&f64::NAN.to_le_bytes());
         nan.extend_from_slice(&1.0f64.to_le_bytes());
         assert_eq!(
-            decode_request(&nan).unwrap_err().1,
+            decode_request(&nan, 1).unwrap_err().1,
             DecodeError::BadValue("percentage range")
         );
     }
@@ -949,14 +1186,31 @@ mod tests {
         reply.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
         reply.push(0);
         client.input = std::io::Cursor::new(reply);
-        client_handshake(&mut client).unwrap();
+        assert_eq!(client_handshake(&mut client).unwrap(), PROTOCOL_VERSION);
 
         // …and fed to the server side.
         let mut server = Duplex {
             input: std::io::Cursor::new(client.output.clone()),
             output: Vec::new(),
         };
-        assert!(server_handshake(&mut server).unwrap());
+        assert_eq!(
+            server_handshake(&mut server).unwrap(),
+            Some(PROTOCOL_VERSION)
+        );
+
+        // An old v1 client is still accepted, and the connection speaks v1.
+        let mut v1_hello = Vec::new();
+        v1_hello.extend_from_slice(&MAGIC);
+        v1_hello.extend_from_slice(&MIN_PROTOCOL_VERSION.to_le_bytes());
+        let mut server = Duplex {
+            input: std::io::Cursor::new(v1_hello),
+            output: Vec::new(),
+        };
+        assert_eq!(
+            server_handshake(&mut server).unwrap(),
+            Some(MIN_PROTOCOL_VERSION)
+        );
+        assert_eq!(server.output[6], 0, "v1 accepted");
 
         // Wrong version is refused.
         let mut bad_hello = Vec::new();
@@ -966,7 +1220,7 @@ mod tests {
             input: std::io::Cursor::new(bad_hello),
             output: Vec::new(),
         };
-        assert!(!server_handshake(&mut server).unwrap());
+        assert_eq!(server_handshake(&mut server).unwrap(), None);
         assert_eq!(server.output[6], 1, "rejection byte set");
     }
 }

@@ -28,18 +28,53 @@
 use crate::backend::QueryBackend;
 use crate::protocol::{
     decode_request, encode_err, encode_ok, Opcode, ReplyBody, Request, RequestBody, Status,
-    DEFAULT_MAX_FRAME_LEN,
+    TraceContext, DEFAULT_MAX_FRAME_LEN,
 };
 use crate::queue::{BoundedQueue, PushError};
-use mmdb_telemetry::{counter, gauge, histogram, EventKind};
+use mmdb_telemetry::{counter, gauge, histogram, EventKind, KeepReason, QueryTrace, StoredTrace};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// How often blocked reads re-check the stop flag.
 const STOP_POLL: Duration = Duration::from_millis(100);
+
+/// How much request tracing the server performs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No traces are built or stored; trace ids from clients are still
+    /// echoed so correlation never silently breaks.
+    Off,
+    /// Every request is traced cheaply; the store keeps only head-sampled
+    /// requests, errors, and the slow tail (default).
+    #[default]
+    Tail,
+    /// Every trace is kept (100% retention) — measurement and debugging.
+    Full,
+}
+
+impl TraceMode {
+    /// Parses the CLI spelling (`off` / `tail` / `full`).
+    pub fn parse(s: &str) -> Option<TraceMode> {
+        match s {
+            "off" => Some(TraceMode::Off),
+            "tail" => Some(TraceMode::Tail),
+            "full" => Some(TraceMode::Full),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Tail => "tail",
+            TraceMode::Full => "full",
+        }
+    }
+}
 
 /// Tuning knobs for [`QueryServer::bind`].
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +86,8 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Maximum accepted frame payload length.
     pub max_frame_len: u32,
+    /// Request-tracing mode (default: tail sampling).
+    pub trace_mode: TraceMode,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +96,7 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8)),
             queue_depth: 64,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            trace_mode: TraceMode::default(),
         }
     }
 }
@@ -124,6 +162,9 @@ impl Drop for ConnGuard {
 /// One queued unit of work. `Ping` never becomes a job.
 struct Job {
     request: Request,
+    /// Negotiated protocol version of the originating connection; replies
+    /// must be encoded in the same dialect.
+    version: u16,
     accepted_at: Instant,
     reply: mpsc::Sender<Vec<u8>>,
 }
@@ -156,9 +197,10 @@ impl QueryServer {
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let backend = Arc::clone(&backend);
+                let trace_mode = config.trace_mode;
                 std::thread::Builder::new()
                     .name(format!("mmdb-server-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, backend.as_ref()))
+                    .spawn(move || worker_loop(&queue, backend.as_ref(), trace_mode))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
 
@@ -177,10 +219,9 @@ impl QueryServer {
                     let guard = accept_gate.enter();
                     let stop = Arc::clone(&accept_stop);
                     let queue = Arc::clone(&accept_queue);
-                    let max_frame = config.max_frame_len;
                     let spawned = std::thread::Builder::new()
                         .name("mmdb-server-conn".into())
-                        .spawn(move || serve_connection(stream, &stop, &queue, max_frame, guard));
+                        .spawn(move || serve_connection(stream, &stop, &queue, config, guard));
                     // Thread exhaustion: refuse the connection rather than
                     // crash the accept loop.
                     drop(spawned);
@@ -276,6 +317,7 @@ pub fn register_metrics() {
     ] {
         let _ = requests_counter(opcode);
         let _ = latency_histogram(opcode);
+        let _ = execute_histogram(opcode);
     }
     let _ = counter!("mmdb_server_connections_total");
     let _ = counter!("mmdb_server_overloaded_total");
@@ -284,6 +326,19 @@ pub fn register_metrics() {
     let _ = counter!("mmdb_server_backend_panics_total");
     let _ = gauge!("mmdb_server_queue_depth");
     let _ = histogram!("mmdb_server_queue_wait_seconds");
+    let _ = counter!("mmdb_trace_dropped_total");
+    let _ = gauge!("mmdb_trace_store_entries");
+    for reason in [
+        KeepReason::Forced,
+        KeepReason::Sampled,
+        KeepReason::Error,
+        KeepReason::Slow,
+    ] {
+        let _ = mmdb_telemetry::global().counter(&format!(
+            "mmdb_trace_kept_total{{reason=\"{}\"}}",
+            reason.as_str()
+        ));
+    }
 }
 
 fn requests_counter(op: Opcode) -> &'static mmdb_telemetry::Counter {
@@ -303,6 +358,20 @@ fn latency_histogram(op: Opcode) -> &'static mmdb_telemetry::Histogram {
         Opcode::Knn => histogram!(r#"mmdb_server_request_latency_seconds{opcode="knn"}"#),
         Opcode::Lookup => histogram!(r#"mmdb_server_request_latency_seconds{opcode="lookup"}"#),
         Opcode::Stats => histogram!(r#"mmdb_server_request_latency_seconds{opcode="stats"}"#),
+    }
+}
+
+/// Pure backend-execution time, excluding queue wait — together with
+/// `mmdb_server_queue_wait_seconds` this decomposes request latency, so
+/// "slow because queued" and "slow because BOUNDS" are separable from
+/// metrics alone (traces give the per-request version of the same split).
+fn execute_histogram(op: Opcode) -> &'static mmdb_telemetry::Histogram {
+    match op {
+        Opcode::Ping => histogram!(r#"mmdb_server_execute_seconds{opcode="ping"}"#),
+        Opcode::Range => histogram!(r#"mmdb_server_execute_seconds{opcode="range"}"#),
+        Opcode::Knn => histogram!(r#"mmdb_server_execute_seconds{opcode="knn"}"#),
+        Opcode::Lookup => histogram!(r#"mmdb_server_execute_seconds{opcode="lookup"}"#),
+        Opcode::Stats => histogram!(r#"mmdb_server_execute_seconds{opcode="stats"}"#),
     }
 }
 
@@ -376,9 +445,10 @@ fn serve_connection(
     mut stream: TcpStream,
     stop: &Arc<AtomicBool>,
     queue: &Arc<BoundedQueue<Job>>,
-    max_frame_len: u32,
+    config: ServerConfig,
     guard: ConnGuard,
 ) {
+    let max_frame_len = config.max_frame_len;
     counter!("mmdb_server_connections_total").inc();
     let peer = stream
         .peer_addr()
@@ -395,10 +465,10 @@ fn serve_connection(
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_nodelay(true);
-    match crate::protocol::server_handshake(&mut stream) {
-        Ok(true) => {}
-        Ok(false) | Err(_) => return, // guard drops, connection closes
-    }
+    let version = match crate::protocol::server_handshake(&mut stream) {
+        Ok(Some(v)) => v,
+        Ok(None) | Err(_) => return, // guard drops, connection closes
+    };
     let _ = stream.set_read_timeout(Some(STOP_POLL));
 
     // Writer half: all responses (inline errors, pings, worker replies)
@@ -433,25 +503,33 @@ fn serve_connection(
                 // The stream can no longer be framed — answer and disconnect.
                 counter!("mmdb_server_malformed_total").inc();
                 let msg = format!("frame length {len} exceeds maximum {max_frame_len}");
-                let _ = reply_tx.send(encode_err(0, Status::BadRequest, &msg));
+                let _ = reply_tx.send(encode_err(0, None, Status::BadRequest, &msg, version));
                 break;
             }
         };
-        let request = match decode_request(&payload) {
+        let request = match decode_request(&payload, version) {
             Ok(r) => r,
             Err((id, err)) => {
                 counter!("mmdb_server_malformed_total").inc();
-                let _ = reply_tx.send(encode_err(id, Status::BadRequest, &err.to_string()));
+                let _ = reply_tx.send(encode_err(
+                    id,
+                    None,
+                    Status::BadRequest,
+                    &err.to_string(),
+                    version,
+                ));
                 continue;
             }
         };
         requests_counter(request.body.opcode()).inc();
         if matches!(request.body, RequestBody::Ping) {
-            let _ = reply_tx.send(encode_ok(request.id, &ReplyBody::Pong));
+            let trace_id = request.trace.map(|ctx| ctx.trace_id);
+            let _ = reply_tx.send(encode_ok(request.id, trace_id, &ReplyBody::Pong, version));
             continue;
         }
         let job = Job {
             request,
+            version,
             accepted_at: Instant::now(),
             reply: reply_tx.clone(),
         };
@@ -472,9 +550,35 @@ fn serve_connection(
                         &[("request_id", job.request.id)],
                     );
                 }
-                let _ = job
-                    .reply
-                    .send(encode_err(job.request.id, Status::Overloaded, &detail));
+                let opcode = job.request.body.opcode();
+                let trace_ctx = resolve_trace(config.trace_mode, job.request.trace);
+                if config.trace_mode != TraceMode::Off {
+                    if let Some(ctx) = trace_ctx {
+                        // Admission refusals never reach a worker, so they'd
+                        // otherwise be invisible to tracing; store a spanless
+                        // trace (kept via the error rule) carrying the refusal.
+                        let mut trace = QueryTrace::new(format!("request/{}", opcode.name()));
+                        trace.event("opcode", opcode.name());
+                        trace.event("status", Status::Overloaded.name());
+                        trace.event("detail", &detail);
+                        offer_trace(
+                            ctx,
+                            opcode,
+                            Status::Overloaded,
+                            Duration::ZERO,
+                            Duration::ZERO,
+                            trace,
+                            config.trace_mode,
+                        );
+                    }
+                }
+                let _ = job.reply.send(encode_err(
+                    job.request.id,
+                    trace_ctx.map(|ctx| ctx.trace_id),
+                    Status::Overloaded,
+                    &detail,
+                    job.version,
+                ));
             }
         }
     }
@@ -482,12 +586,80 @@ fn serve_connection(
     // (which hold their own clones) are delivered.
 }
 
-fn worker_loop(queue: &BoundedQueue<Job>, backend: &dyn QueryBackend) {
-    while let Some(job) = queue.pop() {
+/// Resolves the trace context a request runs under: the client's when it
+/// sent one (any mode — ids are echoed even with tracing off), otherwise a
+/// server-generated unsampled one when tracing is on.
+fn resolve_trace(mode: TraceMode, wire: Option<TraceContext>) -> Option<TraceContext> {
+    match (wire, mode) {
+        (Some(ctx), _) => Some(ctx),
+        (None, TraceMode::Off) => None,
+        (None, _) => Some(TraceContext {
+            trace_id: mmdb_telemetry::next_trace_id(),
+            sampled: false,
+        }),
+    }
+}
+
+fn unix_micros_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros().min(u64::MAX as u128) as u64)
+}
+
+/// Offers a finished request trace to the global tail-sampling store.
+fn offer_trace(
+    ctx: TraceContext,
+    opcode: Opcode,
+    status: Status,
+    total: Duration,
+    queue_wait: Duration,
+    trace: QueryTrace,
+    mode: TraceMode,
+) {
+    // The hint encodes which unconditional-keep rule applies; the store
+    // falls through to the latency threshold when neither does.
+    let hint = if status != Status::Ok {
+        KeepReason::Error
+    } else if ctx.sampled {
+        KeepReason::Sampled
+    } else {
+        KeepReason::Slow
+    };
+    mmdb_telemetry::trace_store().offer(
+        StoredTrace {
+            trace_id: ctx.trace_id,
+            unix_micros: unix_micros_now(),
+            opcode: opcode.name().to_string(),
+            status: status.name().to_string(),
+            total,
+            queue_wait,
+            keep_reason: hint,
+            trace,
+        },
+        mode == TraceMode::Full,
+    );
+}
+
+fn worker_loop(queue: &BoundedQueue<Job>, backend: &dyn QueryBackend, trace_mode: TraceMode) {
+    let _prof = mmdb_telemetry::register_profiler_thread("worker");
+    loop {
+        let job = {
+            // Published while blocked on the queue so idle workers show up
+            // as `worker;idle` in profiles rather than vanishing.
+            let _idle = mmdb_telemetry::profile_frame("idle");
+            match queue.pop() {
+                Some(job) => job,
+                None => break,
+            }
+        };
         gauge!("mmdb_server_queue_depth").set(queue.len() as u64);
         let waited = job.accepted_at.elapsed();
         histogram!("mmdb_server_queue_wait_seconds").observe(waited);
         let id = job.request.id;
+        let opcode = job.request.body.opcode();
+        let tracing = trace_mode != TraceMode::Off;
+        let ctx = resolve_trace(trace_mode, job.request.trace);
+        let wire_trace_id = ctx.map(|c| c.trace_id);
         if job.request.deadline_ms > 0
             && waited >= Duration::from_millis(u64::from(job.request.deadline_ms))
         {
@@ -497,7 +669,7 @@ fn worker_loop(queue: &BoundedQueue<Job>, backend: &dyn QueryBackend) {
                     EventKind::ServerDeadlineExceeded,
                     format!(
                         "opcode={} queued_for={}",
-                        job.request.body.opcode().name(),
+                        opcode.name(),
                         mmdb_telemetry::format_duration(waited)
                     ),
                     &[
@@ -506,27 +678,71 @@ fn worker_loop(queue: &BoundedQueue<Job>, backend: &dyn QueryBackend) {
                     ],
                 );
             }
+            if tracing {
+                if let Some(ctx) = ctx {
+                    // The whole lifetime of this request was queue wait —
+                    // exactly the "slow because queued" shape the tail
+                    // sampler exists to expose.
+                    let mut trace = QueryTrace::new(format!("request/{}", opcode.name()));
+                    trace.event("opcode", opcode.name());
+                    trace.event("status", Status::DeadlineExceeded.name());
+                    trace.stage("queue_wait", waited);
+                    trace.finish(waited);
+                    offer_trace(
+                        ctx,
+                        opcode,
+                        Status::DeadlineExceeded,
+                        waited,
+                        waited,
+                        trace,
+                        trace_mode,
+                    );
+                }
+            }
             let msg = format!(
                 "deadline of {}ms expired after {} in queue; request not executed",
                 job.request.deadline_ms,
                 mmdb_telemetry::format_duration(waited)
             );
-            let _ = job
-                .reply
-                .send(encode_err(id, Status::DeadlineExceeded, &msg));
+            let _ = job.reply.send(encode_err(
+                id,
+                wire_trace_id,
+                Status::DeadlineExceeded,
+                &msg,
+                job.version,
+            ));
             continue;
         }
-        let opcode = job.request.body.opcode();
-        let start = Instant::now();
+        let exec_start = Instant::now();
         // A panic in the backend must not unwind the worker: the pool is
         // fixed-size with no respawn, so an unwinding request would both
         // drop its reply (hanging the client until its read timeout) and
         // permanently shrink the pool. Catch it and answer INTERNAL.
-        let payload = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(backend, &job.request.body)
-        })) {
-            Ok(Ok(body)) => encode_ok(id, &body),
-            Ok(Err(err)) => encode_err(id, err.status(), &err.message()),
+        // Backend stage tracing (the per-plan span tree) costs real work —
+        // traced query paths bypass caches and allocate spans — so it runs
+        // only when the trace is certain to be kept (full mode, or a
+        // sampled context). Unsampled tail-mode requests are timed with the
+        // cheap queue_wait/execute spans and remain eligible for
+        // retroactive keep; only the plan-internal detail is coarser.
+        let want_stages = trace_mode == TraceMode::Full || ctx.is_some_and(|c| c.sampled);
+        let outcome = {
+            let _frame = mmdb_telemetry::profile_frame(opcode.name());
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute(backend, &job.request.body, want_stages)
+            }))
+        };
+        let exec_elapsed = exec_start.elapsed();
+        let (status, backend_trace, payload) = match outcome {
+            Ok(Ok((body, backend_trace))) => (
+                Status::Ok,
+                backend_trace,
+                encode_ok(id, wire_trace_id, &body, job.version),
+            ),
+            Ok(Err(err)) => (
+                err.status(),
+                None,
+                encode_err(id, wire_trace_id, err.status(), &err.message(), job.version),
+            ),
             Err(panic) => {
                 counter!("mmdb_server_backend_panics_total").inc();
                 let detail = panic_message(panic.as_ref());
@@ -537,10 +753,48 @@ fn worker_loop(queue: &BoundedQueue<Job>, backend: &dyn QueryBackend) {
                         &[("request_id", id)],
                     );
                 }
-                encode_err(id, Status::Internal, &format!("backend panicked: {detail}"))
+                (
+                    Status::Internal,
+                    None,
+                    encode_err(
+                        id,
+                        wire_trace_id,
+                        Status::Internal,
+                        &format!("backend panicked: {detail}"),
+                        job.version,
+                    ),
+                )
             }
         };
-        latency_histogram(opcode).observe(start.elapsed());
+        execute_histogram(opcode).observe(exec_elapsed);
+        // Full request latency from admission, so queue_wait + execute
+        // histograms decompose it.
+        latency_histogram(opcode).observe(job.accepted_at.elapsed());
+        if tracing {
+            if let Some(ctx) = ctx {
+                let total = waited + exec_elapsed;
+                let mut trace = QueryTrace::new(format!("request/{}", opcode.name()));
+                trace.event("opcode", opcode.name());
+                trace.event("status", status.name());
+                if ctx.sampled {
+                    trace.event("sampled", "true");
+                }
+                trace.stage("queue_wait", waited);
+                if let Some(backend_trace) = backend_trace {
+                    // Graft the backend's stage tree (plan scans,
+                    // index_sync/index_lookup, …) under the execute span and
+                    // hoist its events (plan chosen, …) to the request level.
+                    trace
+                        .stage("execute", exec_elapsed)
+                        .child(backend_trace.root().clone());
+                    trace.events.extend(backend_trace.events);
+                } else {
+                    trace.stage("execute", exec_elapsed);
+                }
+                trace.finish(total);
+                offer_trace(ctx, opcode, status, total, waited, trace, trace_mode);
+            }
+        }
         let _ = job.reply.send(payload);
     }
 }
@@ -559,12 +813,18 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
 fn execute(
     backend: &dyn QueryBackend,
     body: &RequestBody,
-) -> Result<ReplyBody, crate::backend::BackendError> {
+    traced: bool,
+) -> Result<(ReplyBody, Option<QueryTrace>), crate::backend::BackendError> {
     match body {
-        RequestBody::Ping => Ok(ReplyBody::Pong),
-        RequestBody::Range(req) => backend.range(req).map(ReplyBody::Range),
-        RequestBody::Knn { probe_id, k } => backend.knn(*probe_id, *k).map(ReplyBody::Knn),
-        RequestBody::Lookup { id } => backend.lookup(*id).map(ReplyBody::Lookup),
-        RequestBody::Stats => Ok(ReplyBody::Stats(backend.stats())),
+        RequestBody::Ping => Ok((ReplyBody::Pong, None)),
+        RequestBody::Range(req) if traced => backend
+            .range_traced(req)
+            .map(|(reply, trace)| (ReplyBody::Range(reply), trace)),
+        RequestBody::Range(req) => backend.range(req).map(|r| (ReplyBody::Range(r), None)),
+        RequestBody::Knn { probe_id, k } => backend
+            .knn(*probe_id, *k)
+            .map(|pairs| (ReplyBody::Knn(pairs), None)),
+        RequestBody::Lookup { id } => backend.lookup(*id).map(|l| (ReplyBody::Lookup(l), None)),
+        RequestBody::Stats => Ok((ReplyBody::Stats(backend.stats()), None)),
     }
 }

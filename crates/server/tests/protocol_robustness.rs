@@ -6,7 +6,7 @@
 
 use mmdb_server::protocol::{
     decode_response, encode_request, read_frame, write_frame, Opcode, PlanKind, ProfileKind,
-    RangeRequest, Request, RequestBody, Response, MAGIC,
+    RangeRequest, Request, RequestBody, Response, MAGIC, PROTOCOL_VERSION,
 };
 use mmdb_server::{
     BackendError, Client, ClientError, LookupReply, QueryBackend, QueryServer, RangeReply,
@@ -113,17 +113,21 @@ fn raw_connect(server: &QueryServer) -> TcpStream {
 }
 
 fn send_request(stream: &mut TcpStream, id: u64, deadline_ms: u32, body: RequestBody) {
-    let frame = encode_request(&Request {
-        id,
-        deadline_ms,
-        body,
-    });
+    let frame = encode_request(
+        &Request {
+            id,
+            deadline_ms,
+            trace: None,
+            body,
+        },
+        PROTOCOL_VERSION,
+    );
     write_frame(stream, &frame).unwrap();
 }
 
 fn recv_response(stream: &mut TcpStream, opcode: Opcode) -> Response {
     let payload = read_frame(stream, 4 << 20).unwrap();
-    decode_response(&payload, opcode).unwrap()
+    decode_response(&payload, opcode, PROTOCOL_VERSION).unwrap()
 }
 
 #[test]
@@ -173,6 +177,7 @@ fn unknown_opcode_reports_bad_request_with_request_id() {
             id,
             status,
             message,
+            ..
         } => {
             assert_eq!(id, 77, "error must carry the offending request id");
             assert_eq!(status, Status::BadRequest);
@@ -316,7 +321,7 @@ fn overload_returns_structured_error_and_ping_still_answers() {
         let payload = read_frame(&mut stream, 4 << 20).unwrap();
         let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
         let opcode = if id == 4 { Opcode::Ping } else { Opcode::Range };
-        match decode_response(&payload, opcode).unwrap() {
+        match decode_response(&payload, opcode, PROTOCOL_VERSION).unwrap() {
             Response::Ok { id: 4, .. } => pong += 1,
             Response::Ok { id, .. } => ok.push(id),
             Response::Err { id, status, .. } => {

@@ -41,22 +41,35 @@
 
 mod fmt;
 mod percentile;
+pub mod profiler;
 mod recorder;
 mod registry;
 mod server;
 mod trace;
+mod tracestore;
 
 pub use fmt::format_duration;
 pub use percentile::HistogramSnapshot;
+pub use profiler::{
+    collect_profile, profile_frame, register_profiler_thread, FrameGuard, ProfiledThread,
+    DEFAULT_SAMPLE_HZ, MAX_PROFILE_DEPTH,
+};
 pub use recorder::{
     events_to_json, recorder, set_slow_query_threshold, slow_query_threshold, Event, EventKind,
     FlightRecorder, DEFAULT_RECORDER_CAPACITY, DEFAULT_SLOW_QUERY_THRESHOLD,
 };
 pub use registry::{global, Counter, Gauge, Histogram, Registry, Snapshot};
-pub use server::{serve, MetricsServer, PrerenderHook};
+pub use server::{serve, serve_with, MetricsServer, PrerenderHook, ReadinessProbe, ServeOptions};
 pub use trace::{QueryTrace, Span};
+pub use tracestore::{
+    next_trace_id, parse_trace_id, set_trace_keep_threshold, trace_keep_threshold, trace_store,
+    KeepReason, StoredTrace, TraceContext, TraceStore, DEFAULT_TRACE_KEEP_THRESHOLD,
+    DEFAULT_TRACE_STORE_CAPACITY,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 static TRACING: AtomicBool = AtomicBool::new(false);
 
@@ -87,6 +100,33 @@ pub fn set_tracing(enabled: bool) {
 #[inline]
 pub fn tracing_enabled() -> bool {
     TRACING.load(Ordering::Relaxed)
+}
+
+static PROCESS_START: OnceLock<Instant> = OnceLock::new();
+
+/// The instant the process first asked for it — call once early in `main`
+/// so `mmdb_uptime_seconds` measures from startup rather than first scrape.
+pub fn process_start() -> Instant {
+    *PROCESS_START.get_or_init(Instant::now)
+}
+
+/// Registers the `mmdb_build_info{version=...,profile=...}` info series
+/// (constant 1, identity carried in labels — the Prometheus convention for
+/// correlating perf changes with builds) and pins the uptime epoch.
+pub fn register_build_info(version: &str, build_profile: &str) {
+    global()
+        .gauge(&format!(
+            "mmdb_build_info{{version=\"{version}\",profile=\"{build_profile}\"}}"
+        ))
+        .set(1);
+    let _ = process_start();
+    update_uptime();
+}
+
+/// Refreshes the `mmdb_uptime_seconds` gauge; the exposition server calls
+/// this before every `/metrics` render so scrapes can detect restarts.
+pub fn update_uptime() {
+    gauge!("mmdb_uptime_seconds").set(process_start().elapsed().as_secs());
 }
 
 /// Get-or-register a counter in the global registry, caching the handle at

@@ -168,6 +168,17 @@ impl FlightRecorder {
         drain_ring(&self.ring.read())
     }
 
+    /// Retained events with `seq > since`, oldest first — the cursor form
+    /// pollers use: pass the highest `seq` seen so far and events are
+    /// neither dropped (as long as the ring hasn't lapped) nor re-read.
+    /// `events_since(u64::MAX)` is always empty; `events_since` with a
+    /// cursor older than the ring returns everything retained.
+    pub fn events_since(&self, since: u64) -> Vec<Event> {
+        let mut events = self.events();
+        events.retain(|e| e.seq > since);
+        events
+    }
+
     /// Total number of events ever recorded (including overwritten ones).
     pub fn recorded_total(&self) -> u64 {
         self.ring.read().head.load(Ordering::Relaxed)
@@ -316,6 +327,25 @@ mod tests {
         let events = r.events();
         assert_eq!(events.last().unwrap().detail, "q6");
         assert_eq!(events.last().unwrap().seq, 6);
+    }
+
+    #[test]
+    fn events_since_is_an_exclusive_cursor() {
+        let r = FlightRecorder::with_capacity(8);
+        for i in 0..5u64 {
+            r.record(EventKind::QueryEnd, format!("q{i}"), &[]);
+        }
+        let all = r.events();
+        let cursor = all[2].seq;
+        let tail: Vec<String> = r
+            .events_since(cursor)
+            .iter()
+            .map(|e| e.detail.clone())
+            .collect();
+        assert_eq!(tail, vec!["q3", "q4"]);
+        assert!(r.events_since(u64::MAX).is_empty());
+        // A cursor older than anything retained returns the full ring.
+        assert_eq!(r.events_since(0).len(), 4);
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! A dependency-free metrics exposition server over `std::net`.
 //!
-//! Serves three GET routes on a background accept thread:
+//! Serves the observability surface on a background accept thread, one
+//! handler thread per connection (so a long-running `/debug/profile`
+//! capture never starves a concurrent Prometheus scrape):
 //!
 //! * `/metrics` — the global registry in Prometheus text format
 //!   (`?format=json` switches to the JSON exposition),
-//! * `/events`  — the flight recorder's retained events as JSON,
-//! * `/healthz` — liveness probe (`ok`).
+//! * `/events`  — the flight recorder's retained events as JSON;
+//!   `?since=<seq>` returns only events with a larger sequence number so
+//!   pollers can cursor through the stream without drops or double-reads,
+//! * `/healthz` — pure liveness probe (`ok` as long as the process serves),
+//! * `/readyz`  — readiness probe: runs the embedder-supplied
+//!   [`ReadinessProbe`] and answers 503 until it reports ready,
+//! * `/traces` — tail-sampled trace store summaries (newest first),
+//! * `/traces/<id>` — one trace's full span tree by hex id,
+//! * `/debug/profile?seconds=N` — blocks for N seconds (1–30, default 5)
+//!   sampling registered threads, answering collapsed-stack text.
 //!
 //! The server is deliberately minimal HTTP/1.1: it parses the request line,
 //! drains headers, answers with `Connection: close`, and handles one request
@@ -22,6 +32,25 @@ use std::time::Duration;
 /// thread-local staging (e.g. `mmdb_rules::flush_metrics`) so scrapes see
 /// exact totals.
 pub type PrerenderHook = Arc<dyn Fn() + Send + Sync>;
+
+/// Readiness callback for `/readyz`: `Ok(detail)` answers 200, `Err(detail)`
+/// answers 503. Called per probe, so keep it cheap (a couple of atomic
+/// loads, not a catalog walk).
+pub type ReadinessProbe = Arc<dyn Fn() -> Result<String, String> + Send + Sync>;
+
+/// Embedder configuration for [`serve_with`].
+#[derive(Clone, Default)]
+pub struct ServeOptions {
+    /// Runs before each `/metrics` render.
+    pub prerender: Option<PrerenderHook>,
+    /// Backs `/readyz`; when absent the server reports ready unconditionally
+    /// (liveness and readiness coincide for embedders with no warm-up).
+    pub readiness: Option<ReadinessProbe>,
+}
+
+/// Longest `/debug/profile` capture window we accept; anything larger is
+/// clamped so a stray request can't pin a handler thread for minutes.
+const MAX_PROFILE_SECONDS: u64 = 30;
 
 /// A running exposition server; dropping it shuts the accept loop down.
 pub struct MetricsServer {
@@ -61,8 +90,22 @@ impl Drop for MetricsServer {
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:9184`, or `:0` for an ephemeral port) and
-/// serves `/metrics`, `/events`, and `/healthz` from a background thread.
+/// serves the observability routes from a background thread. Compatibility
+/// wrapper over [`serve_with`] for embedders without a readiness probe.
 pub fn serve(addr: &str, prerender: Option<PrerenderHook>) -> std::io::Result<MetricsServer> {
+    serve_with(
+        addr,
+        ServeOptions {
+            prerender,
+            readiness: None,
+        },
+    )
+}
+
+/// Binds `addr` and serves the observability routes with full embedder
+/// configuration. In-flight handler threads are detached; they answer one
+/// request each and exit on their own socket timeouts.
+pub fn serve_with(addr: &str, options: ServeOptions) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -75,7 +118,15 @@ pub fn serve(addr: &str, prerender: Option<PrerenderHook>) -> std::io::Result<Me
                     break;
                 }
                 if let Ok(stream) = conn {
-                    let _ = handle_connection(stream, prerender.as_ref());
+                    let conn_options = options.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name("mmdb-metrics-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &conn_options);
+                        });
+                    // Spawn failure (thread exhaustion) drops the connection;
+                    // the scraper retries on its next interval.
+                    drop(spawned);
                 }
             }
         })?;
@@ -86,7 +137,7 @@ pub fn serve(addr: &str, prerender: Option<PrerenderHook>) -> std::io::Result<Me
     })
 }
 
-fn handle_connection(stream: TcpStream, prerender: Option<&PrerenderHook>) -> std::io::Result<()> {
+fn handle_connection(stream: TcpStream, options: &ServeOptions) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -108,15 +159,23 @@ fn handle_connection(stream: TcpStream, prerender: Option<&PrerenderHook>) -> st
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-    let (status, content_type, body) = route(method, path, query, prerender);
+    let (status, content_type, body) = route(method, path, query, options);
     respond(stream, status, content_type, &body)
+}
+
+/// The value of `key` in an `a=1&b=2` query string, if present.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 fn route(
     method: &str,
     path: &str,
     query: &str,
-    prerender: Option<&PrerenderHook>,
+    options: &ServeOptions,
 ) -> (&'static str, &'static str, String) {
     if method != "GET" {
         return (
@@ -127,8 +186,20 @@ fn route(
     }
     match path {
         "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        "/readyz" => match &options.readiness {
+            None => ("200 OK", "text/plain", "ready\n".to_string()),
+            Some(probe) => match probe() {
+                Ok(detail) => ("200 OK", "text/plain", format!("ready: {detail}\n")),
+                Err(detail) => (
+                    "503 Service Unavailable",
+                    "text/plain",
+                    format!("unready: {detail}\n"),
+                ),
+            },
+        },
         "/metrics" => {
-            if let Some(hook) = prerender {
+            crate::update_uptime();
+            if let Some(hook) = &options.prerender {
                 hook();
             }
             if query.split('&').any(|kv| kv == "format=json") {
@@ -141,12 +212,59 @@ fn route(
                 )
             }
         }
-        "/events" => (
+        "/events" => match query_param(query, "since") {
+            None => (
+                "200 OK",
+                "application/json",
+                crate::recorder().render_json(),
+            ),
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(since) => (
+                    "200 OK",
+                    "application/json",
+                    crate::events_to_json(&crate::recorder().events_since(since)),
+                ),
+                Err(_) => (
+                    "400 Bad Request",
+                    "text/plain",
+                    "since must be a decimal sequence number\n".to_string(),
+                ),
+            },
+        },
+        "/traces" => (
             "200 OK",
             "application/json",
-            crate::recorder().render_json(),
+            crate::trace_store().render_summaries_json(),
         ),
-        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        "/debug/profile" => {
+            let seconds = query_param(query, "seconds")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(5)
+                .clamp(1, MAX_PROFILE_SECONDS);
+            let profile =
+                crate::collect_profile(Duration::from_secs(seconds), crate::DEFAULT_SAMPLE_HZ);
+            ("200 OK", "text/plain", profile)
+        }
+        _ => {
+            if let Some(raw_id) = path.strip_prefix("/traces/") {
+                return match crate::parse_trace_id(raw_id) {
+                    Some(id) => match crate::trace_store().render_trace_json(id) {
+                        Some(json) => ("200 OK", "application/json", json),
+                        None => (
+                            "404 Not Found",
+                            "text/plain",
+                            "trace not found (dropped by the sampler or evicted)\n".to_string(),
+                        ),
+                    },
+                    None => (
+                        "400 Bad Request",
+                        "text/plain",
+                        "trace id must be hex (as printed) or decimal\n".to_string(),
+                    ),
+                };
+            }
+            ("404 Not Found", "text/plain", "not found\n".to_string())
+        }
     }
 }
 
@@ -191,6 +309,7 @@ mod tests {
         let metrics = get(addr, "/metrics");
         assert!(metrics.contains("text/plain; version=0.0.4"));
         assert!(metrics.contains("mmdb_server_test_total 7"));
+        assert!(metrics.contains("mmdb_uptime_seconds"));
 
         let metrics_json = get(addr, "/metrics?format=json");
         assert!(metrics_json.contains("application/json"));
@@ -203,6 +322,129 @@ mod tests {
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn events_since_cursor_over_http() {
+        crate::recorder().record(crate::EventKind::LintRun, "cursor-a", &[]);
+        crate::recorder().record(crate::EventKind::LintRun, "cursor-b", &[]);
+        let events = crate::recorder().events();
+        let seq_b = events.iter().find(|e| e.detail == "cursor-b").unwrap().seq;
+        let server = serve("127.0.0.1:0", None).unwrap();
+        let addr = server.local_addr();
+
+        // A cursor at cursor-b excludes it (and everything older).
+        let empty = get(addr, &format!("/events?since={seq_b}"));
+        assert!(empty.starts_with("HTTP/1.1 200"), "{empty}");
+        assert!(!empty.contains("cursor-b"));
+
+        // One event behind returns cursor-b but never the older cursor-a.
+        let tail = get(addr, &format!("/events?since={}", seq_b - 1));
+        assert!(tail.contains("cursor-b"));
+        assert!(!tail.contains("cursor-a"));
+
+        let bad = get(addr, "/events?since=banana");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn readyz_follows_probe_and_defaults_ready() {
+        // No probe: liveness and readiness coincide.
+        let plain = serve("127.0.0.1:0", None).unwrap();
+        let ready = get(plain.local_addr(), "/readyz");
+        assert!(ready.starts_with("HTTP/1.1 200"), "{ready}");
+        plain.shutdown();
+
+        // With a probe: 503 until it flips.
+        let ready_flag = Arc::new(AtomicBool::new(false));
+        let probe_flag = Arc::clone(&ready_flag);
+        let server = serve_with(
+            "127.0.0.1:0",
+            ServeOptions {
+                prerender: None,
+                readiness: Some(Arc::new(move || {
+                    if probe_flag.load(Ordering::SeqCst) {
+                        Ok("index warm".to_string())
+                    } else {
+                        Err("index cold".to_string())
+                    }
+                })),
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let unready = get(addr, "/readyz");
+        assert!(unready.starts_with("HTTP/1.1 503"), "{unready}");
+        assert!(unready.contains("unready: index cold"));
+        ready_flag.store(true, Ordering::SeqCst);
+        let ready = get(addr, "/readyz");
+        assert!(ready.starts_with("HTTP/1.1 200"), "{ready}");
+        assert!(ready.contains("ready: index warm"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn traces_routes_serve_store_contents() {
+        use std::time::Duration as D;
+        let mut trace = crate::QueryTrace::new("request");
+        trace.stage("queue_wait", D::from_micros(7));
+        trace.finish(D::from_millis(1));
+        crate::trace_store().offer(
+            crate::StoredTrace {
+                trace_id: 0xABCD,
+                unix_micros: 1,
+                opcode: "range".into(),
+                status: "OK".into(),
+                total: D::from_millis(1),
+                queue_wait: D::from_micros(7),
+                keep_reason: crate::KeepReason::Slow,
+                trace,
+            },
+            true,
+        );
+        let server = serve("127.0.0.1:0", None).unwrap();
+        let addr = server.local_addr();
+
+        let list = get(addr, "/traces");
+        assert!(list.starts_with("HTTP/1.1 200"), "{list}");
+        assert!(list.contains("000000000000abcd"), "{list}");
+
+        let one = get(addr, "/traces/000000000000abcd");
+        assert!(one.starts_with("HTTP/1.1 200"), "{one}");
+        assert!(one.contains("queue_wait"), "{one}");
+
+        let missing = get(addr, "/traces/00000000deadbeef");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let bad = get(addr, "/traces/not-an-id");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_profile_returns_collapsed_stacks() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let worker = std::thread::spawn(move || {
+            let _reg = crate::register_profiler_thread("http-prof-worker");
+            let _f = crate::profile_frame("serving");
+            while !thread_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let server = serve("127.0.0.1:0", None).unwrap();
+        let profile = get(server.local_addr(), "/debug/profile?seconds=1");
+        stop.store(true, Ordering::Relaxed);
+        worker.join().unwrap();
+        assert!(profile.starts_with("HTTP/1.1 200"), "{profile}");
+        assert!(
+            profile.contains("http-prof-worker;serving"),
+            "missing stack: {profile}"
+        );
         server.shutdown();
     }
 

@@ -179,6 +179,20 @@ impl QueryTrace {
         self.root.find(name)
     }
 
+    /// Finds a span by name anywhere in the tree, breadth first (shallowest
+    /// match wins, left-to-right at equal depth). Used by trace consumers
+    /// to pull out well-known stages such as `queue_wait`.
+    pub fn span(&self, name: &str) -> Option<&Span> {
+        let mut queue = std::collections::VecDeque::from([&self.root]);
+        while let Some(span) = queue.pop_front() {
+            if span.name == name {
+                return Some(span);
+            }
+            queue.extend(span.children.iter());
+        }
+        None
+    }
+
     /// Renders the trace as an indented tree, events first:
     ///
     /// ```text
@@ -263,6 +277,24 @@ mod tests {
         // A root-level counter beats any child.
         t.counter("dup", 1);
         assert_eq!(t.counter_value("dup"), Some(1));
+    }
+
+    #[test]
+    fn span_lookup_finds_nested_stages() {
+        let mut t = QueryTrace::new("request");
+        t.stage("queue_wait", Duration::from_micros(40));
+        let exec = t.stage("execute", Duration::from_micros(500));
+        exec.child(Span::new("index_lookup", Duration::from_micros(300)));
+        assert_eq!(t.span("request").unwrap().name, "request");
+        assert_eq!(
+            t.span("queue_wait").unwrap().duration,
+            Duration::from_micros(40)
+        );
+        assert_eq!(
+            t.span("index_lookup").unwrap().duration,
+            Duration::from_micros(300)
+        );
+        assert!(t.span("nope").is_none());
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Tail-sampled trace store: a bounded ring of completed request traces.
+//!
+//! Every traced request is *built* cheaply and then *offered* to the store,
+//! which decides retroactively whether to keep it. A trace is kept when any
+//! of the following holds:
+//!
+//! * the caller forces it (server running in trace mode `full`),
+//! * the client marked the request as head-sampled on the wire,
+//! * the request ended in a non-OK status, or
+//! * its total duration reached the keep threshold
+//!   ([`set_trace_keep_threshold`], default 100ms).
+//!
+//! This is classic tail-based sampling: the slow tail and every error are
+//! always retrievable by trace id, while the fast common case costs one
+//! branch and a dropped allocation. The store holds the most recent
+//! [`DEFAULT_TRACE_STORE_CAPACITY`] kept traces; older ones are evicted
+//! oldest-first.
+
+use crate::trace::QueryTrace;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Default number of kept traces the store retains.
+pub const DEFAULT_TRACE_STORE_CAPACITY: usize = 256;
+
+/// Default retroactive-keep latency threshold.
+pub const DEFAULT_TRACE_KEEP_THRESHOLD: Duration = Duration::from_millis(100);
+
+/// Wire-propagated trace context: a nonzero id plus the client's
+/// head-sampling decision. Carried in protocol v2 request frames and echoed
+/// in responses so clients can correlate their calls with server-side spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Nonzero trace id; rendered as 16 hex digits in JSON and CLI output.
+    pub trace_id: u64,
+    /// Head-sampling decision made by the client: sampled requests are
+    /// always kept by the store regardless of latency or status.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A fresh context with a generated id.
+    pub fn generate(sampled: bool) -> Self {
+        TraceContext {
+            trace_id: next_trace_id(),
+            sampled,
+        }
+    }
+}
+
+/// Why a trace was kept.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeepReason {
+    /// The server runs with 100% trace retention (`full` mode).
+    Forced,
+    /// The client head-sampled the request on the wire.
+    Sampled,
+    /// The request ended in a non-OK status.
+    Error,
+    /// Total duration reached the keep threshold (the slow tail).
+    Slow,
+}
+
+impl KeepReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KeepReason::Forced => "forced",
+            KeepReason::Sampled => "sampled",
+            KeepReason::Error => "error",
+            KeepReason::Slow => "slow",
+        }
+    }
+}
+
+/// One kept trace plus the request-level metadata needed to list and filter
+/// without walking the span tree.
+#[derive(Clone, Debug)]
+pub struct StoredTrace {
+    pub trace_id: u64,
+    /// Wall-clock microseconds since the Unix epoch at completion.
+    pub unix_micros: u64,
+    /// Request opcode name (`range`, `knn`, …).
+    pub opcode: String,
+    /// Response status name (`OK`, `DEADLINE_EXCEEDED`, …).
+    pub status: String,
+    /// End-to-end duration (queue wait + execution).
+    pub total: Duration,
+    /// Time spent in the admission queue before a worker picked it up.
+    pub queue_wait: Duration,
+    pub keep_reason: KeepReason,
+    /// The full span tree (queue_wait / execute / per-plan stages).
+    pub trace: QueryTrace,
+}
+
+/// A bounded store of kept traces. One process-global instance lives behind
+/// [`trace_store`]; independent instances are used in tests.
+pub struct TraceStore {
+    inner: Mutex<VecDeque<StoredTrace>>,
+    capacity: usize,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::with_capacity(DEFAULT_TRACE_STORE_CAPACITY)
+    }
+}
+
+impl TraceStore {
+    /// A store retaining at most `capacity` kept traces (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceStore {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Applies the tail-sampling keep decision and stores the trace if it
+    /// survives. Returns the reason when kept, `None` when dropped.
+    ///
+    /// `force` corresponds to the server's `full` trace mode; `sampled` is
+    /// the client's wire-propagated head-sampling bit; `is_error` covers
+    /// every non-OK status; the latency test compares `total` against the
+    /// process-wide keep threshold.
+    pub fn offer(&self, candidate: StoredTrace, force: bool) -> Option<KeepReason> {
+        let reason = if force {
+            KeepReason::Forced
+        } else if candidate.keep_reason == KeepReason::Sampled {
+            KeepReason::Sampled
+        } else if candidate.keep_reason == KeepReason::Error {
+            KeepReason::Error
+        } else if candidate.total >= trace_keep_threshold() {
+            KeepReason::Slow
+        } else {
+            crate::counter!("mmdb_trace_dropped_total").inc();
+            return None;
+        };
+        crate::global()
+            .counter(&format!(
+                "mmdb_trace_kept_total{{reason=\"{}\"}}",
+                reason.as_str()
+            ))
+            .inc();
+        let mut stored = candidate;
+        stored.keep_reason = reason;
+        let mut inner = self.inner.lock();
+        if inner.len() == self.capacity {
+            inner.pop_front();
+        }
+        inner.push_back(stored);
+        crate::gauge!("mmdb_trace_store_entries").set(inner.len() as u64);
+        Some(reason)
+    }
+
+    /// The kept trace with this id, if still retained (newest wins when the
+    /// same id was somehow stored twice).
+    pub fn get(&self, trace_id: u64) -> Option<StoredTrace> {
+        self.inner
+            .lock()
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Metadata for every retained trace, oldest first.
+    pub fn summaries(&self) -> Vec<StoredTrace> {
+        self.inner.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drops every retained trace (tests and `mmdbctl` resets).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+        crate::gauge!("mmdb_trace_store_entries").set(0);
+    }
+
+    /// `{"traces": [...]}` — one summary object per retained trace, newest
+    /// first (the order a human debugging a live incident wants).
+    pub fn render_summaries_json(&self) -> String {
+        let mut out = String::from("{\n  \"traces\": [");
+        let inner = self.inner.lock();
+        for (i, t) in inner.iter().rev().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"trace_id\": \"{:016x}\", \"ts_micros\": {}, \"opcode\": \"{}\", \
+                 \"status\": \"{}\", \"total_nanos\": {}, \"queue_wait_nanos\": {}, \
+                 \"keep_reason\": \"{}\"}}",
+                t.trace_id,
+                t.unix_micros,
+                t.opcode,
+                t.status,
+                t.total.as_nanos(),
+                t.queue_wait.as_nanos(),
+                t.keep_reason.as_str()
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// The full span tree for one trace id as JSON, or `None` if the trace
+    /// was dropped or already evicted.
+    pub fn render_trace_json(&self, trace_id: u64) -> Option<String> {
+        let t = self.get(trace_id)?;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"trace_id\": \"{:016x}\", \"ts_micros\": {}, \"opcode\": \"{}\", \
+             \"status\": \"{}\", \"total_nanos\": {}, \"queue_wait_nanos\": {}, \
+             \"keep_reason\": \"{}\", \"trace\": ",
+            t.trace_id,
+            t.unix_micros,
+            t.opcode,
+            t.status,
+            t.total.as_nanos(),
+            t.queue_wait.as_nanos(),
+            t.keep_reason.as_str()
+        );
+        let tree = t.trace.render_json();
+        out.push_str(tree.trim_end());
+        out.push_str("}\n");
+        Some(out)
+    }
+}
+
+static TRACE_KEEP_NANOS: AtomicU64 = AtomicU64::new(100_000_000);
+
+/// Sets the process-wide retroactive-keep threshold: any traced request
+/// whose end-to-end duration reaches it is kept by the store even when
+/// unsampled.
+pub fn set_trace_keep_threshold(threshold: Duration) {
+    let nanos = threshold.as_nanos().min(u64::MAX as u128) as u64;
+    TRACE_KEEP_NANOS.store(nanos, Ordering::Relaxed);
+}
+
+/// The current retroactive-keep threshold (default 100ms).
+pub fn trace_keep_threshold() -> Duration {
+    Duration::from_nanos(TRACE_KEEP_NANOS.load(Ordering::Relaxed))
+}
+
+static TRACE_ID_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Generates a nonzero trace id: a per-process counter mixed with the boot
+/// timestamp so ids from different processes almost never collide, without
+/// needing a randomness dependency.
+pub fn next_trace_id() -> u64 {
+    static BOOT_MICROS: OnceLock<u64> = OnceLock::new();
+    let boot = *BOOT_MICROS.get_or_init(|| {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0x5EED, |d| d.as_micros() as u64)
+    });
+    let n = TRACE_ID_COUNTER.fetch_add(1, Ordering::Relaxed);
+    // SplitMix64-style finalizer over (boot ^ counter) gives well-spread,
+    // guaranteed-unique-per-process ids.
+    let mut z = boot
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(n.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z.max(1)
+}
+
+/// Parses a trace id as printed by the JSON/CLI surfaces: 16 hex digits,
+/// optionally `0x`-prefixed; plain decimal also accepted.
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).ok();
+    }
+    // Prefer hex (the printed form is always 16 hex digits); fall back to
+    // decimal for hand-typed ids.
+    u64::from_str_radix(s, 16).ok().or_else(|| s.parse().ok())
+}
+
+static GLOBAL_TRACE_STORE: OnceLock<TraceStore> = OnceLock::new();
+
+/// The process-wide trace store the query server reports into.
+pub fn trace_store() -> &'static TraceStore {
+    GLOBAL_TRACE_STORE.get_or_init(TraceStore::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(id: u64, total: Duration, reason: KeepReason) -> StoredTrace {
+        let mut trace = QueryTrace::new("request");
+        trace.stage("queue_wait", Duration::from_micros(5));
+        trace.stage("execute", total.saturating_sub(Duration::from_micros(5)));
+        trace.finish(total);
+        StoredTrace {
+            trace_id: id,
+            unix_micros: 1,
+            opcode: "range".into(),
+            status: "OK".into(),
+            total,
+            queue_wait: Duration::from_micros(5),
+            keep_reason: reason,
+            trace,
+        }
+    }
+
+    #[test]
+    fn tail_sampling_keeps_slow_sampled_error_and_forced() {
+        let before = trace_keep_threshold();
+        set_trace_keep_threshold(Duration::from_millis(10));
+        let store = TraceStore::with_capacity(16);
+
+        // Fast, unsampled, OK → dropped.
+        let fast = candidate(1, Duration::from_micros(50), KeepReason::Slow);
+        assert_eq!(store.offer(fast, false), None);
+        assert!(store.get(1).is_none());
+
+        // Slow → retroactively kept.
+        let slow = candidate(2, Duration::from_millis(20), KeepReason::Slow);
+        assert_eq!(store.offer(slow, false), Some(KeepReason::Slow));
+        assert_eq!(store.get(2).unwrap().keep_reason, KeepReason::Slow);
+
+        // Head-sampled → kept even though fast.
+        let sampled = candidate(3, Duration::from_micros(50), KeepReason::Sampled);
+        assert_eq!(store.offer(sampled, false), Some(KeepReason::Sampled));
+
+        // Error → kept even though fast and unsampled.
+        let mut err = candidate(4, Duration::from_micros(50), KeepReason::Error);
+        err.status = "INTERNAL".into();
+        assert_eq!(store.offer(err, false), Some(KeepReason::Error));
+
+        // Forced (full mode) → kept no matter what.
+        let forced = candidate(5, Duration::from_micros(1), KeepReason::Slow);
+        assert_eq!(store.offer(forced, true), Some(KeepReason::Forced));
+
+        assert_eq!(store.len(), 4);
+        set_trace_keep_threshold(before);
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_and_bounded() {
+        let store = TraceStore::with_capacity(3);
+        for id in 1..=5u64 {
+            let c = candidate(id, Duration::from_micros(1), KeepReason::Slow);
+            store.offer(c, true);
+        }
+        assert_eq!(store.len(), 3);
+        assert!(store.get(1).is_none());
+        assert!(store.get(2).is_none());
+        assert!(store.get(3).is_some());
+        assert!(store.get(5).is_some());
+    }
+
+    #[test]
+    fn json_summaries_are_newest_first_and_balanced() {
+        let store = TraceStore::with_capacity(8);
+        store.offer(
+            candidate(10, Duration::from_micros(1), KeepReason::Slow),
+            true,
+        );
+        store.offer(
+            candidate(11, Duration::from_micros(1), KeepReason::Slow),
+            true,
+        );
+        let json = store.render_summaries_json();
+        let first = json.find("000000000000000b").unwrap();
+        let second = json.find("000000000000000a").unwrap();
+        assert!(first < second, "newest first: {json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let by_id = store.render_trace_json(10).unwrap();
+        assert!(by_id.contains("\"queue_wait\""));
+        assert!(by_id.contains("\"keep_reason\": \"forced\""));
+        assert_eq!(by_id.matches('{').count(), by_id.matches('}').count());
+        assert!(store.render_trace_json(999).is_none());
+    }
+
+    #[test]
+    fn trace_ids_are_nonzero_and_distinct() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parses_hex_and_decimal_ids() {
+        assert_eq!(parse_trace_id("00000000000000ff"), Some(255));
+        assert_eq!(parse_trace_id("0xff"), Some(255));
+        assert_eq!(parse_trace_id("  ff "), Some(255));
+        // Pure-digit strings parse as hex first (the printed form).
+        assert_eq!(parse_trace_id("10"), Some(16));
+        assert_eq!(parse_trace_id("zz"), None);
+    }
+}
