@@ -28,6 +28,19 @@
 //!   absorbs, so every pixel round-trips exactly.
 //! * **Zero-sum `Combine` (W105)** — the executor short-circuits on a zero
 //!   weight sum and leaves the raster untouched.
+//! * **Dead prefix (W111)** — a `Combine` or `Modify` that runs before a
+//!   *full-raster-overwrite*: a `Merge` into a target whose defined region
+//!   is statically certain to be empty. Such a merge pastes nothing — the
+//!   canvas it produces is built solely from the target image and the
+//!   background fill — so every pixel value accumulated before it is
+//!   discarded. `Combine`/`Modify` touch only pixel values (never the
+//!   region, the canvas bounds, or error behavior), so removing them
+//!   preserves the instantiated raster exactly. Region-shaping ops
+//!   (`Define`, `Mutate`, `Merge`) are kept: they decide *that* the region
+//!   is empty. Emptiness certainty is tracked conservatively — only a
+//!   `Define` whose rectangle is empty as written establishes it, any
+//!   region-shaping op with unknowable geometry clears it, and the
+//!   analysis bails on a certain `Merge(NULL)`-on-empty error (E005).
 //!
 //! Removal can cascade: deleting a self-`Modify` may leave an earlier
 //! `Define` with no readers, so [`simplify`] iterates to a fixpoint.
@@ -41,7 +54,7 @@ use mmdb_editops::{EditOp, EditSequence};
 pub struct DeadOp {
     /// Index of the operation **in the original sequence**.
     pub index: usize,
-    /// Which redundancy class it falls in (`W101`–`W105`).
+    /// Which redundancy class it falls in (`W101`–`W105`, `W111`).
     pub code: LintCode,
     /// Why removal is raster-preserving.
     pub reason: String,
@@ -103,6 +116,64 @@ fn structural_noop(op: &EditOp) -> Option<(LintCode, String)> {
     }
 }
 
+/// Positions (within `ops`) of `Combine`/`Modify` operations that are dead
+/// because a later full-raster-overwrite `Merge` discards every pixel value
+/// accumulated before it (W111).
+///
+/// Walks the sequence tracking whether the defined region is *statically
+/// certain* to be empty, and remembers the last `Merge { target: Some(_) }`
+/// executed under that certainty. Every pixel-only op before that merge is
+/// unobservable in the final raster. Conservative on imprecision: anything
+/// that could make the region non-empty clears the certainty, and a
+/// certain `Merge(NULL)`-on-empty (E005, the sequence always errors) bails
+/// out entirely.
+fn dead_prefix_positions(ops: &[EditOp]) -> Vec<usize> {
+    let mut certainly_empty = false;
+    let mut last_overwrite: Option<usize> = None;
+    for (pos, op) in ops.iter().enumerate() {
+        match op {
+            // Intersection with the canvas can only shrink the region, so a
+            // rectangle empty as written is certainly empty; a non-empty one
+            // may still clip to empty (unknown).
+            EditOp::Define { region } => certainly_empty = region.is_empty(),
+            // Pixel-only ops: the region is untouched.
+            EditOp::Combine { .. } | EditOp::Modify { .. } => {}
+            // The region becomes the transformed destination bbox — not
+            // statically certain either way.
+            EditOp::Mutate { .. } => certainly_empty = false,
+            EditOp::Merge { target: None, .. } => {
+                if certainly_empty {
+                    // Certain E005: instantiation always errors here, so
+                    // there is no final raster to preserve. Claim nothing.
+                    return Vec::new();
+                }
+                certainly_empty = false;
+            }
+            EditOp::Merge {
+                target: Some(_), ..
+            } => {
+                if certainly_empty {
+                    // Full overwrite: nothing is pasted, the canvas is the
+                    // target plus background fill. The region stays the
+                    // empty destination rectangle, so certainty survives.
+                    last_overwrite = Some(pos);
+                } else {
+                    certainly_empty = false;
+                }
+            }
+        }
+    }
+    let Some(cut) = last_overwrite else {
+        return Vec::new();
+    };
+    ops[..cut]
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op, EditOp::Combine { .. } | EditOp::Modify { .. }))
+        .map(|(pos, _)| pos)
+        .collect()
+}
+
 /// Within `ops`, is the `Define` at position `pos` dead — i.e. does no
 /// region-reading op run before the next `Define` or the end?
 fn define_is_dead(ops: &[EditOp], pos: usize) -> bool {
@@ -126,10 +197,20 @@ pub fn simplify(seq: &EditSequence) -> Simplified {
     let mut removed: Vec<DeadOp> = Vec::new();
     loop {
         let current: Vec<EditOp> = ops.iter().map(|(_, op)| op.clone()).collect();
+        let prefix: std::collections::HashSet<usize> =
+            dead_prefix_positions(&current).into_iter().collect();
         let mut dead_positions: Vec<(usize, LintCode, String)> = Vec::new();
         for (pos, op) in current.iter().enumerate() {
             if let Some((code, reason)) = structural_noop(op) {
                 dead_positions.push((pos, code, reason));
+            } else if prefix.contains(&pos) {
+                dead_positions.push((
+                    pos,
+                    LintCode::DeadPrefix,
+                    "pixel edit is discarded by a later full-raster-overwrite Merge \
+                     (empty defined region pastes nothing)"
+                        .into(),
+                ));
             } else if matches!(op, EditOp::Define { .. }) && define_is_dead(&current, pos) {
                 dead_positions.push((
                     pos,
@@ -256,6 +337,93 @@ mod tests {
             .crop_to_region()
             .build();
         assert!(!simplify(&seq).changed());
+    }
+
+    #[test]
+    fn dead_prefix_before_full_overwrite_merge() {
+        // Pixel edits, then an empty Define and a target Merge: the merge
+        // pastes nothing, so the blur and recolor are unobservable. The
+        // empty Define itself is kept — it is what makes the region empty.
+        let seq = EditSequence::builder(base())
+            .blur()
+            .modify(Rgb::RED, Rgb::GREEN)
+            .define(Rect::new(3, 3, 3, 3)) // empty as written
+            .merge_into(ImageId::new(2), 0, 0)
+            .build();
+        let s = simplify(&seq);
+        let removed: Vec<(usize, LintCode)> = s.removed.iter().map(|d| (d.index, d.code)).collect();
+        assert_eq!(
+            removed,
+            vec![(0, LintCode::DeadPrefix), (1, LintCode::DeadPrefix)]
+        );
+        assert_eq!(s.sequence.ops.len(), 2);
+    }
+
+    #[test]
+    fn pixel_edits_after_overwrite_survive() {
+        let seq = EditSequence::builder(base())
+            .blur()
+            .define(Rect::new(3, 3, 3, 3))
+            .merge_into(ImageId::new(2), 0, 0)
+            .define(Rect::new(0, 0, 4, 4))
+            .modify(Rgb::RED, Rgb::GREEN)
+            .build();
+        let s = simplify(&seq);
+        let removed: Vec<usize> = s.removed.iter().map(|d| d.index).collect();
+        assert_eq!(removed, vec![0], "only the pre-overwrite blur is dead");
+    }
+
+    #[test]
+    fn uncertain_emptiness_claims_nothing() {
+        // The Define is non-empty as written (it may or may not clip to
+        // empty at runtime), so no overwrite is certain and nothing is
+        // removed besides what other passes find.
+        let seq = EditSequence::builder(base())
+            .blur()
+            .define(Rect::new(0, 0, 4, 4))
+            .merge_into(ImageId::new(2), 0, 0)
+            .build();
+        assert!(!simplify(&seq).changed());
+    }
+
+    #[test]
+    fn mutate_clears_emptiness_certainty() {
+        let seq = EditSequence::builder(base())
+            .blur()
+            .define(Rect::new(3, 3, 3, 3))
+            .mutate(Matrix3::translation(1.0, 0.0))
+            .merge_into(ImageId::new(2), 0, 0)
+            .build();
+        assert!(!simplify(&seq).changed());
+    }
+
+    #[test]
+    fn certain_empty_crop_bails_out() {
+        // Merge(NULL) on a certainly-empty region always errors (E005):
+        // there is no final raster, so the prefix pass claims nothing.
+        let seq = EditSequence::builder(base())
+            .blur()
+            .define(Rect::new(3, 3, 3, 3))
+            .crop_to_region()
+            .merge_into(ImageId::new(2), 0, 0)
+            .build();
+        assert!(!simplify(&seq).changed());
+    }
+
+    #[test]
+    fn overwrite_keeps_region_certainty_for_chained_merges() {
+        // After a full overwrite the region is still the empty destination
+        // rectangle, so a second target merge is also a full overwrite and
+        // the cut point moves past the first merge.
+        let seq = EditSequence::builder(base())
+            .define(Rect::new(3, 3, 3, 3))
+            .blur()
+            .merge_into(ImageId::new(2), 0, 0)
+            .merge_into(ImageId::new(2), 1, 1)
+            .build();
+        let s = simplify(&seq);
+        let removed: Vec<(usize, LintCode)> = s.removed.iter().map(|d| (d.index, d.code)).collect();
+        assert_eq!(removed, vec![(1, LintCode::DeadPrefix)]);
     }
 
     #[test]

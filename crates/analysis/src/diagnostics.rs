@@ -91,6 +91,12 @@ pub enum LintCode {
     /// `W110` — the `PaperTable1` fractional whole-image scale rule
     /// narrowed a bin's fraction interval.
     FractionNarrowing,
+    /// `W111` — a pixel-editing op (`Combine`/`Modify`) whose effect is
+    /// discarded by a later full-raster-overwrite: a `Merge` into a target
+    /// whose defined region is statically certain to be empty pastes
+    /// nothing, so the canvas it produces is independent of every pixel
+    /// edit before it.
+    DeadPrefix,
     /// `N201` — pixel-touching operations before any `Define`; they edit
     /// the implicit whole-image region.
     EditBeforeDefine,
@@ -102,7 +108,7 @@ pub enum LintCode {
 impl LintCode {
     /// Every code, in code order. Telemetry registers one counter per
     /// entry.
-    pub const ALL: [LintCode; 22] = [
+    pub const ALL: [LintCode; 23] = [
         LintCode::DanglingBase,
         LintCode::DanglingMergeTarget,
         LintCode::NonBinaryReference,
@@ -123,6 +129,7 @@ impl LintCode {
         LintCode::DisjointPaste,
         LintCode::CombineCaveat,
         LintCode::FractionNarrowing,
+        LintCode::DeadPrefix,
         LintCode::EditBeforeDefine,
         LintCode::ProfileDivergence,
     ];
@@ -150,6 +157,7 @@ impl LintCode {
             LintCode::DisjointPaste => "W108",
             LintCode::CombineCaveat => "W109",
             LintCode::FractionNarrowing => "W110",
+            LintCode::DeadPrefix => "W111",
             LintCode::EditBeforeDefine => "N201",
             LintCode::ProfileDivergence => "N202",
         }
@@ -178,6 +186,7 @@ impl LintCode {
             LintCode::DisjointPaste => "disjoint-paste",
             LintCode::CombineCaveat => "combine-caveat",
             LintCode::FractionNarrowing => "fraction-narrowing",
+            LintCode::DeadPrefix => "dead-prefix",
             LintCode::EditBeforeDefine => "edit-before-define",
             LintCode::ProfileDivergence => "profile-divergence",
         }

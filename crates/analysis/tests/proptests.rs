@@ -86,6 +86,11 @@ fn arb_op(side: i64) -> impl Strategy<Value = EditOp> {
             weights[4] = w as f32 / 10.0;
             EditOp::Combine { weights }
         }),
+        // Empty-as-written Define: combined with a later target Merge this
+        // makes a full-raster overwrite, feeding the W111 dead-prefix pass.
+        (0..side, 0..side).prop_map(|(x, y)| EditOp::Define {
+            region: Rect::from_origin_size(x, y, 0, 0),
+        }),
     ]
 }
 
@@ -134,12 +139,44 @@ fn check_preservation(
     Ok(())
 }
 
+/// A sequence guaranteed to end in a full-raster overwrite: random pixel
+/// ops, then an empty `Define` and a target `Merge`, then a random tail.
+/// Exercises the W111 dead-prefix rewrite on every case.
+fn arb_overwrite_case() -> impl Strategy<Value = (RasterImage, RasterImage, EditSequence)> {
+    (
+        arb_image(20),
+        arb_image(16),
+        proptest::collection::vec(arb_op(20), 0..5),
+        (0i64..16, 0i64..16, -5i64..20, -5i64..20),
+        proptest::collection::vec(arb_op(20), 0..3),
+    )
+        .prop_map(|(base, target, mut ops, (x, y, xp, yp), tail)| {
+            ops.push(EditOp::Define {
+                region: Rect::from_origin_size(x, y, 0, 0),
+            });
+            ops.push(EditOp::Merge {
+                target: Some(ImageId::new(2)),
+                xp,
+                yp,
+            });
+            ops.extend(tail);
+            (base, target, EditSequence::new(ImageId::new(1), ops))
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     #[test]
     fn dead_op_elimination_preserves_instantiated_raster(
         (base, target, seq) in arb_case()
+    ) {
+        check_preservation(base, target, seq)?;
+    }
+
+    #[test]
+    fn dead_prefix_elimination_preserves_instantiated_raster(
+        (base, target, seq) in arb_overwrite_case()
     ) {
         check_preservation(base, target, seq)?;
     }

@@ -315,6 +315,14 @@ impl BoundIndex {
     }
 }
 
+impl crate::EpochStamped for BoundIndex {
+    /// The freshness stamp an [`crate::EpochSlot`] compares against the
+    /// engine's current mutation epoch.
+    fn stamp(&self) -> u64 {
+        self.synced_epoch
+    }
+}
+
 impl mmdb_bwm::BoundsCache for BoundIndex {
     fn cached_bounds(&self, id: ImageId, bin: usize) -> Option<BoundRange> {
         let cached = BoundIndex::cached_bounds(self, id, bin);

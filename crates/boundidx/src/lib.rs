@@ -21,9 +21,11 @@
 //! transitively through the reference graph (base links and Merge targets),
 //! so an entry whose inputs vanished is never consulted.
 
+mod guard;
 mod index;
 mod interval;
 
+pub use guard::{EpochSlot, EpochStamped};
 pub use index::{profile_slot, BoundIndex, IndexedLookup, SyncStats, PROFILE_SLOTS};
 pub use interval::{BinIntervals, IntervalEntry};
 

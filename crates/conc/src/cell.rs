@@ -1,0 +1,94 @@
+//! [`RaceCell`]: shared data *modeled as unsynchronized* so the model's
+//! vector-clock race detector can flag concurrent access.
+//!
+//! The workspace forbids `unsafe`, so the cell's storage is a private
+//! `std::sync::Mutex` — physically it can never tear. Under the model,
+//! though, every access is checked against the happens-before relation
+//! exactly as if the cell were a plain, unprotected field: two accesses
+//! (at least one a write) from different threads that are not ordered by
+//! locks/atomics/spawn/join fail the run with a replayable trace. Outside
+//! a model run the accessors are just cheap mutex operations.
+
+use std::sync::PoisonError;
+
+#[cfg(feature = "model")]
+use crate::model::current_ctx;
+#[cfg(feature = "model")]
+use crate::model::exec::Op;
+
+/// A shared cell whose accesses are race-checked under the model.
+pub struct RaceCell<T> {
+    inner: std::sync::Mutex<T>,
+    /// Shown in race reports to identify the field.
+    what: &'static str,
+}
+
+impl<T> RaceCell<T> {
+    /// A new cell holding `value`; `what` names the protected data in race
+    /// reports (e.g. `"ring slot"`).
+    pub const fn new(what: &'static str, value: T) -> RaceCell<T> {
+        RaceCell {
+            inner: std::sync::Mutex::new(value),
+            what,
+        }
+    }
+
+    #[cfg(feature = "model")]
+    fn loc(&self) -> usize {
+        self as *const RaceCell<T> as usize
+    }
+
+    fn storage(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reads via `f`. A *read access* for the race detector.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        #[cfg(feature = "model")]
+        if let Some(ctx) = current_ctx() {
+            ctx.exp.schedule_point(
+                ctx.tid,
+                Op::CellRead {
+                    loc: self.loc(),
+                    what: self.what,
+                },
+            );
+        }
+        f(&self.storage())
+    }
+
+    /// Mutates via `f`. A *write access* for the race detector.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        #[cfg(feature = "model")]
+        if let Some(ctx) = current_ctx() {
+            ctx.exp.schedule_point(
+                ctx.tid,
+                Op::CellWrite {
+                    loc: self.loc(),
+                    what: self.what,
+                },
+            );
+        }
+        f(&mut self.storage())
+    }
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// Reads the value (a read access).
+    pub fn get(&self) -> T {
+        self.with(|v| *v)
+    }
+
+    /// Replaces the value (a write access).
+    pub fn set(&self, value: T) {
+        self.with_mut(|v| *v = value);
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RaceCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaceCell")
+            .field("what", &self.what)
+            .finish_non_exhaustive()
+    }
+}

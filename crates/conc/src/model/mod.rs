@@ -1,0 +1,301 @@
+//! The bounded model checker: runs a closure under every (bounded) thread
+//! interleaving, with weak-memory atomics and a vector-clock race detector.
+//!
+//! ```
+//! # #[cfg(feature = "model")] {
+//! use mmdb_conc::model::Model;
+//! use mmdb_conc::sync::atomic::{AtomicU64, Ordering};
+//! use mmdb_conc::sync::Arc;
+//! use mmdb_conc::thread;
+//!
+//! Model::new().check(|| {
+//!     let x = Arc::new(AtomicU64::new(0));
+//!     let x2 = Arc::clone(&x);
+//!     let h = thread::spawn(move || x2.fetch_add(1, Ordering::AcqRel));
+//!     x.fetch_add(1, Ordering::AcqRel);
+//!     h.join().unwrap();
+//!     assert_eq!(x.load(Ordering::Acquire), 2);
+//! }).assert_ok();
+//! # }
+//! ```
+//!
+//! Exploration is depth-first over recorded decision sequences (which thread
+//! runs at each scheduling point; which coherence-permitted store a relaxed
+//! load observes), capped by [`Model::max_schedules`] and a CHESS-style
+//! preemption bound. When DFS is truncated, a seeded-random fallback keeps
+//! sampling fresh schedules. Failures carry the exact decision sequence;
+//! [`Model::replay`] re-executes it deterministically.
+
+pub(crate) mod exec;
+pub(crate) mod rng;
+pub(crate) mod vclock;
+
+pub use exec::Failure;
+
+use exec::{Exploration, Mode};
+use rng::Rng;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Thread-local handle tying an OS thread to its model identity.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exp: Arc<Exploration>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The model context of the current OS thread, if it is executing inside a
+/// model run. The facade consults this on every operation.
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Downcasts a panic payload to a displayable message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Outcome of a [`Model::check`] run.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// Total facade operations executed across all schedules.
+    pub ops: usize,
+    /// First failing execution, if any.
+    pub failure: Option<Failure>,
+    /// Whether the bounded DFS visited the *entire* bounded space (no
+    /// schedule cap hit; random fallback not needed).
+    pub exhausted: bool,
+}
+
+impl Report {
+    /// Panics with the rendered schedule trace if any execution failed.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!("{}", f.render());
+        }
+    }
+
+    /// Asserts that at least one execution failed (for testing the checker
+    /// itself against seeded bugs) and returns the failure.
+    pub fn expect_failure(&self) -> &Failure {
+        self.failure
+            .as_ref()
+            .expect("model run found no failing execution, but one was expected")
+    }
+}
+
+/// Configuration + driver for a model-checking run.
+pub struct Model {
+    preemption_bound: Option<usize>,
+    max_schedules: usize,
+    random_iters: usize,
+    seed: u64,
+    op_budget: usize,
+}
+
+impl Default for Model {
+    fn default() -> Model {
+        Model {
+            preemption_bound: Some(3),
+            max_schedules: 4_000,
+            random_iters: 200,
+            seed: 0x6d6d_6462, // "mmdb"
+            op_budget: 20_000,
+        }
+    }
+}
+
+impl Model {
+    /// A model with the default bounds (preemption bound 3, 4k DFS
+    /// schedules, 200 random fallback schedules).
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Caps the number of preemptive context switches per execution
+    /// (CHESS-style context bounding). `None` removes the bound.
+    pub fn preemption_bound(mut self, bound: Option<usize>) -> Model {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps the number of DFS schedules explored.
+    pub fn max_schedules(mut self, n: usize) -> Model {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Number of seeded-random schedules sampled when DFS is truncated by
+    /// [`Model::max_schedules`].
+    pub fn random_iters(mut self, n: usize) -> Model {
+        self.random_iters = n;
+        self
+    }
+
+    /// Seed for the random fallback scheduler.
+    pub fn seed(mut self, seed: u64) -> Model {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps facade operations per execution (guards against livelock under
+    /// the model, e.g. an unbounded spin loop).
+    pub fn op_budget(mut self, n: usize) -> Model {
+        self.op_budget = n;
+        self
+    }
+
+    /// Explores interleavings of `f` until the bounded space is exhausted,
+    /// a schedule fails, or the schedule caps are reached.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_abort_hook();
+        let f = Arc::new(f);
+        let mut report = Report {
+            schedules: 0,
+            ops: 0,
+            failure: None,
+            exhausted: false,
+        };
+        // Phase 1: DFS over decision sequences.
+        let mut prefix: Vec<usize> = Vec::new();
+        loop {
+            if report.schedules >= self.max_schedules {
+                break;
+            }
+            let (decisions, failure, ops) = self.run_once(&f, prefix.clone(), Mode::Dfs);
+            report.schedules += 1;
+            report.ops += ops;
+            if let Some(fail) = failure {
+                report.failure = Some(fail);
+                return report;
+            }
+            match next_prefix(&decisions) {
+                Some(next) => prefix = next,
+                None => {
+                    report.exhausted = true;
+                    return report;
+                }
+            }
+        }
+        // Phase 2: seeded-random sampling beyond the DFS cap.
+        for i in 0..self.random_iters {
+            let mode = Mode::Random(Rng::new(self.seed.wrapping_add(i as u64)));
+            let (_, failure, ops) = self.run_once(&f, Vec::new(), mode);
+            report.schedules += 1;
+            report.ops += ops;
+            if let Some(fail) = failure {
+                report.failure = Some(fail);
+                return report;
+            }
+        }
+        report
+    }
+
+    /// Re-executes `f` under exactly the recorded decision sequence of a
+    /// prior failure. Returns the failure it reproduces, if any.
+    pub fn replay<F>(&self, f: F, schedule: &[usize]) -> Option<Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_abort_hook();
+        let f = Arc::new(f);
+        let (_, failure, _) = self.run_once(&f, schedule.to_vec(), Mode::Dfs);
+        failure
+    }
+
+    /// One complete execution of `f` under one schedule.
+    fn run_once<F>(
+        &self,
+        f: &Arc<F>,
+        prefix: Vec<usize>,
+        mode: Mode,
+    ) -> (Vec<(usize, usize)>, Option<Failure>, usize)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let exp = Exploration::new(prefix, mode, self.preemption_bound, self.op_budget);
+        set_ctx(Some(Ctx {
+            exp: Arc::clone(&exp),
+            tid: 0,
+        }));
+        let body = Arc::clone(f);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body()));
+        if let Err(payload) = outcome {
+            if payload.downcast_ref::<exec::ModelAbort>().is_none() {
+                exp.record_failure(format!(
+                    "main thread panicked: {}",
+                    panic_message(payload.as_ref())
+                ));
+            }
+        }
+        exp.thread_finished(0, None);
+        exp.wait_all_finished();
+        set_ctx(None);
+        exp.take_outcome()
+    }
+}
+
+/// Tearing down a failed or finished execution unwinds parked threads with
+/// a [`exec::ModelAbort`] panic; this hook keeps those expected unwinds out
+/// of test output while forwarding every real panic to the previous hook.
+fn install_abort_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<exec::ModelAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The next DFS decision prefix after a completed schedule: backtrack to the
+/// deepest decision with an untried alternative, take the next one. `None`
+/// when the bounded space is exhausted.
+fn next_prefix(decisions: &[(usize, usize)]) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        let (n, chosen) = decisions[i];
+        if chosen + 1 < n {
+            let mut prefix: Vec<usize> = decisions[..i].iter().map(|&(_, c)| c).collect();
+            prefix.push(chosen + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_prefix_backtracks_deepest_open_decision() {
+        assert_eq!(next_prefix(&[]), None);
+        assert_eq!(next_prefix(&[(1, 0), (1, 0)]), None);
+        assert_eq!(next_prefix(&[(2, 0)]), Some(vec![1]));
+        assert_eq!(next_prefix(&[(2, 1)]), None);
+        assert_eq!(next_prefix(&[(3, 1), (2, 1), (1, 0)]), Some(vec![2]));
+        assert_eq!(next_prefix(&[(2, 0), (3, 2), (2, 0)]), Some(vec![0, 2, 1]));
+    }
+}

@@ -1,0 +1,93 @@
+//! Vector clocks: the happens-before backbone of the race detector and the
+//! weak-memory atomic model.
+
+use std::fmt;
+
+/// A vector clock, one logical-time component per model thread. Component
+/// `t` is the number of operations thread `t` had executed the last time it
+/// was (transitively) synchronized-with.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> VClock {
+        VClock(Vec::new())
+    }
+
+    /// Component `tid`, zero when never set.
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn grow(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+    }
+
+    /// Advances this thread's own component by one and returns the new
+    /// value — the timestamp of the operation being executed.
+    pub fn tick(&mut self, tid: usize) -> u32 {
+        self.grow(tid);
+        self.0[tid] += 1;
+        self.0[tid]
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VClock) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching component of
+    /// `other` — i.e. the event stamped `self` happens-before (or equals)
+    /// the point stamped `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(tid, &v)| v <= other.get(tid))
+    }
+}
+
+impl fmt::Debug for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_le() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        assert!(!a.le(&b));
+        b.join(&a);
+        assert!(a.le(&b));
+        b.tick(1);
+        a.tick(0);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j) && b.le(&j));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+    }
+}

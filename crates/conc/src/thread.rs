@@ -1,0 +1,93 @@
+//! Thread facade: `spawn`/`JoinHandle`/`yield_now` that route through the
+//! model scheduler inside a model run and fall back to `std::thread`
+//! otherwise.
+
+/// A handle to a spawned thread; joining returns the closure's value (or
+/// the panic payload, as with [`std::thread::JoinHandle`]).
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    #[cfg(feature = "model")]
+    model_tid: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside a
+    /// model run, the join is a scheduling point that only becomes enabled
+    /// once the target thread's model state is finished.
+    pub fn join(self) -> std::thread::Result<T> {
+        #[cfg(feature = "model")]
+        if let Some(tid) = self.model_tid {
+            if let Some(ctx) = crate::model::current_ctx() {
+                ctx.exp
+                    .schedule_point(ctx.tid, crate::model::exec::Op::Join { tid });
+            }
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawns a thread. Inside a model run the thread becomes a controlled
+/// model thread: it parks immediately and only executes when the scheduler
+/// hands it the token, one facade operation at a time.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    #[cfg(feature = "model")]
+    if let Some(ctx) = crate::model::current_ctx() {
+        let tid = ctx
+            .exp
+            .register_thread(ctx.tid, format!("spawned-by-t{}", ctx.tid));
+        let exp = std::sync::Arc::clone(&ctx.exp);
+        let inner = std::thread::spawn(move || {
+            crate::model::set_ctx(Some(crate::model::Ctx {
+                exp: std::sync::Arc::clone(&exp),
+                tid,
+            }));
+            exp.initial_wait(tid);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            match result {
+                Ok(v) => {
+                    exp.thread_finished(tid, None);
+                    crate::model::set_ctx(None);
+                    v
+                }
+                Err(payload) => {
+                    let msg = if payload
+                        .downcast_ref::<crate::model::exec::ModelAbort>()
+                        .is_some()
+                    {
+                        None
+                    } else {
+                        Some(crate::model::panic_message(payload.as_ref()))
+                    };
+                    exp.thread_finished(tid, msg);
+                    crate::model::set_ctx(None);
+                    std::panic::resume_unwind(payload)
+                }
+            }
+        });
+        return JoinHandle {
+            inner,
+            model_tid: Some(tid),
+        };
+    }
+    JoinHandle {
+        inner: std::thread::spawn(f),
+        #[cfg(feature = "model")]
+        model_tid: None,
+    }
+}
+
+/// Yields. Inside a model run this is a pure scheduling point (gives the
+/// scheduler a chance to preempt); otherwise [`std::thread::yield_now`].
+pub fn yield_now() {
+    #[cfg(feature = "model")]
+    if let Some(ctx) = crate::model::current_ctx() {
+        ctx.exp
+            .schedule_point(ctx.tid, crate::model::exec::Op::Yield);
+        return;
+    }
+    std::thread::yield_now();
+}

@@ -1,0 +1,77 @@
+//! The facade outside a model run: with no scheduler context (whether or
+//! not the `model` feature is compiled in), every wrapper must behave as a
+//! plain std primitive — real threads, real atomics, real blocking. This
+//! is the configuration every production binary runs.
+
+use mmdb_conc::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use mmdb_conc::sync::{Arc, Condvar, Mutex, RwLock};
+use mmdb_conc::thread;
+
+#[test]
+fn atomics_pass_through() {
+    let a = AtomicU64::new(5);
+    assert_eq!(a.load(Ordering::SeqCst), 5);
+    a.store(7, Ordering::Release);
+    assert_eq!(a.fetch_add(1, Ordering::AcqRel), 7);
+    assert_eq!(a.swap(2, Ordering::SeqCst), 8);
+    assert_eq!(
+        a.compare_exchange(2, 3, Ordering::SeqCst, Ordering::Relaxed),
+        Ok(2)
+    );
+    assert_eq!(a.fetch_max(10, Ordering::Relaxed), 3);
+    let b = AtomicBool::new(false);
+    assert!(!b.swap(true, Ordering::SeqCst));
+    assert!(b.load(Ordering::Acquire));
+}
+
+#[test]
+fn locks_pass_through() {
+    let m = Mutex::new(1);
+    *m.lock() += 1;
+    assert_eq!(*m.lock(), 2);
+    assert!(m.try_lock().is_some());
+    let rw = RwLock::new(vec![1, 2]);
+    assert_eq!(rw.read().len(), 2);
+    rw.write().push(3);
+    assert_eq!(*rw.read(), vec![1, 2, 3]);
+}
+
+#[test]
+fn threads_and_condvars_pass_through() {
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let worker = {
+        let pair = Arc::clone(&pair);
+        thread::spawn(move || {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_one();
+            21 * 2
+        })
+    };
+    let (lock, cv) = &*pair;
+    let mut ready = lock.lock();
+    while !*ready {
+        ready = cv.wait(ready);
+    }
+    drop(ready);
+    assert_eq!(worker.join().unwrap(), 42);
+}
+
+#[test]
+fn counters_accumulate_across_real_threads() {
+    let n = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let n = Arc::clone(&n);
+            thread::spawn(move || {
+                for _ in 0..100 {
+                    n.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(n.load(Ordering::SeqCst), 400);
+}

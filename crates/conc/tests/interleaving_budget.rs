@@ -1,0 +1,189 @@
+//! Acceptance gate for the concurrency checking layer: across the four
+//! protocol models (storage epoch, bound-index slot, recorder ring, worker
+//! queue) the checker must explore at least 10 000 distinct interleavings
+//! in under 60 seconds with every invariant holding.
+//!
+//! The per-model schedule caps below are tuned so the bounded-DFS space of
+//! the richest scenarios is actually walked; `Report::schedules` counts
+//! only schedules that ran to completion.
+#![cfg(feature = "model")]
+
+use mmdb_boundidx::{EpochSlot, EpochStamped};
+use mmdb_conc::model::Model;
+use mmdb_conc::sync::{Arc, Mutex};
+use mmdb_conc::thread;
+use mmdb_server::BoundedQueue;
+use mmdb_storage::MutationEpoch;
+use mmdb_telemetry::{EventKind, FlightRecorder};
+use std::time::Instant;
+
+struct Cached {
+    stamp: u64,
+    value: u64,
+}
+
+impl EpochStamped for Cached {
+    fn stamp(&self) -> u64 {
+        self.stamp
+    }
+}
+
+/// Storage epoch: one mutator, two epoch-guarded readers of a raw cell.
+fn storage_epoch_model() {
+    let epoch = Arc::new(MutationEpoch::new());
+    let catalog = Arc::new(mmdb_conc::cell::RaceCell::new("catalog row", 0u64));
+    let w = {
+        let (epoch, catalog) = (Arc::clone(&epoch), Arc::clone(&catalog));
+        thread::spawn(move || {
+            catalog.set(1);
+            epoch.bump();
+        })
+    };
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let (epoch, catalog) = (Arc::clone(&epoch), Arc::clone(&catalog));
+            thread::spawn(move || {
+                if epoch.current() >= 1 {
+                    assert_eq!(catalog.get(), 1, "stale catalog read");
+                }
+            })
+        })
+        .collect();
+    w.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+/// Bound index: one invalidating writer, two re-syncing readers.
+fn boundidx_model() {
+    let epoch = Arc::new(MutationEpoch::new());
+    let catalog = Arc::new(Mutex::new(0u64));
+    let slot = Arc::new(EpochSlot::<Cached>::new());
+    *slot.write() = Some(Cached { stamp: 0, value: 0 });
+    let w = {
+        let (epoch, catalog) = (Arc::clone(&epoch), Arc::clone(&catalog));
+        thread::spawn(move || {
+            *catalog.lock() += 1;
+            epoch.bump();
+        })
+    };
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let (epoch, catalog, slot) =
+                (Arc::clone(&epoch), Arc::clone(&catalog), Arc::clone(&slot));
+            thread::spawn(move || {
+                let e = epoch.current();
+                let served = slot
+                    .serve_fresh(e, |c| (c.value, c.stamp))
+                    .unwrap_or_else(|| {
+                        let mut guard = slot.write();
+                        let e2 = epoch.current();
+                        let snap = *catalog.lock();
+                        *guard = Some(Cached {
+                            stamp: e2,
+                            value: snap,
+                        });
+                        (snap, e2)
+                    });
+                assert!(served.0 >= served.1, "stale value served as fresh");
+            })
+        })
+        .collect();
+    w.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+/// Recorder ring: three writers lapping a capacity-2 ring, then a drain.
+fn ring_model() {
+    let rec = Arc::new(FlightRecorder::with_capacity(2));
+    let writers: Vec<_> = (1..=3u64)
+        .map(|i| {
+            let rec = Arc::clone(&rec);
+            thread::spawn(move || {
+                rec.record(
+                    EventKind::QueryStart,
+                    format!("writer-{i}"),
+                    &[("writer", i)],
+                );
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    let events = rec.events();
+    assert_eq!(events.len(), 2);
+    for e in &events {
+        let tag = e.counts[0].1;
+        assert_eq!(e.detail, format!("writer-{tag}"), "torn event");
+    }
+}
+
+/// Worker queue: two producers, one consumer, close-then-drain handshake.
+fn queue_model() {
+    let q = Arc::new(BoundedQueue::new(1));
+    let producers: Vec<_> = (1..=2u32)
+        .map(|i| {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.try_push(i).ok().map(|()| i))
+        })
+        .collect();
+    let consumer = {
+        let q = Arc::clone(&q);
+        thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q.pop() {
+                got.push(v);
+            }
+            got
+        })
+    };
+    let mut accepted: Vec<u32> = producers
+        .into_iter()
+        .filter_map(|h| h.join().unwrap())
+        .collect();
+    q.close();
+    let mut got = consumer.join().unwrap();
+    accepted.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(got, accepted, "drain lost or invented a request");
+}
+
+#[test]
+fn explores_ten_thousand_interleavings_quickly() {
+    let start = Instant::now();
+    let mut total = 0usize;
+    let mut lines = Vec::new();
+    let scenarios: [(&str, fn()); 4] = [
+        ("storage_epoch", storage_epoch_model),
+        ("boundidx", boundidx_model),
+        ("ring", ring_model),
+        ("queue", queue_model),
+    ];
+    for (name, scenario) in scenarios {
+        let report = Model::new()
+            .max_schedules(20_000)
+            .random_iters(500)
+            .check(scenario);
+        report.assert_ok();
+        lines.push(format!(
+            "{name}: {} schedules, {} ops, exhausted={}",
+            report.schedules, report.ops, report.exhausted
+        ));
+        total += report.schedules;
+    }
+    let elapsed = start.elapsed();
+    eprintln!("{}", lines.join("\n"));
+    eprintln!("total: {total} schedules in {elapsed:?}");
+    assert!(
+        total >= 10_000,
+        "expected >= 10k interleavings across the four protocol models, got {total}"
+    );
+    assert!(
+        elapsed.as_secs() < 60,
+        "exploration took {elapsed:?}, budget is 60s"
+    );
+}

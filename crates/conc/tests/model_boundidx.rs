@@ -1,0 +1,134 @@
+//! Model-checks the bound-index freshness protocol: an
+//! [`mmdb_boundidx::EpochSlot`] guarded by the *real*
+//! [`mmdb_storage::MutationEpoch`], exercised by concurrent readers
+//! (fast-path probe + slow-path re-sync) and an invalidating writer — the
+//! exact shape of `MultimediaDatabase::with_bound_index`.
+//!
+//! Invariant: **no stale bound interval is ever served after an
+//! invalidating write.** Operationally: a served value's stamp never leads
+//! the catalog state it reflects (`value >= stamp` in this model, where the
+//! k-th mutation sets the catalog to `k` and the epoch to `k`), and once
+//! the writer is joined, every read serves the post-mutation value.
+#![cfg(feature = "model")]
+
+use mmdb_boundidx::{EpochSlot, EpochStamped};
+use mmdb_conc::model::Model;
+use mmdb_conc::sync::{Arc, Mutex};
+use mmdb_conc::thread;
+use mmdb_storage::MutationEpoch;
+
+/// Stand-in for a `BoundIndex`: the memoized value plus the epoch stamp of
+/// the catalog snapshot it was computed from.
+struct Cached {
+    stamp: u64,
+    value: u64,
+}
+
+impl EpochStamped for Cached {
+    fn stamp(&self) -> u64 {
+        self.stamp
+    }
+}
+
+/// The reader protocol from `with_bound_index`: probe the slot at the
+/// current epoch; on miss take the write lock, capture the epoch *before*
+/// reading the catalog, re-sync, serve. Returns `(value, stamp)` served.
+fn read(slot: &EpochSlot<Cached>, epoch: &MutationEpoch, catalog: &Mutex<u64>) -> (u64, u64) {
+    let e = epoch.current();
+    if let Some(served) = slot.serve_fresh(e, |c| (c.value, c.stamp)) {
+        return served;
+    }
+    let mut guard = slot.write();
+    // Epoch first, catalog second: a mutation racing this snapshot leaves
+    // the stamp *behind* the real epoch, so the worst case is a spurious
+    // re-sync on the next query — never a stale serve.
+    let e2 = epoch.current();
+    let snap = *catalog.lock();
+    *guard = Some(Cached {
+        stamp: e2,
+        value: snap,
+    });
+    (snap, e2)
+}
+
+/// The writer protocol: mutate the catalog under its lock, then bump the
+/// epoch (matching `StorageEngine`: the bump happens after the catalog
+/// state is updated).
+fn invalidating_write(epoch: &MutationEpoch, catalog: &Mutex<u64>) {
+    {
+        let mut g = catalog.lock();
+        *g += 1;
+    }
+    epoch.bump();
+}
+
+#[test]
+fn no_stale_serve_after_invalidating_write() {
+    Model::new()
+        .check(|| {
+            let epoch = Arc::new(MutationEpoch::new());
+            let catalog = Arc::new(Mutex::new(0u64));
+            let slot = Arc::new(EpochSlot::new());
+            // Slot starts synced to the initial catalog (value 0, epoch 0).
+            *slot.write() = Some(Cached { stamp: 0, value: 0 });
+
+            let w = {
+                let (epoch, catalog) = (Arc::clone(&epoch), Arc::clone(&catalog));
+                thread::spawn(move || invalidating_write(&epoch, &catalog))
+            };
+            let r = {
+                let (epoch, catalog, slot) =
+                    (Arc::clone(&epoch), Arc::clone(&catalog), Arc::clone(&slot));
+                thread::spawn(move || {
+                    let (v, s) = read(&slot, &epoch, &catalog);
+                    // A racing reader may legitimately serve the *old* state
+                    // at the *old* stamp, or newer data with a lagging stamp
+                    // — but never old data with a fresh stamp.
+                    assert!(v >= s, "stale value {v} served with fresh stamp {s}");
+                })
+            };
+            w.join().unwrap();
+            r.join().unwrap();
+
+            // The write is now completed and observed (join edge): the old
+            // cached value must be refused and the re-sync must serve the
+            // post-mutation catalog.
+            let (v, s) = read(&slot, &epoch, &catalog);
+            assert_eq!((v, s), (1, 1), "stale bound interval served after write");
+        })
+        .assert_ok();
+}
+
+/// Two concurrent readers re-syncing the same slot never clobber a fresh
+/// value with a stale one that would then be *served* as fresh.
+#[test]
+fn racing_resyncs_stay_monotone_at_serve_time() {
+    Model::new()
+        .check(|| {
+            let epoch = Arc::new(MutationEpoch::new());
+            let catalog = Arc::new(Mutex::new(0u64));
+            let slot = Arc::new(EpochSlot::<Cached>::new());
+
+            let w = {
+                let (epoch, catalog) = (Arc::clone(&epoch), Arc::clone(&catalog));
+                thread::spawn(move || invalidating_write(&epoch, &catalog))
+            };
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (epoch, catalog, slot) =
+                        (Arc::clone(&epoch), Arc::clone(&catalog), Arc::clone(&slot));
+                    thread::spawn(move || {
+                        let (v, s) = read(&slot, &epoch, &catalog);
+                        assert!(v >= s, "stale value {v} served with fresh stamp {s}");
+                    })
+                })
+                .collect();
+            w.join().unwrap();
+            for r in readers {
+                r.join().unwrap();
+            }
+            let (v, s) = read(&slot, &epoch, &catalog);
+            assert_eq!((v, s), (1, 1));
+        })
+        .assert_ok();
+}

@@ -1,0 +1,240 @@
+//! Scheduler smoke tests: canonical litmus shapes the checker must get
+//! right before the real protocol models mean anything.
+
+#![cfg(feature = "model")]
+
+use mmdb_conc::cell::RaceCell;
+use mmdb_conc::model::Model;
+use mmdb_conc::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use mmdb_conc::sync::{Arc, Condvar, Mutex};
+use mmdb_conc::thread;
+
+#[test]
+fn two_increments_always_sum() {
+    Model::new()
+        .check(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = Arc::clone(&x);
+            let h = thread::spawn(move || {
+                x2.fetch_add(1, Ordering::AcqRel);
+            });
+            x.fetch_add(1, Ordering::AcqRel);
+            h.join().unwrap();
+            assert_eq!(x.load(Ordering::Acquire), 2);
+        })
+        .assert_ok();
+}
+
+#[test]
+fn torn_counter_with_plain_loads_is_caught() {
+    // load + store (not an RMW) loses increments under interleaving: the
+    // DFS must find a schedule where both threads read 0.
+    let report = Model::new().check(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let h = thread::spawn(move || {
+            let v = x2.load(Ordering::SeqCst);
+            x2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = x.load(Ordering::SeqCst);
+        x.store(v + 1, Ordering::SeqCst);
+        h.join().unwrap();
+        assert_eq!(x.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let failure = report.expect_failure();
+    assert!(
+        failure.message.contains("lost update"),
+        "{}",
+        failure.message
+    );
+}
+
+#[test]
+fn release_acquire_publication_is_clean() {
+    Model::new()
+        .check(|| {
+            let data = Arc::new(RaceCell::new("payload", 0u32));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let h = thread::spawn(move || {
+                d2.set(7);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.get(), 7);
+            }
+            h.join().unwrap();
+        })
+        .assert_ok();
+}
+
+#[test]
+fn relaxed_publication_race_is_caught() {
+    // Same shape, but the flag store is Relaxed: no happens-before edge to
+    // the reader, so the RaceCell access is a data race.
+    let report = Model::new().check(|| {
+        let data = Arc::new(RaceCell::new("payload", 0u32));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            d2.set(7);
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) {
+            let _ = data.get();
+        }
+        h.join().unwrap();
+    });
+    let failure = report.expect_failure();
+    assert!(
+        failure.message.contains("data race on payload"),
+        "{}",
+        failure.message
+    );
+}
+
+#[test]
+fn relaxed_load_observes_stale_value() {
+    // x=1 published under a Release flag, but the consumer reads the flag
+    // Relaxed: the model must exhibit an execution where the flag is seen
+    // set while x still reads 0.
+    let report = Model::new().check(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (x2, f2) = (Arc::clone(&x), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Relaxed) {
+            assert_eq!(x.load(Ordering::Relaxed), 1, "stale read");
+        }
+        h.join().unwrap();
+    });
+    let failure = report.expect_failure();
+    assert!(
+        failure.message.contains("stale read"),
+        "{}",
+        failure.message
+    );
+}
+
+#[test]
+fn acquire_load_never_observes_stale_value() {
+    // The correctly-ordered variant of the test above must pass: an
+    // Acquire load of the flag pulls in the Release store's clock.
+    Model::new()
+        .check(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (x2, f2) = (Arc::clone(&x), Arc::clone(&flag));
+            let h = thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(x.load(Ordering::Relaxed), 1);
+            }
+            h.join().unwrap();
+        })
+        .assert_ok();
+}
+
+#[test]
+fn abba_deadlock_is_caught() {
+    let report = Model::new().check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let h = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop((_ga, _gb));
+        h.join().unwrap();
+    });
+    let failure = report.expect_failure();
+    assert!(failure.message.contains("deadlock"), "{}", failure.message);
+}
+
+#[test]
+fn mutex_protects_plain_data() {
+    Model::new()
+        .check(|| {
+            let cell = Arc::new(Mutex::new(0u32));
+            let c2 = Arc::clone(&cell);
+            let h = thread::spawn(move || {
+                *c2.lock() += 1;
+            });
+            *cell.lock() += 1;
+            h.join().unwrap();
+            assert_eq!(*cell.lock(), 2);
+        })
+        .assert_ok();
+}
+
+#[test]
+fn condvar_handshake_completes() {
+    Model::new()
+        .check(|| {
+            let slot = Arc::new((Mutex::new(None::<u32>), Condvar::new()));
+            let s2 = Arc::clone(&slot);
+            let h = thread::spawn(move || {
+                let (m, cv) = &*s2;
+                *m.lock() = Some(42);
+                cv.notify_one();
+            });
+            let (m, cv) = &*slot;
+            let mut guard = m.lock();
+            while guard.is_none() {
+                guard = cv.wait(guard);
+            }
+            assert_eq!(*guard, Some(42));
+            drop(guard);
+            h.join().unwrap();
+        })
+        .assert_ok();
+}
+
+#[test]
+fn failure_replays_deterministically() {
+    let build = || {
+        let x = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (x2, f2) = (Arc::clone(&x), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Relaxed) {
+            assert_eq!(x.load(Ordering::Relaxed), 1, "stale read");
+        }
+        h.join().unwrap();
+    };
+    let report = Model::new().check(build);
+    let failure = report.expect_failure().clone();
+    let replayed = Model::new()
+        .replay(build, &failure.schedule)
+        .expect("replay reproduces the failure");
+    assert_eq!(replayed.message, failure.message);
+    assert_eq!(replayed.schedule, failure.schedule);
+    assert_eq!(replayed.trace, failure.trace);
+}
+
+#[test]
+fn exploration_is_exhaustive_for_small_models() {
+    let report = Model::new().check(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let h = thread::spawn(move || {
+            x2.fetch_add(1, Ordering::AcqRel);
+        });
+        x.fetch_add(2, Ordering::AcqRel);
+        h.join().unwrap();
+    });
+    assert!(report.failure.is_none());
+    assert!(report.exhausted, "small model should exhaust: {report:?}");
+    assert!(report.schedules >= 2, "{report:?}");
+}

@@ -37,8 +37,9 @@
 //! assert!(outcome.results.contains(&edited));
 //! ```
 
-use mmdb_boundidx::{profile_slot, BoundIndex, SyncStats, PROFILE_SLOTS};
+use mmdb_boundidx::{profile_slot, BoundIndex, EpochSlot, SyncStats, PROFILE_SLOTS};
 use mmdb_bwm::{BoundsCache, BwmStructure};
+use mmdb_conc::sync::RwLock;
 use mmdb_datagen::edits::TargetInfo;
 use mmdb_datagen::{VariantConfig, VariantGenerator};
 use mmdb_editops::{EditSequence, ImageId};
@@ -49,7 +50,6 @@ use mmdb_query::{QueryPlan, SignatureIndex};
 use mmdb_rules::{ColorRangeQuery, RuleProfile};
 use mmdb_storage::{StorageEngine, StorageStats};
 use mmdb_telemetry::QueryTrace;
-use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -138,11 +138,14 @@ pub struct MultimediaDatabase {
     storage: StorageEngine,
     bwm: RwLock<BwmStructure>,
     signature_index: RwLock<Option<Arc<SignatureIndex>>>,
-    /// One lazily built [`BoundIndex`] per rule profile. The serving
-    /// invariant is `index.synced_epoch() == storage.current_epoch()`: a
-    /// slot whose epoch trails the storage engine is never consulted — it is
-    /// re-synced (or built) under the write lock first.
-    bound_index: RwLock<[Option<BoundIndex>; PROFILE_SLOTS]>,
+    /// One lazily built [`BoundIndex`] per rule profile, each in an
+    /// epoch-guarded slot. The serving invariant is
+    /// `index.synced_epoch() == storage.current_epoch()`: a slot whose epoch
+    /// trails the storage engine is never consulted — it is re-synced (or
+    /// built) under the slot's write lock first. [`EpochSlot`] enforces the
+    /// invariant structurally; the protocol is model-checked in
+    /// `crates/conc/tests/model_boundidx.rs`.
+    bound_index: [EpochSlot<BoundIndex>; PROFILE_SLOTS],
     profile: RuleProfile,
 }
 
@@ -153,7 +156,7 @@ impl MultimediaDatabase {
             storage,
             bwm: RwLock::new(bwm),
             signature_index: RwLock::new(None),
-            bound_index: RwLock::new(std::array::from_fn(|_| None)),
+            bound_index: std::array::from_fn(|_| EpochSlot::new()),
             profile: RuleProfile::Conservative,
         }
     }
@@ -301,12 +304,11 @@ impl MultimediaDatabase {
                 // probes it for memoized bounds instead of walking operation
                 // lists. A stale (or absent) index is simply skipped — the
                 // BWM plan never pays a sync.
-                let idx_guard = self.bound_index.read();
-                let cache = idx_guard[profile_slot(profile)]
-                    .as_ref()
-                    .filter(|idx| idx.synced_epoch() == self.storage.current_epoch())
-                    .map(|idx| idx as &dyn BoundsCache);
-                qp.range_bwm_with_cache(&self.bwm.read(), query, cache)
+                let epoch = self.storage.current_epoch();
+                self.bound_index[profile_slot(profile)].with_fresh(epoch, |idx| {
+                    let cache = idx.map(|idx| idx as &dyn BoundsCache);
+                    qp.range_bwm_with_cache(&self.bwm.read(), query, cache)
+                })
             }
             QueryPlan::Rbm => qp.range_rbm(query),
             QueryPlan::Instantiate => qp.range_instantiate(query),
@@ -328,23 +330,26 @@ impl MultimediaDatabase {
         profile: RuleProfile,
         f: impl FnOnce(&BoundIndex, SyncStats) -> T,
     ) -> Result<T> {
-        let slot = profile_slot(profile);
-        {
-            let guard = self.bound_index.read();
-            if let Some(idx) = guard[slot].as_ref() {
-                if idx.synced_epoch() == self.storage.current_epoch() {
-                    return Ok(f(idx, SyncStats::default()));
-                }
-            }
+        let slot = &self.bound_index[profile_slot(profile)];
+        // `f` is FnOnce, so shuttle it through an Option: consumed on the
+        // fast path, recovered for the slow path when the slot was stale.
+        let mut f = Some(f);
+        let served = slot.serve_fresh(self.storage.current_epoch(), |idx| {
+            (f.take().expect("fast-path closure runs once"))(idx, SyncStats::default())
+        });
+        if let Some(out) = served {
+            return Ok(out);
         }
+        let f = f.take().expect("closure unconsumed on slow path");
         // Slow path: build or re-sync under the write lock, then serve under
         // it (this lock has no downgrade; the next query takes the read fast
-        // path above).
-        let mut guard = self.bound_index.write();
+        // path above). The epoch is captured before `binary_ids`/`edited_ids`
+        // so a racing mutation leaves the stamp behind, never ahead.
+        let mut guard = slot.write();
         let epoch = self.storage.current_epoch();
         let binary = self.storage.binary_ids();
         let edited = self.storage.edited_ids();
-        let stats = match guard[slot].as_mut() {
+        let stats = match guard.as_mut() {
             Some(idx) if idx.synced_epoch() == epoch => SyncStats::default(),
             Some(idx) => idx.sync(
                 epoch,
@@ -369,11 +374,11 @@ impl MultimediaDatabase {
                     epoch,
                     threads,
                 )?;
-                guard[slot] = Some(built);
+                *guard = Some(built);
                 SyncStats::default()
             }
         };
-        let idx = guard[slot].as_ref().expect("slot populated above");
+        let idx = guard.as_ref().expect("slot populated above");
         Ok(f(idx, stats))
     }
 
@@ -386,10 +391,12 @@ impl MultimediaDatabase {
         if ids.is_empty() {
             return;
         }
-        let mut guard = self.bound_index.write();
-        for idx in guard.iter_mut().flatten() {
-            for &id in ids {
-                idx.invalidate(id);
+        for slot in &self.bound_index {
+            let mut guard = slot.write();
+            if let Some(idx) = guard.as_mut() {
+                for &id in ids {
+                    idx.invalidate(id);
+                }
             }
         }
     }

@@ -3,14 +3,17 @@
 //! queue is at capacity the item is handed straight back so the caller can
 //! answer `OVERLOADED` instead of queueing unboundedly.
 //!
-//! Built on `std::sync::{Mutex, Condvar}` (the vendored `parking_lot` stub
-//! has no condvar); consumers block in [`BoundedQueue::pop`] until an item
-//! arrives or the queue is closed *and* drained — which is exactly the
+//! Built on the `mmdb_conc::sync` facade (std `Mutex`/`Condvar` in normal
+//! builds, the model-checking scheduler under `mmdb-conc`'s `model`
+//! feature); consumers block in [`BoundedQueue::pop`] until an item arrives
+//! or the queue is closed *and* drained — which is exactly the
 //! graceful-shutdown contract: close, let the workers finish the backlog,
-//! then they exit.
+//! then they exit. The contract "every accepted item is popped exactly
+//! once before drain completes" is model-checked in
+//! `crates/conc/tests/model_queue.rs`.
 
+use mmdb_conc::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 struct State<T> {
     items: VecDeque<T>,
@@ -53,7 +56,7 @@ impl<T> BoundedQueue<T> {
 
     /// Currently queued items.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        self.state.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -64,7 +67,7 @@ impl<T> BoundedQueue<T> {
     /// Non-blocking submission. Returns the item when the queue is full or
     /// closed — admission control, never backpressure-by-blocking.
     pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.state.lock();
         if state.closed {
             return Err((item, PushError::Closed));
         }
@@ -80,7 +83,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available and returns it, or returns `None`
     /// once the queue is closed **and** fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.state.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -88,14 +91,14 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue lock poisoned");
+            state = self.not_empty.wait(state);
         }
     }
 
     /// Closes the queue: future pushes fail, consumers drain what is left
     /// and then observe `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.state.lock().closed = true;
         self.not_empty.notify_all();
     }
 }

@@ -34,7 +34,11 @@ use crate::queue::{BoundedQueue, PushError};
 use mmdb_telemetry::{counter, gauge, histogram, EventKind, KeepReason, QueryTrace, StoredTrace};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+// Stop-flag atomics go through the mmdb-conc facade so the shutdown
+// handshake can be exercised under the model-checking scheduler; `mpsc`
+// and the per-connection `Condvar`/`Mutex` pair stay on std (they guard
+// OS-level I/O paths the model never drives).
+use mmdb_conc::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 

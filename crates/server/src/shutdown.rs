@@ -12,6 +12,11 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+// Relaxed everywhere on TRIGGERED is deliberate: it is a standalone boolean
+// flag — no observer infers the state of any other memory from it, and the
+// signal-handler store must stay a bare atomic write (async-signal-safe).
+// Kept on `std::sync::atomic` rather than the mmdb-conc facade for the same
+// reason: the facade's model path takes locks, which a handler must not.
 static TRIGGERED: AtomicBool = AtomicBool::new(false);
 static INSTALLED: AtomicBool = AtomicBool::new(false);
 

@@ -2,10 +2,13 @@
 
 use crate::blobstore::BlobStore;
 use crate::catalog::{Catalog, CatalogEntry, StoredKind};
+use crate::epoch::MutationEpoch;
 use crate::error::StorageError;
 use crate::lru::LruCache;
 use crate::Result;
 use mmdb_analysis::{Analyzer, CatalogGraph, NodeKind, Severity};
+use mmdb_conc::sync::atomic::{AtomicBool, Ordering};
+use mmdb_conc::sync::{Mutex, RwLock};
 use mmdb_editops::{
     EditError, EditSequence, ExecOptions, ImageId, ImageResolver, InstantiationEngine,
 };
@@ -14,9 +17,7 @@ use mmdb_imaging::ppm::{self, PnmFormat};
 use mmdb_imaging::{RasterImage, Rgb};
 use mmdb_rules::{ImageInfo, InfoResolver};
 use mmdb_telemetry::{counter, histogram};
-use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -79,8 +80,10 @@ pub struct StorageEngine {
     /// index stamp themselves with the epoch they were built from and must
     /// refuse to serve when it trails [`StorageEngine::current_epoch`] —
     /// that comparison is what makes "a stale entry is never served" a
-    /// checkable invariant rather than a convention.
-    epoch: AtomicU64,
+    /// checkable invariant rather than a convention. See
+    /// [`MutationEpoch`] for the ordering rules, and the `mmdb-conc` model
+    /// tests for the machine-checked version of this argument.
+    epoch: MutationEpoch,
 }
 
 impl StorageEngine {
@@ -108,7 +111,7 @@ impl StorageEngine {
             background: Rgb::BLACK,
             catalog_path: Some(catalog_path),
             validate_ingest: AtomicBool::new(true),
-            epoch: AtomicU64::new(0),
+            epoch: MutationEpoch::new(),
         };
         engine.flush()?;
         Ok(engine)
@@ -135,7 +138,7 @@ impl StorageEngine {
             background: Rgb::BLACK,
             catalog_path: Some(catalog_path),
             validate_ingest: AtomicBool::new(true),
-            epoch: AtomicU64::new(0),
+            epoch: MutationEpoch::new(),
         })
     }
 
@@ -151,7 +154,7 @@ impl StorageEngine {
             background: Rgb::BLACK,
             catalog_path: None,
             validate_ingest: AtomicBool::new(true),
-            epoch: AtomicU64::new(0),
+            epoch: MutationEpoch::new(),
         }
     }
 
@@ -160,11 +163,11 @@ impl StorageEngine {
     /// then leaves the derived stamp behind the true epoch (forcing a
     /// re-sync) rather than ahead of it (serving stale data).
     pub fn current_epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.epoch.current()
     }
 
     fn bump_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.epoch.bump();
     }
 
     /// The quantizer every histogram in this database uses.
@@ -182,11 +185,14 @@ impl StorageEngine {
     /// legacy single-bin BOUNDS probe, which still refuses sequences the
     /// rule engine cannot bound but skips the full static-analysis passes.
     pub fn set_ingest_validation(&self, enabled: bool) {
+        // Relaxed is deliberate: a standalone mode flag guarding no other
+        // data — no reader infers anything about memory from its value.
         self.validate_ingest.store(enabled, Ordering::Relaxed);
     }
 
     /// Whether analyzer-backed ingest validation is enabled.
     pub fn ingest_validation(&self) -> bool {
+        // Relaxed is deliberate: see `set_ingest_validation`.
         self.validate_ingest.load(Ordering::Relaxed)
     }
 
@@ -264,6 +270,7 @@ impl StorageEngine {
         // Phase 1 (no exclusive lock held): reference check + static
         // analysis.
         check_refs(&self.inner.read())?;
+        // Relaxed: mode flag only (see `set_ingest_validation`).
         if self.validate_ingest.load(Ordering::Relaxed) {
             let analyzer = Analyzer::with_resolver(self.quantizer.as_ref(), self.background, self);
             let analysis = analyzer.analyze_sequence(&sequence);

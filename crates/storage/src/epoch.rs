@@ -1,0 +1,67 @@
+//! The mutation-epoch protocol, extracted so it can be model-checked.
+//!
+//! Derived read structures (the bound-interval index, most prominently)
+//! stamp themselves with the epoch they were built from and refuse to serve
+//! while their stamp trails [`MutationEpoch::current`]. The protocol's
+//! correctness rests on two rules, both encoded here and model-checked from
+//! `mmdb-conc` (see DESIGN.md, "Appendix: the mutation-epoch protocol"):
+//!
+//! 1. **Writers bump after publishing.** Every catalog mutation updates the
+//!    catalog under the exclusive lock and calls [`MutationEpoch::bump`]
+//!    (an `AcqRel` read-modify-write) before releasing it.
+//! 2. **Readers capture before reading.** A builder captures the epoch with
+//!    [`MutationEpoch::current`] (`Acquire`) *before* reading any catalog
+//!    state it derives from. A mutation racing with the build then leaves
+//!    the derived stamp *behind* the true epoch — forcing a re-sync on the
+//!    next serve — never ahead of it, which would serve stale data.
+
+use mmdb_conc::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone mutation counter ordering derived structures against catalog
+/// writes.
+#[derive(Debug, Default)]
+pub struct MutationEpoch {
+    epoch: AtomicU64,
+}
+
+impl MutationEpoch {
+    /// A new epoch counter starting at zero.
+    pub const fn new() -> MutationEpoch {
+        MutationEpoch {
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The current epoch.
+    ///
+    /// `Acquire`: a reader that observes epoch `e` also observes every
+    /// catalog write that happened-before the bump to `e` (the bump is an
+    /// `AcqRel` RMW performed while the exclusive catalog lock is held).
+    pub fn current(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances the epoch by one, returning the new value.
+    ///
+    /// `AcqRel`: the release half publishes the catalog mutation that
+    /// precedes the bump; the acquire half keeps consecutive bumps ordered
+    /// into a single release sequence, so a reader acquiring the newest
+    /// epoch sees *all* prior mutations, not just the last one.
+    pub fn bump(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_is_monotone() {
+        let e = MutationEpoch::new();
+        assert_eq!(e.current(), 0);
+        assert_eq!(e.bump(), 1);
+        assert_eq!(e.bump(), 2);
+        assert_eq!(e.current(), 2);
+    }
+}

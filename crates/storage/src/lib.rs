@@ -27,12 +27,14 @@
 pub mod blobstore;
 pub mod catalog;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod lru;
 
 pub use blobstore::{BlobRef, BlobStore};
 pub use catalog::{Catalog, CatalogEntry, StoredKind};
 pub use engine::{StorageEngine, StorageStats};
+pub use epoch::MutationEpoch;
 pub use error::StorageError;
 pub use lru::LruCache;
 

@@ -71,6 +71,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+// Both switches below use Relaxed loads/stores deliberately: they are
+// standalone mode flags — no caller infers the state of other memory from
+// a flag value, so no acquire/release pairing is needed.
 static TRACING: AtomicBool = AtomicBool::new(false);
 
 /// Master switch for hot-path instrumentation (latency histograms, flight

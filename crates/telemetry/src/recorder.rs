@@ -7,8 +7,8 @@
 //! sequence, and writes through that slot's own mutex. The write lock is
 //! taken only by [`FlightRecorder::set_capacity`], which rebuilds the ring.
 
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use mmdb_conc::sync::atomic::{AtomicU64, Ordering};
+use mmdb_conc::sync::{Mutex, RwLock};
 use std::sync::OnceLock;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
@@ -149,6 +149,11 @@ impl FlightRecorder {
         counts: &[(&'static str, u64)],
     ) {
         let ring = self.ring.read();
+        // Relaxed is deliberate: the RMW alone makes seq values unique and
+        // totally ordered; the event itself is published by the slot mutex
+        // below (its unlock/lock is the release/acquire edge drainers rely
+        // on), so the head counter orders nothing but itself. Model-checked
+        // in crates/conc/tests/model_ring.rs.
         let seq = ring.head.fetch_add(1, Ordering::Relaxed);
         let idx = (seq % ring.slots.len() as u64) as usize;
         let event = Event {
@@ -158,7 +163,15 @@ impl FlightRecorder {
             detail: detail.into(),
             counts: counts.to_vec(),
         };
-        *ring.slots[idx].lock() = Some(event);
+        let mut slot = ring.slots[idx].lock();
+        // Guard against a lapped race: between seq assignment and slot
+        // publication another writer may have lapped the ring and published
+        // a *newer* event into this slot; clobbering it would lose the
+        // newest event while retaining an older one (found by the model
+        // checker — see crates/conc/tests/model_ring.rs).
+        if slot.as_ref().is_none_or(|existing| existing.seq < seq) {
+            *slot = Some(event);
+        }
     }
 
     /// The retained events, oldest first. Slots being overwritten by racing
@@ -259,6 +272,8 @@ pub fn events_to_json(events: &[Event]) -> String {
     out
 }
 
+// Relaxed throughout: a standalone tuning knob — no reader infers other
+// memory state from its value.
 static SLOW_QUERY_NANOS: AtomicU64 = AtomicU64::new(250_000_000);
 
 /// Sets the process-wide slow-query threshold: queries at or above it emit a

@@ -1,14 +1,20 @@
 //! The lock-free metrics registry: counters, gauges, fixed-bucket latency
 //! histograms, and Prometheus/JSON exposition.
 
-use parking_lot::RwLock;
+use mmdb_conc::sync::atomic::{AtomicU64, Ordering};
+use mmdb_conc::sync::RwLock;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// A monotonically increasing counter.
+///
+/// All operations are `Relaxed`, deliberately: each series is an
+/// independent statistic — no reader derives the state of *other* memory
+/// from a counter value, and exposition only needs each value to be
+/// internally consistent (RMWs guarantee no lost increments regardless of
+/// ordering). Model-checked in `crates/conc/tests/model_ring.rs`.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
 
@@ -29,6 +35,9 @@ impl Counter {
 }
 
 /// A last-write-wins instantaneous value.
+///
+/// `Relaxed` is deliberate — see [`Counter`]; last-write-wins needs no
+/// inter-thread ordering beyond the store itself.
 #[derive(Debug, Default)]
 pub struct Gauge(AtomicU64);
 
@@ -75,6 +84,10 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Records one observation. The four `Relaxed` RMWs are deliberate and
+    /// independently consistent; a concurrent snapshot may transiently see
+    /// `count` without the matching `sum_nanos` (or vice versa), which
+    /// exposition tolerates — both are monotone and converge.
     #[inline]
     pub fn observe(&self, d: Duration) {
         let secs = d.as_secs_f64();

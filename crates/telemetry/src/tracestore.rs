@@ -237,6 +237,8 @@ impl TraceStore {
     }
 }
 
+// Relaxed is deliberate: a standalone tuning knob, read per request; no
+// other memory state is inferred from its value.
 static TRACE_KEEP_NANOS: AtomicU64 = AtomicU64::new(100_000_000);
 
 /// Sets the process-wide retroactive-keep threshold: any traced request
@@ -252,6 +254,9 @@ pub fn trace_keep_threshold() -> Duration {
     Duration::from_nanos(TRACE_KEEP_NANOS.load(Ordering::Relaxed))
 }
 
+// Relaxed is deliberate: uniqueness comes from the RMW itself (every
+// fetch_add returns a distinct value under any ordering); ids carry no
+// publication obligation.
 static TRACE_ID_COUNTER: AtomicU64 = AtomicU64::new(1);
 
 /// Generates a nonzero trace id: a per-process counter mixed with the boot
