@@ -8,11 +8,13 @@
 //! Subcommands: `table2`, `fig3`, `fig4`, `headline`, `ablation-nbw`,
 //! `ablation-selectivity`, `ablation-profile`, `ablation-knn`,
 //! `ablation-bins`, `fig3-constmix`, `fig4-constmix`, `storage`, `lint`,
-//! `overhead`, `serve-load`, `trace-overhead`, `all`. `--fast` runs a
-//! reduced configuration; CSVs land in `results/`. `serve-load
-//! [--connect HOST:PORT]` drives the network query server (self-hosted
-//! unless `--connect` points at a running `mmdbctl serve-queries`);
-//! `trace-overhead` measures the serving cost of the request-tracing modes.
+//! `overhead`, `serve-load`, `trace-overhead`, `observatory-overhead`,
+//! `all`. `--fast` runs a reduced configuration; CSVs land in `results/`.
+//! `serve-load [--connect HOST:PORT]` drives the network query server
+//! (self-hosted unless `--connect` points at a running `mmdbctl
+//! serve-queries`); `trace-overhead` measures the serving cost of the
+//! request-tracing modes; `observatory-overhead` measures the cost of heat
+//! accounting plus the SLO engine against instrumentation-off serving.
 
 use mmdb_bench::csvout;
 use mmdb_bench::experiments::{self, Figure, SweepConfig, METRICS_HEADERS, SWEEP_HEADERS};
@@ -680,6 +682,50 @@ fn run_trace_overhead(fast: bool) {
     println!("[csv] {}", path.display());
 }
 
+fn run_observatory_overhead(fast: bool) {
+    use mmdb_bench::serveload::{self, LoadConfig, OBSERVATORY_OVERHEAD_HEADERS};
+    let cfg = if fast {
+        LoadConfig::fast()
+    } else {
+        LoadConfig::default_sweep()
+    };
+    println!();
+    println!(
+        "Observatory overhead — identical closed-loop workload with instrumentation off vs. \
+         heat accounting + SLO engine on (plus a 100ms scraper thread)"
+    );
+    print_rule(92);
+    println!(
+        "{:>16} {:>6} {:>9} {:>10} {:>9} {:>9} {:>9} {:>12}",
+        "observatory", "conc", "requests", "qps", "p50 ms", "p95 ms", "p99 ms", "qps vs off"
+    );
+    let points = serveload::run_observatory_overhead(&cfg);
+    let mut rows = Vec::new();
+    for p in &points {
+        println!(
+            "{:>16} {:>6} {:>9} {:>10.1} {:>9.3} {:>9.3} {:>9.3} {:>11.1}%",
+            p.label,
+            p.point.concurrency,
+            p.point.requests,
+            p.point.qps,
+            p.point.p50_ms,
+            p.point.p95_ms,
+            p.point.p99_ms,
+            p.qps_vs_off_pct
+        );
+        rows.push(p.csv_row());
+    }
+    print_rule(92);
+    let on = &points[1];
+    println!(
+        "observatory-on throughput is {:.1}% of fully-off (acceptance bar: >= 98%)",
+        on.qps_vs_off_pct
+    );
+    let path = results_dir().join("observatory_overhead.csv");
+    csvout::write_csv(&path, &OBSERVATORY_OVERHEAD_HEADERS, &rows).expect("write csv");
+    println!("[csv] {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -718,6 +764,7 @@ fn main() {
         "overhead" => run_overhead(&cfg),
         "serve-load" => run_serve_load(fast, &args),
         "trace-overhead" => run_trace_overhead(fast),
+        "observatory-overhead" => run_observatory_overhead(fast),
         "all" => {
             run_table2(cfg.seed);
             run_figure(Figure::Fig3Helmet, &cfg);
@@ -737,7 +784,8 @@ fn main() {
             eprintln!(
                 "usage: repro [table2|fig3|fig4|headline|ablation-nbw|ablation-selectivity|\
                  ablation-profile|ablation-knn|ablation-bins|fig3-constmix|fig4-constmix|storage|\
-                 lint|overhead|serve-load [--connect HOST:PORT]|trace-overhead|all] [--fast]"
+                 lint|overhead|serve-load [--connect HOST:PORT]|trace-overhead|\
+                 observatory-overhead|all] [--fast]"
             );
             std::process::exit(2);
         }

@@ -400,6 +400,125 @@ pub fn run_trace_overhead(cfg: &LoadConfig) -> Vec<TraceOverheadPoint> {
     out
 }
 
+/// CSV header for [`ObservatoryOverheadPoint::csv_row`].
+pub const OBSERVATORY_OVERHEAD_HEADERS: [&str; 8] = [
+    "observatory",
+    "concurrency",
+    "requests",
+    "qps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "qps_vs_off_pct",
+];
+
+/// One observatory setting measured against the identical workload.
+#[derive(Clone, Debug)]
+pub struct ObservatoryOverheadPoint {
+    /// Row label (`observatory-off`, `observatory-on`).
+    pub label: &'static str,
+    /// Throughput relative to the `off` baseline, percent (100 = equal).
+    pub qps_vs_off_pct: f64,
+    /// The underlying load measurement.
+    pub point: LoadPoint,
+}
+
+impl ObservatoryOverheadPoint {
+    /// The row matching [`OBSERVATORY_OVERHEAD_HEADERS`].
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.label.to_string(),
+            self.point.concurrency.to_string(),
+            self.point.requests.to_string(),
+            format!("{:.1}", self.point.qps),
+            format!("{:.3}", self.point.p50_ms),
+            format!("{:.3}", self.point.p95_ms),
+            format!("{:.3}", self.point.p99_ms),
+            format!("{:.1}", self.qps_vs_off_pct),
+        ]
+    }
+}
+
+/// Measures the serving cost of the workload observatory: the same
+/// closed-loop workload with hot-path instrumentation (histograms, heat
+/// recording) disabled entirely, then with heat accounting *and* an SLO
+/// engine on while a scraper thread does what a metrics poller would —
+/// publish heat gauges, refresh staleness gauges, and run SLO burn-rate
+/// evaluations every 100ms. The acceptance bar is observatory-on
+/// throughput ≥ 98% of fully-off (a stricter bar than heat+SLO alone,
+/// since the on arm also carries the pre-existing histogram costs).
+pub fn run_observatory_overhead(cfg: &LoadConfig) -> Vec<ObservatoryOverheadPoint> {
+    let db = build_database(cfg);
+    let concurrency = cfg.concurrency_levels.iter().copied().max().unwrap_or(8);
+    let run_arm = |label: &'static str| {
+        let server = QueryServer::bind(
+            "127.0.0.1:0",
+            Arc::<MultimediaDatabase>::clone(&db) as Arc<dyn mmdbms::server::QueryBackend>,
+            ServerConfig {
+                trace_mode: TraceMode::Off,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind observatory-overhead server");
+        // A short unmeasured warm pass so lazy structures (bound index,
+        // raster cache) are identical across the measured runs.
+        run_level(server.local_addr(), "warm", 2, 20, 0, cfg.seed ^ 0xFEED);
+        let point = run_level(
+            server.local_addr(),
+            label,
+            concurrency,
+            cfg.queries_per_client,
+            0,
+            cfg.seed,
+        );
+        server.shutdown();
+        ObservatoryOverheadPoint {
+            label,
+            qps_vs_off_pct: 0.0,
+            point,
+        }
+    };
+
+    let was_on = mmdbms::telemetry::instrumentation_enabled();
+    mmdbms::telemetry::set_instrumentation(false);
+    let off = run_arm("observatory-off");
+
+    mmdbms::telemetry::set_instrumentation(true);
+    mmdbms::telemetry::heat().clear();
+    // First-configure wins process-wide, so the off arm above must have
+    // already run; a tight p99 keeps the engine's evaluation loop honest
+    // (it actually walks burn-rate windows, not an empty objective set).
+    let _ = mmdbms::telemetry::configure_slo(
+        mmdbms::telemetry::SloConfig::parse("range=5ms@p99,err<1%").expect("static spec parses"),
+    );
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Some(engine) = mmdbms::telemetry::slo_engine() {
+                    engine.evaluate();
+                }
+                mmdbms::telemetry::publish_heat_gauges(50);
+                db.refresh_staleness_gauges();
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        })
+    };
+    let on = run_arm("observatory-on");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    scraper.join().expect("scraper thread joins");
+    mmdbms::telemetry::set_instrumentation(was_on);
+
+    let mut out = vec![off, on];
+    let baseline = out[0].point.qps.max(1e-9);
+    for p in &mut out {
+        p.qps_vs_off_pct = 100.0 * p.point.qps / baseline;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,6 +61,14 @@ impl<T: EpochStamped> EpochSlot<T> {
         guard.as_ref().filter(|v| v.stamp() == epoch).map(f)
     }
 
+    /// Runs `f` over the slot's current contents **regardless of
+    /// freshness** — the stamp is not checked. For observability only
+    /// (staleness accounting must read a stale value to measure its lag);
+    /// never a substitute for [`EpochSlot::with_fresh`] when serving.
+    pub fn peek<R>(&self, f: impl FnOnce(Option<&T>) -> R) -> R {
+        f(self.inner.read().as_ref())
+    }
+
     /// Exclusive access for build / re-sync / invalidate. Callers must
     /// capture the engine epoch *before* reading any catalog state they
     /// install, so the stamp can only lag a racing mutation, never lead it.

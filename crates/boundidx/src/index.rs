@@ -76,6 +76,11 @@ pub struct BoundIndex {
     /// referenced id → images whose bounds depend on it.
     dependents: HashMap<ImageId, BTreeSet<ImageId>>,
     synced_epoch: u64,
+    /// When the index last reconciled to a catalog snapshot (build or sync).
+    last_synced_at: Instant,
+    /// Entries dropped by [`BoundIndex::invalidate`] since the last
+    /// reconciliation — the eager-invalidation share of the resync backlog.
+    invalidated_since_sync: u64,
 }
 
 impl BoundIndex {
@@ -87,6 +92,8 @@ impl BoundIndex {
             entries: HashMap::new(),
             dependents: HashMap::new(),
             synced_epoch: 0,
+            last_synced_at: Instant::now(),
+            invalidated_since_sync: 0,
         }
     }
 
@@ -108,6 +115,25 @@ impl BoundIndex {
     /// True when no image is indexed.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Whether `id` currently has a resident entry.
+    pub fn contains(&self, id: ImageId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Wall-clock time since the last [`BoundIndex::build`] or
+    /// [`BoundIndex::sync`] reconciled this index to a catalog snapshot.
+    /// Staleness itself is epoch lag, not this — wall clock only bounds how
+    /// long ago the reconciliation happened.
+    pub fn since_last_sync(&self) -> std::time::Duration {
+        self.last_synced_at.elapsed()
+    }
+
+    /// Entries eagerly invalidated since the last reconciliation (they will
+    /// be re-admitted by the next sync if still in the catalog).
+    pub fn invalidated_since_sync(&self) -> u64 {
+        self.invalidated_since_sync
     }
 
     /// Bulk build over the full catalog, stamping the result with `epoch`
@@ -167,6 +193,7 @@ impl BoundIndex {
         counter!("mmdb_boundidx_builds_total").inc();
         histogram!("mmdb_boundidx_build_seconds").observe(started.elapsed());
         gauge!("mmdb_boundidx_entries").set(idx.len() as u64);
+        idx.last_synced_at = Instant::now();
         Ok(idx)
     }
 
@@ -222,6 +249,8 @@ impl BoundIndex {
             }
         }
         self.synced_epoch = epoch;
+        self.last_synced_at = Instant::now();
+        self.invalidated_since_sync = 0;
         histogram!("mmdb_boundidx_sync_seconds").observe(started.elapsed());
         gauge!("mmdb_boundidx_entries").set(self.len() as u64);
         Ok(stats)
@@ -251,6 +280,7 @@ impl BoundIndex {
             removed += usize::from(self.remove_entry(victim));
         }
         counter!("mmdb_boundidx_invalidations_total").add(removed as u64);
+        self.invalidated_since_sync += removed as u64;
         removed
     }
 

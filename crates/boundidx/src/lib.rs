@@ -29,6 +29,101 @@ pub use guard::{EpochSlot, EpochStamped};
 pub use index::{profile_slot, BoundIndex, IndexedLookup, SyncStats, PROFILE_SLOTS};
 pub use interval::{BinIntervals, IntervalEntry};
 
+use mmdb_editops::ImageId;
+use mmdb_rules::RuleProfile;
+
+/// Per-profile staleness gauge series (each exported with a
+/// `{profile="..."}` label for both rule profiles).
+const STALENESS_GAUGES: [&str; 5] = [
+    "mmdb_boundidx_epoch_lag",
+    "mmdb_boundidx_entries_resident",
+    "mmdb_boundidx_entries_invalidated",
+    "mmdb_boundidx_resync_backlog",
+    "mmdb_boundidx_seconds_since_sync",
+];
+
+/// A point-in-time staleness/residency reading for one profile's index
+/// slot, computed against the catalog state the caller just observed.
+///
+/// Staleness is **epoch lag** — the engine's mutation epoch minus the
+/// index's synced epoch — not wall-clock age: an idle catalog leaves a
+/// day-old index perfectly fresh, while one insert makes a second-old index
+/// stale. Wall clock (`seconds_since_sync`) is reported separately because
+/// it bounds *recency of reconciliation*, which a resync scheduler (ROADMAP
+/// item 3) needs alongside lag to price a sync.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StalenessReport {
+    /// `storage.current_epoch() - index.synced_epoch()`; for an unbuilt
+    /// slot, the full current epoch (everything is pending).
+    pub epoch_lag: u64,
+    /// Entries resident in the index right now.
+    pub entries_resident: u64,
+    /// Entries eagerly invalidated since the last reconciliation.
+    pub entries_invalidated: u64,
+    /// Work the next sync must do: catalog images with no resident entry
+    /// plus resident entries no longer in the catalog.
+    pub resync_backlog: u64,
+    /// Whole seconds since the slot last reconciled (0 for an unbuilt slot).
+    pub seconds_since_sync: u64,
+}
+
+impl StalenessReport {
+    /// Computes the report for one slot against the catalog ids and epoch
+    /// the caller captured. `idx` is `None` for a never-built slot.
+    pub fn compute(
+        idx: Option<&BoundIndex>,
+        current_epoch: u64,
+        binary: &[ImageId],
+        edited: &[ImageId],
+    ) -> Self {
+        let catalog_len = (binary.len() + edited.len()) as u64;
+        match idx {
+            None => StalenessReport {
+                epoch_lag: current_epoch,
+                resync_backlog: catalog_len,
+                ..StalenessReport::default()
+            },
+            Some(idx) => {
+                let epoch_lag = current_epoch.saturating_sub(idx.synced_epoch());
+                let resident = idx.len() as u64;
+                let backlog = if epoch_lag == 0 {
+                    0
+                } else {
+                    let covered = binary
+                        .iter()
+                        .chain(edited)
+                        .filter(|&&id| idx.contains(id))
+                        .count() as u64;
+                    // Missing entries to add, plus resident strays to drop.
+                    (catalog_len - covered) + (resident - covered)
+                };
+                StalenessReport {
+                    epoch_lag,
+                    entries_resident: resident,
+                    entries_invalidated: idx.invalidated_since_sync(),
+                    resync_backlog: backlog,
+                    seconds_since_sync: idx.since_last_sync().as_secs(),
+                }
+            }
+        }
+    }
+
+    /// Publishes the report as the five `{profile=...}` gauge series.
+    pub fn publish(&self, profile: RuleProfile) {
+        let g = mmdb_telemetry::global();
+        let series = |metric: &str| g.gauge(&labeled(metric, profile.label()));
+        series("mmdb_boundidx_epoch_lag").set(self.epoch_lag);
+        series("mmdb_boundidx_entries_resident").set(self.entries_resident);
+        series("mmdb_boundidx_entries_invalidated").set(self.entries_invalidated);
+        series("mmdb_boundidx_resync_backlog").set(self.resync_backlog);
+        series("mmdb_boundidx_seconds_since_sync").set(self.seconds_since_sync);
+    }
+}
+
+fn labeled(metric: &str, profile: &str) -> String {
+    format!("{metric}{{profile=\"{profile}\"}}")
+}
+
 /// Eagerly registers this layer's metric series (zero-valued until traffic
 /// arrives) so exposition shows the index schema from process start.
 pub fn register_metrics() {
@@ -43,6 +138,11 @@ pub fn register_metrics() {
         let _ = g.counter(name);
     }
     let _ = g.gauge("mmdb_boundidx_entries");
+    for metric in STALENESS_GAUGES {
+        for profile in [RuleProfile::Conservative, RuleProfile::PaperTable1] {
+            let _ = g.gauge(&labeled(metric, profile.label()));
+        }
+    }
     for name in ["mmdb_boundidx_build_seconds", "mmdb_boundidx_sync_seconds"] {
         let _ = g.histogram(name);
     }

@@ -12,11 +12,13 @@
 //! mmdbctl explain --db ./mydb --color '#ce1126' --min 0.25 [--plan bwm] [--json true]
 //! mmdbctl metrics --db ./mydb [--format prometheus|json]
 //! mmdbctl serve --db ./mydb [--listen 127.0.0.1:9184] [--warmup N]
-//!               [--slow-ms MS] [--recorder-capacity N]
+//!               [--slow-ms MS] [--recorder-capacity N] [--slo SPEC]
 //! mmdbctl traces --connect 127.0.0.1:9184 [--id HEX]
 //! mmdbctl profile --connect 127.0.0.1:9184 [--seconds N]
+//! mmdbctl heat --connect 127.0.0.1:9184 [--limit N]
+//! mmdbctl slo --connect 127.0.0.1:9184
 //! mmdbctl events --db ./mydb [--warmup N] [--limit N]
-//! mmdbctl top --db ./mydb [--queries N] [--seed S]
+//! mmdbctl top --db ./mydb [--queries N] [--seed S] [--sort heat|total] [--limit N]
 //! mmdbctl knn --db ./mydb probe.ppm --k 5 [--augmented]
 //! mmdbctl export --db ./mydb --id 7 out.ppm
 //! mmdbctl script --db ./mydb --id 9        # print an edited image's script
@@ -430,23 +432,58 @@ impl ReadyLatch {
     }
 }
 
-/// Binds the metrics/exposition server with the standard prerender hook
-/// (flush the rules layer's thread-local counters) plus a readiness probe.
+/// Ranked heat series the prerender hook exports as `mmdb_heat` gauges.
+const HEAT_GAUGE_LIMIT: usize = 50;
+
+/// Binds the metrics/exposition server with the standard prerender hook —
+/// flush the rules layer's thread-local counters, refresh the bound-index
+/// staleness gauges, publish the ranked `mmdb_heat` series, and run an SLO
+/// evaluation (when one is configured) — plus a readiness probe. Every
+/// scrape therefore sees a current observatory reading, and a scraper
+/// polling `/metrics` is what drives the SLO state machine between
+/// `/alerts` fetches.
 fn bind_exposition(
     listen: &str,
     latch: &ReadyLatch,
+    db: &std::sync::Arc<MultimediaDatabase>,
 ) -> Result<mmdbms::telemetry::MetricsServer, String> {
-    // Scrapes must see exact counts: the rules layer batches its metrics in
-    // thread-locals, so flush right before every render.
+    let hook_db = std::sync::Arc::clone(db);
     let options = mmdbms::telemetry::ServeOptions {
-        prerender: Some(std::sync::Arc::new(mmdbms::rules::flush_metrics)),
+        prerender: Some(std::sync::Arc::new(move || {
+            // Scrapes must see exact counts: the rules layer batches its
+            // metrics in thread-locals, so flush right before every render.
+            mmdbms::rules::flush_metrics();
+            hook_db.refresh_staleness_gauges();
+            mmdbms::telemetry::publish_heat_gauges(HEAT_GAUGE_LIMIT);
+            if let Some(engine) = mmdbms::telemetry::slo_engine() {
+                engine.evaluate();
+            }
+        })),
         readiness: Some(latch.probe()),
     };
     mmdbms::telemetry::serve_with(listen, options).map_err(|e| format!("bind {listen}: {e}"))
 }
 
+/// Applies `--slo SPEC` when present (shared by `serve` and
+/// `serve-queries`). The spec is parsed before any socket is bound so a
+/// typo fails fast with the grammar in the error message.
+fn configure_slo_from_args(args: &Args) -> Result<(), String> {
+    let Some(spec) = args.options.get("slo") else {
+        return Ok(());
+    };
+    let config =
+        mmdbms::telemetry::SloConfig::parse(spec).map_err(|e| format!("bad --slo: {e}"))?;
+    for objective in &config.objectives {
+        eprintln!("slo: {}={}", objective.opcode, objective.describe());
+    }
+    if !mmdbms::telemetry::configure_slo(config) {
+        eprintln!("slo: objectives already configured for this process; keeping the first set");
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let db = open_db(args)?;
+    let db = std::sync::Arc::new(open_db(args)?);
     mmdbms::register_all_metrics();
     mmdbms::telemetry::register_build_info(env!("CARGO_PKG_VERSION"), build_profile());
     let config = mmdbms::ObservabilityConfig {
@@ -457,6 +494,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         )? as usize,
     };
     mmdbms::configure_observability(&config);
+    configure_slo_from_args(args)?;
     let listen = args
         .options
         .get("listen")
@@ -464,12 +502,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     // Bind *before* the warmup so `/readyz` is observable (503) while the
     // catalog warms, then flips to 200 — orchestrators gate traffic on it.
     let latch = ReadyLatch::new("warming up");
-    let server = bind_exposition(listen, &latch)?;
+    let server = bind_exposition(listen, &latch, &db)?;
     let addr = server.local_addr();
     // Flush explicitly: when stdout is a pipe (the CI smoke test, scripts
     // reading the ephemeral port) the line would otherwise sit in the block
     // buffer until exit — which for `serve` is never.
-    println!("serving /metrics /events /healthz /readyz /traces on http://{addr}");
+    println!("serving /metrics /events /healthz /readyz /traces /heat /alerts on http://{addr}");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let warmed = run_warmup(&db, args.u64_opt("warmup", 0)?, args.u64_opt("seed", 42)?)?;
@@ -483,9 +521,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_serve_queries(args: &Args) -> Result<(), String> {
-    let db = open_db(args)?;
+    let db = std::sync::Arc::new(open_db(args)?);
     mmdbms::register_all_metrics();
     mmdbms::telemetry::register_build_info(env!("CARGO_PKG_VERSION"), build_profile());
+    configure_slo_from_args(args)?;
     let mut config = mmdbms::server::ServerConfig::default();
     config.workers = args.u64_opt("workers", config.workers as u64)? as usize;
     config.queue_depth = args.u64_opt("queue-depth", config.queue_depth as u64)? as usize;
@@ -507,7 +546,7 @@ fn cmd_serve_queries(args: &Args) -> Result<(), String> {
     let latch = ReadyLatch::new("warming up");
     let metrics = match args.options.get("metrics") {
         Some(addr) => {
-            let m = bind_exposition(addr, &latch)?;
+            let m = bind_exposition(addr, &latch, &db)?;
             eprintln!("metrics on http://{}", m.local_addr());
             Some(m)
         }
@@ -518,7 +557,7 @@ fn cmd_serve_queries(args: &Args) -> Result<(), String> {
         .options
         .get("listen")
         .map_or("127.0.0.1:9190", String::as_str);
-    let backend: std::sync::Arc<dyn mmdbms::server::QueryBackend> = std::sync::Arc::new(db);
+    let backend: std::sync::Arc<dyn mmdbms::server::QueryBackend> = std::sync::Arc::clone(&db) as _;
     let server = mmdbms::server::QueryServer::bind(listen, backend, config)
         .map_err(|e| format!("bind {listen}: {e}"))?;
     latch.set_ready(format!(
@@ -685,6 +724,35 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `heat --connect HOST:PORT [--limit N]`: fetch the ranked query-heat
+/// table from a serving process (HOST:PORT = the metrics address).
+fn cmd_heat(args: &Args) -> Result<(), String> {
+    let addr = args
+        .options
+        .get("connect")
+        .ok_or_else(|| "--connect HOST:PORT (the metrics address) is required".to_string())?;
+    let limit = args.u64_opt("limit", HEAT_GAUGE_LIMIT as u64)?;
+    let body = http_get(
+        addr,
+        &format!("/heat?limit={limit}"),
+        std::time::Duration::from_secs(10),
+    )?;
+    println!("{}", body.trim_end());
+    Ok(())
+}
+
+/// `slo --connect HOST:PORT`: fetch the SLO alert states (burn rates, state
+/// machine, transition counts) from a serving process.
+fn cmd_slo(args: &Args) -> Result<(), String> {
+    let addr = args
+        .options
+        .get("connect")
+        .ok_or_else(|| "--connect HOST:PORT (the metrics address) is required".to_string())?;
+    let body = http_get(addr, "/alerts", std::time::Duration::from_secs(10))?;
+    println!("{}", body.trim_end());
+    Ok(())
+}
+
 fn cmd_events(args: &Args) -> Result<(), String> {
     let db = open_db(args)?;
     mmdbms::register_all_metrics();
@@ -704,6 +772,7 @@ fn cmd_top(args: &Args) -> Result<(), String> {
     if ran > 0 {
         println!("warmed up with {ran} queries");
     }
+    print_heat_and_staleness(args, &db)?;
     let fmt = mmdbms::telemetry::format_duration;
     let rows: Vec<(String, mmdbms::telemetry::HistogramSnapshot)> = mmdbms::telemetry::global()
         .histograms()
@@ -730,6 +799,61 @@ fn cmd_top(args: &Args) -> Result<(), String> {
             fmt(snap.p90().unwrap_or_default()),
             fmt(snap.p99().unwrap_or_default()),
             fmt(snap.max())
+        );
+    }
+    Ok(())
+}
+
+/// The query-heat and index-staleness sections of `mmdbctl top`:
+/// per-(bin, plan, profile) heat rows — ranked by decayed heat (`--sort
+/// heat`, the default) or lifetime count (`--sort total`) — each annotated
+/// with its profile's epoch lag and resync backlog, then a per-profile
+/// staleness summary.
+fn print_heat_and_staleness(args: &Args, db: &MultimediaDatabase) -> Result<(), String> {
+    let sort = args.options.get("sort").map_or("heat", String::as_str);
+    let mut entries = mmdbms::telemetry::heat().snapshot();
+    match sort {
+        "heat" => {} // snapshot order: decayed heat, descending
+        "total" => entries.sort_by(|a, b| b.total.cmp(&a.total).then(a.bin.cmp(&b.bin))),
+        other => return Err(format!("unknown sort {other:?} (heat|total)")),
+    }
+    db.refresh_staleness_gauges();
+    let g = mmdbms::telemetry::global();
+    let staleness =
+        |metric: &str, profile: &str| g.gauge(&format!("{metric}{{profile=\"{profile}\"}}")).get();
+    if entries.is_empty() {
+        println!("query heat: no queries recorded yet");
+    } else {
+        println!(
+            "{:>4}  {:<12}  {:<14}  {:>10}  {:>8}  {:>6}  {:>8}",
+            "bin", "plan", "profile", "heat", "total", "lag", "backlog"
+        );
+        let limit = args.u64_opt("limit", 20)? as usize;
+        for e in entries.iter().take(limit.max(1)) {
+            println!(
+                "{:>4}  {:<12}  {:<14}  {:>10.3}  {:>8}  {:>6}  {:>8}",
+                e.bin,
+                e.plan,
+                e.profile,
+                e.heat,
+                e.total,
+                staleness("mmdb_boundidx_epoch_lag", e.profile),
+                staleness("mmdb_boundidx_resync_backlog", e.profile),
+            );
+        }
+    }
+    println!(
+        "{:<14}  {:>6}  {:>9}  {:>12}  {:>8}  {:>11}",
+        "index profile", "lag", "resident", "invalidated", "backlog", "synced-ago"
+    );
+    for profile in ["conservative", "paper_table1"] {
+        println!(
+            "{profile:<14}  {:>6}  {:>9}  {:>12}  {:>8}  {:>10}s",
+            staleness("mmdb_boundidx_epoch_lag", profile),
+            staleness("mmdb_boundidx_entries_resident", profile),
+            staleness("mmdb_boundidx_entries_invalidated", profile),
+            staleness("mmdb_boundidx_resync_backlog", profile),
+            staleness("mmdb_boundidx_seconds_since_sync", profile),
         );
     }
     Ok(())
@@ -898,7 +1022,7 @@ fn cmd_delete(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|serve|serve-queries|traces|profile|events|top|knn|export|script|lint|analyze|verify|compact|delete> [options]
+const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|serve|serve-queries|traces|profile|heat|slo|events|top|knn|export|script|lint|analyze|verify|compact|delete> [options]
   create        --db DIR [--quantizer rgb-uniform/4]
   gen           --db DIR [--collection flags|helmets] [--count N] [--augment N] [--seed S]
   insert        --db DIR FILE.ppm [--augment N] [--seed S]
@@ -909,13 +1033,16 @@ const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|que
                 --connect HOST:PORT --bin N [--min F] [--max F] [--plan P] [--profile conservative|paper-table1] [--deadline-ms MS]
   explain       --db DIR --color '#rrggbb' [--min F] [--max F] [--plan bwm|rbm|instantiate|indexed] [--json true]
   metrics       --db DIR [--format prometheus|json]
-  serve         --db DIR [--listen HOST:PORT] [--warmup N] [--slow-ms MS] [--recorder-capacity N]
+  serve         --db DIR [--listen HOST:PORT] [--warmup N] [--slow-ms MS] [--recorder-capacity N] [--slo SPEC]
   serve-queries --db DIR [--listen HOST:PORT] [--workers N] [--queue-depth N] [--metrics HOST:PORT] [--warmup N]
-                [--trace-mode off|tail|full] [--trace-keep-ms MS]
+                [--trace-mode off|tail|full] [--trace-keep-ms MS] [--slo SPEC]
+                # SPEC: 'range=5ms@p99,err<0.1%;knn=20ms@p95' plus optional ';windows=5m/1h'
   traces        --connect HOST:PORT [--id HEX]       # HOST:PORT = metrics address
   profile       --connect HOST:PORT [--seconds N]    # collapsed stacks for flamegraphs
+  heat          --connect HOST:PORT [--limit N]      # ranked query-heat table
+  slo           --connect HOST:PORT                  # SLO alert states / burn rates
   events        --db DIR [--warmup N] [--limit N]
-  top           --db DIR [--queries N] [--seed S]
+  top           --db DIR [--queries N] [--seed S] [--sort heat|total] [--limit N]
   knn           --db DIR PROBE.ppm [--k N] [--augmented true]
   export        --db DIR --id N OUT.ppm
   script        --db DIR --id N
@@ -961,6 +1088,8 @@ fn main() -> ExitCode {
         "serve-queries" => cmd_serve_queries(&args),
         "traces" => cmd_traces(&args),
         "profile" => cmd_profile(&args),
+        "heat" => cmd_heat(&args),
+        "slo" => cmd_slo(&args),
         "events" => cmd_events(&args),
         "top" => cmd_top(&args),
         "knn" => cmd_knn(&args),

@@ -37,7 +37,9 @@
 //! assert!(outcome.results.contains(&edited));
 //! ```
 
-use mmdb_boundidx::{profile_slot, BoundIndex, EpochSlot, SyncStats, PROFILE_SLOTS};
+use mmdb_boundidx::{
+    profile_slot, BoundIndex, EpochSlot, StalenessReport, SyncStats, PROFILE_SLOTS,
+};
 use mmdb_bwm::{BoundsCache, BwmStructure};
 use mmdb_conc::sync::RwLock;
 use mmdb_datagen::edits::TargetInfo;
@@ -379,7 +381,27 @@ impl MultimediaDatabase {
             }
         };
         let idx = guard.as_ref().expect("slot populated above");
+        // The slot just reconciled to `epoch`; republish its staleness
+        // gauges (lag and backlog drop to zero) without waiting for the
+        // next exposition-driven refresh.
+        StalenessReport::compute(Some(idx), epoch, &binary, &edited).publish(profile);
         Ok(f(idx, stats))
+    }
+
+    /// Recomputes and publishes the per-profile bound-index staleness and
+    /// residency gauges (`mmdb_boundidx_epoch_lag{profile=...}` and
+    /// friends) against the current catalog state. Called by the metrics
+    /// exposition prerender hook so every scrape sees a fresh reading;
+    /// harmless to call at any time.
+    pub fn refresh_staleness_gauges(&self) {
+        let epoch = self.storage.current_epoch();
+        let binary = self.storage.binary_ids();
+        let edited = self.storage.edited_ids();
+        for profile in [RuleProfile::Conservative, RuleProfile::PaperTable1] {
+            self.bound_index[profile_slot(profile)].peek(|idx| {
+                StalenessReport::compute(idx, epoch, &binary, &edited).publish(profile);
+            });
+        }
     }
 
     /// Eagerly drops `ids` (and, transitively, every indexed image whose

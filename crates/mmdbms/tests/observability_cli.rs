@@ -99,7 +99,8 @@ fn serve_exposes_metrics_events_and_healthz() {
         .read_line(&mut first_line)
         .expect("server announces its address");
     assert!(
-        first_line.contains("serving /metrics /events /healthz /readyz /traces on http://"),
+        first_line
+            .contains("serving /metrics /events /healthz /readyz /traces /heat /alerts on http://"),
         "unexpected announce line: {first_line:?}"
     );
     let addr = first_line

@@ -54,6 +54,26 @@ impl From<StorageError> for QueryError {
 /// Result alias for query execution.
 pub type Result<T> = std::result::Result<T, QueryError>;
 
+/// The query's slot coordinates in the workload-observatory heat table
+/// (`mmdb_telemetry::heat`), matching [`HEAT_PLANS`]/[`HEAT_PROFILES`]
+/// label order.
+///
+/// [`HEAT_PLANS`]: mmdb_telemetry::HEAT_PLANS
+/// [`HEAT_PROFILES`]: mmdb_telemetry::HEAT_PROFILES
+fn heat_indices(plan: QueryPlan, profile: RuleProfile) -> (usize, usize) {
+    let plan_idx = match plan {
+        QueryPlan::Instantiate => 0,
+        QueryPlan::Rbm => 1,
+        QueryPlan::Bwm => 2,
+        QueryPlan::Indexed => 3,
+    };
+    let profile_idx = match profile {
+        RuleProfile::Conservative => 0,
+        RuleProfile::PaperTable1 => 1,
+    };
+    (plan_idx, profile_idx)
+}
+
 /// Records the start of one range query in the flight recorder. Gated (with
 /// its string formatting) on the instrumentation switch.
 fn observe_range_start(plan: QueryPlan, query: &ColorRangeQuery) {
@@ -86,6 +106,11 @@ fn observe_range(
     if !mmdb_telemetry::instrumentation_enabled() {
         return;
     }
+    // Workload-observatory heat: one slot bump per executed query. This is
+    // the single choke point every plan path (RBM/BWM/Instantiate/Indexed)
+    // funnels through, locally and via the network backend.
+    let (plan_idx, profile_idx) = heat_indices(plan, profile);
+    mmdb_telemetry::heat().record(query.bin as u32, plan_idx, profile_idx);
     match plan {
         QueryPlan::Instantiate => {
             counter!(r#"mmdb_query_range_total{plan="instantiate"}"#).inc();

@@ -27,8 +27,8 @@
 
 use crate::backend::QueryBackend;
 use crate::protocol::{
-    decode_request, encode_err, encode_ok, Opcode, ReplyBody, Request, RequestBody, Status,
-    TraceContext, DEFAULT_MAX_FRAME_LEN,
+    decode_request, encode_err, encode_ok, Opcode, PlanKind, ProfileKind, ReplyBody, Request,
+    RequestBody, Status, TraceContext, DEFAULT_MAX_FRAME_LEN,
 };
 use crate::queue::{BoundedQueue, PushError};
 use mmdb_telemetry::{counter, gauge, histogram, EventKind, KeepReason, QueryTrace, StoredTrace};
@@ -320,6 +320,7 @@ pub fn register_metrics() {
         Opcode::Stats,
     ] {
         let _ = requests_counter(opcode);
+        let _ = errors_counter(opcode);
         let _ = latency_histogram(opcode);
         let _ = execute_histogram(opcode);
     }
@@ -342,6 +343,38 @@ pub fn register_metrics() {
             "mmdb_trace_kept_total{{reason=\"{}\"}}",
             reason.as_str()
         ));
+    }
+}
+
+/// Per-opcode non-OK response counter — the error-event source the SLO
+/// engine's `err<x%` objectives read.
+fn errors_counter(op: Opcode) -> &'static mmdb_telemetry::Counter {
+    match op {
+        Opcode::Ping => counter!(r#"mmdb_server_errors_total{opcode="ping"}"#),
+        Opcode::Range => counter!(r#"mmdb_server_errors_total{opcode="range"}"#),
+        Opcode::Knn => counter!(r#"mmdb_server_errors_total{opcode="knn"}"#),
+        Opcode::Lookup => counter!(r#"mmdb_server_errors_total{opcode="lookup"}"#),
+        Opcode::Stats => counter!(r#"mmdb_server_errors_total{opcode="stats"}"#),
+    }
+}
+
+/// Records refused (never-executed) range demand in the heat table. The
+/// executed path records from the query executor itself; this keeps the
+/// worker loop's refusals — demand the backend never saw — visible to
+/// heat ranking without double-counting completed queries.
+fn record_refused_heat(body: &RequestBody) {
+    if let RequestBody::Range(req) = body {
+        let plan = match req.plan {
+            PlanKind::Instantiate => 0,
+            PlanKind::Rbm => 1,
+            PlanKind::Bwm => 2,
+            PlanKind::Indexed => 3,
+        };
+        let profile = match req.profile {
+            ProfileKind::Conservative => 0,
+            ProfileKind::PaperTable1 => 1,
+        };
+        mmdb_telemetry::heat().record(req.bin, plan, profile);
     }
 }
 
@@ -543,6 +576,10 @@ fn serve_connection(
             }
             Err((job, push_err)) => {
                 counter!("mmdb_server_overloaded_total").inc();
+                errors_counter(job.request.body.opcode()).inc();
+                if mmdb_telemetry::instrumentation_enabled() {
+                    record_refused_heat(&job.request.body);
+                }
                 let detail = match push_err {
                     PushError::Full => format!("queue full (depth {})", queue.capacity()),
                     PushError::Closed => "server shutting down".to_string(),
@@ -668,7 +705,9 @@ fn worker_loop(queue: &BoundedQueue<Job>, backend: &dyn QueryBackend, trace_mode
             && waited >= Duration::from_millis(u64::from(job.request.deadline_ms))
         {
             counter!("mmdb_server_deadline_exceeded_total").inc();
+            errors_counter(opcode).inc();
             if mmdb_telemetry::instrumentation_enabled() {
+                record_refused_heat(&job.request.body);
                 mmdb_telemetry::recorder().record(
                     EventKind::ServerDeadlineExceeded,
                     format!(
@@ -770,6 +809,9 @@ fn worker_loop(queue: &BoundedQueue<Job>, backend: &dyn QueryBackend, trace_mode
                 )
             }
         };
+        if status != Status::Ok {
+            errors_counter(opcode).inc();
+        }
         execute_histogram(opcode).observe(exec_elapsed);
         // Full request latency from admission, so queue_wait + execute
         // histograms decompose it.

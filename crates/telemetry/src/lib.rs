@@ -40,15 +40,21 @@
 //! harness can measure (and bound) the instrumentation overhead.
 
 mod fmt;
+mod heat;
 mod percentile;
 pub mod profiler;
 mod recorder;
 mod registry;
 mod server;
+mod slo;
 mod trace;
 mod tracestore;
 
 pub use fmt::format_duration;
+pub use heat::{
+    heat, heat_json, publish_heat_gauges, HeatEntry, HeatTable, DEFAULT_HEAT_HALF_LIFE,
+    HEAT_MAX_BINS, HEAT_PLANS, HEAT_PROFILES,
+};
 pub use percentile::HistogramSnapshot;
 pub use profiler::{
     collect_profile, profile_frame, register_profiler_thread, FrameGuard, ProfiledThread,
@@ -60,6 +66,10 @@ pub use recorder::{
 };
 pub use registry::{global, Counter, Gauge, Histogram, Registry, Snapshot};
 pub use server::{serve, serve_with, MetricsServer, PrerenderHook, ReadinessProbe, ServeOptions};
+pub use slo::{
+    alerts_json, configure_slo, slo_engine, LatencyObjective, SloConfig, SloEngine, SloObjective,
+    SloState, CRIT_BURN, DEFAULT_FAST_WINDOW, DEFAULT_SLOW_WINDOW, WARN_BURN,
+};
 pub use trace::{QueryTrace, Span};
 pub use tracestore::{
     next_trace_id, parse_trace_id, set_trace_keep_threshold, trace_keep_threshold, trace_store,

@@ -47,6 +47,9 @@ pub enum EventKind {
     ServerDrain,
     /// A backend call panicked; the worker caught it and answered INTERNAL.
     ServerBackendPanic,
+    /// An SLO objective changed alert state (ok/warning/critical); the
+    /// detail carries the objective, direction, and both burn rates.
+    SloStateChange,
 }
 
 impl EventKind {
@@ -66,6 +69,7 @@ impl EventKind {
             EventKind::ServerDeadlineExceeded => "server_deadline_exceeded",
             EventKind::ServerDrain => "server_drain",
             EventKind::ServerBackendPanic => "server_backend_panic",
+            EventKind::SloStateChange => "slo_state_change",
         }
     }
 }

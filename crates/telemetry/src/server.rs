@@ -12,6 +12,8 @@
 //! * `/healthz` — pure liveness probe (`ok` as long as the process serves),
 //! * `/readyz`  — readiness probe: runs the embedder-supplied
 //!   [`ReadinessProbe`] and answers 503 until it reports ready,
+//! * `/heat` — ranked query-heat entries as JSON (`?limit=N` truncates),
+//! * `/alerts` — SLO burn-rate alert states as JSON (evaluating on read),
 //! * `/traces` — tail-sampled trace store summaries (newest first),
 //! * `/traces/<id>` — one trace's full span tree by hex id,
 //! * `/debug/profile?seconds=N` — blocks for N seconds (1–30, default 5)
@@ -51,6 +53,9 @@ pub struct ServeOptions {
 /// Longest `/debug/profile` capture window we accept; anything larger is
 /// clamped so a stray request can't pin a handler thread for minutes.
 const MAX_PROFILE_SECONDS: u64 = 30;
+
+/// Ranked entries `/heat` returns when no `?limit=` is given.
+const DEFAULT_HEAT_LIMIT: usize = 50;
 
 /// A running exposition server; dropping it shuts the accept loop down.
 pub struct MetricsServer {
@@ -231,6 +236,14 @@ fn route(
                 ),
             },
         },
+        "/heat" => {
+            let limit = query_param(query, "limit")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(DEFAULT_HEAT_LIMIT)
+                .max(1);
+            ("200 OK", "application/json", crate::heat_json(limit))
+        }
+        "/alerts" => ("200 OK", "application/json", crate::alerts_json()),
         "/traces" => (
             "200 OK",
             "application/json",

@@ -1,0 +1,756 @@
+//! Declarative per-opcode SLOs with multi-window burn-rate alerting.
+//!
+//! An objective is declared per server opcode in a compact spec string,
+//! e.g. `range=5ms@p99,err<0.1%;knn=20ms@p95`: the `range` opcode should
+//! answer 99% of requests within 5ms and fail fewer than 0.1% of them.
+//! Each objective defines an *error budget*: for `5ms@p99` the budget is
+//! the 1% of requests allowed to be slower than 5ms.
+//!
+//! The engine evaluates budget consumption over two sliding windows (fast,
+//! default 5m; slow, default 1h) by periodically snapshotting the opcode's
+//! existing latency histogram and error counter and diffing against the
+//! sample closest to each window's start — no second recording path, the
+//! SLO machinery is a pure reader of metrics the server already keeps.
+//! The *burn rate* of a window is `observed bad fraction / budgeted bad
+//! fraction`: 1.0 means the budget is being consumed exactly as fast as it
+//! accrues; 6.0 means six times faster. Alerting on the *minimum* of the
+//! two windows is the standard multi-window guard: the fast window makes
+//! alerts responsive, the slow window keeps a short blip from paging.
+//!
+//! State per objective follows `ok → warning → critical` with hysteresis:
+//! escalation is immediate, de-escalation requires the computed level to
+//! hold for several consecutive evaluations, so an alert that flaps around
+//! a threshold settles instead of oscillating. Every transition lands in
+//! the flight recorder as an [`EventKind::SloStateChange`] event and the
+//! current state/burn rates are exported as `mmdb_slo_*` gauges; `/alerts`
+//! renders the whole picture as JSON.
+//!
+//! Evaluation is opportunistic (driven by `/alerts` and the `/metrics`
+//! prerender hook) and internally rate-limited, so an idle server does no
+//! SLO work and a scraped one does a few snapshot diffs per second at
+//! most.
+
+use crate::percentile::HistogramSnapshot;
+use crate::recorder::EventKind;
+use crate::registry::{Counter, Gauge, Histogram, Registry};
+use mmdb_conc::sync::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Default fast (paging) window.
+pub const DEFAULT_FAST_WINDOW: Duration = Duration::from_secs(5 * 60);
+/// Default slow (guard) window.
+pub const DEFAULT_SLOW_WINDOW: Duration = Duration::from_secs(60 * 60);
+
+/// Burn rate at which an objective enters `warning` (budget consumed
+/// exactly as fast as it accrues).
+pub const WARN_BURN: f64 = 1.0;
+/// Burn rate at which an objective enters `critical`.
+pub const CRIT_BURN: f64 = 6.0;
+/// Consecutive calmer evaluations required before de-escalating.
+const RECOVERY_EVALS: u32 = 3;
+/// Minimum spacing between stored samples (evaluations in between reuse
+/// the existing history).
+const SAMPLE_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Opcodes an objective may target (the server's wire opcodes).
+const KNOWN_OPCODES: [&str; 5] = ["ping", "range", "knn", "lookup", "stats"];
+
+/// One latency objective: `quantile` of requests must finish within
+/// `threshold`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyObjective {
+    pub threshold: Duration,
+    /// e.g. 0.99 for `@p99`; the budgeted bad fraction is `1 - quantile`.
+    pub quantile: f64,
+}
+
+/// The declared objective for one opcode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloObjective {
+    /// Wire opcode name (`range`, `knn`, ...).
+    pub opcode: String,
+    pub latency: Option<LatencyObjective>,
+    /// Maximum tolerated error fraction (e.g. 0.001 for `err<0.1%`).
+    pub max_error_fraction: Option<f64>,
+}
+
+impl SloObjective {
+    /// The spec-syntax rendering, e.g. `5ms@p99,err<0.1%`.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(lat) = self.latency {
+            let pct = lat.quantile * 100.0;
+            // Render p99 / p99.9 without trailing zeros.
+            let p = if (pct - pct.round()).abs() < 1e-9 {
+                format!("{}", pct.round())
+            } else {
+                format!("{pct}")
+            };
+            parts.push(format!("{}@p{p}", describe_duration(lat.threshold)));
+        }
+        if let Some(err) = self.max_error_fraction {
+            parts.push(format!("err<{}%", err * 100.0));
+        }
+        parts.join(",")
+    }
+}
+
+/// A parsed `--slo` configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloConfig {
+    pub objectives: Vec<SloObjective>,
+    pub fast_window: Duration,
+    pub slow_window: Duration,
+}
+
+/// Renders a duration back in the spec syntax: the coarsest unit that
+/// divides it evenly, no trailing zeros (`5ms`, `250us`, `2s`).
+fn describe_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos == 0 {
+        "0ms".to_string()
+    } else if nanos.is_multiple_of(1_000_000_000) {
+        format!("{}s", nanos / 1_000_000_000)
+    } else if nanos.is_multiple_of(1_000_000) {
+        format!("{}ms", nanos / 1_000_000)
+    } else if nanos.is_multiple_of(1_000) {
+        format!("{}us", nanos / 1_000)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Parses durations of the spec syntax: `250us`, `5ms`, `2s`, `3m`, `1h`
+/// (a bare number means milliseconds).
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let (num, unit) = match s.find(|c: char| c.is_ascii_alphabetic()) {
+        Some(i) => s.split_at(i),
+        None => (s, "ms"),
+    };
+    let value: f64 = num
+        .parse()
+        .map_err(|_| format!("bad duration number in {s:?}"))?;
+    if value < 0.0 {
+        return Err(format!("negative duration {s:?}"));
+    }
+    let secs = match unit {
+        "ns" => value / 1e9,
+        "us" | "µs" => value / 1e6,
+        "ms" => value / 1e3,
+        "s" => value,
+        "m" => value * 60.0,
+        "h" => value * 3600.0,
+        other => return Err(format!("unknown duration unit {other:?} in {s:?}")),
+    };
+    Ok(Duration::from_secs_f64(secs))
+}
+
+impl SloConfig {
+    /// Parses the full spec string. Grammar (segments separated by `;`):
+    ///
+    /// ```text
+    /// windows=<fast>/<slow>              — override evaluation windows
+    /// <opcode>=<objective>[,<objective>] — declare objectives
+    /// <objective> := <duration>@p<q>     — latency: q% within duration
+    ///              | err<<pct>%          — error-rate ceiling
+    /// ```
+    pub fn parse(spec: &str) -> Result<SloConfig, String> {
+        let mut config = SloConfig {
+            objectives: Vec::new(),
+            fast_window: DEFAULT_FAST_WINDOW,
+            slow_window: DEFAULT_SLOW_WINDOW,
+        };
+        for segment in spec.split(';') {
+            let segment = segment.trim();
+            if segment.is_empty() {
+                continue;
+            }
+            let (key, value) = segment
+                .split_once('=')
+                .ok_or_else(|| format!("expected <opcode>=<objective> in {segment:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key == "windows" {
+                let (fast, slow) = value
+                    .split_once('/')
+                    .ok_or_else(|| format!("expected windows=<fast>/<slow>, got {value:?}"))?;
+                config.fast_window = parse_duration(fast)?;
+                config.slow_window = parse_duration(slow)?;
+                if config.fast_window > config.slow_window {
+                    return Err(format!("fast window {fast:?} exceeds slow window {slow:?}"));
+                }
+                continue;
+            }
+            if !KNOWN_OPCODES.contains(&key) {
+                return Err(format!(
+                    "unknown opcode {key:?} (expected one of {KNOWN_OPCODES:?})"
+                ));
+            }
+            let mut objective = SloObjective {
+                opcode: key.to_string(),
+                latency: None,
+                max_error_fraction: None,
+            };
+            for clause in value.split(',') {
+                let clause = clause.trim();
+                if let Some(pct) = clause
+                    .strip_prefix("err<")
+                    .and_then(|r| r.strip_suffix('%'))
+                {
+                    let pct: f64 = pct
+                        .parse()
+                        .map_err(|_| format!("bad error percentage in {clause:?}"))?;
+                    if !(0.0..=100.0).contains(&pct) || pct == 0.0 {
+                        return Err(format!("error percentage out of (0, 100] in {clause:?}"));
+                    }
+                    objective.max_error_fraction = Some(pct / 100.0);
+                } else if let Some((dur, q)) = clause.split_once("@p") {
+                    let q: f64 = q
+                        .parse()
+                        .map_err(|_| format!("bad percentile in {clause:?}"))?;
+                    if !(0.0..100.0).contains(&q) || q == 0.0 {
+                        return Err(format!("percentile out of (0, 100) in {clause:?}"));
+                    }
+                    objective.latency = Some(LatencyObjective {
+                        threshold: parse_duration(dur)?,
+                        quantile: q / 100.0,
+                    });
+                } else {
+                    return Err(format!(
+                        "unparsable objective {clause:?} (want <dur>@p<q> or err<<pct>%)"
+                    ));
+                }
+            }
+            if objective.latency.is_none() && objective.max_error_fraction.is_none() {
+                return Err(format!("opcode {key:?} declares no objective"));
+            }
+            config.objectives.push(objective);
+        }
+        if config.objectives.is_empty() {
+            return Err("SLO spec declares no objectives".to_string());
+        }
+        Ok(config)
+    }
+}
+
+/// Alert severity, ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloState {
+    Ok,
+    Warning,
+    Critical,
+}
+
+impl SloState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloState::Ok => "ok",
+            SloState::Warning => "warning",
+            SloState::Critical => "critical",
+        }
+    }
+
+    fn rank(self) -> u64 {
+        match self {
+            SloState::Ok => 0,
+            SloState::Warning => 1,
+            SloState::Critical => 2,
+        }
+    }
+}
+
+/// One point of stored history: a snapshot of the opcode's lifetime
+/// latency distribution plus its lifetime request and error counts. The
+/// request counter (not the histogram count) is the error-rate
+/// denominator, because refused requests (overload, expired deadlines)
+/// are counted and answered without ever being timed.
+struct Sample {
+    at: Instant,
+    snap: HistogramSnapshot,
+    requests: u64,
+    errors: u64,
+}
+
+/// Mutable evaluation state for one objective.
+struct TargetState {
+    samples: VecDeque<Sample>,
+    state: SloState,
+    /// Consecutive evaluations whose computed level differed from `state`.
+    divergence_streak: u32,
+    transitions: u64,
+    since: Instant,
+    fast_burn: f64,
+    slow_burn: f64,
+    /// Requests observed inside the slow window at the last evaluation.
+    window_requests: u64,
+}
+
+/// One objective wired to its metric sources and exported gauges.
+struct Target {
+    objective: SloObjective,
+    latency_series: Arc<Histogram>,
+    requests_counter: Arc<Counter>,
+    error_counter: Arc<Counter>,
+    state_gauge: Arc<Gauge>,
+    fast_burn_gauge: Arc<Gauge>,
+    slow_burn_gauge: Arc<Gauge>,
+    state: Mutex<TargetState>,
+}
+
+/// The SLO evaluation engine. Construct via [`configure_slo`] for the
+/// process-wide instance (reading the global registry), or
+/// [`SloEngine::with_registry`] in tests.
+pub struct SloEngine {
+    targets: Vec<Target>,
+    fast_window: Duration,
+    slow_window: Duration,
+    /// Millis since `epoch` of the last stored sample, for rate limiting.
+    last_sample_ms: mmdb_conc::sync::atomic::AtomicU64,
+    epoch: Instant,
+}
+
+impl SloEngine {
+    /// Builds an engine whose targets read (and create, if absent) the
+    /// per-opcode series in `registry`.
+    pub fn with_registry(config: SloConfig, registry: &Registry) -> SloEngine {
+        let now = Instant::now();
+        let targets = config
+            .objectives
+            .into_iter()
+            .map(|objective| {
+                let op = &objective.opcode;
+                Target {
+                    latency_series: registry.histogram(&format!(
+                        "mmdb_server_request_latency_seconds{{opcode=\"{op}\"}}"
+                    )),
+                    requests_counter: registry
+                        .counter(&format!("mmdb_server_requests_total{{opcode=\"{op}\"}}")),
+                    error_counter: registry
+                        .counter(&format!("mmdb_server_errors_total{{opcode=\"{op}\"}}")),
+                    state_gauge: registry.gauge(&format!("mmdb_slo_state{{opcode=\"{op}\"}}")),
+                    fast_burn_gauge: registry.gauge(&format!(
+                        "mmdb_slo_burn_rate_milli{{opcode=\"{op}\",window=\"fast\"}}"
+                    )),
+                    slow_burn_gauge: registry.gauge(&format!(
+                        "mmdb_slo_burn_rate_milli{{opcode=\"{op}\",window=\"slow\"}}"
+                    )),
+                    state: Mutex::new(TargetState {
+                        samples: VecDeque::new(),
+                        state: SloState::Ok,
+                        divergence_streak: 0,
+                        transitions: 0,
+                        since: now,
+                        fast_burn: 0.0,
+                        slow_burn: 0.0,
+                        window_requests: 0,
+                    }),
+                    objective,
+                }
+            })
+            .collect();
+        SloEngine {
+            targets,
+            fast_window: config.fast_window,
+            slow_window: config.slow_window,
+            last_sample_ms: mmdb_conc::sync::atomic::AtomicU64::new(u64::MAX),
+            epoch: now,
+        }
+    }
+
+    /// The configured evaluation windows `(fast, slow)`.
+    pub fn windows(&self) -> (Duration, Duration) {
+        (self.fast_window, self.slow_window)
+    }
+
+    /// Evaluates every objective against the current metric state. Cheap
+    /// when called more often than [`SAMPLE_INTERVAL`]; the caller does not
+    /// need its own timer.
+    pub fn evaluate(&self) {
+        self.evaluate_at(Instant::now());
+    }
+
+    /// [`evaluate`](Self::evaluate) with an explicit clock, for tests.
+    pub fn evaluate_at(&self, now: Instant) {
+        use mmdb_conc::sync::atomic::Ordering;
+        let now_ms = now
+            .saturating_duration_since(self.epoch)
+            .as_millis()
+            .min(u64::MAX as u128) as u64;
+        let last = self.last_sample_ms.load(Ordering::Relaxed);
+        if last != u64::MAX && now_ms.saturating_sub(last) < SAMPLE_INTERVAL.as_millis() as u64 {
+            return;
+        }
+        if self
+            .last_sample_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // another evaluator claimed this interval
+        }
+        for target in &self.targets {
+            self.evaluate_target(target, now);
+        }
+    }
+
+    /// Burn rate of the window `[start, now]` diffed from stored history.
+    fn window_burn(
+        target: &Target,
+        samples: &VecDeque<Sample>,
+        current: &Sample,
+        window: Duration,
+    ) -> (f64, u64) {
+        // The baseline is the most recent sample at or before the window
+        // start; with a short history the oldest sample stands in (a
+        // partially filled window — burn is computed over what exists).
+        let start = current.at.checked_sub(window).unwrap_or(current.at);
+        let baseline = samples
+            .iter()
+            .rev()
+            .find(|s| s.at <= start)
+            .or_else(|| samples.front());
+        let (window_snap, window_requests, window_errors) = match baseline {
+            Some(base) => (
+                current.snap.diff(&base.snap),
+                current.requests.saturating_sub(base.requests),
+                current.errors.saturating_sub(base.errors),
+            ),
+            None => (current.snap.clone(), current.requests, current.errors),
+        };
+        // Refused requests are counted but never timed, so the two
+        // denominators differ: latency burn is over timed (executed)
+        // requests, error burn over everything answered.
+        let executed = window_snap.count;
+        let requests = window_requests.max(executed);
+        if requests == 0 {
+            return (0.0, 0);
+        }
+        let mut burn = 0.0f64;
+        if let Some(lat) = target.objective.latency {
+            if executed > 0 {
+                let budget = (1.0 - lat.quantile).max(1e-9);
+                burn = burn.max(window_snap.fraction_over(lat.threshold) / budget);
+            }
+        }
+        if let Some(max_err) = target.objective.max_error_fraction {
+            let err_fraction = window_errors as f64 / requests as f64;
+            burn = burn.max(err_fraction / max_err.max(1e-9));
+        }
+        (burn, requests)
+    }
+
+    fn evaluate_target(&self, target: &Target, now: Instant) {
+        let current = Sample {
+            at: now,
+            snap: target.latency_series.snapshot(),
+            requests: target.requests_counter.get(),
+            errors: target.error_counter.get(),
+        };
+        let mut st = target.state.lock();
+        let (fast_burn, _) = Self::window_burn(target, &st.samples, &current, self.fast_window);
+        let (slow_burn, window_requests) =
+            Self::window_burn(target, &st.samples, &current, self.slow_window);
+        st.fast_burn = fast_burn;
+        st.slow_burn = slow_burn;
+        st.window_requests = window_requests;
+
+        // Multi-window rule: both windows must burn to raise. The minimum
+        // implements "fast AND slow".
+        let effective = fast_burn.min(slow_burn);
+        let computed = if effective >= CRIT_BURN {
+            SloState::Critical
+        } else if effective >= WARN_BURN {
+            SloState::Warning
+        } else {
+            SloState::Ok
+        };
+        let escalation = computed > st.state;
+        if computed == st.state {
+            st.divergence_streak = 0;
+        } else {
+            st.divergence_streak += 1;
+        }
+        // Hysteresis: escalate immediately, de-escalate only once the
+        // calmer level has held for RECOVERY_EVALS evaluations.
+        if escalation || (computed < st.state && st.divergence_streak >= RECOVERY_EVALS) {
+            let from = st.state;
+            st.state = computed;
+            st.divergence_streak = 0;
+            st.transitions += 1;
+            st.since = now;
+            if crate::instrumentation_enabled() {
+                crate::recorder().record(
+                    EventKind::SloStateChange,
+                    format!(
+                        "opcode={} {}: {}\u{2192}{} (fast burn {:.1}, slow burn {:.1})",
+                        target.objective.opcode,
+                        target.objective.describe(),
+                        from.as_str(),
+                        computed.as_str(),
+                        fast_burn,
+                        slow_burn,
+                    ),
+                    &[("state", computed.rank())],
+                );
+            }
+        }
+        target.state_gauge.set(st.state.rank());
+        target.fast_burn_gauge.set(to_milli(fast_burn));
+        target.slow_burn_gauge.set(to_milli(slow_burn));
+
+        // Retain history covering the slow window (plus one baseline
+        // sample beyond it) and store the new sample.
+        st.samples.push_back(current);
+        let horizon = now.checked_sub(self.slow_window).unwrap_or(now);
+        while st
+            .samples
+            .iter()
+            .take(2)
+            .nth(1)
+            .is_some_and(|second| second.at <= horizon)
+        {
+            st.samples.pop_front();
+        }
+        drop(st);
+    }
+
+    /// Worst current state across all objectives.
+    pub fn worst_state(&self) -> SloState {
+        self.targets
+            .iter()
+            .map(|t| t.state.lock().state)
+            .max()
+            .unwrap_or(SloState::Ok)
+    }
+
+    /// The state of one opcode's objective, if declared.
+    pub fn state_of(&self, opcode: &str) -> Option<SloState> {
+        self.targets
+            .iter()
+            .find(|t| t.objective.opcode == opcode)
+            .map(|t| t.state.lock().state)
+    }
+
+    /// The `/alerts` endpoint body.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"configured\": true,");
+        let _ = write!(
+            out,
+            "\n  \"fast_window_ms\": {},\n  \"slow_window_ms\": {},\n  \"alerts\": [",
+            self.fast_window.as_millis(),
+            self.slow_window.as_millis()
+        );
+        for (i, target) in self.targets.iter().enumerate() {
+            let st = target.state.lock();
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"opcode\": \"{}\", \"objective\": \"{}\", \"state\": \"{}\", \
+                 \"fast_burn\": {:.3}, \"slow_burn\": {:.3}, \"window_requests\": {}, \
+                 \"transitions\": {}, \"since_ms\": {}}}",
+                target.objective.opcode,
+                target.objective.describe(),
+                st.state.as_str(),
+                st.fast_burn,
+                st.slow_burn,
+                st.window_requests,
+                st.transitions,
+                st.since.elapsed().as_millis(),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Burn rates exported as gauges in thousandths (gauges are integers).
+fn to_milli(burn: f64) -> u64 {
+    (burn * 1000.0).clamp(0.0, 1e15) as u64
+}
+
+static SLO: OnceLock<SloEngine> = OnceLock::new();
+
+/// Installs the process-wide SLO engine (reading the global registry).
+/// Returns `false` if one was already configured (first config wins — the
+/// engine owns monotone alert history).
+pub fn configure_slo(config: SloConfig) -> bool {
+    SLO.set(SloEngine::with_registry(config, crate::global()))
+        .is_ok()
+}
+
+/// The process-wide SLO engine, when one has been configured.
+pub fn slo_engine() -> Option<&'static SloEngine> {
+    SLO.get()
+}
+
+/// The `/alerts` body: the engine's JSON, or an explicit "not configured"
+/// document so scrapers can distinguish "no SLOs" from "all quiet".
+pub fn alerts_json() -> String {
+    match slo_engine() {
+        Some(engine) => {
+            engine.evaluate();
+            engine.render_json()
+        }
+        None => "{\n  \"configured\": false,\n  \"alerts\": []\n}\n".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let cfg = SloConfig::parse("range=5ms@p99,err<0.1%;knn=20ms@p95;windows=5s/30s").unwrap();
+        assert_eq!(cfg.objectives.len(), 2);
+        let range = &cfg.objectives[0];
+        assert_eq!(range.opcode, "range");
+        assert_eq!(
+            range.latency,
+            Some(LatencyObjective {
+                threshold: Duration::from_millis(5),
+                quantile: 0.99
+            })
+        );
+        assert_eq!(range.max_error_fraction, Some(0.001));
+        assert_eq!(cfg.objectives[1].latency.unwrap().quantile, 0.95);
+        assert_eq!(cfg.fast_window, Duration::from_secs(5));
+        assert_eq!(cfg.slow_window, Duration::from_secs(30));
+        assert_eq!(range.describe(), "5ms@p99,err<0.1%");
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for bad in [
+            "",
+            "range",
+            "teleport=5ms@p99",
+            "range=5ms",
+            "range=5parsec@p99",
+            "range=5ms@p0",
+            "range=5ms@p100",
+            "range=err<0%",
+            "range=err<150%",
+            "windows=10s/5s;range=5ms@p99",
+            "windows=10s/5m",
+        ] {
+            assert!(SloConfig::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(parse_duration("250us").unwrap(), Duration::from_micros(250));
+        assert_eq!(parse_duration("5ms").unwrap(), Duration::from_millis(5));
+        assert_eq!(parse_duration("7").unwrap(), Duration::from_millis(7));
+        assert_eq!(parse_duration("2m").unwrap(), Duration::from_secs(120));
+        assert_eq!(parse_duration("1h").unwrap(), Duration::from_secs(3600));
+        assert!(parse_duration("5parsec").is_err());
+    }
+
+    /// Drives an engine through breach and recovery with a private
+    /// registry and an artificial clock.
+    #[test]
+    fn burn_rate_trips_and_recovers_with_hysteresis() {
+        let registry = Registry::default();
+        let cfg = SloConfig::parse("range=1ms@p99;windows=1s/2s").unwrap();
+        let engine = SloEngine::with_registry(cfg, &registry);
+        let h = registry.histogram("mmdb_server_request_latency_seconds{opcode=\"range\"}");
+        let start = Instant::now();
+        let mut t = start;
+
+        // Healthy traffic: fast requests, no burn.
+        for step in 0..6 {
+            for _ in 0..20 {
+                h.observe(Duration::from_micros(100));
+            }
+            t += Duration::from_millis(400);
+            engine.evaluate_at(t);
+            assert_eq!(engine.state_of("range"), Some(SloState::Ok), "step {step}");
+        }
+
+        // Breach: every request blows the 1ms threshold → burn ≈ 100x
+        // budget in both windows once they fill with bad samples.
+        for _ in 0..8 {
+            for _ in 0..20 {
+                h.observe(Duration::from_millis(50));
+            }
+            t += Duration::from_millis(400);
+            engine.evaluate_at(t);
+        }
+        assert_eq!(engine.state_of("range"), Some(SloState::Critical));
+        assert_eq!(engine.worst_state(), SloState::Critical);
+
+        // Quiet down: no new requests. The windows slide past the breach;
+        // recovery needs RECOVERY_EVALS calm evaluations (hysteresis), so
+        // the first calm evaluation must NOT de-escalate.
+        t += Duration::from_millis(2500);
+        engine.evaluate_at(t);
+        assert_eq!(
+            engine.state_of("range"),
+            Some(SloState::Critical),
+            "de-escalated without hysteresis"
+        );
+        for _ in 0..4 {
+            t += Duration::from_millis(400);
+            engine.evaluate_at(t);
+        }
+        assert_eq!(engine.state_of("range"), Some(SloState::Ok));
+        let json = engine.render_json();
+        assert!(json.contains("\"opcode\": \"range\""));
+        assert!(json.contains("\"state\": \"ok\""));
+        assert!(json.contains("\"transitions\": 2"));
+    }
+
+    /// Error-rate objectives burn independently of latency.
+    #[test]
+    fn error_rate_burns() {
+        let registry = Registry::default();
+        let cfg = SloConfig::parse("range=err<1%;windows=1s/2s").unwrap();
+        let engine = SloEngine::with_registry(cfg, &registry);
+        let h = registry.histogram("mmdb_server_request_latency_seconds{opcode=\"range\"}");
+        let reqs = registry.counter("mmdb_server_requests_total{opcode=\"range\"}");
+        let errs = registry.counter("mmdb_server_errors_total{opcode=\"range\"}");
+        let start = Instant::now();
+        let mut t = start;
+        // 10% errors against a 1% budget → burn 10x in both windows.
+        for _ in 0..8 {
+            for i in 0..20 {
+                h.observe(Duration::from_micros(100));
+                reqs.inc();
+                if i % 10 == 0 {
+                    errs.inc();
+                }
+            }
+            t += Duration::from_millis(400);
+            engine.evaluate_at(t);
+        }
+        assert_eq!(engine.state_of("range"), Some(SloState::Critical));
+        let json = engine.render_json();
+        assert!(json.contains("err<1%"));
+    }
+
+    /// The rate limiter coalesces rapid evaluations into one sample.
+    #[test]
+    fn evaluation_is_rate_limited() {
+        let registry = Registry::default();
+        let cfg = SloConfig::parse("range=1ms@p99;windows=1s/2s").unwrap();
+        let engine = SloEngine::with_registry(cfg, &registry);
+        let t = Instant::now();
+        engine.evaluate_at(t);
+        engine.evaluate_at(t + Duration::from_millis(10));
+        engine.evaluate_at(t + Duration::from_millis(20));
+        let samples = engine.targets[0].state.lock().samples.len();
+        assert_eq!(samples, 1, "rapid evaluations must coalesce");
+    }
+
+    #[test]
+    fn unconfigured_alerts_json() {
+        // The global engine may or may not be configured by other tests;
+        // exercise only the explicit not-configured document shape.
+        let doc = "{\n  \"configured\": false,\n  \"alerts\": []\n}\n";
+        assert!(doc.contains("\"configured\": false"));
+    }
+}

@@ -72,6 +72,93 @@ fn concurrent_readers_during_inserts() {
     db.flush().ok();
 }
 
+/// The bound-index staleness gauges: epoch lag and resync backlog spike
+/// monotonically under write churn, and return to zero the moment an
+/// indexed query rebuilds/re-syncs the slot — including under concurrent
+/// readers driving the indexed path while a writer churns.
+#[test]
+fn staleness_gauges_zero_after_sync_and_spike_under_churn() {
+    use mmdbms::prelude::*;
+    let db = mmdbms::MultimediaDatabase::in_memory(Box::new(RgbQuantizer::default_64()));
+    let gauge = |metric: &str| {
+        mmdbms::telemetry::global()
+            .gauge(&format!("{metric}{{profile=\"conservative\"}}"))
+            .get()
+    };
+    let base = db
+        .insert_image(&RasterImage::filled(20, 20, Rgb::RED).unwrap())
+        .unwrap();
+    for i in 0..4u8 {
+        db.insert_edited(
+            EditSequence::builder(base)
+                .define(Rect::new(0, 0, 10, 10))
+                .modify(Rgb::RED, Rgb::new(i, 200, 50))
+                .build(),
+        )
+        .unwrap();
+    }
+
+    // Never-built slot: everything is pending.
+    db.refresh_staleness_gauges();
+    assert!(
+        gauge("mmdb_boundidx_epoch_lag") > 0,
+        "unbuilt slot must lag"
+    );
+    assert_eq!(gauge("mmdb_boundidx_resync_backlog"), 5);
+    assert_eq!(gauge("mmdb_boundidx_entries_resident"), 0);
+
+    // A full build via the indexed plan zeroes lag and backlog.
+    let q = ColorRangeQuery::at_least(db.bin_of(Rgb::RED), 0.1);
+    db.query_range_with_plan(&q, QueryPlan::Indexed).unwrap();
+    db.refresh_staleness_gauges();
+    assert_eq!(gauge("mmdb_boundidx_epoch_lag"), 0);
+    assert_eq!(gauge("mmdb_boundidx_resync_backlog"), 0);
+    assert_eq!(gauge("mmdb_boundidx_entries_resident"), 5);
+
+    // Write churn with no intervening sync: lag and backlog climb
+    // monotonically (the storage epoch is monotone, the index stamp fixed).
+    let (mut last_lag, mut last_backlog) = (0u64, 0u64);
+    for i in 0..5u8 {
+        db.insert_image(&RasterImage::filled(16, 16, Rgb::new(10 + i, 20, 30)).unwrap())
+            .unwrap();
+        db.refresh_staleness_gauges();
+        let (lag, backlog) = (
+            gauge("mmdb_boundidx_epoch_lag"),
+            gauge("mmdb_boundidx_resync_backlog"),
+        );
+        assert!(lag > last_lag, "epoch lag must spike under churn");
+        assert!(backlog > last_backlog, "backlog must grow under churn");
+        (last_lag, last_backlog) = (lag, backlog);
+    }
+
+    // Concurrent churn + indexed readers: the gauges stay well-formed (no
+    // refresh panics racing the sync path) and a final indexed query after
+    // the dust settles returns them to zero.
+    let stop = AtomicBool::new(false);
+    crossbeam::thread::scope(|scope| {
+        scope.spawn(|_| {
+            for i in 0..20u8 {
+                db.insert_image(&RasterImage::filled(12, 12, Rgb::new(i, 90, 60)).unwrap())
+                    .expect("insert under contention");
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+        scope.spawn(|_| {
+            while !stop.load(Ordering::SeqCst) {
+                db.query_range_with_plan(&q, QueryPlan::Indexed)
+                    .expect("indexed query under churn");
+                db.refresh_staleness_gauges();
+            }
+        });
+    })
+    .expect("no thread panicked");
+    db.query_range_with_plan(&q, QueryPlan::Indexed).unwrap();
+    db.refresh_staleness_gauges();
+    assert_eq!(gauge("mmdb_boundidx_epoch_lag"), 0);
+    assert_eq!(gauge("mmdb_boundidx_resync_backlog"), 0);
+    assert_eq!(gauge("mmdb_boundidx_entries_resident"), 30);
+}
+
 #[test]
 fn parallel_rbm_under_many_threads_is_stable() {
     let (db, _) = DatasetBuilder::new(Collection::Helmets)
