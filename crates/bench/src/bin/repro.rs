@@ -8,8 +8,10 @@
 //! Subcommands: `table2`, `fig3`, `fig4`, `headline`, `ablation-nbw`,
 //! `ablation-selectivity`, `ablation-profile`, `ablation-knn`,
 //! `ablation-bins`, `fig3-constmix`, `fig4-constmix`, `storage`, `lint`,
-//! `overhead`, `serve-load`, `trace-overhead`, `observatory-overhead`,
-//! `all`. `--fast` runs a reduced configuration; CSVs land in `results/`.
+//! `overhead`, `cold-start`, `serve-load`, `trace-overhead`,
+//! `observatory-overhead`, `all`. `--fast` runs a reduced configuration;
+//! CSVs land in `results/`. `cold-start` measures restart time-to-ready
+//! (re-ingest vs snapshot+replay vs persisted warm index).
 //! `serve-load [--connect HOST:PORT]` drives the network query server
 //! (self-hosted unless `--connect` points at a running `mmdbctl
 //! serve-queries`); `trace-overhead` measures the serving cost of the
@@ -726,6 +728,63 @@ fn run_observatory_overhead(fast: bool) {
     println!("[csv] {}", path.display());
 }
 
+fn run_cold_start(fast: bool, seed: u64) {
+    use mmdb_bench::coldstart::{self, COLD_START_HEADERS};
+    // The issue's scales; `--fast` shrinks them an order of magnitude.
+    let scales: &[u64] = if fast {
+        &[1_000, 10_000]
+    } else {
+        &[10_000, 100_000]
+    };
+    println!();
+    println!("Cold start (S4) — time-to-ready: re-ingest vs snapshot+replay vs persisted index");
+    print_rule(100);
+    println!(
+        "{:>8} {:>16} {:>10} {:>12} {:>12} {:>9} {:>8} {:>9}",
+        "images", "arm", "open s", "1st query s", "ready s", "replayed", "results", "speedup"
+    );
+    let scratch = std::env::temp_dir().join(format!("mmdb_coldstart_{}", std::process::id()));
+    let mut rows = Vec::new();
+    let mut warm_speedups = Vec::new();
+    for &images in scales {
+        let points = coldstart::run_scale(&scratch, images, seed);
+        let baseline = points[0].total_seconds();
+        for p in &points {
+            let speedup = baseline / p.total_seconds();
+            println!(
+                "{:>8} {:>16} {:>10.4} {:>12.4} {:>12.4} {:>9} {:>8} {:>8.1}x",
+                p.images,
+                p.arm,
+                p.open_seconds,
+                p.first_query_seconds,
+                p.total_seconds(),
+                p.replayed_records,
+                p.results,
+                speedup
+            );
+            // The acceptance bar applies at the issue's scales; the smallest
+            // fast-mode point is fixed-cost dominated and only reported.
+            if p.arm == "warm_index" && p.images >= 10_000 {
+                warm_speedups.push(speedup);
+            }
+            rows.push(p.csv_row(speedup));
+        }
+    }
+    print_rule(100);
+    let min_speedup = warm_speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "warm persisted-index start vs full re-ingest: {min_speedup:.1}x at worst \
+         (acceptance bar: >= 5x)"
+    );
+    assert!(
+        min_speedup >= 5.0,
+        "warm start only {min_speedup:.1}x faster than re-ingest (bar: 5x)"
+    );
+    let path = results_dir().join("cold_start.csv");
+    csvout::write_csv(&path, &COLD_START_HEADERS, &rows).expect("write csv");
+    println!("[csv] {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -762,6 +821,7 @@ fn main() {
         "storage" => run_storage(&cfg),
         "lint" => run_lint(&cfg),
         "overhead" => run_overhead(&cfg),
+        "cold-start" => run_cold_start(fast, cfg.seed),
         "serve-load" => run_serve_load(fast, &args),
         "trace-overhead" => run_trace_overhead(fast),
         "observatory-overhead" => run_observatory_overhead(fast),
@@ -784,7 +844,7 @@ fn main() {
             eprintln!(
                 "usage: repro [table2|fig3|fig4|headline|ablation-nbw|ablation-selectivity|\
                  ablation-profile|ablation-knn|ablation-bins|fig3-constmix|fig4-constmix|storage|\
-                 lint|overhead|serve-load [--connect HOST:PORT]|trace-overhead|\
+                 lint|overhead|cold-start|serve-load [--connect HOST:PORT]|trace-overhead|\
                  observatory-overhead|all] [--fast]"
             );
             std::process::exit(2);

@@ -1,0 +1,244 @@
+//! Cold-start experiment (S4): time-to-ready of the three restart paths.
+//!
+//! "Ready" means the database answers its first `Indexed`-plan range query —
+//! the slowest thing a fresh process must achieve, since the bound index is
+//! the only structure not rebuilt incrementally by ordinary inserts. The
+//! three arms, slowest to fastest:
+//!
+//! 1. **reingest** — no data directory survives: regenerate and insert every
+//!    image, then build the index. The disaster-recovery baseline.
+//! 2. **snapshot_replay** — the directory survives but holds no persisted
+//!    bound index: load the latest snapshot, replay the WAL tail, then build
+//!    the index with rule walks over the whole catalog.
+//! 3. **warm_index** — the directory additionally holds the persisted
+//!    per-profile index segments: load the snapshot, replay the tail, load
+//!    the index, and catch up only the records the index stamp misses.
+//!
+//! The directories are prepared so the snapshot covers all but a small tail
+//! of mutations (as after a crash between background snapshots), making the
+//! replay arm and the warm arm honest about their incremental work.
+
+use mmdb_datagen::flags::FlagGenerator;
+use mmdb_editops::{EditSequence, ImageId};
+use mmdb_imaging::{Rect, Rgb};
+use mmdb_rules::{ColorRangeQuery, RuleProfile};
+use mmdbms::storage::DurabilityOptions;
+use mmdbms::MultimediaDatabase;
+use std::path::Path;
+use std::time::Instant;
+
+/// One arm's measurement at one scale.
+#[derive(Clone, Debug)]
+pub struct ColdStartPoint {
+    /// Total images (binary + edited) in the catalog.
+    pub images: u64,
+    /// `reingest`, `snapshot_replay`, or `warm_index`.
+    pub arm: &'static str,
+    /// Opening the engine: recovery (or ingest for the baseline arm).
+    pub open_seconds: f64,
+    /// First `Indexed`-plan query, including index build/load/catch-up.
+    pub first_query_seconds: f64,
+    /// WAL records replayed during open (0 for reingest).
+    pub replayed_records: u64,
+    /// Result-set size of the ready-probe query (equal across arms).
+    pub results: usize,
+}
+
+impl ColdStartPoint {
+    /// Time-to-ready: open plus first indexed query.
+    pub fn total_seconds(&self) -> f64 {
+        self.open_seconds + self.first_query_seconds
+    }
+
+    /// CSV row (see [`COLD_START_HEADERS`]).
+    pub fn csv_row(&self, speedup_vs_reingest: f64) -> Vec<String> {
+        vec![
+            self.images.to_string(),
+            self.arm.to_string(),
+            format!("{:.4}", self.open_seconds),
+            format!("{:.4}", self.first_query_seconds),
+            format!("{:.4}", self.total_seconds()),
+            self.replayed_records.to_string(),
+            self.results.to_string(),
+            format!("{:.2}", speedup_vs_reingest),
+        ]
+    }
+}
+
+/// Column order of `results/cold_start.csv`.
+pub const COLD_START_HEADERS: [&str; 8] = [
+    "images",
+    "arm",
+    "open_seconds",
+    "first_query_seconds",
+    "time_to_ready_seconds",
+    "replayed_records",
+    "results",
+    "speedup_vs_reingest",
+];
+
+/// Durability used for ingest and restart: fsync off (irrelevant to the
+/// recovery code path, dominates ingest otherwise), default segment size
+/// and background snapshot cadence.
+fn opts() -> DurabilityOptions {
+    DurabilityOptions {
+        fsync: mmdbms::durable::FsyncPolicy::Never,
+        ..DurabilityOptions::default()
+    }
+}
+
+/// Deterministic workload: one base flag per five images, each with four
+/// edited variants (the paper's motivating 80% edited share). Returns the
+/// ids of inserted bases so the tail phase can reference them.
+fn ingest(db: &MultimediaDatabase, first_index: u64, count: u64, seed: u64) -> Vec<ImageId> {
+    let flags = FlagGenerator::with_seed(seed);
+    let mut bases = Vec::new();
+    let mut inserted = 0u64;
+    let mut i = first_index;
+    while inserted < count {
+        let base = db
+            .insert_image(&flags.generate(i))
+            .expect("insert base image");
+        bases.push(base);
+        inserted += 1;
+        for v in 0..4u64 {
+            if inserted >= count {
+                break;
+            }
+            let seq = EditSequence::builder(base)
+                .define(Rect::new(v as i64, 0, 16 + v as i64, 16))
+                .modify(Rgb::WHITE, Rgb::new(0xCE, 0x11, 0x26))
+                .build();
+            db.insert_edited(seq).expect("insert edited variant");
+            inserted += 1;
+        }
+        i += 1;
+    }
+    bases
+}
+
+/// The ready probe: one indexed range query under the default profile. Its
+/// latency *is* the index build/load cost on a fresh process.
+fn ready_probe(db: &MultimediaDatabase) -> usize {
+    let query = ColorRangeQuery::new(db.bin_of(Rgb::new(0xCE, 0x11, 0x26)), 0.05, 1.0);
+    db.query_range_with(
+        &query,
+        mmdbms::query::QueryPlan::Indexed,
+        RuleProfile::Conservative,
+    )
+    .expect("indexed query")
+    .results
+    .len()
+}
+
+fn replayed(db: &MultimediaDatabase) -> u64 {
+    db.recovery_info().map_or(0, |r| r.replayed_records)
+}
+
+/// Recursive copy, skipping `exclude` top-level entries — used to clone the
+/// prepared directory per arm (arms must not contaminate each other's
+/// on-disk state).
+fn copy_dir(src: &Path, dst: &Path, exclude: &[&str]) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read data dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name();
+        if exclude.iter().any(|e| name.to_str() == Some(e)) {
+            continue;
+        }
+        let to = dst.join(&name);
+        if entry.file_type().expect("file type").is_dir() {
+            copy_dir(&entry.path(), &to, &[]);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy file");
+        }
+    }
+}
+
+/// Runs the three arms at one scale inside `scratch` (wiped afterwards).
+pub fn run_scale(scratch: &Path, images: u64, seed: u64) -> Vec<ColdStartPoint> {
+    std::fs::remove_dir_all(scratch).ok();
+    std::fs::create_dir_all(scratch).expect("create scratch");
+    let prepared = scratch.join("prepared");
+
+    // ── Arm 1: reingest, which doubles as preparation of the directory ──
+    // The snapshot is flushed at ~98%; the last 2% stays in the WAL tail so
+    // the restart arms replay a realistic between-snapshots residue.
+    let tail = (images / 50).max(1);
+    let bulk = images - tail;
+    let start = Instant::now();
+    let db = MultimediaDatabase::create_with(
+        &prepared,
+        Box::new(mmdbms::histogram::RgbQuantizer::default_64()),
+        opts(),
+    )
+    .expect("create database");
+    ingest(&db, 0, bulk, seed);
+    let mut ingest_seconds = start.elapsed().as_secs_f64();
+    // First indexed query of the fresh process: the from-scratch index
+    // build. This is the probe the reingest arm reports.
+    let probe_start = Instant::now();
+    let probe_results = ready_probe(&db);
+    let first_query_seconds = probe_start.elapsed().as_secs_f64();
+    // Snapshot + persist the (now synced) bound index; prep work for the
+    // restart arms, not part of any arm's time-to-ready.
+    db.flush().expect("flush snapshot");
+    let start = Instant::now();
+    ingest(&db, bulk, tail, seed ^ 0x5eed);
+    ingest_seconds += start.elapsed().as_secs_f64();
+    let results = ready_probe(&db);
+    assert!(results >= probe_results, "catalog shrank while growing");
+    let reingest = ColdStartPoint {
+        images,
+        arm: "reingest",
+        open_seconds: ingest_seconds,
+        first_query_seconds,
+        replayed_records: 0,
+        results,
+    };
+    db.storage().wal_sync().expect("sync tail");
+    drop(db);
+
+    // ── Arm 2: snapshot + replay, index rebuilt from rule walks ─────────
+    let replay_dir = scratch.join("replay");
+    copy_dir(&prepared, &replay_dir, &["boundidx"]);
+    let start = Instant::now();
+    let db = MultimediaDatabase::open_with(&replay_dir, opts()).expect("open replay arm");
+    let open_seconds = start.elapsed().as_secs_f64();
+    let probe_start = Instant::now();
+    let n = ready_probe(&db);
+    let snapshot_replay = ColdStartPoint {
+        images,
+        arm: "snapshot_replay",
+        open_seconds,
+        first_query_seconds: probe_start.elapsed().as_secs_f64(),
+        replayed_records: replayed(&db),
+        results: n,
+    };
+    assert_eq!(
+        n, results,
+        "replay arm answers differently than live database"
+    );
+    drop(db);
+
+    // ── Arm 3: snapshot + replay + persisted bound index ────────────────
+    let warm_dir = scratch.join("warm");
+    copy_dir(&prepared, &warm_dir, &[]);
+    let start = Instant::now();
+    let db = MultimediaDatabase::open_with(&warm_dir, opts()).expect("open warm arm");
+    let open_seconds = start.elapsed().as_secs_f64();
+    let probe_start = Instant::now();
+    let warm_results = ready_probe(&db);
+    let warm_index = ColdStartPoint {
+        images,
+        arm: "warm_index",
+        open_seconds,
+        first_query_seconds: probe_start.elapsed().as_secs_f64(),
+        replayed_records: replayed(&db),
+        results: warm_results,
+    };
+    drop(db);
+
+    std::fs::remove_dir_all(scratch).ok();
+    vec![reingest, snapshot_replay, warm_index]
+}

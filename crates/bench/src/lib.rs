@@ -24,6 +24,7 @@
 //! (fixed non-bound-widening *share*) is available as an ablation
 //! (`repro ablation-nbw` sweeps the share directly).
 
+pub mod coldstart;
 pub mod csvout;
 pub mod experiments;
 pub mod serveload;

@@ -27,6 +27,12 @@ pub fn profile_slot(profile: RuleProfile) -> usize {
 /// Number of profile slots ([`profile_slot`] codomain size).
 pub const PROFILE_SLOTS: usize = 2;
 
+/// Below this many fresh entries, [`BoundIndex::sync`] inserts them one by
+/// one (cheap for steady-state churn); at or above it, entries are staged
+/// per bin and merged with [`BinIntervals::insert_batch`] so a large
+/// catch-up never pays per-entry vector shifts.
+const BATCH_SYNC_THRESHOLD: usize = 16;
+
 /// What one [`BoundIndex::sync`] call did — surfaced in query traces so
 /// `mmdbctl explain` shows incremental maintenance cost next to lookup cost.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -110,6 +116,12 @@ impl BoundIndex {
     /// Number of indexed images.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of histogram bins this index is organized over (the width of
+    /// every entry's bounds vector).
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
     }
 
     /// True when no image is indexed.
@@ -231,21 +243,38 @@ impl BoundIndex {
         }
 
         let bin_count = self.bins.len();
+        let mut fresh: Vec<(ImageId, IndexEntry)> = Vec::new();
         for &id in binary {
             if !self.entries.contains_key(&id) {
-                let entry = binary_entry(id, bin_count, resolver)?;
-                self.insert_entry(id, entry);
+                fresh.push((id, binary_entry(id, bin_count, resolver)?));
                 stats.added += 1;
             }
         }
         let engine = RuleEngine::with_background(quantizer, self.profile, background);
         for &id in edited {
             if !self.entries.contains_key(&id) {
-                let entry = edited_entry(&engine, id, resolver, store)?;
+                fresh.push((id, edited_entry(&engine, id, resolver, store)?));
                 counter!("mmdb_boundidx_misses_total").inc();
-                self.insert_entry(id, entry);
                 stats.added += 1;
                 stats.recomputed += 1;
+            }
+        }
+        if fresh.len() < BATCH_SYNC_THRESHOLD {
+            for (id, entry) in fresh {
+                self.insert_entry(id, entry);
+            }
+        } else {
+            // Large catch-up (warm start over a replayed WAL tail): per-entry
+            // sorted inserts would shift each bin's vectors once per entry —
+            // quadratic memmove traffic. Stage per bin, merge once.
+            let mut pending: Vec<Vec<IntervalEntry>> = vec![Vec::new(); bin_count];
+            for (id, entry) in fresh {
+                stage_entry(&mut pending, id, &entry.bounds);
+                self.link_refs(id, &entry.refs);
+                self.entries.insert(id, entry);
+            }
+            for (bin, batch) in pending.into_iter().enumerate() {
+                self.bins[bin].insert_batch(batch);
             }
         }
         self.synced_epoch = epoch;
@@ -307,6 +336,53 @@ impl BoundIndex {
     /// consults this before falling back to a full rule walk.
     pub fn cached_bounds(&self, id: ImageId, bin: usize) -> Option<BoundRange> {
         self.entries.get(&id).map(|e| e.bounds[bin])
+    }
+
+    /// Exports every resident entry as an `(id, bounds, refs)` triple,
+    /// sorted by id — the persistence codec's view of the index. Bounds are
+    /// the exact `u64` triples, so a round trip through
+    /// [`crate::persist`] reproduces bit-identical fraction intervals.
+    pub fn export_entries(&self) -> Vec<(ImageId, &[BoundRange], &[ImageId])> {
+        let mut out: Vec<_> = self
+            .entries
+            .iter()
+            .map(|(&id, e)| (id, e.bounds.as_slice(), e.refs.as_slice()))
+            .collect();
+        out.sort_unstable_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// Reassembles an index from persisted parts: the memo entries are
+    /// installed verbatim and the per-bin sorted-endpoint arrays are rebuilt
+    /// with one bulk sort per bin (no rule walks, no histogram probes). The
+    /// result is stamped `synced_epoch` — a stamp behind the engine's
+    /// current epoch makes the next lookup take the *incremental* sync
+    /// path, never a cold rebuild.
+    ///
+    /// # Panics
+    /// Panics when an entry's bounds vector disagrees with `bin_count`
+    /// (callers validate decoded input first).
+    pub fn assemble(
+        profile: RuleProfile,
+        bin_count: usize,
+        synced_epoch: u64,
+        entries: Vec<(ImageId, Vec<BoundRange>, Vec<ImageId>)>,
+    ) -> Self {
+        let mut idx = BoundIndex::new(profile, bin_count);
+        idx.synced_epoch = synced_epoch;
+        let mut pending: Vec<Vec<IntervalEntry>> = vec![Vec::new(); bin_count];
+        for (id, bounds, refs) in entries {
+            assert_eq!(bounds.len(), bin_count, "bounds vector width mismatch");
+            stage_entry(&mut pending, id, &bounds);
+            idx.link_refs(id, &refs);
+            idx.entries.insert(id, IndexEntry { bounds, refs });
+        }
+        for (bin, entries) in pending.into_iter().enumerate() {
+            idx.bins[bin] = BinIntervals::from_entries(entries);
+        }
+        gauge!("mmdb_boundidx_entries").set(idx.len() as u64);
+        idx.last_synced_at = Instant::now();
+        idx
     }
 
     fn insert_entry(&mut self, id: ImageId, entry: IndexEntry) {

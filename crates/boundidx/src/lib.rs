@@ -24,6 +24,7 @@
 mod guard;
 mod index;
 mod interval;
+pub mod persist;
 
 pub use guard::{EpochSlot, EpochStamped};
 pub use index::{profile_slot, BoundIndex, IndexedLookup, SyncStats, PROFILE_SLOTS};
@@ -134,6 +135,9 @@ pub fn register_metrics() {
         "mmdb_boundidx_invalidations_total",
         "mmdb_boundidx_lookups_total",
         "mmdb_boundidx_builds_total",
+        "mmdb_boundidx_persist_total",
+        "mmdb_boundidx_persist_bytes_total",
+        "mmdb_boundidx_warm_loads_total",
     ] {
         let _ = g.counter(name);
     }
@@ -143,7 +147,12 @@ pub fn register_metrics() {
             let _ = g.gauge(&labeled(metric, profile.label()));
         }
     }
-    for name in ["mmdb_boundidx_build_seconds", "mmdb_boundidx_sync_seconds"] {
+    for name in [
+        "mmdb_boundidx_build_seconds",
+        "mmdb_boundidx_sync_seconds",
+        "mmdb_boundidx_persist_seconds",
+        "mmdb_boundidx_load_seconds",
+    ] {
         let _ = g.histogram(name);
     }
 }

@@ -1,0 +1,87 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), implemented from scratch so
+//! the crate stays free of external dependencies. Slice-by-8: recovery
+//! checksums every WAL frame, snapshot, and persisted index segment before
+//! trusting it, so startup latency is bounded by CRC throughput — the
+//! eight-table form processes 8 bytes per step (~4× the classic
+//! byte-at-a-time table walk) at the cost of 8 KiB of tables built once.
+
+/// Reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+/// Eight 256-entry lookup tables, built at first use. `t[0]` is the
+/// classic byte-at-a-time table; `t[k]` advances a byte `k` positions
+/// further through the shift register.
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: std::sync::OnceLock<Box<[[u32; 256]; 8]>> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; 8]);
+        for i in 0..256usize {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            t[0][i] = crc;
+        }
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` — the same value `cksum`-style IEEE implementations
+/// (zlib's `crc32`, PNG, gzip) produce.
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = tables();
+    let mut crc = !0u32;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes(c[0..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(c[4..8].try_into().unwrap());
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = b"the catalog is a sequence of editing operations".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type shared by the WAL, snapshot store, and recovery path.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong opening, appending to, or recovering a
+/// durable data directory.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// On-disk bytes failed validation (bad magic, CRC mismatch in a
+    /// finished segment, no loadable snapshot, broken continuity).
+    Corrupt(String),
+    /// The on-disk format version is outside the supported range.
+    Unsupported(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "io error: {e}"),
+            DurableError::Corrupt(msg) => write!(f, "corrupt data directory: {msg}"),
+            DurableError::Unsupported(msg) => write!(f, "unsupported format: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DurableError>;

@@ -1,0 +1,183 @@
+//! Length-prefixed, CRC-framed record encoding — the unit of WAL append.
+//!
+//! Wire shape of one frame:
+//!
+//! ```text
+//! +----------------+----------------+------------------+
+//! | len: u32 LE    | crc32: u32 LE  | payload (len B)  |
+//! +----------------+----------------+------------------+
+//! ```
+//!
+//! The CRC covers the payload only; the length field is validated by the
+//! sanity cap plus the CRC of the bytes it delimits (a corrupted length
+//! either runs past EOF — torn — or frames the wrong bytes, which the CRC
+//! rejects). Scanning stops at the first frame that fails to validate; the
+//! caller decides whether the remainder is a tolerable torn tail (last
+//! segment, crash mid-append) or corruption (any finished segment).
+
+use crate::crc::crc32;
+
+/// Bytes of framing overhead ahead of each payload.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Sanity cap on a single record. Edit-sequence records are a few hundred
+/// bytes; binary-image records carry a raster and can reach megabytes. A
+/// length above this is treated as frame damage, not an allocation request.
+pub const MAX_FRAME_PAYLOAD: u32 = 64 << 20;
+
+/// Appends one encoded frame to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD as usize);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Why a scan stopped before consuming the whole buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TailReason {
+    /// Fewer than [`FRAME_HEADER_BYTES`] bytes remained.
+    IncompleteHeader,
+    /// The header promised more payload bytes than the buffer holds.
+    IncompletePayload,
+    /// A complete frame's checksum did not match its payload.
+    CrcMismatch,
+    /// The length field exceeded [`MAX_FRAME_PAYLOAD`].
+    OversizedLength,
+}
+
+impl TailReason {
+    /// Human-readable name for diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TailReason::IncompleteHeader => "incomplete header",
+            TailReason::IncompletePayload => "incomplete payload",
+            TailReason::CrcMismatch => "crc mismatch",
+            TailReason::OversizedLength => "oversized length",
+        }
+    }
+}
+
+/// Result of scanning a buffer of concatenated frames.
+#[derive(Debug)]
+pub struct Scan {
+    /// `(start, end)` byte ranges of each valid payload, in order.
+    pub payload_ranges: Vec<(usize, usize)>,
+    /// Offset just past the last valid frame — the truncation point that
+    /// discards a torn tail.
+    pub valid_len: usize,
+    /// Set when trailing bytes failed to validate: how many were left and
+    /// why the first invalid frame was rejected.
+    pub tail: Option<(usize, TailReason)>,
+}
+
+/// Scans `buf` frame by frame, stopping at the first invalid frame.
+pub fn scan_frames(buf: &[u8]) -> Scan {
+    let mut payload_ranges = Vec::new();
+    let mut pos = 0usize;
+    let tail = loop {
+        if pos == buf.len() {
+            break None;
+        }
+        let remaining = buf.len() - pos;
+        if remaining < FRAME_HEADER_BYTES {
+            break Some((remaining, TailReason::IncompleteHeader));
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_FRAME_PAYLOAD {
+            break Some((remaining, TailReason::OversizedLength));
+        }
+        let body = pos + FRAME_HEADER_BYTES;
+        let end = body + len as usize;
+        if end > buf.len() {
+            break Some((remaining, TailReason::IncompletePayload));
+        }
+        if crc32(&buf[body..end]) != crc {
+            break Some((remaining, TailReason::CrcMismatch));
+        }
+        payload_ranges.push((body, end));
+        pos = end;
+    };
+    Scan {
+        payload_ranges,
+        valid_len: pos,
+        tail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for p in payloads {
+            encode_frame(p, &mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let buf = frames(&[b"alpha", b"", b"gamma-record"]);
+        let scan = scan_frames(&buf);
+        assert!(scan.tail.is_none());
+        assert_eq!(scan.valid_len, buf.len());
+        let got: Vec<&[u8]> = scan
+            .payload_ranges
+            .iter()
+            .map(|&(s, e)| &buf[s..e])
+            .collect();
+        assert_eq!(got, vec![&b"alpha"[..], &b""[..], &b"gamma-record"[..]]);
+    }
+
+    #[test]
+    fn torn_tail_at_every_truncation_point() {
+        let buf = frames(&[b"first", b"second", b"third"]);
+        let full = scan_frames(&buf);
+        // Boundaries after each complete frame.
+        let boundaries: Vec<usize> = {
+            let mut b = vec![0];
+            b.extend(full.payload_ranges.iter().map(|&(_, e)| e));
+            b
+        };
+        for cut in 0..buf.len() {
+            let scan = scan_frames(&buf[..cut]);
+            // Valid prefix is the largest boundary <= cut.
+            let want_frames = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(scan.payload_ranges.len(), want_frames, "cut={cut}");
+            assert_eq!(
+                scan.valid_len,
+                *boundaries.iter().filter(|&&b| b <= cut).max().unwrap_or(&0),
+                "cut={cut}"
+            );
+            if boundaries.contains(&cut) {
+                assert!(scan.tail.is_none(), "cut={cut} is a clean boundary");
+            } else {
+                assert!(scan.tail.is_some(), "cut={cut} must be torn");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_stops_scan() {
+        let mut buf = frames(&[b"first", b"second"]);
+        // Flip a byte inside the first payload.
+        buf[FRAME_HEADER_BYTES] ^= 0x40;
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.payload_ranges.len(), 0);
+        assert_eq!(scan.valid_len, 0);
+        assert_eq!(scan.tail.unwrap().1, TailReason::CrcMismatch);
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.tail.unwrap().1, TailReason::OversizedLength);
+    }
+}

@@ -1,0 +1,88 @@
+//! Durable persistence for the MMDBMS: a segmented CRC-framed write-ahead
+//! log, atomic catalog snapshots, crash recovery, and an offline checker.
+//!
+//! The paper's storage premise — images kept as compact sequences of
+//! editing operations — makes the catalog unusually cheap to log durably:
+//! an edit-sequence record is a few hundred bytes, not a raster. This
+//! crate provides the machinery, generic over record payloads so it knows
+//! nothing about catalogs or images:
+//!
+//! * [`wal::Wal`] — append-only segmented log. Records are CRC32-framed
+//!   and length-prefixed ([`frame`]); segments rotate at a size threshold;
+//!   a torn final record (crash mid-append) is detected and truncated at
+//!   open. Acknowledgment durability follows a group-commit
+//!   [`policy::FsyncPolicy`] (`always` / `interval` / `never`).
+//! * [`snapshot::SnapshotStore`] — point-in-time payloads written to a
+//!   temp file and renamed into place, each stamped with the WAL sequence
+//!   number it covers and validated by checksum at load; a damaged latest
+//!   snapshot falls back to the previous one.
+//! * [`meta`] — the small versioned header that marks a directory as an
+//!   MMDB data dir; [`DURABLE_FORMAT_VERSION`] tracks the wire protocol's
+//!   version so "can talk to it" implies "can read its files".
+//! * [`fsck`] — offline validation with stable `F` codes in the sequence
+//!   analyzer's lint style.
+//!
+//! Recovery contract: load the newest valid snapshot, replay every WAL
+//! record with a greater sequence number, tolerate exactly one torn record
+//! at the very end of the log. Segment GC never removes a record above the
+//! *oldest retained* snapshot's cover point, so the fallback snapshot
+//! always has its replay tail.
+
+mod crc;
+mod error;
+pub mod frame;
+pub mod fsck;
+pub mod meta;
+pub mod policy;
+pub mod snapshot;
+pub mod wal;
+
+pub use crc::crc32;
+pub use error::{DurableError, Result};
+pub use fsck::{fsck as fsck_dir, Finding, FsckCode, FsckReport, Severity};
+pub use policy::FsyncPolicy;
+pub use snapshot::{LoadedSnapshot, SnapshotStore};
+pub use wal::{Wal, WalOpenStats, WalOptions};
+
+/// Version stamped into the meta header, segment headers, and snapshot
+/// headers. Deliberately tracks the wire protocol's `PROTOCOL_VERSION`
+/// (a deployment that can speak to a node can read the files it left
+/// behind); a unit test in `mmdbms` pins the equality.
+pub const DURABLE_FORMAT_VERSION: u32 = 2;
+
+/// Oldest format this build still reads.
+pub const MIN_DURABLE_FORMAT_VERSION: u32 = 2;
+
+/// Eagerly registers this layer's metric series (zero-valued until traffic
+/// arrives) so exposition shows the full durability schema from process
+/// start.
+pub fn register_metrics() {
+    let g = mmdb_telemetry::global();
+    for name in [
+        "mmdb_wal_appends_total",
+        "mmdb_wal_appended_bytes_total",
+        "mmdb_wal_rotations_total",
+        "mmdb_wal_gc_segments_total",
+        "mmdb_snapshots_total",
+        "mmdb_snapshot_bytes_total",
+        "mmdb_snapshots_skipped_corrupt_total",
+        "mmdb_recovery_replayed_records_total",
+        "mmdb_recovery_torn_bytes_total",
+    ] {
+        let _ = g.counter(name);
+    }
+    for name in [
+        "mmdb_wal_segments",
+        "mmdb_wal_active_segment_bytes",
+        "mmdb_snapshot_last_seqno",
+    ] {
+        let _ = g.gauge(name);
+    }
+    for name in [
+        "mmdb_wal_fsync_seconds",
+        "mmdb_snapshot_seconds",
+        "mmdb_recovery_seconds",
+    ] {
+        let _ = g.histogram(name);
+    }
+}

@@ -1,0 +1,147 @@
+//! The `meta` file: one small, immutable header identifying a directory as
+//! an MMDB data dir and stamping its on-disk format version.
+//!
+//! Layout (20 bytes):
+//!
+//! ```text
+//! magic "MMDBMET1" (8) | format_version u32 LE | min_reader_version u32 LE
+//! | crc32 of the preceding 16 bytes (u32 LE)
+//! ```
+//!
+//! `format_version` is the version this directory was written with;
+//! `min_reader_version` is the oldest reader that can still open it. A
+//! reader refuses a directory whose `min_reader_version` exceeds its own
+//! [`crate::DURABLE_FORMAT_VERSION`]. The version number deliberately
+//! tracks the wire protocol's major version (see DESIGN.md): a deployment
+//! that can speak to a node can also read the files it left behind.
+
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use crate::crc::crc32;
+use crate::error::{DurableError, Result};
+use crate::wal::sync_dir;
+use crate::{DURABLE_FORMAT_VERSION, MIN_DURABLE_FORMAT_VERSION};
+
+/// Magic prefix of the meta file.
+pub const META_MAGIC: &[u8; 8] = b"MMDBMET1";
+
+/// File name inside the data dir.
+pub const META_FILE: &str = "meta";
+
+/// Decoded meta header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Meta {
+    /// Format version the directory was written with.
+    pub format_version: u32,
+    /// Oldest reader version able to open the directory.
+    pub min_reader_version: u32,
+}
+
+impl Meta {
+    /// The header a freshly created data dir gets.
+    pub fn current() -> Meta {
+        Meta {
+            format_version: DURABLE_FORMAT_VERSION,
+            min_reader_version: MIN_DURABLE_FORMAT_VERSION,
+        }
+    }
+
+    fn encode(self) -> [u8; 20] {
+        let mut out = [0u8; 20];
+        out[..8].copy_from_slice(META_MAGIC);
+        out[8..12].copy_from_slice(&self.format_version.to_le_bytes());
+        out[12..16].copy_from_slice(&self.min_reader_version.to_le_bytes());
+        let crc = crc32(&out[..16]);
+        out[16..20].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates meta bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Meta> {
+        if bytes.len() != 20 {
+            return Err(DurableError::Corrupt(format!(
+                "meta file is {} bytes, want 20",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != META_MAGIC {
+            return Err(DurableError::Corrupt("bad meta magic".into()));
+        }
+        if crc32(&bytes[..16]) != u32::from_le_bytes(bytes[16..20].try_into().unwrap()) {
+            return Err(DurableError::Corrupt("meta crc mismatch".into()));
+        }
+        Ok(Meta {
+            format_version: u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            min_reader_version: u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+        })
+    }
+
+    /// Refuses directories this build cannot read.
+    pub fn check_readable(self) -> Result<()> {
+        if self.min_reader_version > DURABLE_FORMAT_VERSION {
+            return Err(DurableError::Unsupported(format!(
+                "data dir needs reader v{} but this build reads up to v{DURABLE_FORMAT_VERSION}",
+                self.min_reader_version
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Writes the meta file atomically (tmp + rename).
+pub fn write_meta(dir: &Path, meta: Meta) -> Result<()> {
+    let path = dir.join(META_FILE);
+    let tmp = dir.join("meta.tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&meta.encode())?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &path)?;
+    sync_dir(dir);
+    Ok(())
+}
+
+/// Reads and validates the meta file. `Ok(None)` when absent.
+pub fn read_meta(dir: &Path) -> Result<Option<Meta>> {
+    let path = dir.join(META_FILE);
+    match fs::read(&path) {
+        Ok(bytes) => Ok(Some(Meta::decode(&bytes)?)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_tamper() {
+        let meta = Meta::current();
+        let bytes = meta.encode();
+        assert_eq!(Meta::decode(&bytes).unwrap(), meta);
+        let mut bad = bytes;
+        bad[9] ^= 1;
+        assert!(Meta::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn future_directory_refused() {
+        let meta = Meta {
+            format_version: DURABLE_FORMAT_VERSION + 7,
+            min_reader_version: DURABLE_FORMAT_VERSION + 7,
+        };
+        assert!(Meta::decode(&meta.encode())
+            .unwrap()
+            .check_readable()
+            .is_err());
+        assert!(Meta::current().check_readable().is_ok());
+    }
+}

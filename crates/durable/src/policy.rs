@@ -1,0 +1,80 @@
+//! Group-commit fsync policy: when an acknowledged append is guaranteed to
+//! be on stable storage.
+
+use std::time::Duration;
+
+/// When the WAL calls `fdatasync` on the active segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync before every append acknowledgment. Appends committed by other
+    /// threads since the last sync ride along (group commit), so the cost
+    /// amortizes under concurrency.
+    Always,
+    /// A maintenance thread syncs at this interval; an acknowledged append
+    /// may be lost if the process dies inside the window.
+    Interval(Duration),
+    /// Never sync explicitly; the OS page cache decides. Crash durability
+    /// is whatever the kernel flushed — for benchmarks and bulk loads.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Default interval used by `interval` when none is given.
+    pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(50);
+
+    /// Parses the CLI spelling: `always`, `never`, `interval`, or
+    /// `interval:<millis>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "interval" => Ok(FsyncPolicy::Interval(Self::DEFAULT_INTERVAL)),
+            other => {
+                if let Some(ms) = other.strip_prefix("interval:") {
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| format!("bad fsync interval {ms:?}"))?;
+                    Ok(FsyncPolicy::Interval(Duration::from_millis(ms)))
+                } else {
+                    Err(format!(
+                        "unknown fsync policy {other:?} (want always|interval[:ms]|never)"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Canonical spelling, inverse of [`FsyncPolicy::parse`].
+    pub fn label(self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_owned(),
+            FsyncPolicy::Never => "never".to_owned(),
+            FsyncPolicy::Interval(d) => format!("interval:{}", d.as_millis()),
+        }
+    }
+}
+
+impl Default for FsyncPolicy {
+    /// `Always` — correctness first; callers opt into weaker guarantees.
+    fn default() -> Self {
+        FsyncPolicy::Always
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["always", "never", "interval:250"] {
+            assert_eq!(FsyncPolicy::parse(s).unwrap().label(), s);
+        }
+        assert_eq!(
+            FsyncPolicy::parse("interval").unwrap(),
+            FsyncPolicy::Interval(FsyncPolicy::DEFAULT_INTERVAL)
+        );
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert!(FsyncPolicy::parse("interval:abc").is_err());
+    }
+}

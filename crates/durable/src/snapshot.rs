@@ -1,0 +1,315 @@
+//! Point-in-time snapshots with atomic rename-into-place.
+//!
+//! A snapshot file `snap-<covered_seqno>.snap` holds an opaque payload (the
+//! encoded catalog) plus a header recording which WAL sequence number it
+//! covers and which blob-file generation it references. Writes go to a
+//! temporary file, are synced, then renamed into place — a crash can only
+//! ever leave a stale-but-complete previous snapshot plus a harmless tmp
+//! file. Loading walks snapshots newest-first and returns the first one
+//! whose checksum validates, so a torn or bit-rotted latest snapshot
+//! degrades to the previous one (whose WAL tail still exists: segment GC is
+//! bounded by the *oldest retained* snapshot, not the newest).
+
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use mmdb_telemetry::{counter, gauge, histogram, EventKind};
+
+use crate::crc::crc32;
+use crate::error::{DurableError, Result};
+use crate::wal::sync_dir;
+use crate::{DURABLE_FORMAT_VERSION, MIN_DURABLE_FORMAT_VERSION};
+
+/// Magic prefix of every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"MMDBSNP1";
+
+/// Fixed header size ahead of the payload.
+pub const SNAPSHOT_HEADER_BYTES: usize = 40;
+
+/// How many most-recent snapshots `prune` retains (the newest for normal
+/// recovery, one fallback in case the newest is damaged).
+pub const SNAPSHOTS_RETAINED: usize = 2;
+
+/// A decoded snapshot.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// Every WAL record with seqno <= this is folded into the payload.
+    pub covered_seqno: u64,
+    /// Blob-file generation the payload's blob references point into.
+    pub blob_gen: u64,
+    /// The opaque payload (encoded catalog).
+    pub payload: Vec<u8>,
+    /// File it was loaded from.
+    pub path: PathBuf,
+}
+
+/// Header fields without the payload — what fsck reports.
+#[derive(Clone, Debug)]
+pub struct SnapshotInfo {
+    pub covered_seqno: u64,
+    pub blob_gen: u64,
+    pub payload_len: u64,
+    pub path: PathBuf,
+}
+
+/// The snapshots directory of one data dir.
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+fn snapshot_path(dir: &Path, covered_seqno: u64) -> PathBuf {
+    dir.join(format!("snap-{covered_seqno:016x}.snap"))
+}
+
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn encode(covered_seqno: u64, blob_gen: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SNAPSHOT_HEADER_BYTES + payload.len());
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&DURABLE_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&covered_seqno.to_le_bytes());
+    out.extend_from_slice(&blob_gen.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates one snapshot file's bytes; returns `(covered, blob_gen,
+/// payload)`.
+pub fn decode(bytes: &[u8]) -> Result<(u64, u64, &[u8])> {
+    if bytes.len() < SNAPSHOT_HEADER_BYTES {
+        return Err(DurableError::Corrupt("snapshot shorter than header".into()));
+    }
+    if &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(DurableError::Corrupt("bad snapshot magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if !(MIN_DURABLE_FORMAT_VERSION..=DURABLE_FORMAT_VERSION).contains(&version) {
+        return Err(DurableError::Unsupported(format!(
+            "snapshot format v{version}, supported v{MIN_DURABLE_FORMAT_VERSION}..=v{DURABLE_FORMAT_VERSION}"
+        )));
+    }
+    let covered = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let blob_gen = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[36..40].try_into().unwrap());
+    let payload = &bytes[SNAPSHOT_HEADER_BYTES..];
+    if payload.len() != payload_len {
+        return Err(DurableError::Corrupt(format!(
+            "snapshot payload {} bytes, header promised {payload_len}",
+            payload.len()
+        )));
+    }
+    if crc32(payload) != crc {
+        return Err(DurableError::Corrupt(
+            "snapshot payload crc mismatch".into(),
+        ));
+    }
+    Ok((covered, blob_gen, payload))
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the snapshots directory.
+    pub fn open(dir: &Path) -> Result<SnapshotStore> {
+        fs::create_dir_all(dir)?;
+        Ok(SnapshotStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Lists snapshot files, ascending by covered seqno.
+    pub fn list(&self) -> Result<Vec<(PathBuf, u64)>> {
+        let mut found = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(covered) = parse_snapshot_name(name) {
+                found.push((entry.path(), covered));
+            }
+        }
+        found.sort_by_key(|&(_, covered)| covered);
+        Ok(found)
+    }
+
+    /// Writes a snapshot covering `covered_seqno` atomically and prunes old
+    /// ones down to [`SNAPSHOTS_RETAINED`].
+    pub fn write(&self, covered_seqno: u64, blob_gen: u64, payload: &[u8]) -> Result<PathBuf> {
+        let start = Instant::now();
+        let bytes = encode(covered_seqno, blob_gen, payload);
+        let final_path = snapshot_path(&self.dir, covered_seqno);
+        let tmp = final_path.with_extension("snap.tmp");
+        {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        sync_dir(&self.dir);
+        self.prune(SNAPSHOTS_RETAINED)?;
+        let elapsed = start.elapsed();
+        histogram!("mmdb_snapshot_seconds").observe(elapsed);
+        counter!("mmdb_snapshots_total").inc();
+        counter!("mmdb_snapshot_bytes_total").add(bytes.len() as u64);
+        gauge!("mmdb_snapshot_last_seqno").set(covered_seqno);
+        mmdb_telemetry::recorder().record(
+            EventKind::Snapshot,
+            format!(
+                "covered_seqno={covered_seqno} blob_gen={blob_gen} bytes={}",
+                bytes.len()
+            ),
+            &[("payload_bytes", payload.len() as u64)],
+        );
+        Ok(final_path)
+    }
+
+    /// Loads the newest snapshot that validates. `Ok(None)` means the
+    /// directory holds no snapshot files at all (fresh database); existing
+    /// but unloadable snapshots are an error — silently starting empty
+    /// would masquerade as data loss.
+    pub fn load_latest(&self) -> Result<Option<LoadedSnapshot>> {
+        let mut files = self.list()?;
+        if files.is_empty() {
+            return Ok(None);
+        }
+        let mut last_err: Option<DurableError> = None;
+        while let Some((path, _)) = files.pop() {
+            let bytes = fs::read(&path)?;
+            match decode(&bytes) {
+                Ok((covered, blob_gen, payload)) => {
+                    return Ok(Some(LoadedSnapshot {
+                        covered_seqno: covered,
+                        blob_gen,
+                        payload: payload.to_vec(),
+                        path,
+                    }));
+                }
+                Err(e) => {
+                    counter!("mmdb_snapshots_skipped_corrupt_total").inc();
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| DurableError::Corrupt("no loadable snapshot".into())))
+    }
+
+    /// Removes all but the newest `keep` snapshot files.
+    pub fn prune(&self, keep: usize) -> Result<()> {
+        let files = self.list()?;
+        if files.len() <= keep {
+            return Ok(());
+        }
+        for (path, _) in &files[..files.len() - keep] {
+            fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+
+    /// Smallest covered seqno among retained snapshots — the GC bound for
+    /// WAL segments (records below it can never be needed again).
+    pub fn oldest_covered(&self) -> Result<Option<u64>> {
+        Ok(self.list()?.first().map(|&(_, covered)| covered))
+    }
+}
+
+/// Reads just the header of a snapshot file (fsck helper).
+pub fn read_info(path: &Path) -> Result<SnapshotInfo> {
+    let bytes = fs::read(path)?;
+    let (covered, blob_gen, payload) = decode(&bytes)?;
+    Ok(SnapshotInfo {
+        covered_seqno: covered,
+        blob_gen,
+        payload_len: payload.len() as u64,
+        path: path.to_path_buf(),
+    })
+}
+
+/// Opens `path`'s parent-relative tmp leftovers for cleanup at open.
+pub fn remove_tmp_files(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.ends_with(".snap.tmp"))
+        {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!("mmdb-snap-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn write_load_roundtrip_and_prune() {
+        let dir = temp_dir("rt");
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        for seq in [10u64, 20, 30] {
+            store
+                .write(seq, 0, format!("catalog-at-{seq}").as_bytes())
+                .unwrap();
+        }
+        let snap = store.load_latest().unwrap().unwrap();
+        assert_eq!(snap.covered_seqno, 30);
+        assert_eq!(snap.payload, b"catalog-at-30");
+        // Prune keeps the newest two.
+        assert_eq!(store.list().unwrap().len(), SNAPSHOTS_RETAINED);
+        assert_eq!(store.oldest_covered().unwrap(), Some(20));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous() {
+        let dir = temp_dir("fallback");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.write(5, 0, b"good-old").unwrap();
+        let newest = store.write(9, 0, b"doomed-new").unwrap();
+        // Flip a payload byte in the newest snapshot.
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xAA;
+        fs::write(&newest, &bytes).unwrap();
+
+        let snap = store.load_latest().unwrap().unwrap();
+        assert_eq!(snap.covered_seqno, 5);
+        assert_eq!(snap.payload, b"good-old");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_corrupt_is_an_error_not_empty() {
+        let dir = temp_dir("allbad");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let p = store.write(3, 0, b"payload").unwrap();
+        fs::write(&p, b"garbage").unwrap();
+        assert!(store.load_latest().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

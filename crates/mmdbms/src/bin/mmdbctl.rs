@@ -24,7 +24,9 @@
 //! mmdbctl script --db ./mydb --id 9        # print an edited image's script
 //! mmdbctl lint --db ./mydb [--format text|json]   # static analysis
 //! mmdbctl analyze --db ./mydb --id 9       # per-sequence analysis detail
-//! mmdbctl verify --db ./mydb               # fsck-style consistency check
+//! mmdbctl verify --db ./mydb               # logical consistency check
+//! mmdbctl fsck ./mydb                      # offline on-disk durability check
+//! mmdbctl churn --db ./mydb --ops 500      # deterministic mutation workload
 //! mmdbctl delete --db ./mydb --id 7
 //! ```
 //!
@@ -75,8 +77,23 @@ impl Args {
     fn db_path(&self) -> Result<PathBuf, String> {
         self.options
             .get("db")
+            .or_else(|| self.options.get("data-dir"))
             .map(PathBuf::from)
-            .ok_or_else(|| "--db <dir> is required".to_string())
+            .ok_or_else(|| "--db <dir> (alias --data-dir) is required".to_string())
+    }
+
+    /// Durability knobs shared by every command that opens or creates a
+    /// database: `--fsync always|interval[:ms]|never`, `--segment-bytes N`,
+    /// `--snapshot-every N`.
+    fn durability_opts(&self) -> Result<mmdbms::storage::DurabilityOptions, String> {
+        let mut opts = mmdbms::storage::DurabilityOptions::default();
+        if let Some(raw) = self.options.get("fsync") {
+            opts.fsync = mmdbms::durable::FsyncPolicy::parse(raw)
+                .map_err(|e| format!("bad --fsync: {e}"))?;
+        }
+        opts.segment_bytes = self.u64_opt("segment-bytes", opts.segment_bytes)?;
+        opts.snapshot_every = self.u64_opt("snapshot-every", opts.snapshot_every)?;
+        Ok(opts)
     }
 
     fn id(&self) -> Result<ImageId, String> {
@@ -104,9 +121,37 @@ impl Args {
     }
 }
 
+/// Clean-shutdown drain shared by `serve` and `serve-queries`: after the
+/// network layer has stopped, push everything volatile to disk — final
+/// snapshot, persisted bound indexes, fsynced active WAL segment — so the
+/// next open replays zero records. In-memory databases are a no-op.
+fn drain_to_disk(db: &MultimediaDatabase) {
+    if db.storage().data_dir().is_none() {
+        return;
+    }
+    let flushed = db
+        .flush()
+        .map_err(|e| e.to_string())
+        .and_then(|()| db.storage().wal_sync().map_err(|e| e.to_string()));
+    let detail = match flushed {
+        Ok(()) => format!(
+            "snapshot + wal fsync at epoch {}",
+            db.storage().current_epoch()
+        ),
+        Err(e) => format!("flush failed: {e}"),
+    };
+    mmdbms::telemetry::recorder().record(
+        mmdbms::telemetry::EventKind::ServerCleanShutdown,
+        detail,
+        &[("epoch", db.storage().current_epoch())],
+    );
+    eprintln!("flushed database to disk (clean shutdown)");
+}
+
 fn open_db(args: &Args) -> Result<MultimediaDatabase, String> {
     let dir = args.db_path()?;
-    MultimediaDatabase::open(&dir).map_err(|e| format!("open {}: {e}", dir.display()))
+    MultimediaDatabase::open_with(&dir, args.durability_opts()?)
+        .map_err(|e| format!("open {}: {e}", dir.display()))
 }
 
 fn cmd_create(args: &Args) -> Result<(), String> {
@@ -117,9 +162,14 @@ fn cmd_create(args: &Args) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "rgb-uniform/4".to_string());
     let quantizer = from_description(&desc).ok_or_else(|| format!("unknown quantizer {desc:?}"))?;
-    let db = MultimediaDatabase::create(&dir, quantizer).map_err(|e| e.to_string())?;
+    let opts = args.durability_opts()?;
+    let db = MultimediaDatabase::create_with(&dir, quantizer, opts).map_err(|e| e.to_string())?;
     db.flush().map_err(|e| e.to_string())?;
-    println!("created database at {} (quantizer {desc})", dir.display());
+    println!(
+        "created database at {} (quantizer {desc}, fsync {})",
+        dir.display(),
+        opts.fsync.label()
+    );
     Ok(())
 }
 
@@ -502,6 +552,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     // Bind *before* the warmup so `/readyz` is observable (503) while the
     // catalog warms, then flips to 200 — orchestrators gate traffic on it.
     let latch = ReadyLatch::new("warming up");
+    // Ctrl-C / SIGTERM: stop accepting scrapes, drain, exit 0. Installed
+    // before the address is announced so a supervisor reacting to that line
+    // can never catch the process with the default (killing) disposition.
+    let signal = mmdbms::server::ShutdownSignal::install();
     let server = bind_exposition(listen, &latch, &db)?;
     let addr = server.local_addr();
     // Flush explicitly: when stdout is a pipe (the CI smoke test, scripts
@@ -512,11 +566,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let _ = std::io::stdout().flush();
     let warmed = run_warmup(&db, args.u64_opt("warmup", 0)?, args.u64_opt("seed", 42)?)?;
     latch.set_ready(format!("catalog loaded, {warmed} warmup queries"));
-    // Ctrl-C / SIGTERM: stop accepting scrapes, drain, exit 0.
-    let signal = mmdbms::server::ShutdownSignal::install();
     signal.wait(std::time::Duration::from_millis(100));
     eprintln!("signal received, draining metrics server");
     server.shutdown();
+    drain_to_disk(&db);
     Ok(())
 }
 
@@ -544,6 +597,9 @@ fn cmd_serve_queries(args: &Args) -> Result<(), String> {
     // kept traces from /traces, and gate traffic on /readyz. Bound *before*
     // the warmup so the unready window is observable.
     let latch = ReadyLatch::new("warming up");
+    // Install before any address is announced (same reasoning as `serve`):
+    // a SIGINT arriving during warmup must drain, not kill.
+    let signal = mmdbms::server::ShutdownSignal::install();
     let metrics = match args.options.get("metrics") {
         Some(addr) => {
             let m = bind_exposition(addr, &latch, &db)?;
@@ -573,13 +629,13 @@ fn cmd_serve_queries(args: &Args) -> Result<(), String> {
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    let signal = mmdbms::server::ShutdownSignal::install();
     signal.wait(std::time::Duration::from_millis(100));
     eprintln!("signal received, draining in-flight requests");
     let drained = server.shutdown();
     if let Some(m) = metrics {
         m.shutdown();
     }
+    drain_to_disk(&db);
     println!("drained ({} queued at stop)", drained.queued_at_stop);
     Ok(())
 }
@@ -1006,6 +1062,200 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `fsck <data-dir>`: offline durability check — no lock is taken and
+/// nothing is modified, so it is safe against a crashed (but not a live)
+/// process's directory. The durable layer validates meta, snapshots, and
+/// WAL framing; the storage-aware checks layered here decode the catalog
+/// (`F011`), confirm the referenced blob generation exists (`F010`), and
+/// validate any persisted bound-index segments (`F009`).
+fn cmd_fsck(args: &Args) -> Result<(), String> {
+    let dir = match args.positional.first() {
+        Some(p) => PathBuf::from(p),
+        None => args.db_path()?,
+    };
+    let mut report = mmdbms::durable::fsck_dir(&dir);
+    storage_aware_fsck(&dir, &mut report);
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    let covered = report
+        .latest_snapshot
+        .as_ref()
+        .map_or(0, |s| s.covered_seqno);
+    println!(
+        "fsck {}: {} WAL segment(s), {} record(s) ({} replayable past snapshot seqno {}), {} finding(s)",
+        dir.display(),
+        report.segments,
+        report.wal_records,
+        report.tail_records,
+        covered,
+        report.findings.len()
+    );
+    if report.has_errors() {
+        Err(format!(
+            "{} error-level finding(s)",
+            report
+                .findings
+                .iter()
+                .filter(|f| f.code.severity() == mmdbms::durable::Severity::Error)
+                .count()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// The storage-level half of fsck: checks that need the catalog codec and
+/// the bound-index format, pushed into the durable report under `F009`–
+/// `F011`.
+fn storage_aware_fsck(dir: &Path, report: &mut mmdbms::durable::FsckReport) {
+    use mmdbms::durable::FsckCode;
+    let Ok(snaps) = mmdbms::durable::SnapshotStore::open(&dir.join("snapshots")) else {
+        return; // already reported as F004 by the durable layer
+    };
+    let Ok(Some(loaded)) = snaps.load_latest() else {
+        return;
+    };
+    let catalog = match mmdbms::storage::Catalog::decode(&loaded.payload) {
+        Ok((catalog, _free_list)) => catalog,
+        Err(e) => {
+            report.push(
+                FsckCode::SnapshotUndecodable,
+                format!("{}: {e}", loaded.path.display()),
+            );
+            return;
+        }
+    };
+    let binary_count = catalog
+        .iter()
+        .filter(|(_, e)| e.kind() == mmdbms::storage::StoredKind::Binary)
+        .count();
+    let blob_path = dir.join(mmdbms::storage::blob_file_name(loaded.blob_gen));
+    if binary_count > 0 && !blob_path.exists() {
+        report.push(
+            FsckCode::BlobGenerationMissing,
+            format!(
+                "{} ({} binary image(s) reference generation {})",
+                blob_path.display(),
+                binary_count,
+                loaded.blob_gen
+            ),
+        );
+    }
+    // Persisted bound indexes: each must parse and must not be stamped
+    // beyond the last catalog state reachable from disk.
+    let Some(quantizer) = from_description(catalog.quantizer_desc()) else {
+        report.push(
+            FsckCode::SnapshotUndecodable,
+            format!(
+                "unknown quantizer description {:?}",
+                catalog.quantizer_desc()
+            ),
+        );
+        return;
+    };
+    let last_reachable = loaded.covered_seqno + report.tail_records;
+    let idx_dir = dir.join("boundidx");
+    for profile in [RuleProfile::Conservative, RuleProfile::PaperTable1] {
+        match mmdbms::boundidx::persist::load(&idx_dir, profile, quantizer.bin_count()) {
+            Ok(None) => {}
+            Ok(Some(idx)) if idx.synced_epoch() > last_reachable => report.push(
+                FsckCode::IndexSegmentCorrupt,
+                format!(
+                    "{}: stamped epoch {} beyond last reachable seqno {last_reachable}",
+                    idx_dir
+                        .join(mmdbms::boundidx::persist::index_file_name(profile))
+                        .display(),
+                    idx.synced_epoch()
+                ),
+            ),
+            Ok(Some(_)) => {}
+            Err(e) => report.push(
+                FsckCode::IndexSegmentCorrupt,
+                format!(
+                    "{}: {e}",
+                    idx_dir
+                        .join(mmdbms::boundidx::persist::index_file_name(profile))
+                        .display()
+                ),
+            ),
+        }
+    }
+}
+
+/// `churn --db DIR [--ops N] [--seed S]`: apply a deterministic mutation
+/// workload (inserts, edited variants, deletes) until `--ops` is reached or
+/// the process is killed. Progress lines are flushed so a harness can
+/// SIGKILL mid-churn and know roughly how far it got; the crash-recovery
+/// smoke test is the intended caller.
+fn cmd_churn(args: &Args) -> Result<(), String> {
+    use std::io::Write as _;
+    let db = open_db(args)?;
+    let ops = args.u64_opt("ops", 0)?;
+    let seed = args.u64_opt("seed", 1)?;
+    let report_every = args.u64_opt("report-every", 32)?.max(1);
+    let flags = FlagGenerator::with_seed(seed);
+    let mut edited_pool: Vec<ImageId> = Vec::new();
+    let mut done = 0u64;
+    loop {
+        if ops > 0 && done >= ops {
+            break;
+        }
+        let step = done % 5;
+        match step {
+            // Two binary inserts, two edited variants, one delete per cycle.
+            0 | 1 => {
+                let img = flags.generate(seed ^ done);
+                let base = db.insert_image(&img).map_err(|e| e.to_string())?;
+                let variant = db
+                    .insert_edited(
+                        EditSequence::builder(base)
+                            .define(Rect::new(0, 0, 8, 8))
+                            .blur()
+                            .build(),
+                    )
+                    .map_err(|e| e.to_string())?;
+                edited_pool.push(variant);
+            }
+            2 | 3 => {
+                if let Some(&base) = db.storage().binary_ids().first() {
+                    let variant = db
+                        .insert_edited(
+                            EditSequence::builder(base)
+                                .define(Rect::new(0, 0, 4, 4))
+                                .modify(Rgb::WHITE, Rgb::RED)
+                                .build(),
+                        )
+                        .map_err(|e| e.to_string())?;
+                    edited_pool.push(variant);
+                }
+            }
+            _ => {
+                if edited_pool.len() > 4 {
+                    let victim = edited_pool.swap_remove((done as usize) % edited_pool.len());
+                    db.delete(victim).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        done += 1;
+        if done.is_multiple_of(report_every) {
+            println!(
+                "churn: {done} op(s), epoch {}, {} image(s)",
+                db.storage().current_epoch(),
+                db.storage().ids().len()
+            );
+            let _ = std::io::stdout().flush();
+        }
+    }
+    db.flush().map_err(|e| e.to_string())?;
+    println!(
+        "churn complete: {done} op(s), epoch {}, {} image(s)",
+        db.storage().current_epoch(),
+        db.storage().ids().len()
+    );
+    Ok(())
+}
+
 fn cmd_compact(args: &Args) -> Result<(), String> {
     let db = open_db(args)?;
     let reclaimed = db.storage().compact().map_err(|e| e.to_string())?;
@@ -1022,7 +1272,9 @@ fn cmd_delete(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|serve|serve-queries|traces|profile|heat|slo|events|top|knn|export|script|lint|analyze|verify|compact|delete> [options]
+const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|query|explain|metrics|serve|serve-queries|traces|profile|heat|slo|events|top|knn|export|script|lint|analyze|verify|fsck|churn|compact|delete> [options]
+  every command taking --db DIR also accepts --data-dir DIR plus durability
+  knobs [--fsync always|interval[:ms]|never] [--segment-bytes N] [--snapshot-every N]
   create        --db DIR [--quantizer rgb-uniform/4]
   gen           --db DIR [--collection flags|helmets] [--count N] [--augment N] [--seed S]
   insert        --db DIR FILE.ppm [--augment N] [--seed S]
@@ -1049,6 +1301,8 @@ const USAGE: &str = "usage: mmdbctl <create|gen|insert|insert-script|ls|info|que
   lint          --db DIR [--format text|json]
   analyze       --db DIR --id N
   verify        --db DIR
+  fsck          DIR                # offline on-disk durability check (no lock)
+  churn         --db DIR [--ops N] [--seed S] [--report-every N]
   compact       --db DIR
   delete        --db DIR --id N";
 
@@ -1098,6 +1352,8 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&args),
         "analyze" => cmd_analyze(&args),
         "verify" => cmd_verify(&args),
+        "fsck" => cmd_fsck(&args),
+        "churn" => cmd_churn(&args),
         "compact" => cmd_compact(&args),
         "delete" => cmd_delete(&args),
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),

@@ -41,6 +41,7 @@ use mmdb_boundidx::{
     profile_slot, BoundIndex, EpochSlot, StalenessReport, SyncStats, PROFILE_SLOTS,
 };
 use mmdb_bwm::{BoundsCache, BwmStructure};
+use mmdb_conc::sync::atomic::{AtomicBool, Ordering};
 use mmdb_conc::sync::RwLock;
 use mmdb_datagen::edits::TargetInfo;
 use mmdb_datagen::{VariantConfig, VariantGenerator};
@@ -50,7 +51,7 @@ use mmdb_imaging::{ppm, RasterImage, Rgb};
 use mmdb_query::executor::{QueryError, QueryProcessor};
 use mmdb_query::{QueryPlan, SignatureIndex};
 use mmdb_rules::{ColorRangeQuery, RuleProfile};
-use mmdb_storage::{StorageEngine, StorageStats};
+use mmdb_storage::{DurabilityOptions, RecoveryInfo, StorageEngine, StorageStats};
 use mmdb_telemetry::QueryTrace;
 use std::path::Path;
 use std::sync::Arc;
@@ -60,6 +61,7 @@ pub use mmdb_analysis as analysis;
 pub use mmdb_boundidx as boundidx;
 pub use mmdb_bwm as bwm;
 pub use mmdb_datagen as datagen;
+pub use mmdb_durable as durable;
 pub use mmdb_editops as editops;
 pub use mmdb_histogram as histogram;
 pub use mmdb_imaging as imaging;
@@ -93,6 +95,7 @@ pub type Result<T> = std::result::Result<T, QueryError>;
 /// `mmdbctl metrics` (and any exporter) shows the full schema — zero-valued
 /// series included — from process start.
 pub fn register_all_metrics() {
+    mmdb_durable::register_metrics();
     mmdb_storage::register_metrics();
     mmdb_rules::register_metrics();
     mmdb_bwm::register_metrics();
@@ -137,7 +140,7 @@ pub fn configure_observability(config: &ObservabilityConfig) {
 /// constructed as images are inserted into the database"), and the histogram
 /// R-tree is built lazily and invalidated on mutation.
 pub struct MultimediaDatabase {
-    storage: StorageEngine,
+    storage: Arc<StorageEngine>,
     bwm: RwLock<BwmStructure>,
     signature_index: RwLock<Option<Arc<SignatureIndex>>>,
     /// One lazily built [`BoundIndex`] per rule profile, each in an
@@ -149,29 +152,106 @@ pub struct MultimediaDatabase {
     /// `crates/conc/tests/model_boundidx.rs`.
     bound_index: [EpochSlot<BoundIndex>; PROFILE_SLOTS],
     profile: RuleProfile,
+    /// Background snapshot / group-commit driver for on-disk databases
+    /// (`None` in memory). Stopped and joined on drop.
+    _maintenance: Option<MaintenanceThread>,
+}
+
+/// The facade's background maintenance loop: periodically ticks the storage
+/// engine so interval-policy fsyncs and threshold-triggered snapshots (plus
+/// the WAL segment GC that rides along) happen off the request path.
+struct MaintenanceThread {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MaintenanceThread {
+    /// How often the loop wakes to check the engine's deadlines. The tick
+    /// itself is two atomic reads when there is nothing to do.
+    const TICK: std::time::Duration = std::time::Duration::from_millis(50);
+
+    fn spawn(storage: Arc<StorageEngine>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mmdb-maintenance".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    std::thread::sleep(Self::TICK);
+                    if flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    // Maintenance is best-effort: an I/O error here surfaces
+                    // on the next acknowledged mutation or explicit flush.
+                    let _ = storage.maintenance_tick();
+                }
+            })
+            .expect("spawn maintenance thread");
+        MaintenanceThread {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for MaintenanceThread {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+    }
 }
 
 impl MultimediaDatabase {
     fn wrap(storage: StorageEngine) -> Self {
-        let bwm = BwmStructure::build(storage.binary_ids(), storage.edited_ids(), &storage);
+        let storage = Arc::new(storage);
+        let bwm = BwmStructure::build(storage.binary_ids(), storage.edited_ids(), &*storage);
+        let maintenance = storage
+            .data_dir()
+            .is_some()
+            .then(|| MaintenanceThread::spawn(Arc::clone(&storage)));
         MultimediaDatabase {
             storage,
             bwm: RwLock::new(bwm),
             signature_index: RwLock::new(None),
             bound_index: std::array::from_fn(|_| EpochSlot::new()),
             profile: RuleProfile::Conservative,
+            _maintenance: maintenance,
         }
     }
 
-    /// Creates a new on-disk database under `dir`.
+    /// Creates a new on-disk database under `dir` with default durability
+    /// settings (`fsync = always`).
     pub fn create(dir: &Path, quantizer: Box<dyn Quantizer>) -> Result<Self> {
-        Ok(Self::wrap(StorageEngine::create(dir, quantizer)?))
+        Self::create_with(dir, quantizer, DurabilityOptions::default())
     }
 
-    /// Opens an existing on-disk database, rebuilding the BWM structure from
-    /// the catalog.
+    /// Creates a new on-disk database under `dir` with explicit durability
+    /// settings (fsync policy, WAL segment size, snapshot cadence).
+    pub fn create_with(
+        dir: &Path,
+        quantizer: Box<dyn Quantizer>,
+        opts: DurabilityOptions,
+    ) -> Result<Self> {
+        Ok(Self::wrap(StorageEngine::create_with(
+            dir, quantizer, opts,
+        )?))
+    }
+
+    /// Opens an existing on-disk database: recovers the catalog (latest
+    /// snapshot + WAL replay), rebuilds the BWM structure, and warm-loads
+    /// any persisted bound indexes so `QueryPlan::Indexed` serves without a
+    /// cold build.
     pub fn open(dir: &Path) -> Result<Self> {
-        Ok(Self::wrap(StorageEngine::open(dir)?))
+        Self::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`MultimediaDatabase::open`] with explicit durability settings.
+    pub fn open_with(dir: &Path, opts: DurabilityOptions) -> Result<Self> {
+        let db = Self::wrap(StorageEngine::open_with(dir, opts)?);
+        db.warm_load_indexes();
+        Ok(db)
     }
 
     /// Creates an ephemeral in-memory database.
@@ -359,8 +439,8 @@ impl MultimediaDatabase {
                 &edited,
                 self.storage.quantizer(),
                 self.storage.background(),
-                &self.storage,
-                &self.storage,
+                &*self.storage,
+                &*self.storage,
             )?,
             None => {
                 let threads =
@@ -371,8 +451,8 @@ impl MultimediaDatabase {
                     self.storage.background(),
                     &binary,
                     &edited,
-                    &self.storage,
-                    &self.storage,
+                    &*self.storage,
+                    &*self.storage,
                     epoch,
                     threads,
                 )?;
@@ -549,9 +629,9 @@ impl MultimediaDatabase {
         let analyzer = mmdb_analysis::Analyzer::with_resolver(
             self.storage.quantizer(),
             self.storage.background(),
-            &self.storage,
+            &*self.storage,
         );
-        mmdb_analysis::analyze_catalog(&self.storage, &analyzer)
+        mmdb_analysis::analyze_catalog(&*self.storage, &analyzer)
     }
 
     /// Analyzes one stored edit sequence in detail: diagnostics, removable
@@ -564,7 +644,7 @@ impl MultimediaDatabase {
         let analyzer = mmdb_analysis::Analyzer::with_resolver(
             self.storage.quantizer(),
             self.storage.background(),
-            &self.storage,
+            &*self.storage,
         );
         Ok(analyzer.analyze_sequence(&sequence))
     }
@@ -585,9 +665,61 @@ impl MultimediaDatabase {
         self.storage.stats()
     }
 
-    /// Persists catalog + blobs (no-op in memory).
+    /// Persists catalog + blobs (no-op in memory): forces a snapshot, syncs
+    /// and garbage-collects the WAL, and writes any resident bound indexes
+    /// to `<data-dir>/boundidx/` so the next open starts warm.
     pub fn flush(&self) -> Result<()> {
-        Ok(self.storage.flush()?)
+        self.storage.flush()?;
+        self.persist_indexes();
+        Ok(())
+    }
+
+    /// How the catalog was recovered at open: snapshot cover point, WAL
+    /// records replayed, torn bytes discarded, and wall-clock cost. `None`
+    /// for in-memory and freshly created databases.
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.storage.recovery_info()
+    }
+
+    /// Installs persisted bound indexes from `<data-dir>/boundidx/` into
+    /// the profile slots. A stamp *behind* the recovered epoch is fine (the
+    /// next indexed query syncs incrementally); a stamp *ahead* of it means
+    /// the catalog rolled back past the persisted state (lost WAL tail
+    /// under `fsync = never`), so the file is discarded — as is anything
+    /// torn, version-skewed, or built over a different quantizer.
+    fn warm_load_indexes(&self) {
+        let Some(dir) = self.storage.data_dir().map(|d| d.join("boundidx")) else {
+            return;
+        };
+        let epoch = self.storage.current_epoch();
+        let bins = self.storage.quantizer().bin_count();
+        for profile in [RuleProfile::Conservative, RuleProfile::PaperTable1] {
+            match boundidx::persist::load(&dir, profile, bins) {
+                Ok(Some(idx)) if idx.synced_epoch() <= epoch => {
+                    *self.bound_index[profile_slot(profile)].write() = Some(idx);
+                }
+                Ok(None) => {}
+                Ok(Some(_)) | Err(_) => {
+                    let _ = boundidx::persist::discard(&dir, profile);
+                }
+            }
+        }
+    }
+
+    /// Writes every resident bound index to `<data-dir>/boundidx/`
+    /// (best-effort: a failed persist costs the next open a rebuild, never
+    /// correctness).
+    fn persist_indexes(&self) {
+        let Some(dir) = self.storage.data_dir().map(|d| d.join("boundidx")) else {
+            return;
+        };
+        for slot in &self.bound_index {
+            slot.peek(|idx| {
+                if let Some(idx) = idx {
+                    let _ = boundidx::persist::save(idx, &dir);
+                }
+            });
+        }
     }
 }
 
@@ -789,6 +921,65 @@ mod tests {
         db.export_ppm(base, &out_path).unwrap();
         let back = mmdb_imaging::ppm::read_file(&out_path).unwrap();
         assert_eq!(back, red_flag());
+    }
+
+    #[test]
+    fn warm_start_restores_bound_index() {
+        let tmp = TempDir::new("warm");
+        let dir = tmp.path();
+        let q = |db: &MultimediaDatabase| ColorRangeQuery::at_least(db.bin_of(Rgb::RED), 0.2);
+        {
+            let db = MultimediaDatabase::create(dir, Box::new(RgbQuantizer::default_64())).unwrap();
+            let base = db.insert_image(&red_flag()).unwrap();
+            db.insert_edited(EditSequence::builder(base).blur().build())
+                .unwrap();
+            // Build the index by serving an indexed query, then persist it.
+            let out = db
+                .query_range_with_plan(&q(&db), QueryPlan::Indexed)
+                .unwrap();
+            assert_eq!(out.results.len(), 2);
+            db.flush().unwrap();
+        }
+        {
+            let db = MultimediaDatabase::open(dir).unwrap();
+            // The persisted index came back *fresh*: its stamp equals the
+            // recovered epoch, so it serves without any build or sync.
+            let epoch = db.storage().current_epoch();
+            let served = db.bound_index[profile_slot(RuleProfile::Conservative)]
+                .serve_fresh(epoch, mmdb_boundidx::BoundIndex::len);
+            assert_eq!(served, Some(2), "warm index serves at the recovered epoch");
+            let a = db
+                .query_range_with_plan(&q(&db), QueryPlan::Indexed)
+                .unwrap()
+                .sorted_results();
+            let b = db
+                .query_range_with_plan(&q(&db), QueryPlan::Rbm)
+                .unwrap()
+                .sorted_results();
+            assert_eq!(a, b, "indexed ≡ RBM after warm start");
+
+            // Mutate *after* the index was persisted, then flush: the file
+            // now trails the catalog by one epoch.
+            db.insert_image(&red_flag()).unwrap();
+            db.flush().unwrap();
+        }
+        let db = MultimediaDatabase::open(dir).unwrap();
+        let epoch = db.storage().current_epoch();
+        let slot = &db.bound_index[profile_slot(RuleProfile::Conservative)];
+        assert_eq!(
+            slot.serve_fresh(epoch, |_| ()),
+            None,
+            "stale warm index is not served as-is"
+        );
+        let resident = slot.peek(|idx| idx.as_ref().map(|i| i.len()));
+        assert_eq!(resident, Some(2), "stale warm index is still installed");
+        // The next indexed query catches up *incrementally* (two entries
+        // stay resident; only the new image is computed) and then serves.
+        let out = db
+            .query_range_with_plan(&q(&db), QueryPlan::Indexed)
+            .unwrap();
+        assert_eq!(out.results.len(), 3);
+        assert_eq!(slot.peek(|idx| idx.as_ref().map(|i| i.len())), Some(3));
     }
 
     #[test]

@@ -48,10 +48,12 @@ fn seed_bad_database(dir: &Path) {
         .unwrap();
         db.flush().unwrap();
     }
-    // Splice in the error-level defects.
-    let catalog_path = dir.join("catalog.mmdb");
-    let bytes = std::fs::read(&catalog_path).unwrap();
-    let (mut catalog, free_list) = Catalog::decode(&bytes).unwrap();
+    // Splice in the error-level defects. The catalog now lives inside the
+    // latest snapshot; rewrite it in place (same covered seqno, so the
+    // spliced snapshot simply replaces the healthy one).
+    let snaps = mmdbms::durable::SnapshotStore::open(&dir.join("snapshots")).unwrap();
+    let snap = snaps.load_latest().unwrap().unwrap();
+    let (mut catalog, free_list) = Catalog::decode(&snap.payload).unwrap();
     let base = ImageId::new(1);
     // E002: merge target that does not exist.
     let dangling = catalog.allocate_id();
@@ -81,7 +83,13 @@ fn seed_bad_database(dir: &Path) {
             sequence: Arc::new(EditSequence::builder(a).blur().build()),
         },
     );
-    std::fs::write(&catalog_path, catalog.encode(&free_list)).unwrap();
+    snaps
+        .write(
+            snap.covered_seqno,
+            snap.blob_gen,
+            &catalog.encode(&free_list),
+        )
+        .unwrap();
 }
 
 #[test]

@@ -86,6 +86,14 @@ impl Catalog {
         id
     }
 
+    /// Advances the allocator past an explicitly supplied id. WAL replay
+    /// inserts records carrying the ids the original run allocated; this
+    /// keeps post-recovery allocations from colliding with them (gaps from
+    /// ids that were allocated but never acknowledged are fine).
+    pub fn note_allocated(&mut self, id: ImageId) {
+        self.next_id = self.next_id.max(id.raw() + 1);
+    }
+
     /// Number of cataloged objects.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -2,13 +2,19 @@
 
 use crate::blobstore::BlobStore;
 use crate::catalog::{Catalog, CatalogEntry, StoredKind};
+use crate::durability::{
+    apply_record, blob_file_name, gc_blob_generations, map_durable, DurabilityOptions,
+    RecoveryInfo, WalRecord,
+};
 use crate::epoch::MutationEpoch;
 use crate::error::StorageError;
 use crate::lru::LruCache;
 use crate::Result;
 use mmdb_analysis::{Analyzer, CatalogGraph, NodeKind, Severity};
-use mmdb_conc::sync::atomic::{AtomicBool, Ordering};
+use mmdb_conc::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use mmdb_conc::sync::{Mutex, RwLock};
+use mmdb_durable::meta::{read_meta, write_meta, Meta};
+use mmdb_durable::{FsyncPolicy, SnapshotStore, Wal, WalOptions};
 use mmdb_editops::{
     EditError, EditSequence, ExecOptions, ImageId, ImageResolver, InstantiationEngine,
 };
@@ -16,7 +22,7 @@ use mmdb_histogram::{quantizer::from_description, ColorHistogram, Quantizer};
 use mmdb_imaging::ppm::{self, PnmFormat};
 use mmdb_imaging::{RasterImage, Rgb};
 use mmdb_rules::{ImageInfo, InfoResolver};
-use mmdb_telemetry::{counter, histogram};
+use mmdb_telemetry::{counter, histogram, EventKind};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -63,6 +69,28 @@ struct Inner {
     blobs: BlobStore,
 }
 
+/// Durable-layer state of a file-backed engine: the WAL, the snapshot
+/// store, and the bookkeeping the background maintenance path reads.
+///
+/// Lock order (deadlock freedom): `inner` before `wal` — the mutation path
+/// holds the exclusive catalog lock while appending, and the snapshot path
+/// reads the log position while holding the shared catalog lock. Nothing
+/// acquires `inner` while holding `wal`.
+struct DurableState {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+    snaps: SnapshotStore,
+    /// Generation of the blob file currently written to; bumped by
+    /// `compact`, committed by the snapshot that references it.
+    blob_gen: AtomicU64,
+    /// Records appended since the last snapshot (background cadence).
+    appended_since_snapshot: AtomicU64,
+    /// Last group-commit fsync under `FsyncPolicy::Interval`.
+    last_interval_sync: Mutex<Instant>,
+    opts: DurabilityOptions,
+    recovery: RecoveryInfo,
+}
+
 /// The MMDBMS storage engine.
 ///
 /// Thread-safe: reads run under a shared lock, mutations under an exclusive
@@ -73,7 +101,7 @@ pub struct StorageEngine {
     cache: Mutex<LruCache<ImageId, Arc<RasterImage>>>,
     quantizer: Box<dyn Quantizer>,
     background: Rgb,
-    catalog_path: Option<PathBuf>,
+    durable: Option<DurableState>,
     validate_ingest: AtomicBool,
     /// Mutation epoch: bumped (under the exclusive catalog lock) by every
     /// insert and delete. Derived structures such as the bound-interval
@@ -87,20 +115,45 @@ pub struct StorageEngine {
 }
 
 impl StorageEngine {
-    /// Creates a new on-disk database in `dir` (created if missing).
+    /// Creates a new on-disk database in `dir` (created if missing) with
+    /// default durability options.
     ///
     /// # Errors
-    /// Fails when a catalog already exists in `dir`.
+    /// Fails when a database already exists in `dir`.
     pub fn create(dir: &Path, quantizer: Box<dyn Quantizer>) -> Result<Self> {
+        Self::create_with(dir, quantizer, DurabilityOptions::default())
+    }
+
+    /// Creates a new on-disk database with explicit durability options.
+    ///
+    /// The data dir layout: a `meta` version header, `wal/` (segmented
+    /// write-ahead log), `snapshots/` (atomic catalog snapshots), and the
+    /// blob generation files (`blobs.mmdb`, `blobs-<n>.mmdb`). An initial
+    /// empty snapshot is written immediately so the directory is complete
+    /// and recoverable from the moment `create` returns.
+    ///
+    /// # Errors
+    /// Fails when a database (durable or legacy) already exists in `dir`.
+    pub fn create_with(
+        dir: &Path,
+        quantizer: Box<dyn Quantizer>,
+        opts: DurabilityOptions,
+    ) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let catalog_path = dir.join("catalog.mmdb");
-        if catalog_path.exists() {
+        if read_meta(dir).map_err(map_durable)?.is_some() || dir.join("catalog.mmdb").exists() {
             return Err(StorageError::Corrupt(format!(
                 "database already exists at {}",
-                catalog_path.display()
+                dir.display()
             )));
         }
-        let blobs = BlobStore::open(&dir.join("blobs.mmdb"))?;
+        write_meta(dir, Meta::current()).map_err(map_durable)?;
+        let blobs = BlobStore::open(&dir.join(blob_file_name(0)))?;
+        let snaps = SnapshotStore::open(&dir.join("snapshots")).map_err(map_durable)?;
+        let wal_opts = WalOptions {
+            segment_bytes: opts.segment_bytes,
+            fsync: opts.fsync,
+        };
+        let (wal, _) = Wal::open(&dir.join("wal"), wal_opts, 0).map_err(map_durable)?;
         let engine = StorageEngine {
             inner: RwLock::new(Inner {
                 catalog: Catalog::new(quantizer.describe()),
@@ -109,37 +162,144 @@ impl StorageEngine {
             cache: Mutex::new(LruCache::new(CACHE_ENTRIES, CACHE_BYTES)),
             quantizer,
             background: Rgb::BLACK,
-            catalog_path: Some(catalog_path),
+            durable: Some(DurableState {
+                dir: dir.to_path_buf(),
+                wal: Mutex::new(wal),
+                snaps,
+                blob_gen: AtomicU64::new(0),
+                appended_since_snapshot: AtomicU64::new(0),
+                last_interval_sync: Mutex::new(Instant::now()),
+                opts,
+                recovery: RecoveryInfo::default(),
+            }),
             validate_ingest: AtomicBool::new(true),
             epoch: MutationEpoch::new(),
         };
-        engine.flush()?;
+        engine.snapshot_now()?;
         Ok(engine)
     }
 
-    /// Opens an existing on-disk database, reconstructing the quantizer from
-    /// the catalog.
+    /// Opens an existing on-disk database with default durability options,
+    /// reconstructing the quantizer from the recovered catalog.
     pub fn open(dir: &Path) -> Result<Self> {
-        let catalog_path = dir.join("catalog.mmdb");
-        let bytes = std::fs::read(&catalog_path)?;
-        let (catalog, free_list) = Catalog::decode(&bytes)?;
+        Self::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// Opens an existing on-disk database with explicit durability options.
+    ///
+    /// Recovery contract: load the newest snapshot that validates (falling
+    /// back to the previous one if the newest is damaged), replay every WAL
+    /// record above its cover point, and tolerate a torn final record at
+    /// the very end of the log. A directory in the pre-durability layout
+    /// (bare `catalog.mmdb`) is migrated in place on first open.
+    pub fn open_with(dir: &Path, opts: DurabilityOptions) -> Result<Self> {
+        let started = Instant::now();
+        match read_meta(dir).map_err(map_durable)? {
+            Some(meta) => {
+                meta.check_readable().map_err(map_durable)?;
+                // Debris from a migration that crashed after committing the
+                // meta header.
+                let _ = std::fs::remove_file(dir.join("catalog.mmdb"));
+            }
+            None if dir.join("catalog.mmdb").exists() => migrate_legacy_dir(dir)?,
+            None => {
+                return Err(StorageError::Corrupt(format!(
+                    "no database at {}",
+                    dir.display()
+                )))
+            }
+        }
+        let snap_dir = dir.join("snapshots");
+        mmdb_durable::snapshot::remove_tmp_files(&snap_dir);
+        let snaps = SnapshotStore::open(&snap_dir).map_err(map_durable)?;
+        let snap = snaps.load_latest().map_err(map_durable)?.ok_or_else(|| {
+            StorageError::Corrupt(format!("no snapshot in {}", snap_dir.display()))
+        })?;
+        let (mut catalog, free_list) = Catalog::decode(&snap.payload)?;
         let quantizer = from_description(catalog.quantizer_desc()).ok_or_else(|| {
             StorageError::Corrupt(format!(
                 "unknown quantizer {:?} in catalog",
                 catalog.quantizer_desc()
             ))
         })?;
-        let mut blobs = BlobStore::open(&dir.join("blobs.mmdb"))?;
+        let blob_path = dir.join(blob_file_name(snap.blob_gen));
+        if !catalog.is_empty() && !blob_path.exists() {
+            return Err(StorageError::Corrupt(format!(
+                "blob generation file {} is missing",
+                blob_path.display()
+            )));
+        }
+        let mut blobs = BlobStore::open(&blob_path)?;
         blobs.restore_free_list(free_list);
-        Ok(StorageEngine {
+        gc_blob_generations(dir, &snaps, snap.blob_gen)?;
+
+        let wal_dir = dir.join("wal");
+        let wal_opts = WalOptions {
+            segment_bytes: opts.segment_bytes,
+            fsync: opts.fsync,
+        };
+        let (mut wal, wal_stats) =
+            Wal::open(&wal_dir, wal_opts, snap.covered_seqno).map_err(map_durable)?;
+        if wal.last_seqno() < snap.covered_seqno {
+            // The log's surviving tail predates the snapshot (lost under a
+            // lax fsync policy): nothing in it is needed, and reusing its
+            // sequence numbers would alias covered records. Restart the log
+            // at the snapshot's cover point.
+            drop(wal);
+            std::fs::remove_dir_all(&wal_dir)?;
+            let reopened =
+                Wal::open(&wal_dir, wal_opts, snap.covered_seqno).map_err(map_durable)?;
+            wal = reopened.0;
+        }
+        let replayed = wal
+            .replay(snap.covered_seqno, |seqno, payload| {
+                apply_record(&mut catalog, &mut blobs, quantizer.as_ref(), seqno, payload)
+                    .map_err(|e| mmdb_durable::DurableError::Corrupt(e.to_string()))
+            })
+            .map_err(map_durable)?;
+        let last_seqno = wal.last_seqno();
+        let recovery = RecoveryInfo {
+            snapshot_seqno: snap.covered_seqno,
+            replayed_records: replayed,
+            torn_bytes: wal_stats.torn_bytes,
+            duration: started.elapsed(),
+        };
+        histogram!("mmdb_recovery_seconds").observe(recovery.duration);
+        mmdb_telemetry::recorder().record(
+            EventKind::Recovery,
+            format!(
+                "snapshot_seqno={} replayed={replayed} torn_bytes={} last_seqno={last_seqno}",
+                snap.covered_seqno, wal_stats.torn_bytes
+            ),
+            &[
+                ("replayed_records", replayed),
+                ("torn_bytes", wal_stats.torn_bytes),
+            ],
+        );
+
+        let engine = StorageEngine {
             inner: RwLock::new(Inner { catalog, blobs }),
             cache: Mutex::new(LruCache::new(CACHE_ENTRIES, CACHE_BYTES)),
             quantizer,
             background: Rgb::BLACK,
-            catalog_path: Some(catalog_path),
+            durable: Some(DurableState {
+                dir: dir.to_path_buf(),
+                wal: Mutex::new(wal),
+                snaps,
+                blob_gen: AtomicU64::new(snap.blob_gen),
+                appended_since_snapshot: AtomicU64::new(0),
+                last_interval_sync: Mutex::new(Instant::now()),
+                opts,
+                recovery,
+            }),
             validate_ingest: AtomicBool::new(true),
             epoch: MutationEpoch::new(),
-        })
+        };
+        // Every acknowledged mutation is one WAL record, so the recovered
+        // epoch is the log's last sequence number; the two stay in lockstep
+        // from here on (see `MutationEpoch::restore`).
+        engine.epoch.restore(last_seqno);
+        Ok(engine)
     }
 
     /// Creates an ephemeral in-memory database (tests, benchmarks).
@@ -152,10 +312,50 @@ impl StorageEngine {
             cache: Mutex::new(LruCache::new(CACHE_ENTRIES, CACHE_BYTES)),
             quantizer,
             background: Rgb::BLACK,
-            catalog_path: None,
+            durable: None,
             validate_ingest: AtomicBool::new(true),
             epoch: MutationEpoch::new(),
         }
+    }
+
+    /// What recovery found and did when this engine opened its data dir.
+    /// `None` for in-memory and freshly created databases.
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.durable
+            .as_ref()
+            .map(|d| d.recovery)
+            .filter(|r| r.duration > std::time::Duration::ZERO)
+    }
+
+    /// The data directory of a file-backed engine.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// The durability options this engine runs with.
+    pub fn durability_options(&self) -> Option<DurabilityOptions> {
+        self.durable.as_ref().map(|d| d.opts)
+    }
+
+    /// Appends one mutation record to the WAL. Called under the exclusive
+    /// catalog lock *before* the in-memory apply: the record is durable
+    /// (per the fsync policy) by the time the mutation is acknowledged, and
+    /// a crash between append and apply loses only an unacknowledged
+    /// mutation — replay reconstructs the record's effect from the log.
+    fn log_mutation(&self, record: &WalRecord<'_>) -> Result<()> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        let mut wal = d.wal.lock();
+        let seqno = wal.append(&record.encode()).map_err(map_durable)?;
+        debug_assert_eq!(
+            seqno,
+            self.epoch.current() + 1,
+            "WAL seqno and mutation epoch must advance in lockstep"
+        );
+        // Relaxed: a background-cadence counter, read approximately.
+        d.appended_since_snapshot.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// The current mutation epoch. Readers building derived structures must
@@ -207,6 +407,12 @@ impl StorageEngine {
         let mut inner = self.inner.write();
         let blob = inner.blobs.put(&encoded)?;
         let id = inner.catalog.allocate_id();
+        self.log_mutation(&WalRecord::InsertBinary {
+            id,
+            width: image.width(),
+            height: image.height(),
+            ppm: &encoded,
+        })?;
         inner.catalog.insert(
             id,
             CatalogEntry::Binary {
@@ -309,6 +515,10 @@ impl StorageEngine {
         let mut inner = self.inner.write();
         check_refs(&inner)?;
         let id = inner.catalog.allocate_id();
+        self.log_mutation(&WalRecord::InsertEdited {
+            id,
+            sequence: &sequence,
+        })?;
         let (base, ops) = (sequence.base, sequence.len());
         inner.catalog.insert(
             id,
@@ -478,6 +688,7 @@ impl StorageEngine {
             }
             Some(CatalogEntry::Edited { .. }) => {}
         }
+        self.log_mutation(&WalRecord::Delete { id })?;
         if let Some(CatalogEntry::Binary { blob, .. }) = inner.catalog.remove(id) {
             inner.blobs.delete(blob);
         }
@@ -487,79 +698,158 @@ impl StorageEngine {
         Ok(())
     }
 
-    /// Persists the catalog (atomically, via temp file + rename) and syncs
-    /// the blob file. A no-op for in-memory databases.
+    /// Persists the current state: a catalog snapshot (atomic, via temp
+    /// file + rename) plus a group-commit fsync of the WAL's active
+    /// segment. A no-op for in-memory databases.
     pub fn flush(&self) -> Result<()> {
-        let Some(path) = &self.catalog_path else {
+        self.snapshot_now()
+    }
+
+    /// Writes a snapshot of the current catalog, fsyncs the WAL, and
+    /// garbage-collects WAL segments and blob generations the retained
+    /// snapshots no longer need. A no-op for in-memory databases.
+    pub fn snapshot_now(&self) -> Result<()> {
+        let Some(d) = &self.durable else {
             return Ok(());
         };
         let inner = self.inner.read();
-        let bytes = inner.catalog.encode(inner.blobs.free_list());
+        // Blob bytes the snapshot references must be durable before the
+        // snapshot commits — records at or below the cover point are never
+        // replayed, so nothing else would rewrite them.
         inner.blobs.sync()?;
+        let payload = inner.catalog.encode(inner.blobs.free_list());
+        let covered = d.wal.lock().last_seqno();
         drop(inner);
-        let tmp = path.with_extension("mmdb.tmp");
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, path)?;
+        // Relaxed on `blob_gen`: only `compact` stores it, and `compact`
+        // holds the exclusive catalog lock while doing so.
+        d.snaps
+            .write(covered, d.blob_gen.load(Ordering::Relaxed), &payload)
+            .map_err(map_durable)?;
+        d.appended_since_snapshot.store(0, Ordering::Relaxed);
+        let oldest = d
+            .snaps
+            .oldest_covered()
+            .map_err(map_durable)?
+            .unwrap_or(covered);
+        {
+            let mut wal = d.wal.lock();
+            wal.sync().map_err(map_durable)?;
+            wal.gc(oldest).map_err(map_durable)?;
+        }
+        gc_blob_generations(&d.dir, &d.snaps, d.blob_gen.load(Ordering::Relaxed))?;
+        Ok(())
+    }
+
+    /// Forces the WAL's active segment to stable storage. Used by clean
+    /// shutdown and by the background group-commit path.
+    pub fn wal_sync(&self) -> Result<()> {
+        if let Some(d) = &self.durable {
+            d.wal.lock().sync().map_err(map_durable)?;
+        }
+        Ok(())
+    }
+
+    /// One background maintenance step, intended for a periodic thread off
+    /// the request path: a group-commit fsync when the `Interval` policy's
+    /// deadline has passed, and a snapshot (with segment GC) once
+    /// `snapshot_every` records have accumulated since the last one.
+    pub fn maintenance_tick(&self) -> Result<()> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        if let FsyncPolicy::Interval(every) = d.opts.fsync {
+            let mut last = d.last_interval_sync.lock();
+            if last.elapsed() >= every {
+                d.wal.lock().sync().map_err(map_durable)?;
+                *last = Instant::now();
+            }
+        }
+        if d.appended_since_snapshot.load(Ordering::Relaxed) >= d.opts.snapshot_every {
+            self.snapshot_now()?;
+        }
         Ok(())
     }
 
     /// Compacts the blob store: rewrites every live blob contiguously,
     /// eliminating the holes left by deletions, and updates the catalog's
-    /// blob references. Returns the number of bytes reclaimed. File-backed
-    /// databases write a fresh blob file and atomically rename it into
-    /// place; the catalog is flushed afterwards.
+    /// blob references. Returns the number of bytes reclaimed.
+    ///
+    /// File-backed databases write the next blob *generation* file
+    /// (`blobs-<n>.mmdb`) and commit it by writing a snapshot that
+    /// references it — until that snapshot is durable, recovery uses the
+    /// previous snapshot and the previous generation file, which is only
+    /// garbage-collected once no retained snapshot references it. A crash
+    /// at any point therefore leaves a consistent database.
     pub fn compact(&self) -> Result<u64> {
         let mut inner = self.inner.write();
         let before = inner.blobs.file_size();
-        let mut fresh = match &self.catalog_path {
-            Some(catalog_path) => {
-                let dir = catalog_path.parent().unwrap_or_else(|| Path::new("."));
-                let tmp = dir.join("blobs.mmdb.compact");
-                // A stale temp file from a crashed compaction is discarded.
-                std::fs::remove_file(&tmp).ok();
-                (BlobStore::open(&tmp)?, Some((tmp, dir.join("blobs.mmdb"))))
+        let target = self.durable.as_ref().map(|d| {
+            // Relaxed: `compact` is the only writer of `blob_gen` and runs
+            // under the exclusive catalog lock.
+            let gen = d.blob_gen.load(Ordering::Relaxed) + 1;
+            (d.dir.join(blob_file_name(gen)), gen)
+        });
+        let mut fresh = match &target {
+            Some((path, _)) => {
+                // Debris of a compaction that crashed before committing.
+                std::fs::remove_file(path).ok();
+                BlobStore::open(path)?
             }
-            None => (BlobStore::in_memory(), None),
+            None => BlobStore::in_memory(),
         };
         // Rewrite blobs in id order and collect the catalog updates.
         let mut moves: Vec<(ImageId, crate::blobstore::BlobRef)> = Vec::new();
         for (id, entry) in inner.catalog.iter() {
             if let CatalogEntry::Binary { blob, .. } = entry {
                 let bytes = inner.blobs.get(*blob)?;
-                moves.push((id, fresh.0.put(&bytes)?));
+                moves.push((id, fresh.put(&bytes)?));
             }
         }
         for (id, new_ref) in moves {
-            if let Some(CatalogEntry::Binary { blob, .. }) = inner.catalog.get(id).cloned() {
-                let _ = blob;
-                // Replace the entry with the relocated blob reference.
-                if let Some(CatalogEntry::Binary {
-                    width,
-                    height,
-                    histogram,
-                    ..
-                }) = inner.catalog.remove(id)
-                {
-                    inner.catalog.insert(
-                        id,
-                        CatalogEntry::Binary {
-                            blob: new_ref,
-                            width,
-                            height,
-                            histogram,
-                        },
-                    );
-                }
+            // Replace the entry with the relocated blob reference.
+            if let Some(CatalogEntry::Binary {
+                width,
+                height,
+                histogram,
+                ..
+            }) = inner.catalog.remove(id)
+            {
+                inner.catalog.insert(
+                    id,
+                    CatalogEntry::Binary {
+                        blob: new_ref,
+                        width,
+                        height,
+                        histogram,
+                    },
+                );
             }
         }
-        let after = fresh.0.file_size();
-        if let Some((tmp, real)) = fresh.1.take() {
-            fresh.0.sync()?;
-            std::fs::rename(&tmp, &real)?;
+        let after = fresh.file_size();
+        if let (Some(d), Some((_, gen))) = (&self.durable, target) {
+            fresh.sync()?;
+            inner.blobs = fresh;
+            let payload = inner.catalog.encode(inner.blobs.free_list());
+            let covered = d.wal.lock().last_seqno();
+            d.blob_gen.store(gen, Ordering::Relaxed);
+            drop(inner);
+            // Commit point: the snapshot referencing the new generation.
+            d.snaps.write(covered, gen, &payload).map_err(map_durable)?;
+            d.appended_since_snapshot.store(0, Ordering::Relaxed);
+            let oldest = d
+                .snaps
+                .oldest_covered()
+                .map_err(map_durable)?
+                .unwrap_or(covered);
+            {
+                let mut wal = d.wal.lock();
+                wal.sync().map_err(map_durable)?;
+                wal.gc(oldest).map_err(map_durable)?;
+            }
+            gc_blob_generations(&d.dir, &d.snaps, gen)?;
+        } else {
+            inner.blobs = fresh;
         }
-        inner.blobs = fresh.0;
-        drop(inner);
-        self.flush()?;
         Ok(before.saturating_sub(after))
     }
 
@@ -682,6 +972,34 @@ impl StorageEngine {
         s.cache_misses = misses;
         s
     }
+}
+
+impl Drop for StorageEngine {
+    /// Best-effort group commit on shutdown: under `Interval`/`Never`
+    /// policies a clean process exit should not lose acknowledged records.
+    fn drop(&mut self) {
+        if let Some(d) = &self.durable {
+            let _ = d.wal.lock().sync();
+        }
+    }
+}
+
+/// Migrates a pre-durability directory (bare `catalog.mmdb` + `blobs.mmdb`)
+/// into the durable layout: the catalog file becomes the initial snapshot
+/// (covering seqno 0, blob generation 0 — the legacy blob file's name *is*
+/// generation 0's name), then the meta header commits the migration and the
+/// legacy file is removed. Idempotent under crashes: until the meta header
+/// exists the next open retries the whole migration.
+fn migrate_legacy_dir(dir: &Path) -> Result<()> {
+    let legacy = dir.join("catalog.mmdb");
+    let bytes = std::fs::read(&legacy)?;
+    // Validate before committing to the new layout.
+    Catalog::decode(&bytes)?;
+    let snaps = SnapshotStore::open(&dir.join("snapshots")).map_err(map_durable)?;
+    snaps.write(0, 0, &bytes).map_err(map_durable)?;
+    write_meta(dir, Meta::current()).map_err(map_durable)?;
+    std::fs::remove_file(&legacy)?;
+    Ok(())
 }
 
 /// Lets the instantiation engine pull base/target rasters out of this
@@ -941,6 +1259,143 @@ mod tests {
         assert_eq!(db.quantizer().describe(), "rgb-uniform/4");
         // Creating over an existing database is refused.
         assert!(StorageEngine::create(&dir, Box::new(RgbQuantizer::default_64())).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_replays_unflushed_mutations() {
+        let dir = std::env::temp_dir().join(format!("mmdb_replay_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let img = two_tone(10, 10, Rgb::GREEN, Rgb::BLACK);
+        let (base, edited, doomed) = {
+            let db = StorageEngine::create(&dir, Box::new(RgbQuantizer::default_64())).unwrap();
+            let base = db.insert_binary(&img).unwrap();
+            let edited = db
+                .insert_edited(
+                    EditSequence::builder(base)
+                        .modify(Rgb::GREEN, Rgb::RED)
+                        .build(),
+                )
+                .unwrap();
+            let doomed = db
+                .insert_binary(&two_tone(6, 6, Rgb::BLUE, Rgb::WHITE))
+                .unwrap();
+            db.delete(doomed).unwrap();
+            // No flush: everything after the initial empty snapshot lives
+            // only in the WAL.
+            (base, edited, doomed)
+        };
+        let db = StorageEngine::open(&dir).unwrap();
+        let info = db.recovery_info().unwrap();
+        assert_eq!(info.replayed_records, 4, "{info:?}");
+        assert_eq!(info.torn_bytes, 0);
+        assert_eq!(*db.raster(base).unwrap(), img);
+        assert_eq!(db.children_of(base), vec![edited]);
+        assert!(!db.contains(doomed));
+        // Epoch resumes at the WAL position: mutations keep logging.
+        assert_eq!(db.current_epoch(), 4);
+        let next = db.insert_binary(&img).unwrap();
+        assert!(
+            next.raw() > doomed.raw(),
+            "id allocator advanced past replayed ids"
+        );
+        assert!(db.verify().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_tolerated() {
+        let dir = std::env::temp_dir().join(format!("mmdb_torn_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let img = two_tone(8, 8, Rgb::RED, Rgb::WHITE);
+        {
+            let db = StorageEngine::create(&dir, Box::new(RgbQuantizer::default_64())).unwrap();
+            db.insert_binary(&img).unwrap();
+            db.insert_binary(&two_tone(8, 8, Rgb::BLUE, Rgb::WHITE))
+                .unwrap();
+        }
+        // Tear the final record mid-frame, as a crash mid-append would.
+        let (seg, _) = mmdb_durable::wal::list_segments(&dir.join("wal"))
+            .unwrap()
+            .pop()
+            .unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 7)
+            .unwrap();
+
+        let db = StorageEngine::open(&dir).unwrap();
+        let info = db.recovery_info().unwrap();
+        assert!(info.torn_bytes > 0, "{info:?}");
+        assert_eq!(info.replayed_records, 1);
+        assert_eq!(db.ids().len(), 1);
+        assert_eq!(*db.raster(ImageId::new(1)).unwrap(), img);
+        assert!(db.verify().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_layout_migrates_on_open() {
+        let dir = std::env::temp_dir().join(format!("mmdb_legacy_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-durability directory: bare catalog.mmdb (+ blobs.mmdb).
+        let catalog = Catalog::new(RgbQuantizer::default_64().describe());
+        std::fs::write(dir.join("catalog.mmdb"), catalog.encode(&[])).unwrap();
+        std::fs::write(dir.join("blobs.mmdb"), b"").unwrap();
+
+        let db = StorageEngine::open(&dir).unwrap();
+        assert!(!dir.join("catalog.mmdb").exists(), "legacy file removed");
+        assert!(dir.join("meta").exists(), "meta header written");
+        let img = two_tone(4, 4, Rgb::RED, Rgb::WHITE);
+        let id = db.insert_binary(&img).unwrap();
+        drop(db);
+        let db = StorageEngine::open(&dir).unwrap();
+        assert_eq!(*db.raster(id).unwrap(), img);
+        // Migrated directories refuse a second `create`, like any other.
+        assert!(StorageEngine::create(&dir, Box::new(RgbQuantizer::default_64())).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_is_crash_safe_via_generations() {
+        let dir = std::env::temp_dir().join(format!("mmdb_gen_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let db = StorageEngine::create(&dir, Box::new(RgbQuantizer::default_64())).unwrap();
+        let mut keep = Vec::new();
+        for i in 0..6u8 {
+            let img = two_tone(12, 12, Rgb::new(i * 30, 0, 0), Rgb::WHITE);
+            let id = db.insert_binary(&img).unwrap();
+            if i % 2 == 0 {
+                keep.push((id, img));
+            } else {
+                db.delete(id).unwrap();
+            }
+        }
+        db.compact().unwrap();
+        assert!(
+            dir.join("blobs-1.mmdb").exists(),
+            "compaction writes the next generation"
+        );
+        // Both generations coexist while a retained snapshot still
+        // references generation 0 (the fallback snapshot must stay
+        // loadable)...
+        assert!(dir.join("blobs.mmdb").exists(), "old generation retained");
+        // ...and once every retained snapshot has moved past it, the old
+        // generation is garbage-collected.
+        db.insert_binary(&two_tone(4, 4, Rgb::GREEN, Rgb::BLACK))
+            .unwrap();
+        db.flush().unwrap();
+        assert!(!dir.join("blobs.mmdb").exists(), "old generation GC'd");
+        drop(db);
+        let db = StorageEngine::open(&dir).unwrap();
+        for (id, img) in &keep {
+            assert_eq!(&*db.raster(*id).unwrap(), img);
+        }
+        assert!(db.verify().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -50,6 +50,16 @@ impl MutationEpoch {
     pub fn bump(&self) -> u64 {
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
+
+    /// Restores the counter to `value` — recovery-time only, before the
+    /// engine is shared with any reader. Every durable mutation appends
+    /// exactly one WAL record and bumps the epoch exactly once (both under
+    /// the exclusive lock), so restoring the epoch to the log's last
+    /// sequence number keeps the two in lockstep across restarts; persisted
+    /// index stamps therefore stay comparable against post-recovery epochs.
+    pub fn restore(&self, value: u64) {
+        self.epoch.store(value, Ordering::Release);
+    }
 }
 
 #[cfg(test)]

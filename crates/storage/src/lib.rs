@@ -26,6 +26,7 @@
 
 pub mod blobstore;
 pub mod catalog;
+pub mod durability;
 pub mod engine;
 pub mod epoch;
 pub mod error;
@@ -33,6 +34,7 @@ pub mod lru;
 
 pub use blobstore::{BlobRef, BlobStore};
 pub use catalog::{Catalog, CatalogEntry, StoredKind};
+pub use durability::{blob_file_name, DurabilityOptions, RecoveryInfo, WalRecord};
 pub use engine::{StorageEngine, StorageStats};
 pub use epoch::MutationEpoch;
 pub use error::StorageError;

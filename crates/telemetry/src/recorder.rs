@@ -50,6 +50,15 @@ pub enum EventKind {
     /// An SLO objective changed alert state (ok/warning/critical); the
     /// detail carries the objective, direction, and both burn rates.
     SloStateChange,
+    /// The write-ahead log finished a segment and started a new one.
+    WalRotation,
+    /// A catalog snapshot was written and renamed into place.
+    Snapshot,
+    /// Crash recovery completed: snapshot load + WAL-tail replay.
+    Recovery,
+    /// A serving process drained, flushed a final snapshot, and synced the
+    /// active WAL segment before exiting.
+    ServerCleanShutdown,
 }
 
 impl EventKind {
@@ -70,6 +79,10 @@ impl EventKind {
             EventKind::ServerDrain => "server_drain",
             EventKind::ServerBackendPanic => "server_backend_panic",
             EventKind::SloStateChange => "slo_state_change",
+            EventKind::WalRotation => "wal_rotation",
+            EventKind::Snapshot => "snapshot",
+            EventKind::Recovery => "recovery",
+            EventKind::ServerCleanShutdown => "server_clean_shutdown",
         }
     }
 }
